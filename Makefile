@@ -1,0 +1,29 @@
+# Convenience targets for the reproduction repository.
+
+PYTHON ?= python3
+
+.PHONY: install test bench quick-check reproduce clean
+
+install:
+	pip install -e .
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# the two output files the reproduction record refers to
+outputs:
+	$(PYTHON) -m pytest tests/ 2>&1 | tee test_output.txt
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
+
+quick-check:
+	$(PYTHON) -m pytest tests/isa tests/core -q
+
+reproduce:
+	$(PYTHON) examples/paper_reproduction.py
+
+clean:
+	rm -rf .pytest_cache .benchmarks .hypothesis
+	find . -name __pycache__ -type d -prune -exec rm -rf {} +

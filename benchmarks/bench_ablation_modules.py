@@ -1,0 +1,55 @@
+"""Ablation A5: module count.
+
+The paper notes power savings "can be achieved with two or more
+functional units".  This bench sweeps Num(M) over {1, 2, 3, 4, 6, 8}
+on the calibrated IALU stream and reports the 4-bit LUT reduction —
+showing where the duplicated-module approach starts and saturates.
+"""
+
+from conftest import record, run_once
+
+from repro.core import (OriginalPolicy, PolicyEvaluator, build_lut,
+                        paper_statistics, scheme_for)
+from repro.core.steering import LUTPolicy
+from repro.isa.instructions import FUClass
+from repro.workloads import SyntheticStream
+
+CYCLES = 6_000
+
+
+def test_ablation_module_count(benchmark):
+    stats = paper_statistics(FUClass.IALU)
+    scheme = scheme_for(FUClass.IALU)
+
+    def reduction(num_modules):
+        vector_bits = 2 * min(2, num_modules)
+        lut = build_lut(stats, num_modules, vector_bits)
+        steered = PolicyEvaluator(FUClass.IALU, num_modules,
+                                  LUTPolicy(lut=lut, scheme=scheme))
+        baseline = PolicyEvaluator(FUClass.IALU, num_modules,
+                                   OriginalPolicy())
+        stream = SyntheticStream(stats, num_modules=num_modules, seed=21)
+        for group in stream.groups(CYCLES):
+            steered(group)
+            baseline(group)
+        base = baseline.totals().switched_bits
+        return 1.0 - steered.totals().switched_bits / base if base else 0.0
+
+    def experiment():
+        return {m: reduction(m) for m in (1, 2, 3, 4, 6, 8)}
+
+    results = run_once(benchmark, experiment)
+    text = "\n".join(f"Num(M) = {m}:  {100 * value:6.1f}%"
+                     for m, value in results.items())
+    record(benchmark, "Ablation A5: 4-bit LUT reduction vs module count",
+           text)
+
+    # with a single module there is nothing to steer
+    assert results[1] == 0.0
+    # two or more modules save power, as the paper claims
+    assert results[2] > 0.0
+    # more modules help: monotone within noise, and 8 beats 2 clearly
+    assert results[8] > results[2]
+    assert results[4] > results[2]
+    benchmark.extra_info["by_modules"] = {str(m): round(v, 4)
+                                          for m, v in results.items()}

@@ -1,0 +1,70 @@
+"""Ablation: does wrong-path (squashed) traffic change the result?
+
+The routing hardware sees every issued operation, including those later
+squashed on a branch misprediction — that is what the simulator models
+and what the main experiments measure.  This ablation replays stored
+traces with the squashed operations filtered out and compares the
+steering reductions, quantifying how much wrong-path pollution matters
+to the paper's numbers.
+"""
+
+from conftest import record, run_once
+
+from repro.core import make_policy, paper_statistics
+from repro.core.steering import OriginalPolicy, PolicyEvaluator
+from repro.cpu import Simulator, TraceCollector
+from repro.isa.instructions import FUClass
+from repro.workloads import integer_suite
+
+
+def test_ablation_wrong_path(benchmark, bench_scale):
+    stats = paper_statistics(FUClass.IALU)
+
+    def experiment():
+        # capture traces once (with retroactive wrong-path marks)
+        traces = []
+        squashed = 0
+        total = 0
+        for load in integer_suite():
+            collector = TraceCollector([FUClass.IALU])
+            sim = Simulator(load.build(bench_scale))
+            sim.add_listener(collector)
+            sim.run()
+            traces.append(collector.groups)
+            squashed += sum(1 for g in collector.groups
+                            for op in g.ops if op.speculative)
+            total += collector.op_count()
+        # evaluate with and without squashed ops
+        bits = {}
+        for include in (True, False):
+            evaluators = {
+                "lut-4": PolicyEvaluator(
+                    FUClass.IALU, 4,
+                    make_policy("lut-4", FUClass.IALU, 4, stats=stats),
+                    include_speculative=include),
+                "original": PolicyEvaluator(FUClass.IALU, 4,
+                                            OriginalPolicy(),
+                                            include_speculative=include),
+            }
+            for groups in traces:
+                for group in groups:
+                    for evaluator in evaluators.values():
+                        evaluator(group)
+            reduction = 1 - (evaluators["lut-4"].totals().switched_bits
+                             / evaluators["original"].totals().switched_bits)
+            bits[include] = reduction
+        return bits, squashed, total
+
+    bits, squashed, total = run_once(benchmark, experiment)
+    text = (f"wrong-path operations: {squashed}/{total}"
+            f" ({100 * squashed / total:.1f}% of issued IALU ops)\n"
+            f"LUT-4 reduction including wrong path: {100 * bits[True]:.1f}%\n"
+            f"LUT-4 reduction, correct path only:  {100 * bits[False]:.1f}%")
+    record(benchmark, "Ablation: wrong-path traffic and steering",
+           text)
+
+    assert squashed > 0
+    # wrong-path pollution shifts the result only marginally
+    assert abs(bits[True] - bits[False]) < 0.05
+    benchmark.extra_info["wrong_path_fraction"] = squashed / total
+    benchmark.extra_info["delta"] = bits[True] - bits[False]

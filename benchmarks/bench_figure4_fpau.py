@@ -1,0 +1,42 @@
+"""Figure 4(b) reproduction: FPAU energy reduction grid.
+
+Same grid as Figure 4(a), over the SPEC95-analogue floating point
+suite.  The paper's FPAU findings: ~18% for the 4-bit LUT, swapping
+adds little (the OR-of-low-4 information bit only predicts the trailing
+bits when it is 0), and the FPAU is insensitive to the LUT vector width
+because it rarely issues more than one operation per cycle (Table 2).
+"""
+
+from conftest import record, run_once
+
+from repro.analysis.energy import run_figure4
+from repro.analysis.report import render_figure4
+from repro.isa.instructions import FUClass
+
+
+def test_figure4_fpau(benchmark, bench_scale):
+    panel = run_once(
+        benchmark,
+        lambda: run_figure4(FUClass.FPAU, scale=bench_scale,
+                            swap_modes=("none", "hw", "compiler",
+                                        "hw+compiler")))
+    record(benchmark, "Figure 4(b): FPAU energy reduction",
+           render_figure4(panel))
+
+    # steering helps, Original gains nothing by definition
+    assert panel.reduction("lut-4") > 0.0
+    assert panel.reduction("full-ham") >= panel.reduction("lut-4") - 0.02
+    assert panel.reduction("original") == 0.0
+
+    # the FPAU barely benefits from hardware swapping (paper insight 2)
+    swap_gain = (panel.reduction("lut-4", "hw")
+                 - panel.reduction("lut-4", "none"))
+    assert swap_gain < 0.05
+
+    # the FPAU is insensitive to vector width (paper insight 5)
+    assert abs(panel.reduction("lut-8") - panel.reduction("lut-4")) < 0.05
+
+    for scheme in ("full-ham", "1bit-ham", "lut-8", "lut-4", "lut-2"):
+        benchmark.extra_info[scheme] = {
+            mode: round(panel.reduction(scheme, mode), 4)
+            for mode in ("none", "hw", "hw+compiler")}

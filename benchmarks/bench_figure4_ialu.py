@@ -1,0 +1,44 @@
+"""Figure 4(a) reproduction: IALU energy reduction grid.
+
+Every scheme (Full Ham, 1-bit Ham, 8/4/2-bit LUT, Original) under no
+swapping, hardware swapping, and hardware+compiler swapping, over the
+SPEC95-analogue integer suite.  The paper quotes 17% for the 4-bit LUT
+with hardware swapping and 26% with compiler swapping on top; absolute
+numbers depend on the workload data, but the orderings must hold.
+"""
+
+from conftest import record, run_once
+
+from repro.analysis.energy import run_figure4
+from repro.analysis.report import render_figure4
+from repro.isa.instructions import FUClass
+
+
+def test_figure4_ialu(benchmark, bench_scale):
+    panel = run_once(
+        benchmark,
+        lambda: run_figure4(FUClass.IALU, scale=bench_scale,
+                            swap_modes=("none", "hw", "compiler",
+                                        "hw+compiler")))
+    record(benchmark, "Figure 4(a): IALU energy reduction",
+           render_figure4(panel))
+
+    # scheme ordering: cost/knowledge buys reduction, Original gains 0
+    assert panel.reduction("full-ham") >= panel.reduction("1bit-ham") - 0.02
+    assert panel.reduction("1bit-ham") >= panel.reduction("lut-8") - 0.02
+    assert panel.reduction("lut-8") >= panel.reduction("lut-4") - 0.02
+    assert panel.reduction("lut-4") >= panel.reduction("lut-2") - 0.02
+    assert panel.reduction("lut-2") > 0.0
+    assert panel.reduction("original") == 0.0
+
+    # hardware swapping helps integer steering (section 4.4)
+    assert panel.reduction("lut-4", "hw") > panel.reduction("lut-4", "none")
+    # on plain FCFS, swapping is roughly neutral (the paper's small
+    # "Original" gain); allow small negative noise on kernel data
+    assert panel.reduction("original", "hw") >= -0.02
+    assert panel.reduction("original", "hw+compiler") >= -0.02
+
+    for scheme in ("full-ham", "1bit-ham", "lut-4", "lut-2"):
+        benchmark.extra_info[scheme] = {
+            mode: round(panel.reduction(scheme, mode), 4)
+            for mode in ("none", "hw", "hw+compiler")}

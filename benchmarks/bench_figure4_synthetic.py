@@ -1,0 +1,58 @@
+"""Figure 4, calibrated reproduction: synthetic streams drawn from the
+paper's own Table 1 (case and bit-probability) and Table 2 (usage)
+distributions.
+
+This is the apples-to-apples comparison with the published bars: the
+policies see operand statistics identical to the paper's measurements,
+independent of how closely our kernel suite matches SPEC 95.  The paper
+quotes 17% (IALU) and 18% (FPAU) for the 4-bit LUT with hardware
+swapping.
+"""
+
+import pytest
+from conftest import record, run_once
+
+from repro.analysis.energy import run_figure4_synthetic
+from repro.analysis.report import render_figure4
+from repro.isa.instructions import FUClass
+
+CYCLES = 15_000
+
+
+def test_figure4_synthetic_ialu(benchmark):
+    panel = run_once(
+        benchmark,
+        lambda: run_figure4_synthetic(FUClass.IALU, cycles=CYCLES))
+    record(benchmark, "Figure 4(a), calibrated synthetic: IALU",
+           render_figure4(panel, title="Figure 4(a) on paper-calibrated"
+                                       " operand statistics"))
+
+    lut4_hw = panel.reduction("lut-4", "hw")
+    # the paper's headline: 17% for the 4-bit LUT with hardware swapping
+    assert lut4_hw == pytest.approx(0.17, abs=0.05)
+    assert panel.reduction("full-ham", "hw") >= lut4_hw
+    assert panel.reduction("lut-4", "hw") > panel.reduction("lut-4", "none")
+    assert panel.reduction("lut-4") >= panel.reduction("lut-2")
+    benchmark.extra_info["lut4_hw_reduction"] = lut4_hw
+    benchmark.extra_info["paper_value"] = 0.17
+
+
+def test_figure4_synthetic_fpau(benchmark):
+    panel = run_once(
+        benchmark,
+        lambda: run_figure4_synthetic(FUClass.FPAU, cycles=CYCLES))
+    record(benchmark, "Figure 4(b), calibrated synthetic: FPAU",
+           render_figure4(panel, title="Figure 4(b) on paper-calibrated"
+                                       " operand statistics"))
+
+    lut4_hw = panel.reduction("lut-4", "hw")
+    # the paper's headline: 18% for the 4-bit LUT; our calibrated run
+    # lands in the same band
+    assert lut4_hw == pytest.approx(0.18, abs=0.06)
+    # swapping adds almost nothing for the FPAU
+    assert abs(panel.reduction("lut-4", "hw")
+               - panel.reduction("lut-4", "none")) < 0.03
+    # insensitive to vector width (rare multi-issue, Table 2)
+    assert abs(panel.reduction("lut-8") - panel.reduction("lut-4")) < 0.03
+    benchmark.extra_info["lut4_hw_reduction"] = lut4_hw
+    benchmark.extra_info["paper_value"] = 0.18

@@ -1,0 +1,103 @@
+"""Hybrid-scheme benches (section 3's "improvements will be additive").
+
+Two hybrids the paper sketches with related work:
+
+* steering on partially guarded FUs (Choi et al. [8]) — guard savings
+  and steering savings should compose;
+* criticality-steered heterogeneous modules (Seng et al. [19]) —
+  case steering within speed classes harvests both effects.
+"""
+
+from conftest import record, run_once
+
+from repro.core import (GuardedFUPowerModel, HeterogeneousPowerModel,
+                        OriginalPolicy, PolicyEvaluator, build_lut,
+                        paper_statistics, scheme_for, standard_variants)
+from repro.core.hybrid import CriticalityAwareLUTPolicy
+from repro.core.power import FUPowerModel
+from repro.core.steering import LUTPolicy
+from repro.cpu.simulator import Simulator
+from repro.isa.instructions import FUClass
+from repro.workloads import integer_suite
+
+
+def test_hybrid_guarded_steering(benchmark, bench_scale):
+    """Steering x guarding grid over the integer suite."""
+    stats = paper_statistics(FUClass.IALU)
+    scheme = scheme_for(FUClass.IALU)
+    lut = build_lut(stats, 4, 4)
+
+    def experiment():
+        evaluators = {}
+        for steer in (False, True):
+            for guard in (False, True):
+                policy = (LUTPolicy(lut=lut, scheme=scheme) if steer
+                          else OriginalPolicy())
+                evaluator = PolicyEvaluator(FUClass.IALU, 4, policy)
+                if guard:
+                    evaluator.power = GuardedFUPowerModel(FUClass.IALU, 4)
+                evaluators[(steer, guard)] = evaluator
+        for load in integer_suite():
+            sim = Simulator(load.build(bench_scale))
+            for evaluator in evaluators.values():
+                sim.add_listener(evaluator)
+            sim.run()
+        return {key: e.power.switched_bits
+                for key, e in evaluators.items()}
+
+    bits = run_once(benchmark, experiment)
+    base = bits[(False, False)]
+    rows = []
+    for (steer, guard), value in sorted(bits.items()):
+        label = f"{'LUT-4' if steer else 'FCFS '} x " \
+                f"{'guarded' if guard else 'plain  '}"
+        rows.append(f"{label}: {value:10d} bits"
+                    f"  ({100 * (1 - value / base):+.1f}%)")
+    record(benchmark, "Hybrid: steering x partially-guarded FUs (IALU)",
+           "\n".join(rows))
+
+    # each technique helps alone and the combination beats both
+    assert bits[(True, False)] < base
+    assert bits[(False, True)] < base
+    assert bits[(True, True)] < bits[(True, False)]
+    assert bits[(True, True)] < bits[(False, True)]
+    benchmark.extra_info["combined_reduction"] = \
+        1 - bits[(True, True)] / base
+
+
+def test_hybrid_heterogeneous_modules(benchmark, bench_scale):
+    """Criticality-aware steering on a 2-fast/2-slow pool."""
+    stats = paper_statistics(FUClass.IALU)
+    scheme = scheme_for(FUClass.IALU)
+    lut = build_lut(stats, 4, 4)
+    variants = standard_variants(4, 2, slow_energy=0.6)
+
+    def experiment():
+        hybrid = PolicyEvaluator(FUClass.IALU, 4, CriticalityAwareLUTPolicy(
+            lut=lut, scheme=scheme, variants=variants))
+        hybrid.power = HeterogeneousPowerModel(FUClass.IALU, variants)
+        fcfs = PolicyEvaluator(FUClass.IALU, 4, OriginalPolicy())
+        fcfs.power = HeterogeneousPowerModel(FUClass.IALU, variants)
+        homogeneous = PolicyEvaluator(FUClass.IALU, 4,
+                                      LUTPolicy(lut=lut, scheme=scheme))
+        for load in integer_suite():
+            sim = Simulator(load.build(bench_scale))
+            for evaluator in (hybrid, fcfs, homogeneous):
+                sim.add_listener(evaluator)
+            sim.run()
+        return hybrid, fcfs, homogeneous
+
+    hybrid, fcfs, homogeneous = run_once(benchmark, experiment)
+    text = (f"FCFS on heterogeneous pool:   "
+            f"{fcfs.power.weighted_energy:12.0f} weighted bit-units\n"
+            f"criticality-aware case LUT:   "
+            f"{hybrid.power.weighted_energy:12.0f} weighted bit-units"
+            f"  ({100 * (1 - hybrid.power.weighted_energy / fcfs.power.weighted_energy):+.1f}%)\n"
+            f"(homogeneous LUT-4 raw bits:  "
+            f"{homogeneous.power.switched_bits:12d})")
+    record(benchmark, "Hybrid: heterogeneous fast/slow modules (IALU)",
+           text)
+
+    assert hybrid.power.weighted_energy < fcfs.power.weighted_energy
+    benchmark.extra_info["weighted_reduction"] = \
+        1 - hybrid.power.weighted_energy / fcfs.power.weighted_energy

@@ -1,0 +1,53 @@
+"""Power-density side effect of steering: per-module activity.
+
+The paper motivates FU power work via hot-spot risk.  Steering lowers
+*total* switching but concentrates coherent traffic on home modules —
+this bench quantifies how the hottest module's share of switching
+changes, the number a floorplanner would ask for.
+"""
+
+from conftest import record, run_once
+
+from repro.analysis.module_load import (attach_load_tracking, module_load,
+                                        render_module_load)
+from repro.core import make_policy, paper_statistics
+from repro.core.steering import OriginalPolicy, PolicyEvaluator
+from repro.cpu.simulator import Simulator
+from repro.isa.instructions import FUClass
+from repro.workloads import integer_suite
+
+
+def test_module_load_distribution(benchmark, bench_scale):
+    stats = paper_statistics(FUClass.IALU)
+
+    def experiment():
+        evaluators = {
+            "original": attach_load_tracking(PolicyEvaluator(
+                FUClass.IALU, 4, OriginalPolicy())),
+            "lut-4": attach_load_tracking(PolicyEvaluator(
+                FUClass.IALU, 4,
+                make_policy("lut-4", FUClass.IALU, 4, stats=stats))),
+            "full-ham": attach_load_tracking(PolicyEvaluator(
+                FUClass.IALU, 4,
+                make_policy("full-ham", FUClass.IALU, 4))),
+        }
+        for load in integer_suite():
+            sim = Simulator(load.build(bench_scale))
+            for evaluator in evaluators.values():
+                sim.add_listener(evaluator)
+            sim.run()
+        return {name: module_load(e) for name, e in evaluators.items()}
+
+    loads = run_once(benchmark, experiment)
+    record(benchmark, "Per-module activity under different routers",
+           render_module_load(list(loads.values())))
+
+    # the same operations flow through every router
+    totals = {load.total_operations for load in loads.values()}
+    assert len(totals) == 1
+    # steering reduces total switching
+    assert loads["lut-4"].total_bits < loads["original"].total_bits
+    # no module is ever fully idle under the LUT (homes cover all cases)
+    assert all(ops > 0 for ops in loads["lut-4"].operations)
+    benchmark.extra_info["hotspot"] = {
+        name: round(load.max_bits_share, 4) for name, load in loads.items()}

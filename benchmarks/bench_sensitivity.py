@@ -1,0 +1,37 @@
+"""Profile-input sensitivity bench (section 4.4's compiler caveat).
+
+Compiler swap decisions are trained on one input (scale) and applied to
+another; the paper warns "performance will vary somewhat for different
+input patterns."  The transfer penalty — self-profiled minus
+cross-profiled reduction — quantifies that variation per workload.
+"""
+
+from conftest import record, run_once
+
+from repro.analysis.sensitivity import run_sensitivity_suite
+from repro.isa.instructions import FUClass
+
+
+def test_profile_sensitivity(benchmark):
+    results = run_once(
+        benchmark,
+        lambda: run_sensitivity_suite(FUClass.IALU,
+                                      names=["cc1", "m88ksim", "perl",
+                                             "compress"],
+                                      train_scale=1, test_scale=2))
+    lines = [f"{'workload':10s} {'steer only':>10} {'self-prof':>10}"
+             f" {'cross-prof':>10} {'penalty':>8}"]
+    for name, r in results.items():
+        lines.append(f"{name:10s} {100 * r.unswapped_reduction:>9.1f}%"
+                     f" {100 * r.self_profiled_reduction:>9.1f}%"
+                     f" {100 * r.cross_profiled_reduction:>9.1f}%"
+                     f" {100 * r.transfer_penalty:>7.2f}%")
+    record(benchmark, "Compiler swapping: profile-input sensitivity"
+                      " (IALU, LUT-4 + HW swap)", "\n".join(lines))
+
+    assert results, "no transferable workloads"
+    for name, r in results.items():
+        # transfer degrades gracefully, never catastrophically
+        assert abs(r.transfer_penalty) < 0.10, name
+    benchmark.extra_info["penalties"] = {
+        name: round(r.transfer_penalty, 4) for name, r in results.items()}

@@ -1,0 +1,37 @@
+"""Infrastructure benchmark: cycle-simulator and golden-model throughput.
+
+Not a paper experiment — this tracks the speed of the substrate every
+other bench runs on, in retired instructions per second.
+"""
+
+from repro.cpu.golden import run_program
+from repro.cpu.simulator import Simulator
+from repro.workloads import workload
+
+
+def test_out_of_order_throughput(benchmark):
+    program = workload("ijpeg").build(1)
+
+    def run():
+        return Simulator(program).run()
+
+    result = benchmark(run)
+    benchmark.extra_info["retired_instructions"] = \
+        result.retired_instructions
+    benchmark.extra_info["ipc"] = round(result.ipc, 3)
+    assert result.retired_instructions > 10_000
+
+
+def test_golden_model_throughput(benchmark):
+    program = workload("ijpeg").build(1)
+    result = benchmark(lambda: run_program(program))
+    benchmark.extra_info["instructions"] = result.instructions
+    assert result.halted
+
+
+def test_assembler_throughput(benchmark):
+    load = workload("go")
+    source = load.build_source(2)
+    from repro.isa.assembler import assemble
+    program = benchmark(lambda: assemble(source))
+    assert len(program) > 50

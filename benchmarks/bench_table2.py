@@ -1,0 +1,33 @@
+"""Table 2 reproduction: modules used per busy cycle (IALU and FPAU)."""
+
+from conftest import record, run_once
+
+from repro.analysis.module_usage import ModuleUsageCollector
+from repro.analysis.report import render_table2
+from repro.cpu.simulator import Simulator
+from repro.isa.instructions import FUClass
+from repro.workloads import all_workloads
+
+
+def test_table2(benchmark, bench_scale):
+    def experiment():
+        usage = ModuleUsageCollector([FUClass.IALU, FUClass.FPAU])
+        for load in all_workloads():
+            sim = Simulator(load.build(bench_scale))
+            sim.add_listener(usage)
+            sim.run()
+        return usage
+
+    usage = run_once(benchmark, experiment)
+    record(benchmark, "Table 2: modules used per busy cycle"
+                      " (measured vs paper)", render_table2(usage))
+
+    ialu = usage.distribution(FUClass.IALU)
+    fpau = usage.distribution(FUClass.FPAU)
+    # the paper's shape: the FPAU is much less heavily loaded per cycle
+    # than the IALU (90.2% single-issue vs 40.3%)
+    assert fpau[1] > ialu[1]
+    assert fpau[1] > 0.7
+    assert ialu[2] + ialu[3] + ialu[4] > 0.3
+    benchmark.extra_info["ialu_single_issue"] = ialu[1]
+    benchmark.extra_info["fpau_single_issue"] = fpau[1]

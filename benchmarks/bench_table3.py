@@ -1,0 +1,26 @@
+"""Table 3 reproduction: operand bit patterns at the multipliers."""
+
+from conftest import record, run_once
+
+from repro.analysis.multiplier import run_multiplier_experiment
+from repro.analysis.report import render_table3
+from repro.isa.instructions import FUClass
+
+
+def test_table3(benchmark, bench_scale):
+    results = run_once(
+        benchmark, lambda: run_multiplier_experiment(scale=bench_scale))
+    record(benchmark, "Table 3: bit patterns in multiplication data"
+                      " (measured vs paper)", render_table3(results))
+
+    imult = results[FUClass.IMULT]
+    fpmult = results[FUClass.FPMULT]
+    # the paper's shape: integer multiplications are dominated by case
+    # 00 (93.8%), FP multiplications spread across the cases with a
+    # meaningful swappable 01 population (15.5%)
+    assert imult.case_fraction(0b00) > 0.5
+    assert fpmult.case_fraction(0b01) > 0.02
+    assert fpmult.swappable_01_fraction > 0.0
+    benchmark.extra_info["imult_case00"] = imult.case_fraction(0b00)
+    benchmark.extra_info["fpmult_swappable_01"] = \
+        fpmult.swappable_01_fraction

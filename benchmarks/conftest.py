@@ -1,0 +1,27 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures and
+stores the rendered rows in ``benchmark.extra_info`` (also printed when
+pytest runs with ``-s``), so the harness output can be compared against
+the paper side by side.  Timing uses a single round: these are
+experiment drivers, not microbenchmarks.
+"""
+
+import pytest
+
+
+def record(benchmark, title, text):
+    """Attach a rendered table to the benchmark and print it."""
+    benchmark.extra_info["table"] = text
+    print(f"\n{'=' * 72}\n{title}\n{'=' * 72}\n{text}\n")
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under the benchmark clock."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def bench_scale():
+    """Workload scale used by simulator-driven benchmarks."""
+    return 1

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Full paper reproduction at a reduced scale: Tables 1-3, Figure 1,
+both Figure 4 panels (kernel-based and calibrated-synthetic), and the
+whole-chip estimate.
+
+Run:  python examples/paper_reproduction.py [scale]
+
+Scale 1 (default) takes a couple of minutes; the benchmark suite under
+``benchmarks/`` runs the same experiments with timing instrumentation.
+"""
+
+import sys
+import time
+
+from repro.analysis import (render_figure4, render_multiplier_swapping,
+                            render_table1, render_table2, render_table3)
+from repro.analysis.energy import (chip_level_estimate, measure_statistics,
+                                   run_figure4, run_figure4_synthetic)
+from repro.analysis.figure1 import evaluate_figure1
+from repro.analysis.module_usage import ModuleUsageCollector
+from repro.analysis.multiplier import run_multiplier_experiment
+from repro.cpu import Simulator
+from repro.isa.instructions import FUClass
+from repro.workloads import all_workloads, float_suite, integer_suite
+from repro.analysis.bit_patterns import BitPatternCollector
+
+
+def main() -> None:
+    scale = int(sys.argv[1]) if len(sys.argv) > 1 else 1
+    started = time.time()
+
+    # --- Tables 1 and 2: one pass over the full suite --------------------
+    ialu_patterns = BitPatternCollector(FUClass.IALU)
+    fpau_patterns = BitPatternCollector(FUClass.FPAU)
+    usage = ModuleUsageCollector()
+    for workload in all_workloads():
+        sim = Simulator(workload.build(scale))
+        sim.add_listener(ialu_patterns)
+        sim.add_listener(fpau_patterns)
+        sim.add_listener(usage)
+        sim.run()
+    print(render_table1({FUClass.IALU: ialu_patterns,
+                         FUClass.FPAU: fpau_patterns}))
+    print()
+    print(render_table2(usage))
+    print()
+
+    # --- Table 3 and multiplier swapping ----------------------------------
+    multipliers = run_multiplier_experiment(scale=scale)
+    print(render_table3(multipliers))
+    print()
+    print(render_multiplier_swapping(multipliers))
+    print()
+
+    # --- Figure 1 ----------------------------------------------------------
+    figure1 = evaluate_figure1()
+    print(f"Figure 1 routing example: default {figure1.default_energy} bits,"
+          f" optimal {figure1.optimal_energy} bits"
+          f" -> {100 * figure1.saving:.0f}% saving (paper: 57%)")
+    print()
+
+    # --- Figure 4, kernel suites ------------------------------------------
+    panels = {}
+    for fu_class in (FUClass.IALU, FUClass.FPAU):
+        panels[fu_class] = run_figure4(fu_class, scale=scale)
+        print(render_figure4(panels[fu_class]))
+        print()
+
+    # --- Figure 4, synthetic streams calibrated to the paper's Table 1/2 --
+    for fu_class in (FUClass.IALU, FUClass.FPAU):
+        synthetic = run_figure4_synthetic(fu_class, cycles=15_000)
+        print(render_figure4(
+            synthetic,
+            title=f"Figure 4 (calibrated synthetic):"
+                  f" {fu_class.value.upper()}"))
+        print()
+
+    # --- whole-chip estimate ----------------------------------------------
+    estimate = chip_level_estimate(panels[FUClass.IALU], panels[FUClass.FPAU])
+    print(f"Whole-chip dynamic power reduction estimate"
+          f" (execution units are ~22% of chip power):"
+          f" {100 * estimate:.1f}% (paper: ~4%)")
+    print(f"\n[total {time.time() - started:.0f}s]")
+
+
+if __name__ == "__main__":
+    main()

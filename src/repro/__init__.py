@@ -1,0 +1,59 @@
+"""repro — reproduction of *Dynamic Functional Unit Assignment for Low
+Power* (Haga, Reeves, Barua, Marculescu; DATE 2003).
+
+The package is layered bottom-up:
+
+* :mod:`repro.isa` — a MIPS-like mini ISA with a two-pass assembler;
+* :mod:`repro.cpu` — an out-of-order Tomasulo cycle simulator (the
+  SimpleScalar ``sim-outorder`` stand-in) emitting per-cycle operand
+  issue groups;
+* :mod:`repro.core` — the paper's contribution: information bits, the
+  Hamming-distance power model, steering policies (Full/1-bit Hamming,
+  LUT, Original), LUT synthesis, and operand swapping;
+* :mod:`repro.compiler` — profile-guided static operand swapping;
+* :mod:`repro.workloads` — SPEC95-analogue kernels and calibrated
+  statistical stream generators;
+* :mod:`repro.analysis` — Table 1/2/3 collectors, the Figure 4 energy
+  experiment driver, and report rendering.
+
+Quick start::
+
+    from repro import assemble, Simulator, PolicyEvaluator, make_policy
+    from repro.core import paper_statistics
+    from repro.isa.instructions import FUClass
+
+    program = assemble(SOURCE)
+    stats = paper_statistics(FUClass.IALU)
+    policy = make_policy("lut-4", FUClass.IALU, 4, stats=stats)
+    evaluator = PolicyEvaluator(FUClass.IALU, 4, policy)
+    sim = Simulator(program)
+    sim.add_listener(evaluator)
+    sim.run()
+    print(evaluator.totals().bits_per_operation)
+"""
+
+from . import analysis, compiler, core, cpu, isa, workloads
+from .analysis import (chip_level_estimate, run_figure4,
+                       run_multiplier_experiment)
+from .core import (FUPowerModel, HardwareSwapper, LUTPolicy,
+                   MultiplierSwapper, PolicyEvaluator, SteeringLUT,
+                   build_lut, make_policy, paper_statistics)
+from .cpu import (MachineConfig, Simulator, TraceCollector, default_config,
+                  run_program, simulate)
+from .isa import Program, assemble
+from .workloads import SyntheticStream, all_workloads, workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "analysis", "compiler", "core", "cpu", "isa", "workloads",
+    "chip_level_estimate", "run_figure4", "run_multiplier_experiment",
+    "FUPowerModel", "HardwareSwapper", "LUTPolicy", "MultiplierSwapper",
+    "PolicyEvaluator", "SteeringLUT", "build_lut", "make_policy",
+    "paper_statistics",
+    "MachineConfig", "Simulator", "TraceCollector", "default_config",
+    "run_program", "simulate",
+    "Program", "assemble",
+    "SyntheticStream", "all_workloads", "workload",
+    "__version__",
+]

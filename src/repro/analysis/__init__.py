@@ -1,0 +1,41 @@
+"""Evaluation layer: table collectors, experiment drivers, reports."""
+
+from .bit_patterns import BitPatternCollector, RowStats
+from .energy import (SCHEMES, SWAP_MODES, CellResult, Figure4Result,
+                     chip_level_estimate, measure_statistics, run_figure4)
+from .figure1 import Figure1Result, evaluate_figure1
+from .module_load import (LoadTrackingPowerModel, ModuleLoad,
+                          attach_load_tracking, module_load,
+                          render_module_load)
+from .module_usage import ModuleUsageCollector
+from .multiplier import (MultiplierExperimentResult,
+                         run_multiplier_experiment)
+from .power_report import (PowerRow, absolute_power_rows,
+                           average_power_watts, render_power_report,
+                           saved_power_watts)
+from .report import (render_figure4, render_figure4_per_workload,
+                     render_multiplier_swapping,
+                     render_table1, render_table2, render_table3)
+from .value_stats import ValueStatsCollector, render_value_stats
+from .sensitivity import (SensitivityResult, profile_transfer_study,
+                          run_sensitivity_suite)
+from . import paper_data
+
+__all__ = [
+    "BitPatternCollector", "RowStats",
+    "SCHEMES", "SWAP_MODES", "CellResult", "Figure4Result",
+    "chip_level_estimate", "measure_statistics", "run_figure4",
+    "Figure1Result", "evaluate_figure1",
+    "LoadTrackingPowerModel", "ModuleLoad", "attach_load_tracking",
+    "module_load", "render_module_load",
+    "ModuleUsageCollector",
+    "ValueStatsCollector", "render_value_stats",
+    "MultiplierExperimentResult", "run_multiplier_experiment",
+    "render_figure4", "render_figure4_per_workload",
+    "render_multiplier_swapping",
+    "render_table1", "render_table2", "render_table3",
+    "SensitivityResult", "profile_transfer_study", "run_sensitivity_suite",
+    "PowerRow", "absolute_power_rows", "average_power_watts",
+    "render_power_report", "saved_power_watts",
+    "paper_data",
+]

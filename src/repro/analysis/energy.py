@@ -1,0 +1,296 @@
+"""Energy-reduction experiments: the driver behind Figure 4.
+
+For one FU class, every steering scheme in the paper is evaluated under
+three swapping regimes against the same workload suite:
+
+* ``none`` — the scheme alone;
+* ``hw`` — plus dynamic hardware swapping (case-based for LUT/Original,
+  integrated into the cost matrix for the Hamming policies, exactly as
+  Figure 2 allows);
+* ``compiler`` / ``hw+compiler`` — the suite is first rewritten by the
+  profile-guided static swap pass, then evaluated (optionally with the
+  hardware swapper on top).
+
+All policies for a given program version are scored in a single
+simulation pass by subscribing one :class:`PolicyEvaluator` per (scheme,
+swap) cell.  Reductions are reported against the paper's baseline:
+``original`` steering, no swapping, unmodified programs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..compiler import swap_optimize
+from ..cpu.config import MachineConfig, default_config
+from ..cpu.simulator import Simulator
+from ..core.info_bits import InfoBitScheme, scheme_for
+from ..core.statistics import CaseStatistics, paper_statistics
+from ..core.steering import PolicyEvaluator, make_policy
+from ..core.swapping import HardwareSwapper, choose_swap_case
+from ..isa.instructions import FUClass
+from ..isa.program import Program
+from ..workloads.base import Workload, float_suite, integer_suite
+from .bit_patterns import BitPatternCollector
+from .module_usage import ModuleUsageCollector
+
+SCHEMES = ("full-ham", "1bit-ham", "lut-8", "lut-4", "lut-2", "original")
+SWAP_MODES = ("none", "hw", "compiler", "hw+compiler")
+
+CellKey = Tuple[str, str]  # (scheme, swap mode)
+
+
+@dataclass
+class CellResult:
+    """Accumulated energy for one (scheme, swap) grid cell."""
+
+    scheme: str
+    swap: str
+    switched_bits: int = 0
+    operations: int = 0
+    hardware_swaps: int = 0
+
+
+@dataclass
+class Figure4Result:
+    """One Figure 4 panel: grid of energy reductions for an FU class."""
+
+    fu_class: FUClass
+    workload_names: List[str]
+    statistics: CaseStatistics
+    cells: Dict[CellKey, CellResult] = field(default_factory=dict)
+    # per-workload switched bits: workload -> cell -> bits
+    per_workload: Dict[str, Dict[CellKey, int]] = field(default_factory=dict)
+
+    @property
+    def baseline_bits(self) -> int:
+        return self.cells[("original", "none")].switched_bits
+
+    def workload_reduction(self, name: str, scheme: str,
+                           swap: str = "none") -> float:
+        """Reduction of one (scheme, swap) cell on one workload alone."""
+        cells = self.per_workload[name]
+        baseline = cells[("original", "none")]
+        if not baseline:
+            return 0.0
+        return 1.0 - cells[(scheme, swap)] / baseline
+
+    def reduction(self, scheme: str, swap: str = "none") -> float:
+        """Fractional reduction vs the Original/no-swap baseline."""
+        baseline = self.baseline_bits
+        if not baseline:
+            return 0.0
+        return 1.0 - self.cells[(scheme, swap)].switched_bits / baseline
+
+    def grid(self) -> List[Tuple[str, Dict[str, float]]]:
+        """Rows of (scheme, {swap mode: reduction}) for reporting."""
+        rows = []
+        for scheme in SCHEMES:
+            row = {swap: self.reduction(scheme, swap)
+                   for swap in SWAP_MODES if (scheme, swap) in self.cells}
+            rows.append((scheme, row))
+        return rows
+
+
+def measure_statistics(programs: Sequence[Program],
+                       fu_class: FUClass,
+                       config: Optional[MachineConfig] = None,
+                       scheme: Optional[InfoBitScheme] = None
+                       ) -> Tuple[CaseStatistics, BitPatternCollector,
+                                  ModuleUsageCollector]:
+    """Simulate the suite once to measure Table 1/2 style statistics."""
+    config = config or default_config()
+    patterns = BitPatternCollector(fu_class, scheme=scheme)
+    usage = ModuleUsageCollector([fu_class])
+    for program in programs:
+        sim = Simulator(program, config)
+        sim.add_listener(patterns)
+        sim.add_listener(usage)
+        sim.run()
+    distribution = usage.distribution(fu_class,
+                                      max_width=config.modules(fu_class))
+    stats = patterns.to_statistics(distribution)
+    return stats, patterns, usage
+
+
+def _build_evaluators(fu_class: FUClass, num_modules: int,
+                      stats: CaseStatistics, scheme: InfoBitScheme,
+                      schemes: Sequence[str], with_hw_swap: bool
+                      ) -> Dict[str, PolicyEvaluator]:
+    """One evaluator per scheme for a single program pass."""
+    swap_case = choose_swap_case(stats)
+    evaluators: Dict[str, PolicyEvaluator] = {}
+    for kind in schemes:
+        if kind in ("full-ham", "1bit-ham"):
+            policy = make_policy(kind, fu_class, num_modules, stats=stats,
+                                 scheme=scheme, allow_swap=with_hw_swap)
+            pre_swapper = None
+        else:
+            policy = make_policy(kind, fu_class, num_modules, stats=stats,
+                                 scheme=scheme)
+            pre_swapper = (HardwareSwapper(scheme, swap_case)
+                           if with_hw_swap else None)
+        evaluators[kind] = PolicyEvaluator(fu_class, num_modules, policy,
+                                           scheme=scheme,
+                                           pre_swapper=pre_swapper)
+    return evaluators
+
+
+def run_figure4(fu_class: FUClass,
+                workloads: Optional[Iterable[Workload]] = None,
+                scale: Optional[int] = None,
+                config: Optional[MachineConfig] = None,
+                stats_source: str = "measured",
+                schemes: Sequence[str] = SCHEMES,
+                swap_modes: Sequence[str] = ("none", "hw", "hw+compiler"),
+                scheme: Optional[InfoBitScheme] = None) -> Figure4Result:
+    """Reproduce one panel of Figure 4.
+
+    ``stats_source`` selects where the LUT-synthesis statistics come
+    from: ``"measured"`` (a profiling pass over the suite, the
+    self-consistent default) or ``"paper"`` (the published Table 1/2).
+    """
+    config = config or default_config()
+    if workloads is None:
+        workloads = (integer_suite() if fu_class is FUClass.IALU
+                     else float_suite())
+    workloads = list(workloads)
+    scheme = scheme or scheme_for(fu_class)
+    programs = [w.build(scale) for w in workloads]
+    num_modules = config.modules(fu_class)
+
+    if stats_source == "paper":
+        stats = paper_statistics(fu_class)
+    elif stats_source == "measured":
+        stats, _, _ = measure_statistics(programs, fu_class, config, scheme)
+    else:
+        raise ValueError("stats_source must be 'measured' or 'paper'")
+
+    result = Figure4Result(fu_class=fu_class,
+                           workload_names=[w.name for w in workloads],
+                           statistics=stats)
+    needs_compiler = any("compiler" in m for m in swap_modes)
+
+    for program in programs:
+        plain_modes = [m for m in ("none", "hw") if m in swap_modes]
+        if "none" not in plain_modes:
+            plain_modes.append("none")  # the baseline cell is always needed
+        _run_pass(program, config, fu_class, num_modules, stats, scheme,
+                  schemes, plain_modes, result, compiler=False)
+        if needs_compiler:
+            # the compiler must canonicalise in the same direction the
+            # hardware swap rule implies, or the two mechanisms fight
+            from ..compiler.swap_pass import denser_first_from_swap_case
+            direction = {fu_class:
+                         denser_first_from_swap_case(choose_swap_case(stats))}
+            swapped, _report = swap_optimize(program, denser_first=direction)
+            compiler_modes = [m for m in ("compiler", "hw+compiler")
+                              if m in swap_modes]
+            _run_pass(swapped, config, fu_class, num_modules, stats, scheme,
+                      schemes, compiler_modes, result, compiler=True)
+    return result
+
+
+def _run_pass(program: Program, config: MachineConfig, fu_class: FUClass,
+              num_modules: int, stats: CaseStatistics,
+              scheme: InfoBitScheme, schemes: Sequence[str],
+              modes: Sequence[str], result: Figure4Result,
+              compiler: bool) -> None:
+    """Simulate one program version with evaluators for ``modes``."""
+    sim = Simulator(program, config)
+    per_mode: Dict[str, Dict[str, PolicyEvaluator]] = {}
+    for mode in modes:
+        hw = mode in ("hw", "hw+compiler")
+        evaluators = _build_evaluators(fu_class, num_modules, stats, scheme,
+                                       schemes, with_hw_swap=hw)
+        per_mode[mode] = evaluators
+        for evaluator in evaluators.values():
+            sim.add_listener(evaluator)
+    sim.run()
+    workload_name = program.name.removesuffix("+cswap")
+    breakdown = result.per_workload.setdefault(workload_name, {})
+    for mode, evaluators in per_mode.items():
+        for kind, evaluator in evaluators.items():
+            cell = result.cells.setdefault((kind, mode),
+                                           CellResult(kind, mode))
+            totals = evaluator.totals()
+            cell.switched_bits += totals.switched_bits
+            cell.operations += totals.operations
+            cell.hardware_swaps += totals.hardware_swaps
+            breakdown[(kind, mode)] = breakdown.get((kind, mode), 0) \
+                + totals.switched_bits
+
+
+def run_figure4_synthetic(fu_class: FUClass,
+                          cycles: int = 20_000,
+                          stats: Optional[CaseStatistics] = None,
+                          num_modules: int = 4,
+                          operand_mode: str = "iid",
+                          seed: int = 0,
+                          schemes: Sequence[str] = SCHEMES,
+                          swap_modes: Sequence[str] = ("none", "hw"),
+                          scheme: Optional[InfoBitScheme] = None
+                          ) -> Figure4Result:
+    """Figure 4 on a synthetic stream calibrated to given statistics.
+
+    By default the stream is drawn from the paper's own Table 1 and
+    Table 2 distributions, so this is the *calibration* reproduction:
+    the policies see operand statistics identical to the published
+    ones, independent of how closely our kernels match SPEC 95.
+    Compiler swapping needs a program to rewrite, so only ``none`` and
+    ``hw`` regimes apply here.
+    """
+    from ..workloads.generators import OperandModel, SyntheticStream
+
+    if any("compiler" in mode for mode in swap_modes):
+        raise ValueError("compiler swapping needs real programs; use"
+                         " run_figure4 for compiler regimes")
+    stats = stats or paper_statistics(fu_class)
+    scheme = scheme or scheme_for(fu_class)
+    result = Figure4Result(fu_class=fu_class,
+                           workload_names=[f"synthetic-{operand_mode}"],
+                           statistics=stats)
+    modes = list(swap_modes)
+    if "none" not in modes:
+        modes.append("none")
+    evaluator_sets = {}
+    for mode in modes:
+        evaluator_sets[mode] = _build_evaluators(
+            fu_class, num_modules, stats, scheme, schemes,
+            with_hw_swap=(mode == "hw"))
+    model = OperandModel(fu_class, mode=operand_mode)
+    stream = SyntheticStream(stats, num_modules=num_modules,
+                             operand_model=model, seed=seed)
+    for group in stream.groups(cycles):
+        for evaluators in evaluator_sets.values():
+            for evaluator in evaluators.values():
+                evaluator(group)
+    for mode, evaluators in evaluator_sets.items():
+        for kind, evaluator in evaluators.items():
+            totals = evaluator.totals()
+            cell = result.cells.setdefault((kind, mode),
+                                           CellResult(kind, mode))
+            cell.switched_bits += totals.switched_bits
+            cell.operations += totals.operations
+            cell.hardware_swaps += totals.hardware_swaps
+    return result
+
+
+def chip_level_estimate(ialu: Figure4Result, fpau: Figure4Result,
+                        scheme: str = "lut-4", swap: str = "hw",
+                        exec_fraction: float = 0.22) -> float:
+    """Whole-chip power-reduction estimate, as in the paper's intro.
+
+    The execution units' share of chip power (~22% per Wattch) is split
+    between the IALU and FPAU in proportion to their switched-bit
+    baselines, and each side contributes its measured reduction.
+    """
+    ialu_base = ialu.baseline_bits
+    fpau_base = fpau.baseline_bits
+    total = ialu_base + fpau_base
+    if not total:
+        return 0.0
+    blended = (ialu.reduction(scheme, swap) * ialu_base
+               + fpau.reduction(scheme, swap) * fpau_base) / total
+    return exec_fraction * blended

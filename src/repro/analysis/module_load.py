@@ -1,0 +1,106 @@
+"""Per-module load and activity concentration analysis.
+
+The paper motivates FU power partly through power *density*: "the
+execution core is one of the hot-spots of power density within the
+processor, and is at a risk of burn out."  Steering deliberately
+concentrates same-case traffic onto home modules, which lowers total
+switching but *redistributes* it — this analysis quantifies that
+redistribution so a designer can see both effects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..core.power import FUPowerModel
+from ..core.steering import PolicyEvaluator
+
+
+@dataclass
+class ModuleLoad:
+    """Per-module operation and switching shares for one evaluator."""
+
+    policy: str
+    operations: List[int]
+    switched_bits: List[int]
+
+    @property
+    def total_operations(self) -> int:
+        return sum(self.operations)
+
+    @property
+    def total_bits(self) -> int:
+        return sum(self.switched_bits)
+
+    def operation_share(self, module: int) -> float:
+        total = self.total_operations
+        return self.operations[module] / total if total else 0.0
+
+    def bits_share(self, module: int) -> float:
+        total = self.total_bits
+        return self.switched_bits[module] / total if total else 0.0
+
+    @property
+    def max_bits_share(self) -> float:
+        """The hottest module's share of total switching — the power-
+        density proxy."""
+        if not self.total_bits:
+            return 0.0
+        return max(self.switched_bits) / self.total_bits
+
+    def imbalance(self) -> float:
+        """Ratio of the hottest module's switching to the uniform share."""
+        count = len(self.switched_bits)
+        if not self.total_bits or not count:
+            return 1.0
+        return self.max_bits_share * count
+
+
+class LoadTrackingPowerModel(FUPowerModel):
+    """FUPowerModel that additionally tracks per-module totals."""
+
+    def __init__(self, fu_class, num_modules):
+        super().__init__(fu_class, num_modules)
+        self.per_module_ops = [0] * num_modules
+        self.per_module_bits = [0] * num_modules
+
+    def account(self, module: int, op1: int, op2: int) -> int:
+        cost = super().account(module, op1, op2)
+        self.per_module_ops[module] += 1
+        self.per_module_bits[module] += cost
+        return cost
+
+
+def attach_load_tracking(evaluator: PolicyEvaluator) -> PolicyEvaluator:
+    """Swap an evaluator's power model for a load-tracking one."""
+    tracking = LoadTrackingPowerModel(evaluator.fu_class,
+                                      evaluator.power.num_modules)
+    evaluator.power = tracking
+    return evaluator
+
+
+def module_load(evaluator: PolicyEvaluator) -> ModuleLoad:
+    """Extract the per-module load after a run."""
+    power = evaluator.power
+    if not isinstance(power, LoadTrackingPowerModel):
+        raise TypeError("evaluator was not load-tracked; call"
+                        " attach_load_tracking before running")
+    return ModuleLoad(policy=evaluator.label,
+                      operations=list(power.per_module_ops),
+                      switched_bits=list(power.per_module_bits))
+
+
+def render_module_load(loads: Sequence[ModuleLoad]) -> str:
+    """Per-module share table for several policies side by side."""
+    lines = ["Per-module activity distribution"]
+    for load in loads:
+        modules = len(load.operations)
+        ops = " ".join(f"{100 * load.operation_share(m):5.1f}%"
+                       for m in range(modules))
+        bits = " ".join(f"{100 * load.bits_share(m):5.1f}%"
+                        for m in range(modules))
+        lines.append(f"  {load.policy:16s} ops  [{ops}]")
+        lines.append(f"  {'':16s} bits [{bits}]"
+                     f"  hottest x{load.imbalance():.2f} of uniform")
+    return "\n".join(lines)

@@ -1,0 +1,54 @@
+"""Module usage distribution: reproduces Table 2.
+
+Counts, per FU class, how many operations issue per busy cycle — the
+``Num(I)`` distribution that the LUT synthesis weighs diversity against
+capacity with.  Cycles issuing nothing are excluded, as in the paper
+("we only consider cycles which use at least one module").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+from ..cpu.trace import IssueGroup
+from ..isa.instructions import FUClass
+
+
+class ModuleUsageCollector:
+    """Issue listener counting issue-group widths for some FU classes."""
+
+    def __init__(self, fu_classes: Optional[Iterable[FUClass]] = None):
+        self._filter = set(fu_classes) if fu_classes is not None else None
+        self.counts: Dict[FUClass, Dict[int, int]] = {}
+
+    def __call__(self, group: IssueGroup) -> None:
+        if self._filter is not None and group.fu_class not in self._filter:
+            return
+        if not group.ops:
+            return
+        per_class = self.counts.setdefault(group.fu_class, {})
+        width = len(group.ops)
+        per_class[width] = per_class.get(width, 0) + 1
+
+    def merge(self, other: "ModuleUsageCollector") -> None:
+        """Fold another collector's counts into this one."""
+        for fu_class, widths in other.counts.items():
+            mine = self.counts.setdefault(fu_class, {})
+            for width, count in widths.items():
+                mine[width] = mine.get(width, 0) + count
+
+    def busy_cycles(self, fu_class: FUClass) -> int:
+        return sum(self.counts.get(fu_class, {}).values())
+
+    def distribution(self, fu_class: FUClass,
+                     max_width: int = 4) -> Dict[int, float]:
+        """Fraction of busy cycles issuing each width (Table 2 row)."""
+        widths = self.counts.get(fu_class, {})
+        total = sum(widths.values())
+        if not total:
+            return {n: 0.0 for n in range(1, max_width + 1)}
+        result = {n: widths.get(n, 0) / total for n in range(1, max_width + 1)}
+        overflow = sum(count for width, count in widths.items()
+                       if width > max_width)
+        result[max_width] += overflow / total
+        return result

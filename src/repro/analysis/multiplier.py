@@ -1,0 +1,119 @@
+"""Multiplier swapping experiments (section 4.4, Table 3).
+
+The paper cannot quantify multiplier power (no high-level Booth model),
+so it reports *potential*: the fraction of multiplications whose case
+can be swapped from 01 to 10.  We reproduce that, and additionally —
+because this library ships shift-add and Booth activity models — report
+the add-count reduction each swapping mode actually achieves under
+those models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Tuple
+
+from ..cpu.config import MachineConfig, default_config
+from ..cpu.simulator import Simulator
+from ..cpu.trace import IssueGroup
+from ..core.info_bits import case_of, scheme_for
+from ..core.power import MultiplierActivityModel
+from ..core.swapping import MultiplierSwapper, SwapMode
+from ..isa.instructions import FUClass
+from ..workloads.base import Workload, all_workloads
+
+
+@dataclass
+class MultiplierExperimentResult:
+    """Case mix and activity-model outcomes for one multiplier class."""
+
+    fu_class: FUClass
+    operations: int
+    case_counts: Dict[int, int]
+    swappable_01: int
+    # activity totals: mode name -> (switched bits, partial-product adds)
+    activity: Dict[str, Tuple[int, int]]
+
+    def case_fraction(self, case: int) -> float:
+        if not self.operations:
+            return 0.0
+        return self.case_counts.get(case, 0) / self.operations
+
+    @property
+    def swappable_01_fraction(self) -> float:
+        """Fraction of multiplies swappable from case 01 to 10."""
+        if not self.operations:
+            return 0.0
+        return self.swappable_01 / self.operations
+
+    def adds_reduction(self, mode: str) -> float:
+        """Partial-product add reduction of a swap mode vs no swapping."""
+        base = self.activity["none"][1]
+        if not base:
+            return 0.0
+        return 1.0 - self.activity[mode][1] / base
+
+
+class _MultiplierListener:
+    """Scores one multiplier class under several swap modes at once."""
+
+    def __init__(self, fu_class: FUClass, use_booth: bool):
+        self.fu_class = fu_class
+        self.scheme = scheme_for(fu_class)
+        self.case_counts: Dict[int, int] = {}
+        self.operations = 0
+        self.swappable_01 = 0
+        self.models: Dict[str, MultiplierActivityModel] = {
+            mode: MultiplierActivityModel(fu_class, use_booth=use_booth)
+            for mode in ("none", "info-bit", "popcount", "booth")}
+        self.swappers = {
+            "info-bit": MultiplierSwapper(self.scheme, SwapMode.INFO_BIT),
+            "popcount": MultiplierSwapper(self.scheme, SwapMode.POPCOUNT),
+            "booth": MultiplierSwapper(self.scheme, SwapMode.BOOTH),
+        }
+
+    def __call__(self, group: IssueGroup) -> None:
+        if group.fu_class is not self.fu_class:
+            return
+        for op in group.ops:
+            case = case_of(op, self.scheme)
+            self.case_counts[case] = self.case_counts.get(case, 0) + 1
+            self.operations += 1
+            if case == 0b01 and op.hardware_swappable:
+                self.swappable_01 += 1
+            self.models["none"].account(op.op1, op.op2)
+            for mode, swapper in self.swappers.items():
+                swapped = swapper(op)
+                self.models[mode].account(swapped.op1, swapped.op2)
+
+    def result(self) -> MultiplierExperimentResult:
+        return MultiplierExperimentResult(
+            fu_class=self.fu_class,
+            operations=self.operations,
+            case_counts=dict(self.case_counts),
+            swappable_01=self.swappable_01,
+            activity={mode: (model.switched_bits, model.adds)
+                      for mode, model in self.models.items()})
+
+
+def run_multiplier_experiment(
+        workloads: Optional[Iterable[Workload]] = None,
+        scale: Optional[int] = None,
+        config: Optional[MachineConfig] = None,
+        use_booth: bool = True
+        ) -> Dict[FUClass, MultiplierExperimentResult]:
+    """Table 3 plus activity-model swapping outcomes, both multipliers."""
+    config = config or default_config()
+    if workloads is None:
+        workloads = all_workloads()
+    listeners = {
+        FUClass.IMULT: _MultiplierListener(FUClass.IMULT, use_booth),
+        FUClass.FPMULT: _MultiplierListener(FUClass.FPMULT, use_booth),
+    }
+    for workload in workloads:
+        program = workload.build(scale)
+        sim = Simulator(program, config)
+        for listener in listeners.values():
+            sim.add_listener(listener)
+        sim.run()
+    return {fu: listener.result() for fu, listener in listeners.items()}

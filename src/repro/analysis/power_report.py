@@ -1,0 +1,88 @@
+"""Absolute power and energy reporting.
+
+The paper reports relative reductions; a library user sizing a design
+wants absolute numbers too.  Using the switched-capacitance model of
+section 2 (``E = 1/2 Vdd^2 C h``), this module converts a Figure 4
+panel's switched-bit counts into energies and average-power estimates
+under a :class:`~repro.core.power.PowerParameters` operating point, and
+restates the whole-chip estimate in watts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..core.power import PowerParameters
+from .energy import Figure4Result
+
+
+@dataclass(frozen=True)
+class PowerRow:
+    """Absolute figures for one (scheme, swap) cell."""
+
+    scheme: str
+    swap: str
+    switched_bits: int
+    energy_joules: float
+    energy_per_op_joules: float
+    reduction: float
+
+
+def absolute_power_rows(panel: Figure4Result,
+                        params: Optional[PowerParameters] = None
+                        ) -> List[PowerRow]:
+    """Convert every cell of a Figure 4 panel into absolute energies."""
+    params = params or PowerParameters()
+    rows = []
+    baseline = panel.baseline_bits
+    for (scheme, swap), cell in sorted(panel.cells.items()):
+        energy = params.energy_joules(cell.switched_bits)
+        per_op = energy / cell.operations if cell.operations else 0.0
+        reduction = (1.0 - cell.switched_bits / baseline) if baseline else 0.0
+        rows.append(PowerRow(scheme=scheme, swap=swap,
+                             switched_bits=cell.switched_bits,
+                             energy_joules=energy,
+                             energy_per_op_joules=per_op,
+                             reduction=reduction))
+    return rows
+
+
+def average_power_watts(panel: Figure4Result, cycles: int,
+                        scheme: str = "original", swap: str = "none",
+                        params: Optional[PowerParameters] = None) -> float:
+    """Average dynamic power of one cell over a run of ``cycles``."""
+    params = params or PowerParameters()
+    cell = panel.cells[(scheme, swap)]
+    return params.average_power_watts(cell.switched_bits, cycles)
+
+
+def saved_power_watts(panel: Figure4Result, cycles: int,
+                      scheme: str = "lut-4", swap: str = "hw",
+                      params: Optional[PowerParameters] = None) -> float:
+    """Watts saved by a scheme versus the FCFS baseline."""
+    baseline = average_power_watts(panel, cycles, "original", "none", params)
+    improved = average_power_watts(panel, cycles, scheme, swap, params)
+    return baseline - improved
+
+
+def render_power_report(panel: Figure4Result, cycles: int,
+                        params: Optional[PowerParameters] = None) -> str:
+    """Readable absolute-power table for one Figure 4 panel."""
+    params = params or PowerParameters()
+    lines = [f"Absolute power ({panel.fu_class.value.upper()},"
+             f" Vdd={params.vdd}V, f={params.frequency_hz / 1e9:.1f}GHz,"
+             f" C={params.capacitance_per_bit_f * 1e15:.0f}fF/bit,"
+             f" {cycles} cycles)"]
+    header = (f"{'scheme':10s} {'swap':12s} {'energy (nJ)':>12}"
+              f" {'pJ/op':>8} {'avg mW':>8} {'saving':>7}")
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in absolute_power_rows(panel, params):
+        watts = params.average_power_watts(row.switched_bits, cycles)
+        lines.append(f"{row.scheme:10s} {row.swap:12s}"
+                     f" {row.energy_joules * 1e9:>12.3f}"
+                     f" {row.energy_per_op_joules * 1e12:>8.3f}"
+                     f" {watts * 1e3:>8.3f}"
+                     f" {100 * row.reduction:>6.1f}%")
+    return "\n".join(lines)

@@ -1,0 +1,148 @@
+"""Text rendering of reproduced tables and figures, paper layout."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..core.info_bits import CASE_NAMES, CASES
+from ..isa.instructions import FUClass
+from .bit_patterns import BitPatternCollector
+from .energy import Figure4Result, SWAP_MODES
+from .module_usage import ModuleUsageCollector
+from .multiplier import MultiplierExperimentResult
+from .paper_data import PAPER_TABLE1, PAPER_TABLE2, PAPER_TABLE3
+
+
+def _format_table(header: Sequence[str], rows: Iterable[Sequence[str]],
+                  title: str) -> str:
+    rows = [list(map(str, row)) for row in rows]
+    widths = [len(h) for h in header]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = [title]
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(header)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(cell.rjust(widths[i])
+                               for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def render_table1(collectors: Dict[FUClass, BitPatternCollector],
+                  compare_paper: bool = True) -> str:
+    """Table 1: bit patterns in data, measured (and paper, side by side)."""
+    header = ["OP1", "OP2", "Comm"]
+    classes = [fu for fu in (FUClass.IALU, FUClass.FPAU) if fu in collectors]
+    for fu in classes:
+        tag = "IALU" if fu is FUClass.IALU else "FPAU"
+        header += [f"{tag} freq%", f"{tag} P1", f"{tag} P2"]
+        if compare_paper:
+            header += [f"{tag} freq% (paper)"]
+    rows = []
+    for case in CASES:
+        for commutative in (True, False):
+            row: List[str] = [str((case >> 1) & 1), str(case & 1),
+                              "Yes" if commutative else "No"]
+            for fu in classes:
+                collector = collectors[fu]
+                row.append(f"{100 * collector.frequency(case, commutative):.2f}")
+                row.append(f"{collector.bit_prob(case, commutative, 0):.3f}")
+                row.append(f"{collector.bit_prob(case, commutative, 1):.3f}")
+                if compare_paper:
+                    row.append(f"{PAPER_TABLE1[fu][(case, commutative)][0]:.2f}")
+            rows.append(row)
+    return _format_table(header, rows, "Table 1: bit patterns in data")
+
+
+def render_table2(usage: ModuleUsageCollector,
+                  compare_paper: bool = True, max_width: int = 4) -> str:
+    """Table 2: modules used per busy cycle."""
+    header = ["FU"] + [f"Num(I)={n}" for n in range(1, max_width + 1)]
+    if compare_paper:
+        header += [f"paper {n}" for n in range(1, max_width + 1)]
+    rows = []
+    for fu, tag in ((FUClass.IALU, "IALU"), (FUClass.FPAU, "FPAU")):
+        distribution = usage.distribution(fu, max_width)
+        row = [tag] + [f"{100 * distribution[n]:.1f}%"
+                       for n in range(1, max_width + 1)]
+        if compare_paper:
+            row += [f"{PAPER_TABLE2[fu][n]:.1f}%"
+                    for n in range(1, max_width + 1)]
+        rows.append(row)
+    return _format_table(header, rows,
+                         "Table 2: modules used per busy cycle")
+
+
+def render_table3(results: Dict[FUClass, MultiplierExperimentResult],
+                  compare_paper: bool = True) -> str:
+    """Table 3: bit patterns in multiplication data."""
+    header = ["Case", "Int freq%", "FP freq%"]
+    if compare_paper:
+        header += ["Int freq% (paper)", "FP freq% (paper)"]
+    rows = []
+    for case in CASES:
+        row = [CASE_NAMES[case],
+               f"{100 * results[FUClass.IMULT].case_fraction(case):.2f}",
+               f"{100 * results[FUClass.FPMULT].case_fraction(case):.2f}"]
+        if compare_paper:
+            row += [f"{PAPER_TABLE3[FUClass.IMULT][case][0]:.2f}",
+                    f"{PAPER_TABLE3[FUClass.FPMULT][case][0]:.2f}"]
+        rows.append(row)
+    return _format_table(header, rows,
+                         "Table 3: bit patterns in multiplication data")
+
+
+def render_figure4(result: Figure4Result, title: Optional[str] = None) -> str:
+    """Figure 4 panel: energy reduction per scheme and swap regime."""
+    swap_columns = [mode for mode in SWAP_MODES
+                    if any(key[1] == mode for key in result.cells)]
+    header = ["Scheme"] + [f"{mode} (%)" for mode in swap_columns]
+    rows = []
+    for scheme, reductions in result.grid():
+        row = [scheme]
+        for mode in swap_columns:
+            if mode in reductions:
+                row.append(f"{100 * reductions[mode]:.1f}")
+            else:
+                row.append("-")
+        rows.append(row)
+    tag = "IALU" if result.fu_class is FUClass.IALU else "FPAU"
+    return _format_table(
+        header, rows,
+        title or f"Figure 4: energy reduction, {tag}"
+                 f" (suite: {', '.join(result.workload_names)})")
+
+
+def render_figure4_per_workload(result: Figure4Result,
+                                scheme: str = "lut-4",
+                                swap: str = "hw") -> str:
+    """Per-benchmark reductions for one scheme, like the paper's
+    per-benchmark discussion."""
+    header = ["workload", f"{scheme}+{swap} (%)"]
+    rows = []
+    for name in sorted(result.per_workload):
+        rows.append([name,
+                     f"{100 * result.workload_reduction(name, scheme, swap):.1f}"])
+    tag = "IALU" if result.fu_class is FUClass.IALU else "FPAU"
+    return _format_table(header, rows,
+                         f"Per-workload energy reduction ({tag})")
+
+
+def render_multiplier_swapping(
+        results: Dict[FUClass, MultiplierExperimentResult]) -> str:
+    """Section 4.4 potential and activity-model outcomes."""
+    header = ["Multiplier", "ops", "01 swappable %",
+              "adds -% (info-bit)", "adds -% (popcount)", "adds -% (booth)"]
+    rows = []
+    for fu, tag in ((FUClass.IMULT, "integer"), (FUClass.FPMULT, "fp")):
+        r = results[fu]
+        rows.append([
+            tag, str(r.operations),
+            f"{100 * r.swappable_01_fraction:.1f}",
+            f"{100 * r.adds_reduction('info-bit'):.1f}",
+            f"{100 * r.adds_reduction('popcount'):.1f}",
+            f"{100 * r.adds_reduction('booth'):.1f}",
+        ])
+    return _format_table(header, rows,
+                         "Multiplier operand swapping (section 4.4)")

@@ -1,0 +1,132 @@
+"""Profile-input sensitivity of compiler swapping (section 4.4).
+
+The paper's second compiler-swapping disadvantage: "since the program
+must be profiled, performance will vary somewhat for different input
+patterns."  This study quantifies that: a workload is profiled at one
+scale (one input) and the resulting static swap decisions are applied
+to the same code running at another scale (a different input), then
+compared against self-profiled swapping and no swapping at all.
+
+Workload builders embed the scale only in data and trip counts, so the
+static code is identical across scales and swap decisions transfer by
+static instruction index (checked, not assumed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..compiler.profiling import profile_program
+from ..compiler.swap_pass import apply_swapping
+from ..cpu.config import MachineConfig, default_config
+from ..cpu.simulator import Simulator
+from ..core.info_bits import scheme_for
+from ..core.statistics import CaseStatistics
+from ..core.steering import OriginalPolicy, PolicyEvaluator, make_policy
+from ..core.swapping import HardwareSwapper, choose_swap_case
+from ..isa.instructions import FUClass
+from ..workloads.base import workload
+
+
+@dataclass
+class SensitivityResult:
+    """Reductions vs the unswapped baseline for one workload."""
+
+    workload: str
+    fu_class: FUClass
+    train_scale: int
+    test_scale: int
+    baseline_bits: int
+    unswapped_reduction: float      # steering only
+    self_profiled_reduction: float  # steering + swap trained on test input
+    cross_profiled_reduction: float  # steering + swap trained elsewhere
+
+    @property
+    def transfer_penalty(self) -> float:
+        """How much reduction the stale profile costs vs self-profiling."""
+        return self.self_profiled_reduction - self.cross_profiled_reduction
+
+
+def profile_transfer_study(name: str, fu_class: FUClass,
+                           train_scale: int = 1, test_scale: int = 3,
+                           stats: Optional[CaseStatistics] = None,
+                           config: Optional[MachineConfig] = None
+                           ) -> SensitivityResult:
+    """Measure swap-decision transfer from one input to another."""
+    config = config or default_config()
+    load = workload(name)
+    test_program = load.build(test_scale)
+    train_program = load.build(train_scale)
+    if len(train_program) != len(test_program):
+        raise ValueError(
+            f"{name}: code differs between scales {train_scale} and"
+            f" {test_scale}; profiles cannot transfer by index")
+
+    if stats is None:
+        from .energy import measure_statistics
+        stats, _, _ = measure_statistics([test_program], fu_class, config)
+    scheme = scheme_for(fu_class)
+    swap_case = choose_swap_case(stats)
+    from ..compiler.swap_pass import denser_first_from_swap_case
+    direction = {fu_class: denser_first_from_swap_case(swap_case)}
+
+    self_profile = profile_program(test_program)
+    cross_profile = profile_program(train_program)
+    self_swapped, _ = apply_swapping(test_program, self_profile,
+                                     denser_first=direction)
+    cross_swapped, _ = apply_swapping(test_program, cross_profile,
+                                      denser_first=direction)
+
+    num_modules = config.modules(fu_class)
+
+    def evaluate(program, with_hw_swap):
+        policy = make_policy("lut-4", fu_class, num_modules, stats=stats,
+                             scheme=scheme)
+        swapper = (HardwareSwapper(scheme, swap_case)
+                   if with_hw_swap else None)
+        steered = PolicyEvaluator(fu_class, num_modules, policy,
+                                  pre_swapper=swapper)
+        baseline = PolicyEvaluator(fu_class, num_modules, OriginalPolicy())
+        sim = Simulator(program, config)
+        sim.add_listener(steered)
+        sim.add_listener(baseline)
+        sim.run()
+        return (steered.totals().switched_bits,
+                baseline.totals().switched_bits)
+
+    plain_bits, baseline_bits = evaluate(test_program, with_hw_swap=False)
+    self_bits, _ = evaluate(self_swapped, with_hw_swap=True)
+    cross_bits, _ = evaluate(cross_swapped, with_hw_swap=True)
+
+    def reduction(bits):
+        return 1.0 - bits / baseline_bits if baseline_bits else 0.0
+
+    return SensitivityResult(
+        workload=name, fu_class=fu_class,
+        train_scale=train_scale, test_scale=test_scale,
+        baseline_bits=baseline_bits,
+        unswapped_reduction=reduction(plain_bits),
+        self_profiled_reduction=reduction(self_bits),
+        cross_profiled_reduction=reduction(cross_bits))
+
+
+def run_sensitivity_suite(fu_class: FUClass, names=None,
+                          train_scale: int = 1, test_scale: int = 3
+                          ) -> Dict[str, SensitivityResult]:
+    """Transfer study over several workloads (skipping any whose code
+    is not scale-invariant)."""
+    from ..workloads.base import float_suite, integer_suite
+    if names is None:
+        suite = integer_suite() if fu_class is FUClass.IALU \
+            else float_suite()
+        names = [w.name for w in suite]
+    results = {}
+    for name in names:
+        try:
+            results[name] = profile_transfer_study(
+                name, fu_class, train_scale=train_scale,
+                test_scale=test_scale)
+        except ValueError:
+            continue
+    return results

@@ -1,0 +1,407 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands map one-to-one onto the paper's experiments plus the library's
+utilities:
+
+====================  ====================================================
+``workloads``         list the SPEC95-analogue kernel suite
+``simulate``          run one workload on the out-of-order core
+``table1/2/3``        regenerate the paper's tables (measured vs paper)
+``figure1``           the 3-way routing example
+``figure4``           the energy-reduction grid (kernel or synthetic)
+``multiplier``        section 4.4 multiplier swapping
+``gates``             router logic synthesis (QM-minimised LUT core)
+``value-stats``       section 4.2's derived operand statistics
+``sensitivity``       profile-input transfer study (compiler swapping)
+``verilog``           export the synthesised router as Verilog
+``trace``             capture a workload's issue trace to a file
+``replay``            evaluate steering policies on a stored trace
+``asm``               assemble and run a .s file, dump results
+====================  ====================================================
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis.bit_patterns import BitPatternCollector
+from .analysis.energy import run_figure4, run_figure4_synthetic
+from .analysis.figure1 import evaluate_figure1
+from .analysis.module_usage import ModuleUsageCollector
+from .analysis.multiplier import run_multiplier_experiment
+from .analysis.report import (render_figure4, render_figure4_per_workload,
+                              render_multiplier_swapping, render_table1,
+                              render_table2, render_table3)
+from .analysis.sensitivity import run_sensitivity_suite
+from .analysis.value_stats import ValueStatsCollector, render_value_stats
+from .core import build_lut, make_policy, paper_statistics
+from .core.logic import estimate_router_cost, synthesize_lut_logic
+from .core.verilog import export_router
+from .core.steering import PolicyEvaluator
+from .cpu.simulator import Simulator
+from .cpu.tracefile import TraceWriter, read_trace_header, replay
+from .isa import encoding
+from .isa.assembler import assemble
+from .isa.instructions import FUClass
+from .workloads import all_workloads, workload
+
+
+def _fu_class(name: str) -> FUClass:
+    try:
+        return FUClass(name.lower())
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"unknown FU class '{name}'")
+
+
+def _selected_workloads(names: Optional[List[str]]):
+    if not names:
+        return all_workloads()
+    return [workload(name) for name in names]
+
+
+# --- commands -----------------------------------------------------------------
+
+def cmd_workloads(args) -> int:
+    print(f"{'name':10s} {'kind':4s} {'SPEC analogue':14s} description")
+    print("-" * 76)
+    for load in all_workloads():
+        print(f"{load.name:10s} {load.kind:4s} {load.spec_analogue:14s}"
+              f" {load.description}")
+    return 0
+
+
+def cmd_simulate(args) -> int:
+    load = workload(args.workload)
+    program = load.build(args.scale)
+    sim = Simulator(program)
+    result = sim.run()
+    load_scale = args.scale or load.default_scale
+
+    class Shim:
+        memory = sim.memory
+
+    load.check(program, Shim, load_scale)
+    print(f"workload:     {load.name} (scale {load_scale})")
+    print(f"instructions: {result.retired_instructions}")
+    print(f"cycles:       {result.cycles}  (IPC {result.ipc:.2f})")
+    print(f"mispredicts:  {result.branch_mispredictions}"
+          f" / {result.branch_lookups} lookups")
+    print(f"squashed ops: {result.squashed_ops}")
+    print("issue counts: " + ", ".join(
+        f"{fu.value}={count}" for fu, count in result.issue_counts.items()
+        if count))
+    print("architectural check: passed")
+    return 0
+
+
+def cmd_table1(args) -> int:
+    ialu = BitPatternCollector(FUClass.IALU)
+    fpau = BitPatternCollector(FUClass.FPAU)
+    for load in _selected_workloads(args.workloads):
+        sim = Simulator(load.build(args.scale))
+        sim.add_listener(ialu)
+        sim.add_listener(fpau)
+        sim.run()
+    print(render_table1({FUClass.IALU: ialu, FUClass.FPAU: fpau},
+                        compare_paper=not args.no_paper))
+    return 0
+
+
+def cmd_table2(args) -> int:
+    usage = ModuleUsageCollector([FUClass.IALU, FUClass.FPAU])
+    for load in _selected_workloads(args.workloads):
+        sim = Simulator(load.build(args.scale))
+        sim.add_listener(usage)
+        sim.run()
+    print(render_table2(usage, compare_paper=not args.no_paper))
+    return 0
+
+
+def cmd_table3(args) -> int:
+    results = run_multiplier_experiment(
+        workloads=_selected_workloads(args.workloads), scale=args.scale)
+    print(render_table3(results, compare_paper=not args.no_paper))
+    return 0
+
+
+def cmd_figure1(args) -> int:
+    result = evaluate_figure1()
+    no_swap = evaluate_figure1(allow_swap=False)
+    print(f"default routing:            {result.default_energy} switched bits")
+    print(f"optimal routing (swap ok):  {result.optimal_energy} bits"
+          f" -> {100 * result.saving:.1f}% saving")
+    print(f"optimal routing (no swap):  {no_swap.optimal_energy} bits"
+          f" -> {100 * no_swap.saving:.1f}% saving")
+    print("paper's alternative routing: 57% saving")
+    return 0
+
+
+def cmd_figure4(args) -> int:
+    fu_class = _fu_class(args.fu)
+    if args.synthetic:
+        panel = run_figure4_synthetic(fu_class, cycles=args.cycles)
+        print(render_figure4(panel, title=f"Figure 4 (calibrated synthetic),"
+                                          f" {fu_class.value.upper()}"))
+    else:
+        modes = ("none", "hw", "compiler", "hw+compiler") \
+            if args.compiler else ("none", "hw")
+        panel = run_figure4(fu_class, scale=args.scale,
+                            stats_source=args.stats, swap_modes=modes)
+        print(render_figure4(panel))
+        if args.per_workload:
+            print()
+            print(render_figure4_per_workload(panel))
+    return 0
+
+
+def cmd_multiplier(args) -> int:
+    results = run_multiplier_experiment(
+        workloads=_selected_workloads(args.workloads), scale=args.scale)
+    print(render_table3(results))
+    print()
+    print(render_multiplier_swapping(results))
+    return 0
+
+
+def cmd_gates(args) -> int:
+    fu_class = _fu_class(args.fu)
+    stats = paper_statistics(fu_class)
+    lut = build_lut(stats, args.modules, args.vector_bits)
+    core = synthesize_lut_logic(lut)
+    router = estimate_router_cost(lut, args.rs_entries)
+    homes = "/".join(f"{h:02b}" for h in lut.homes)
+    print(f"{fu_class.value.upper()} {args.vector_bits}-bit LUT"
+          f" ({args.modules} modules, homes {homes})")
+    print(f"  minimised LUT core:  {core.gates} gates,"
+          f" {core.levels} levels, {core.literals} literals")
+    print(f"  with forwarding from {args.rs_entries} RS entries:"
+          f" {router.gates} gates, {router.levels} levels")
+    print("  (paper, 4-bit IALU LUT: 58 gates/6 levels at 8 entries,"
+          " 130/8 at 32)")
+    return 0
+
+
+def cmd_value_stats(args) -> int:
+    int_stats = ValueStatsCollector(FUClass.IALU)
+    fp_stats = ValueStatsCollector(FUClass.FPAU)
+    for load in _selected_workloads(args.workloads):
+        sim = Simulator(load.build(args.scale))
+        sim.add_listener(int_stats)
+        sim.add_listener(fp_stats)
+        sim.run()
+    print(render_value_stats(int_stats, fp_stats))
+    return 0
+
+
+def cmd_sensitivity(args) -> int:
+    fu_class = _fu_class(args.fu)
+    results = run_sensitivity_suite(fu_class, names=args.workloads or None,
+                                    train_scale=args.train_scale,
+                                    test_scale=args.test_scale)
+    print(f"{'workload':10s} {'steer only':>10} {'self-prof':>10}"
+          f" {'cross-prof':>10} {'penalty':>8}")
+    for name, r in results.items():
+        print(f"{name:10s} {100 * r.unswapped_reduction:>9.1f}%"
+              f" {100 * r.self_profiled_reduction:>9.1f}%"
+              f" {100 * r.cross_profiled_reduction:>9.1f}%"
+              f" {100 * r.transfer_penalty:>7.2f}%")
+    return 0
+
+
+def cmd_verilog(args) -> int:
+    fu_class = _fu_class(args.fu)
+    stats = paper_statistics(fu_class)
+    lut = build_lut(stats, args.modules, args.vector_bits)
+    text = export_router(lut)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"wrote {len(text.splitlines())} lines to {args.output}")
+    else:
+        print(text, end="")
+    return 0
+
+
+def cmd_trace(args) -> int:
+    load = workload(args.workload)
+    program = load.build(args.scale)
+    fu_classes = [_fu_class(name) for name in args.fu] if args.fu else None
+    sim = Simulator(program)
+    with TraceWriter(args.output, fu_classes=fu_classes,
+                     name=load.name) as writer:
+        sim.add_listener(writer)
+        result = sim.run()
+    print(f"simulated {result.retired_instructions} instructions,"
+          f" wrote {writer.groups_written} issue groups to {args.output}")
+    return 0
+
+
+def cmd_replay(args) -> int:
+    header = read_trace_header(args.trace)
+    fu_class = _fu_class(args.fu)
+    stats = paper_statistics(fu_class) if args.stats == "paper" else None
+    evaluators = {}
+    for kind in args.policies:
+        policy = make_policy(kind, fu_class, args.modules,
+                             stats=stats or paper_statistics(fu_class))
+        evaluators[kind] = PolicyEvaluator(fu_class, args.modules, policy)
+    groups = replay(args.trace, evaluators.values())
+    print(f"replayed {groups} groups from '{header.get('name')}'")
+    baseline = None
+    for kind, evaluator in evaluators.items():
+        totals = evaluator.totals()
+        line = (f"  {kind:10s} {totals.switched_bits:10d} bits"
+                f"  ({totals.bits_per_operation:.2f}/op)")
+        if kind == "original":
+            baseline = totals.switched_bits
+        elif baseline:
+            line += f"  {100 * (1 - totals.switched_bits / baseline):+.1f}%"
+        print(line)
+    return 0
+
+
+def cmd_asm(args) -> int:
+    with open(args.source, "r", encoding="utf-8") as handle:
+        source = handle.read()
+    program = assemble(source, name=args.source)
+    sim = Simulator(program)
+    result = sim.run()
+    print(f"retired {result.retired_instructions} instructions in"
+          f" {result.cycles} cycles (IPC {result.ipc:.2f})")
+    for index in range(1, 32):
+        value = sim.registers[index]
+        if value:
+            print(f"  r{index:<2d} = {encoding.to_signed(value):>12d}"
+                  f"  (0x{value:08x})")
+    for index in range(32, 64):
+        value = sim.registers[index]
+        if value:
+            print(f"  f{index - 32:<2d} = {encoding.bits_to_float(value)!r}")
+    return 0
+
+
+# --- parser --------------------------------------------------------------------
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Dynamic Functional Unit Assignment"
+                    " for Low Power' (DATE 2003)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_scale(p):
+        p.add_argument("--scale", type=int, default=1,
+                       help="workload scale factor (default 1)")
+
+    def add_workloads(p):
+        p.add_argument("--workloads", nargs="*",
+                       help="workload names (default: full suite)")
+        p.add_argument("--no-paper", action="store_true",
+                       help="omit the paper's published columns")
+
+    p = sub.add_parser("workloads", help="list the kernel suite")
+    p.set_defaults(func=cmd_workloads)
+
+    p = sub.add_parser("simulate", help="run one workload out of order")
+    p.add_argument("workload")
+    add_scale(p)
+    p.set_defaults(func=cmd_simulate)
+
+    for name, func in (("table1", cmd_table1), ("table2", cmd_table2),
+                       ("table3", cmd_table3)):
+        p = sub.add_parser(name, help=f"regenerate {name}")
+        add_scale(p)
+        add_workloads(p)
+        p.set_defaults(func=func)
+
+    p = sub.add_parser("figure1", help="the 3-way routing example")
+    p.set_defaults(func=cmd_figure1)
+
+    p = sub.add_parser("figure4", help="energy reduction grid")
+    p.add_argument("fu", choices=["ialu", "fpau"])
+    add_scale(p)
+    p.add_argument("--synthetic", action="store_true",
+                   help="use paper-calibrated synthetic streams")
+    p.add_argument("--cycles", type=int, default=15_000,
+                   help="synthetic stream length")
+    p.add_argument("--stats", choices=["measured", "paper"],
+                   default="measured", help="LUT synthesis statistics")
+    p.add_argument("--compiler", action="store_true",
+                   help="include compiler-swapping regimes")
+    p.add_argument("--per-workload", action="store_true",
+                   help="also print the per-workload breakdown")
+    p.set_defaults(func=cmd_figure4)
+
+    p = sub.add_parser("multiplier", help="section 4.4 experiments")
+    add_scale(p)
+    add_workloads(p)
+    p.set_defaults(func=cmd_multiplier)
+
+    p = sub.add_parser("gates", help="router logic synthesis")
+    p.add_argument("--fu", default="ialu", choices=["ialu", "fpau"])
+    p.add_argument("--vector-bits", type=int, default=4)
+    p.add_argument("--modules", type=int, default=4)
+    p.add_argument("--rs-entries", type=int, default=8)
+    p.set_defaults(func=cmd_gates)
+
+    p = sub.add_parser("value-stats", help="section 4.2 derived statistics")
+    add_scale(p)
+    add_workloads(p)
+    p.set_defaults(func=cmd_value_stats)
+
+    p = sub.add_parser("sensitivity", help="profile-input transfer study")
+    p.add_argument("--fu", default="ialu", choices=["ialu", "fpau"])
+    p.add_argument("--workloads", nargs="*")
+    p.add_argument("--train-scale", type=int, default=1)
+    p.add_argument("--test-scale", type=int, default=2)
+    p.set_defaults(func=cmd_sensitivity)
+
+    p = sub.add_parser("verilog", help="export the router as Verilog")
+    p.add_argument("--fu", default="ialu", choices=["ialu", "fpau"])
+    p.add_argument("--vector-bits", type=int, default=4)
+    p.add_argument("--modules", type=int, default=4)
+    p.add_argument("-o", "--output")
+    p.set_defaults(func=cmd_verilog)
+
+    p = sub.add_parser("trace", help="capture an issue trace")
+    p.add_argument("workload")
+    p.add_argument("-o", "--output", required=True)
+    add_scale(p)
+    p.add_argument("--fu", nargs="*",
+                   help="FU classes to capture (default: all)")
+    p.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser("replay", help="evaluate policies on a trace")
+    p.add_argument("trace")
+    p.add_argument("--fu", default="ialu")
+    p.add_argument("--modules", type=int, default=4)
+    p.add_argument("--policies", nargs="*",
+                   default=["original", "lut-4", "full-ham"])
+    p.add_argument("--stats", choices=["paper"], default="paper")
+    p.set_defaults(func=cmd_replay)
+
+    p = sub.add_parser("asm", help="assemble and run a .s file")
+    p.add_argument("source")
+    p.set_defaults(func=cmd_asm)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # output piped into a pager/head that closed early — not an error
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,16 @@
+"""Compiler-side optimisation: profile-guided static operand swapping."""
+
+from .profiling import OperandProfile, ProgramProfile, profile_program
+from .static_assignment import (CaseProfile, StaticAssignmentPolicy,
+                                assign_static_modules, build_static_policy,
+                                profile_cases)
+from .swap_pass import (PAPER_DENSER_FIRST, SwapReport, apply_swapping,
+                        denser_first_from_swap_case, swap_optimize)
+
+__all__ = [
+    "OperandProfile", "ProgramProfile", "profile_program",
+    "PAPER_DENSER_FIRST", "SwapReport", "apply_swapping",
+    "denser_first_from_swap_case", "swap_optimize",
+    "CaseProfile", "StaticAssignmentPolicy", "assign_static_modules",
+    "build_static_policy", "profile_cases",
+]

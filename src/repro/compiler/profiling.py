@@ -1,0 +1,83 @@
+"""Profile collection for compiler-based operand swapping (section 4.4).
+
+The compiler decides whether to swap a static instruction's operands
+from the *average number of high bits* each operand carries across a
+profiling run — unlike the hardware, which only sees one information
+bit per operand per cycle.  Profiles are gathered with the cheap
+in-order golden model; the paper likewise profiles ahead of time and
+acknowledges that behaviour "will vary somewhat for different input
+patterns".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..cpu.golden import GoldenResult, run_program
+from ..isa import encoding
+from ..isa.instructions import FUClass, Instruction
+from ..isa.program import Program
+
+_INT_CLASSES = (FUClass.IALU, FUClass.IMULT)
+
+
+def _high_bits(bits: int, fu_class: FUClass) -> int:
+    """Set bits of the operand image the FU datapath actually sees."""
+    if fu_class in _INT_CLASSES:
+        return encoding.popcount(bits & encoding.INT_MASK)
+    return encoding.popcount(bits & encoding.MANTISSA_MASK)
+
+
+@dataclass
+class OperandProfile:
+    """Accumulated operand statistics for one static instruction."""
+
+    executions: int = 0
+    ones_op1: int = 0
+    ones_op2: int = 0
+
+    @property
+    def mean_ones_op1(self) -> float:
+        return self.ones_op1 / self.executions if self.executions else 0.0
+
+    @property
+    def mean_ones_op2(self) -> float:
+        return self.ones_op2 / self.executions if self.executions else 0.0
+
+
+@dataclass
+class ProgramProfile:
+    """Per-static-instruction operand profile of one program run."""
+
+    program_name: str
+    instructions_executed: int = 0
+    by_static_index: Dict[int, OperandProfile] = field(default_factory=dict)
+
+    def profile_for(self, index: int) -> Optional[OperandProfile]:
+        return self.by_static_index.get(index)
+
+
+def profile_program(program: Program,
+                    max_instructions: int = 10_000_000) -> ProgramProfile:
+    """Run ``program`` in order and collect operand-ones statistics.
+
+    Only two-register operations that the compiler could conceivably
+    reorder are profiled; immediate forms and single-source operations
+    are skipped (the paper's "immediate add" limitation).
+    """
+    profile = ProgramProfile(program_name=program.name)
+
+    def observe(instr: Instruction, op1: int, op2: int, has_two: bool) -> None:
+        if not has_two or not instr.op.compiler_swappable:
+            return
+        record = profile.by_static_index.setdefault(instr.address,
+                                                    OperandProfile())
+        record.executions += 1
+        record.ones_op1 += _high_bits(op1, instr.op.fu_class)
+        record.ones_op2 += _high_bits(op2, instr.op.fu_class)
+
+    result: GoldenResult = run_program(program, max_instructions=max_instructions,
+                                       observer=observe)
+    profile.instructions_executed = result.instructions
+    return profile

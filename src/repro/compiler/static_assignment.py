@@ -1,0 +1,136 @@
+"""Compile-time (VLIW-style) functional-unit assignment.
+
+Section 2 of the paper: "Because superscalars allow out-of-order
+execution, a good assignment strategy should be dynamic.  The case is
+less clear for VLIW processors, yet some of our proposed techniques are
+also applicable to VLIWs."  In a VLIW the compiler fixes each static
+instruction's module at schedule time, so the best it can do is place
+instructions by their *profiled dominant case* on the same home-module
+layout the dynamic LUT uses.
+
+This module implements that static scheme so the dynamic-vs-static
+claim can be measured:
+
+1. :func:`profile_cases` runs the golden model and histograms each
+   static instruction's information-bit cases;
+2. :func:`assign_static_modules` maps each static instruction to a
+   module — heaviest instructions first, each taking the least-loaded
+   module among those whose home best matches its dominant case;
+3. :class:`StaticAssignmentPolicy` honours the mapping at run time,
+   resolving same-cycle conflicts oldest-first with FCFS fallback (a
+   real VLIW would have scheduled the conflict away; the fallback makes
+   the policy usable on the out-of-order stream for comparison).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..cpu.golden import run_program
+from ..cpu.trace import MicroOp
+from ..core.assignment import Assignment
+from ..core.info_bits import InfoBitScheme, case_hamming, scheme_for
+from ..core.lut import allocate_homes
+from ..core.power import FUPowerModel
+from ..core.statistics import CaseStatistics
+from ..isa.instructions import FUClass, Instruction
+from ..isa.program import Program
+
+
+@dataclass
+class CaseProfile:
+    """Per-static-instruction case histogram for one FU class."""
+
+    fu_class: FUClass
+    counts: Dict[int, Dict[int, int]] = field(default_factory=dict)
+
+    def record(self, static_index: int, case: int) -> None:
+        per_case = self.counts.setdefault(static_index, {})
+        per_case[case] = per_case.get(case, 0) + 1
+
+    def dominant_case(self, static_index: int) -> Optional[int]:
+        per_case = self.counts.get(static_index)
+        if not per_case:
+            return None
+        return max(sorted(per_case), key=lambda case: per_case[case])
+
+    def executions(self, static_index: int) -> int:
+        return sum(self.counts.get(static_index, {}).values())
+
+
+def profile_cases(program: Program, fu_class: FUClass,
+                  scheme: Optional[InfoBitScheme] = None,
+                  max_instructions: int = 10_000_000) -> CaseProfile:
+    """Histogram each static instruction's cases on a profiling run."""
+    scheme = scheme or scheme_for(fu_class)
+    profile = CaseProfile(fu_class)
+
+    def observe(instr: Instruction, op1: int, op2: int, has_two: bool) -> None:
+        if instr.op.fu_class is not fu_class:
+            return
+        profile.record(instr.address,
+                       scheme.case_of(op1, op2 if has_two else 0))
+
+    run_program(program, max_instructions=max_instructions,
+                observer=observe)
+    return profile
+
+
+def assign_static_modules(profile: CaseProfile, stats: CaseStatistics,
+                          num_modules: int) -> Dict[int, int]:
+    """Fix a module per static instruction from its dominant case.
+
+    Instructions are placed heaviest-first; each takes the
+    least-loaded module among those whose home case is closest (by
+    information-bit Hamming) to its dominant case, balancing load
+    across same-home modules.
+    """
+    homes = allocate_homes(stats, num_modules)
+    load = [0] * num_modules
+    mapping: Dict[int, int] = {}
+    ordered = sorted(profile.counts,
+                     key=lambda idx: -profile.executions(idx))
+    for static_index in ordered:
+        case = profile.dominant_case(static_index)
+        best_distance = min(case_hamming(case, home) for home in homes)
+        candidates = [m for m in range(num_modules)
+                      if case_hamming(case, homes[m]) == best_distance]
+        module = min(candidates, key=lambda m: (load[m], m))
+        mapping[static_index] = module
+        load[module] += profile.executions(static_index)
+    return mapping
+
+
+@dataclass
+class StaticAssignmentPolicy:
+    """Run-time router honouring a compile-time module mapping."""
+
+    mapping: Dict[int, int]
+    name: str = "static-vliw"
+
+    def assign(self, ops: Sequence[MicroOp],
+               power: FUPowerModel) -> Assignment:
+        taken: List[Optional[int]] = [None] * len(ops)
+        used = set()
+        for k, op in enumerate(ops):
+            wanted = self.mapping.get(op.static_index)
+            if wanted is not None and wanted not in used:
+                taken[k] = wanted
+                used.add(wanted)
+        free = [m for m in range(power.num_modules) if m not in used]
+        for k in range(len(ops)):
+            if taken[k] is None:
+                taken[k] = free.pop(0)
+        return Assignment(modules=tuple(taken),  # type: ignore[arg-type]
+                          swapped=(False,) * len(ops), total_cost=0.0)
+
+
+def build_static_policy(program: Program, fu_class: FUClass,
+                        stats: CaseStatistics, num_modules: int,
+                        scheme: Optional[InfoBitScheme] = None
+                        ) -> StaticAssignmentPolicy:
+    """Profile a program and build its static VLIW-style router."""
+    profile = profile_cases(program, fu_class, scheme=scheme)
+    mapping = assign_static_modules(profile, stats, num_modules)
+    return StaticAssignmentPolicy(mapping=mapping)

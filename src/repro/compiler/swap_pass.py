@@ -1,0 +1,137 @@
+"""Profile-guided static operand swapping (section 4.4).
+
+For each static instruction whose operands the compiler may reorder,
+compare the profiled average number of high bits in each operand and
+rewrite the instruction so the operands sit in the *canonical order*
+for its FU class:
+
+* steered classes (IALU, FPAU) — the canonical case is the target of
+  the hardware swap rule (section 4.4): denser-operand-first for the
+  IALU, sparser-first for the FPAU, so statically- and dynamically-
+  swapped operations agree and map onto the same modules coherently;
+* multiplier classes — fewer ones second, minimising Booth/shift-add
+  partial products.
+
+Register-form commutative opcodes swap by exchanging sources; compare
+and branch opcodes swap via their commuted twin (``slt`` <-> ``sgt``,
+``blt`` <-> ``bgt``, ...), the paper's ``>`` to ``<=`` example.
+Immediate forms cannot be swapped — machine encoding fixes the
+immediate as the second operand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Mapping, Optional
+
+from ..isa.instructions import FUClass, Instruction, opcode
+from ..isa.program import Program
+from .profiling import ProgramProfile, profile_program
+
+_MULTIPLIER_CLASSES = (FUClass.IMULT, FUClass.FPMULT)
+
+# Canonical operand order per steered class: True puts the operand with
+# more profiled high bits first (the paper's IALU direction, canonical
+# case 10); False puts the sparser operand first (FPAU, canonical 01).
+# The direction must agree with the hardware swap rule in use, or the
+# two mechanisms undo each other — derive it from the same case
+# statistics with ``denser_first_from_swap_case`` when possible.
+PAPER_DENSER_FIRST: Mapping[FUClass, bool] = {
+    FUClass.IALU: True,
+    FUClass.FPAU: False,
+}
+
+
+def denser_first_from_swap_case(swap_from_case: int) -> bool:
+    """Canonical direction implied by a hardware swap-from case.
+
+    Hardware swapping case 01 into 10 leaves the denser operand first;
+    swapping 10 into 01 leaves the sparser operand first.
+    """
+    if swap_from_case == 0b01:
+        return True
+    if swap_from_case == 0b10:
+        return False
+    raise ValueError("only the mixed cases imply a canonical direction")
+
+
+@dataclass
+class SwapReport:
+    """What the pass did to one program."""
+
+    program_name: str
+    candidates: int = 0
+    swapped: int = 0
+    by_class: Dict[FUClass, int] = field(default_factory=dict)
+
+    @property
+    def swap_fraction(self) -> float:
+        return self.swapped / self.candidates if self.candidates else 0.0
+
+
+def _should_swap(fu_class: FUClass, mean_op1: float, mean_op2: float,
+                 margin: float,
+                 denser_first: Mapping[FUClass, bool]) -> bool:
+    if fu_class in _MULTIPLIER_CLASSES:
+        return mean_op2 > mean_op1 + margin
+    if denser_first.get(fu_class, True):
+        return mean_op1 + margin < mean_op2
+    return mean_op1 > mean_op2 + margin
+
+
+def _swap_instruction(instr: Instruction) -> Instruction:
+    op = instr.op
+    new_op = op
+    if op.compiler_swap_to is not None:
+        new_op = opcode(op.compiler_swap_to)
+    return Instruction(new_op, dest=instr.dest, src1=instr.src2,
+                       src2=instr.src1, imm=instr.imm, target=instr.target,
+                       label=instr.label, address=instr.address,
+                       static_swapped=not instr.static_swapped)
+
+
+def apply_swapping(program: Program, profile: ProgramProfile,
+                   margin: float = 0.0,
+                   denser_first: Optional[Mapping[FUClass, bool]] = None
+                   ) -> "tuple[Program, SwapReport]":
+    """Rewrite ``program`` per ``profile``; returns (new program, report).
+
+    ``denser_first`` sets the canonical operand order per steered FU
+    class; it defaults to the paper's directions and should be derived
+    from the active hardware swap rule when both mechanisms are used.
+    """
+    if denser_first is None:
+        denser_first = PAPER_DENSER_FIRST
+    report = SwapReport(program_name=program.name)
+    rewritten = []
+    for index, instr in enumerate(program.instructions):
+        record = profile.profile_for(index)
+        if (record is None or not record.executions
+                or not instr.op.compiler_swappable):
+            rewritten.append(replace(instr))
+            continue
+        report.candidates += 1
+        fu_class = instr.op.fu_class
+        if _should_swap(fu_class, record.mean_ones_op1,
+                        record.mean_ones_op2, margin, denser_first):
+            rewritten.append(_swap_instruction(instr))
+            report.swapped += 1
+            report.by_class[fu_class] = report.by_class.get(fu_class, 0) + 1
+        else:
+            rewritten.append(replace(instr))
+    swapped_program = Program(rewritten, labels=dict(program.labels),
+                              symbols=dict(program.symbols),
+                              data=program.data.copy(),
+                              name=f"{program.name}+cswap")
+    swapped_program.validate()
+    return swapped_program, report
+
+
+def swap_optimize(program: Program, max_instructions: int = 10_000_000,
+                  margin: float = 0.0,
+                  denser_first: Optional[Mapping[FUClass, bool]] = None
+                  ) -> "tuple[Program, SwapReport]":
+    """Profile ``program`` and apply the swap pass in one call."""
+    profile = profile_program(program, max_instructions=max_instructions)
+    return apply_swapping(program, profile, margin=margin,
+                          denser_first=denser_first)

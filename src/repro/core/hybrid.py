@@ -1,0 +1,200 @@
+"""Hybrid schemes from the paper's related-work discussion (section 3).
+
+The paper argues its steering is *complementary* to two other
+functional-unit power techniques and sketches the hybrids explicitly:
+
+* **Partially guarded computation** (Choi et al. [8]): each FU is split
+  into a less-significant and a more-significant portion; when the
+  operands' useful width fits the low portion, the high portion is
+  guarded off and its result produced by a sign-extension circuit.
+  "One can imagine a hybrid scheme where our method is used, but each
+  functional unit is one of theirs, and improvements gained will be
+  additive."  :class:`GuardedFUPowerModel` implements that FU: the high
+  portion's input latches hold their values across narrow operations,
+  so steering (which clusters similar operands) and guarding (which
+  skips the high half entirely) compose.
+
+* **Criticality-steered heterogeneous modules** (Seng et al. [19]):
+  modules come in a fast, power-hungry variant and a slow, efficient
+  variant; critical operations go to fast modules.  "One can imagine a
+  hybrid scheme where multiple functional units are available as in our
+  scheme, but two versions of each unit are available."
+  :class:`HeterogeneousPowerModel` weights each module's switched bits
+  by its variant's relative energy, and
+  :class:`CriticalityAwareLUTPolicy` first respects criticality (fast
+  modules for critical ops), then applies case steering within each
+  speed class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..cpu.trace import MicroOp
+from ..isa import encoding
+from ..isa.instructions import FUClass
+from .assignment import Assignment
+from .info_bits import InfoBitScheme, case_of
+from .lut import SteeringLUT
+from .power import FUPowerModel, operand_width
+
+
+class GuardedFUPowerModel(FUPowerModel):
+    """Power model for partially guarded functional units.
+
+    Operands whose top bits are pure sign extension down to
+    ``low_width`` bits leave the high portion guarded: its latches are
+    not clocked, so only low-portion switching (plus a fixed guard
+    control overhead) is charged.  Wide operations charge the full
+    Hamming distance, including whatever the high latches last held.
+    """
+
+    def __init__(self, fu_class: FUClass, num_modules: int,
+                 low_width: int = 16, guard_overhead_bits: int = 1):
+        if fu_class is not FUClass.IALU and fu_class is not FUClass.IMULT:
+            raise ValueError("guarded computation applies to integer"
+                             " datapaths (sign-extension semantics)")
+        super().__init__(fu_class, num_modules)
+        width = operand_width(fu_class)
+        if not (1 <= low_width < width):
+            raise ValueError("low portion must be narrower than the datapath")
+        self.low_width = low_width
+        self.guard_overhead_bits = guard_overhead_bits
+        self._low_mask = (1 << low_width) - 1
+        self._width = width
+        self.narrow_operations = 0
+
+    def _is_narrow(self, bits: int) -> bool:
+        """Do the top bits just sign-extend the low portion?"""
+        top = bits >> (self.low_width - 1)
+        top_width = self._width - self.low_width + 1
+        return top == 0 or top == (1 << top_width) - 1
+
+    def account(self, module: int, op1: int, op2: int) -> int:
+        if not (0 <= module < self.num_modules):
+            raise ValueError(f"module {module} out of range")
+        prev1, prev2 = self._inputs[module]
+        narrow = self._is_narrow(op1) and self._is_narrow(op2)
+        if narrow:
+            cost = (encoding.popcount((prev1 ^ op1) & self._low_mask)
+                    + encoding.popcount((prev2 ^ op2) & self._low_mask)
+                    + self.guard_overhead_bits)
+            # the high latches hold their previous values
+            new1 = (prev1 & ~self._low_mask) | (op1 & self._low_mask)
+            new2 = (prev2 & ~self._low_mask) | (op2 & self._low_mask)
+            self._inputs[module] = (new1, new2)
+            self.narrow_operations += 1
+        else:
+            cost = (encoding.popcount((prev1 ^ op1) & self._mask)
+                    + encoding.popcount((prev2 ^ op2) & self._mask))
+            self._inputs[module] = (op1, op2)
+        self.switched_bits += cost
+        self.operations += 1
+        return cost
+
+    @property
+    def narrow_fraction(self) -> float:
+        """Fraction of operations that ran with the high half guarded."""
+        if not self.operations:
+            return 0.0
+        return self.narrow_operations / self.operations
+
+
+@dataclass
+class ModuleVariant:
+    """One module's speed/power variant in a heterogeneous pool."""
+
+    fast: bool
+    energy_weight: float  # relative energy per switched input bit
+
+
+def standard_variants(num_modules: int, num_fast: int,
+                      slow_energy: float = 0.6) -> List[ModuleVariant]:
+    """A pool with ``num_fast`` fast modules, the rest slow/efficient."""
+    if not (0 <= num_fast <= num_modules):
+        raise ValueError("num_fast out of range")
+    variants = [ModuleVariant(fast=True, energy_weight=1.0)
+                for _ in range(num_fast)]
+    variants += [ModuleVariant(fast=False, energy_weight=slow_energy)
+                 for _ in range(num_modules - num_fast)]
+    return variants
+
+
+class HeterogeneousPowerModel(FUPowerModel):
+    """Hamming accounting with per-module energy weights.
+
+    ``weighted_energy`` is the figure of merit (switched bits scaled by
+    each module's variant weight); ``switched_bits`` stays the raw
+    count so results remain comparable with the homogeneous models.
+    """
+
+    def __init__(self, fu_class: FUClass,
+                 variants: Sequence[ModuleVariant]):
+        super().__init__(fu_class, len(variants))
+        self.variants = list(variants)
+        self.weighted_energy = 0.0
+        self.critical_on_slow = 0
+
+    def account(self, module: int, op1: int, op2: int) -> int:
+        cost = super().account(module, op1, op2)
+        self.weighted_energy += cost * self.variants[module].energy_weight
+        return cost
+
+
+@dataclass
+class CriticalityAwareLUTPolicy:
+    """Case steering constrained by module speed classes.
+
+    Critical operations (as flagged by the simulator: the oldest ready
+    op each cycle) may only use fast modules; non-critical operations
+    prefer slow modules.  Within each speed class the operation's case
+    picks the module whose LUT home matches best, so the hybrid keeps
+    the paper's switching benefit while harvesting the heterogeneous
+    pool's voltage/sizing benefit on non-critical work.
+    """
+
+    lut: SteeringLUT
+    scheme: InfoBitScheme
+    variants: Sequence[ModuleVariant]
+    name: str = "hetero-lut"
+
+    def __post_init__(self) -> None:
+        if len(self.variants) != self.lut.num_modules:
+            raise ValueError("one variant per module required")
+        self._fast = [i for i, v in enumerate(self.variants) if v.fast]
+        self._slow = [i for i, v in enumerate(self.variants) if not v.fast]
+        if not self._fast:
+            raise ValueError("need at least one fast module for critical ops")
+
+    def assign(self, ops: Sequence[MicroOp],
+               power: FUPowerModel) -> Assignment:
+        from .info_bits import case_hamming
+
+        available_fast = list(self._fast)
+        available_slow = list(self._slow)
+        modules: List[Optional[int]] = [None] * len(ops)
+
+        def take_best(pools: Sequence[List[int]], case: int) -> int:
+            for pool in pools:
+                if pool:
+                    best = min(pool, key=lambda m:
+                               (case_hamming(case, self.lut.homes[m]), m))
+                    pool.remove(best)
+                    return best
+            raise RuntimeError("no module available")
+
+        # critical ops first, onto fast modules (falling back to slow
+        # only if the cycle has more critical ops than fast modules)
+        order = sorted(range(len(ops)),
+                       key=lambda k: (not ops[k].critical, k))
+        for k in order:
+            case = case_of(ops[k], self.scheme)
+            if ops[k].critical:
+                modules[k] = take_best([available_fast, available_slow],
+                                       case)
+            else:
+                modules[k] = take_best([available_slow, available_fast],
+                                       case)
+        return Assignment(modules=tuple(modules),  # type: ignore[arg-type]
+                          swapped=(False,) * len(ops), total_cost=0.0)

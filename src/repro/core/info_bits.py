@@ -1,0 +1,125 @@
+"""Information bits and operand cases (sections 1 and 4.2 of the paper).
+
+An operand's *information bit* is a one-bit summary that predicts which
+bit value (0 or 1) dominates the rest of the operand:
+
+* **integers** — the sign bit: two's-complement sign extension makes the
+  leading bits equal to it, so the sign bit predicts the majority value;
+* **floating point** — the OR of the least-significant four mantissa
+  bits: when all four are zero the mantissa very likely has a long run
+  of trailing zeros (integer casts, widened singles, round constants),
+  whereas a 1 predicts a full-precision, roughly 50/50 mantissa.
+
+An instruction's two information bits concatenate into its **case**,
+one of ``00``, ``01``, ``10``, ``11`` (operand 1's bit is the high bit).
+The steering LUT, hardware swapping, and the 1-bit Hamming policy all
+operate on cases.
+
+Extraction is parameterised through :class:`InfoBitScheme` so the
+ablation benches can vary the number of mantissa bits ORed together or
+use a top-bits majority for integers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..isa import encoding
+from ..isa.instructions import FUClass
+from ..cpu.trace import MicroOp
+
+CASES = (0b00, 0b01, 0b10, 0b11)
+CASE_NAMES = {0b00: "00", 0b01: "01", 0b10: "10", 0b11: "11"}
+
+INTEGER_CLASSES = frozenset({FUClass.IALU, FUClass.IMULT, FUClass.LSU})
+FLOAT_CLASSES = frozenset({FUClass.FPAU, FUClass.FPMULT})
+
+
+def int_info_bit(bits: int) -> int:
+    """Sign bit of a 32-bit integer image."""
+    return (bits >> 31) & 1
+
+
+def fp_info_bit(bits: int) -> int:
+    """OR of the bottom four mantissa bits of a double image.
+
+    The mantissa occupies the low 52 bits of the image, so its bottom
+    four bits are the image's bottom four bits.
+    """
+    return 1 if bits & 0xF else 0
+
+
+def fp_info_bit_k(bits: int, k: int) -> int:
+    """Ablation variant: OR of the bottom ``k`` mantissa bits."""
+    if not (1 <= k <= encoding.MANTISSA_BITS):
+        raise ValueError(f"k must be in 1..{encoding.MANTISSA_BITS}")
+    return 1 if bits & ((1 << k) - 1) else 0
+
+
+def int_top_bits_majority(bits: int, k: int) -> int:
+    """Ablation variant: majority vote of the top ``k`` bits."""
+    if not (1 <= k <= encoding.INT_BITS):
+        raise ValueError(f"k must be in 1..{encoding.INT_BITS}")
+    top = bits >> (encoding.INT_BITS - k)
+    return 1 if 2 * encoding.popcount(top) > k else 0
+
+
+@dataclass(frozen=True)
+class InfoBitScheme:
+    """How to summarise one operand into an information bit.
+
+    ``extract`` maps an operand bit image to 0/1.  ``value_width`` is the
+    number of bits the power model considers for this operand kind (32
+    for integers, the 52 mantissa bits for floating point).
+    """
+
+    name: str
+    extract: Callable[[int], int]
+    value_width: int
+
+    def case_of(self, op1: int, op2: int) -> int:
+        """Concatenate the two operands' information bits (op1 high)."""
+        return (self.extract(op1) << 1) | self.extract(op2)
+
+
+PAPER_INT_SCHEME = InfoBitScheme("sign-bit", int_info_bit, encoding.INT_BITS)
+PAPER_FP_SCHEME = InfoBitScheme("or-low-4", fp_info_bit, encoding.MANTISSA_BITS)
+
+
+def scheme_for(fu_class: FUClass) -> InfoBitScheme:
+    """The paper's information-bit scheme for a functional-unit class."""
+    if fu_class in INTEGER_CLASSES:
+        return PAPER_INT_SCHEME
+    return PAPER_FP_SCHEME
+
+
+def make_fp_scheme(k: int) -> InfoBitScheme:
+    """Floating point scheme ORing the bottom ``k`` mantissa bits."""
+    return InfoBitScheme(f"or-low-{k}", lambda bits: fp_info_bit_k(bits, k),
+                         encoding.MANTISSA_BITS)
+
+
+def make_int_scheme(k: int) -> InfoBitScheme:
+    """Integer scheme taking the majority of the top ``k`` bits."""
+    if k == 1:
+        return PAPER_INT_SCHEME
+    return InfoBitScheme(f"top-{k}-majority",
+                         lambda bits: int_top_bits_majority(bits, k),
+                         encoding.INT_BITS)
+
+
+def case_of(op: MicroOp, scheme: InfoBitScheme) -> int:
+    """Case of a micro-op under a scheme (missing operand reads as 0)."""
+    return scheme.case_of(op.op1, op.op2 if op.has_two else 0)
+
+
+def case_hamming(case_a: int, case_b: int) -> int:
+    """Hamming distance between two 2-bit cases (0, 1, or 2)."""
+    diff = (case_a ^ case_b) & 0b11
+    return (diff & 1) + (diff >> 1)
+
+
+def swapped_case(case: int) -> int:
+    """Case after exchanging the two operands."""
+    return ((case & 1) << 1) | (case >> 1)

@@ -1,0 +1,182 @@
+"""Dynamic power model for functional units (section 2 of the paper).
+
+The paper models a module's dynamic power as proportional to the
+Hamming distance between its current and previous input operands::
+
+    Power ~ 1/2 * Vdd^2 * f * C_module * h_input
+
+For integers all 32 bits count; for floating point only the 52 mantissa
+bits are considered.  :class:`FUPowerModel` tracks each module's latched
+inputs (power-managed FUs hold their inputs when idle, via transparent
+latches) and accumulates switched bits per module.
+
+A separate activity model covers the Booth multiplier, whose power also
+depends on the number of 1s in the second operand (section 4.4); the
+paper cites but does not quantify this, so we provide shift-add and
+radix-2 Booth recoding activity estimators for the multiplier benches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..isa import encoding
+from ..isa.instructions import FUClass
+from .info_bits import FLOAT_CLASSES
+
+
+def operand_width(fu_class: FUClass) -> int:
+    """Bits of one operand that the power model considers."""
+    return encoding.MANTISSA_BITS if fu_class in FLOAT_CLASSES else encoding.INT_BITS
+
+
+@dataclass
+class PowerParameters:
+    """Electrical constants for converting switched bits into watts.
+
+    Defaults are representative of a circa-2003 process (1.5 V, 1 GHz)
+    with a per-input-bit effective switched capacitance.  Only relative
+    numbers matter for the paper's results; these let library users
+    report absolute estimates.
+    """
+
+    vdd: float = 1.5
+    frequency_hz: float = 1.0e9
+    capacitance_per_bit_f: float = 2.5e-14
+
+    def energy_joules(self, switched_bits: int) -> float:
+        """Energy of a given total number of input-bit transitions."""
+        return 0.5 * self.vdd ** 2 * self.capacitance_per_bit_f * switched_bits
+
+    def average_power_watts(self, switched_bits: int, cycles: int) -> float:
+        """Average dynamic power over a run of ``cycles`` cycles."""
+        if cycles <= 0:
+            return 0.0
+        return self.energy_joules(switched_bits) * self.frequency_hz / cycles
+
+
+class FUPowerModel:
+    """Hamming-distance energy accounting for one FU class's modules.
+
+    Modules power up with all-zero latched inputs.  ``account`` charges
+    the Hamming distance between a module's latched inputs and the new
+    operation's operands, then latches the new operands.
+    """
+
+    def __init__(self, fu_class: FUClass, num_modules: int):
+        if num_modules < 1:
+            raise ValueError("need at least one module")
+        self.fu_class = fu_class
+        self.num_modules = num_modules
+        mask_width = operand_width(fu_class)
+        self._mask = (1 << mask_width) - 1
+        self._inputs: List[Tuple[int, int]] = [(0, 0)] * num_modules
+        self.switched_bits = 0
+        self.operations = 0
+
+    def account(self, module: int, op1: int, op2: int) -> int:
+        """Charge one operation issued to ``module``; return its cost."""
+        if not (0 <= module < self.num_modules):
+            raise ValueError(f"module {module} out of range")
+        prev1, prev2 = self._inputs[module]
+        cost = (encoding.popcount((prev1 ^ op1) & self._mask)
+                + encoding.popcount((prev2 ^ op2) & self._mask))
+        self._inputs[module] = (op1, op2)
+        self.switched_bits += cost
+        self.operations += 1
+        return cost
+
+    def peek_cost(self, module: int, op1: int, op2: int) -> int:
+        """Cost of issuing to ``module`` without updating any state."""
+        prev1, prev2 = self._inputs[module]
+        return (encoding.popcount((prev1 ^ op1) & self._mask)
+                + encoding.popcount((prev2 ^ op2) & self._mask))
+
+    def module_inputs(self, module: int) -> Tuple[int, int]:
+        """The latched previous inputs of one module."""
+        return self._inputs[module]
+
+    def reset(self) -> None:
+        """Return every module to the power-up (all zero) state."""
+        self._inputs = [(0, 0)] * self.num_modules
+        self.switched_bits = 0
+        self.operations = 0
+
+    @property
+    def bits_per_operation(self) -> float:
+        """Average switched input bits per operation."""
+        if not self.operations:
+            return 0.0
+        return self.switched_bits / self.operations
+
+
+# --- multiplier activity models (section 4.4) --------------------------------
+
+def shift_add_activity(multiplier_bits: int, width: Optional[int] = None) -> int:
+    """Adds performed by an elementary shift-and-add multiplier.
+
+    The schoolbook algorithm adds the (shifted) multiplicand once per set
+    bit of the multiplier — the second operand.  This is the quantity the
+    paper's multiplier swapping minimises.
+    """
+    if width is not None:
+        multiplier_bits &= (1 << width) - 1
+    return encoding.popcount(multiplier_bits)
+
+
+def booth_recode_activity(multiplier_bits: int, width: int = 32) -> int:
+    """Non-zero digits after radix-2 Booth recoding of the multiplier.
+
+    Booth recoding turns runs of 1s into one subtract and one add: digit
+    ``i`` is non-zero exactly when bits ``i`` and ``i-1`` differ (with an
+    implicit 0 below bit 0 and sign extension above the top bit for the
+    signed multiplier).  The count is the number of run boundaries, which
+    stays strongly correlated with the popcount of sparse operands.
+    """
+    mask = (1 << width) - 1
+    masked = multiplier_bits & mask
+    return encoding.popcount((masked ^ (masked << 1)) & mask)
+
+
+@dataclass
+class MultiplierActivityModel:
+    """Accumulates multiplier activity with and without operand swapping.
+
+    ``account`` charges both the input switching (Hamming, like other
+    FUs — a single multiplier module) and the data-dependent add count
+    of the second operand.  ``add_weight`` sets the relative cost of one
+    partial-product add versus one switched input bit.
+    """
+
+    fu_class: FUClass
+    add_weight: float = 4.0
+    use_booth: bool = True
+    switched_bits: int = 0
+    adds: int = 0
+    operations: int = 0
+    _inputs: Tuple[int, int] = (0, 0)
+    _mask: int = field(init=False)
+    _width: int = field(init=False)
+
+    def __post_init__(self) -> None:
+        self._width = operand_width(self.fu_class)
+        self._mask = (1 << self._width) - 1
+
+    def account(self, op1: int, op2: int) -> float:
+        prev1, prev2 = self._inputs
+        switching = (encoding.popcount((prev1 ^ op1) & self._mask)
+                     + encoding.popcount((prev2 ^ op2) & self._mask))
+        if self.use_booth:
+            adds = booth_recode_activity(op2 & self._mask, self._width)
+        else:
+            adds = shift_add_activity(op2, self._width)
+        self._inputs = (op1, op2)
+        self.switched_bits += switching
+        self.adds += adds
+        self.operations += 1
+        return switching + self.add_weight * adds
+
+    @property
+    def total_cost(self) -> float:
+        return self.switched_bits + self.add_weight * self.adds

@@ -1,0 +1,117 @@
+"""Operand case statistics used to synthesise steering strategies.
+
+The paper's LUT contents and swap-case choice are both derived from two
+measured distributions:
+
+* Table 1 — frequency of each (case, commutativity) combination among
+  executed operations of an FU class, plus per-operand bit
+  probabilities;
+* Table 2 — how many modules of the class are used per busy cycle.
+
+:class:`CaseStatistics` packages the operational parts of those tables.
+Instances can be built from the paper's published numbers (for exact
+fidelity) or measured from any workload stream via
+:class:`repro.analysis.bit_patterns.BitPatternCollector`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Tuple
+
+from ..isa.instructions import FUClass
+from .info_bits import CASES
+
+
+@dataclass(frozen=True)
+class CaseStatistics:
+    """Case and module-usage distributions for one FU class.
+
+    ``case_comm_freq`` maps ``(case, commutative)`` to a fraction of all
+    executed operations of the class (the eight rows of Table 1);
+    ``usage`` maps ``Num(I)`` to the fraction of busy cycles issuing
+    that many operations (one row of Table 2).
+    """
+
+    fu_class: FUClass
+    case_comm_freq: Mapping[Tuple[int, bool], float]
+    usage: Mapping[int, float]
+
+    def __post_init__(self) -> None:
+        total = sum(self.case_comm_freq.values())
+        if total and abs(total - 1.0) > 0.02:
+            raise ValueError(f"case frequencies sum to {total}, expected ~1")
+        usage_total = sum(self.usage.values())
+        if usage_total and abs(usage_total - 1.0) > 0.02:
+            raise ValueError(f"usage fractions sum to {usage_total}, expected ~1")
+
+    def case_freq(self, case: int) -> float:
+        """Total frequency of a case, commutativity rows combined."""
+        return (self.case_comm_freq.get((case, True), 0.0)
+                + self.case_comm_freq.get((case, False), 0.0))
+
+    def case_distribution(self) -> Dict[int, float]:
+        """Normalised case probabilities over the four cases."""
+        raw = {case: self.case_freq(case) for case in CASES}
+        total = sum(raw.values())
+        if not total:
+            return {case: 0.25 for case in CASES}
+        return {case: value / total for case, value in raw.items()}
+
+    def noncommutative_freq(self, case: int) -> float:
+        """Frequency of non-commutative operations with this case."""
+        return self.case_comm_freq.get((case, False), 0.0)
+
+    def least_case(self) -> int:
+        """The least frequent case — used to pad short LUT vectors."""
+        distribution = self.case_distribution()
+        return min(CASES, key=lambda case: (distribution[case], case))
+
+    def usage_distribution(self, max_issue: int) -> Dict[int, float]:
+        """Usage distribution truncated/normalised to ``1..max_issue``."""
+        raw = {n: self.usage.get(n, 0.0) for n in range(1, max_issue + 1)}
+        overflow = sum(fraction for n, fraction in self.usage.items()
+                       if n > max_issue)
+        raw[max_issue] += overflow
+        total = sum(raw.values())
+        if not total:
+            return {1: 1.0, **{n: 0.0 for n in range(2, max_issue + 1)}}
+        return {n: value / total for n, value in raw.items()}
+
+    def expected_issue_width(self) -> float:
+        """E[Num(I)] over busy cycles."""
+        return sum(n * fraction for n, fraction in self.usage.items())
+
+
+def _freq_table(percentages: Mapping[Tuple[int, bool], float]):
+    return {key: value / 100.0 for key, value in percentages.items()}
+
+
+# --- the paper's published distributions (Tables 1 and 2) --------------------
+
+PAPER_IALU_CASE_FREQ = _freq_table({
+    (0b00, True): 40.11, (0b00, False): 29.38,
+    (0b01, True): 9.56, (0b01, False): 0.58,
+    (0b10, True): 17.07, (0b10, False): 1.51,
+    (0b11, True): 1.52, (0b11, False): 0.27,
+})
+
+PAPER_FPAU_CASE_FREQ = _freq_table({
+    (0b00, True): 16.79, (0b00, False): 10.28,
+    (0b01, True): 15.64, (0b01, False): 4.90,
+    (0b10, True): 5.92, (0b10, False): 4.22,
+    (0b11, True): 31.00, (0b11, False): 11.25,
+})
+
+PAPER_IALU_USAGE = {1: 0.403, 2: 0.362, 3: 0.194, 4: 0.042}
+PAPER_FPAU_USAGE = {1: 0.902, 2: 0.092, 3: 0.005, 4: 0.001}
+
+
+def paper_statistics(fu_class: FUClass) -> CaseStatistics:
+    """Table 1 / Table 2 statistics as published in the paper."""
+    if fu_class is FUClass.IALU:
+        return CaseStatistics(fu_class, PAPER_IALU_CASE_FREQ, PAPER_IALU_USAGE)
+    if fu_class is FUClass.FPAU:
+        return CaseStatistics(fu_class, PAPER_FPAU_CASE_FREQ, PAPER_FPAU_USAGE)
+    raise ValueError(f"the paper publishes statistics for IALU and FPAU only,"
+                     f" not {fu_class}")

@@ -1,0 +1,252 @@
+"""Steering policies and the stream evaluator (sections 4.1-4.3).
+
+A *policy* decides, for the operations one cycle issues to an FU class,
+which module each operation drives and whether its operands are swapped
+by the router.  The paper's candidates, in decreasing implementation
+cost:
+
+* :class:`FullHammingPolicy` — the optimal assignment of section 4.1
+  ("Full Ham" in Figure 4): full-width Hamming cost matrix against each
+  module's latched inputs, exact matching.
+* :class:`OneBitHammingPolicy` — the same matrix computed only on the
+  information bits ("1-bit Ham"): the upper bound of any scheme that
+  sees one bit per operand.
+* :class:`LUTPolicy` — the actual proposal (section 4.3): a stateless
+  lookup keyed by the concatenated cases of the first few operations.
+* :class:`OriginalPolicy` — first-come-first-serve, how existing
+  superscalars route ("Original").
+
+:class:`PolicyEvaluator` subscribes to a simulator's issue stream and
+accumulates each policy's switched-bit count through a
+:class:`~repro.core.power.FUPowerModel`, so arbitrarily many policies
+can be scored in a single simulation pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Protocol, Sequence
+
+from ..cpu.trace import IssueGroup, MicroOp
+from ..isa import encoding
+from ..isa.instructions import FUClass
+from .assignment import Assignment, optimal_assignment
+from .info_bits import InfoBitScheme, case_of, scheme_for
+from .lut import SteeringLUT, build_lut
+from .power import FUPowerModel, operand_width
+from .statistics import CaseStatistics
+from .swapping import HardwareSwapper
+
+
+class SteeringPolicy(Protocol):
+    """Maps one cycle's operations onto distinct modules."""
+
+    name: str
+
+    def assign(self, ops: Sequence[MicroOp],
+               power: FUPowerModel) -> Assignment:
+        """Choose modules (and router swaps) for this cycle's ops."""
+        ...
+
+
+@dataclass
+class OriginalPolicy:
+    """First-come-first-serve: operation k drives module k.
+
+    This is how a conventional superscalar fills its functional units
+    and is the baseline all reductions in Figure 4 are measured against.
+    """
+
+    name: str = "original"
+
+    def assign(self, ops: Sequence[MicroOp], power: FUPowerModel) -> Assignment:
+        return Assignment(modules=tuple(range(len(ops))),
+                          swapped=(False,) * len(ops), total_cost=0.0)
+
+
+@dataclass
+class RoundRobinPolicy:
+    """Ablation baseline: rotate the starting module every cycle."""
+
+    name: str = "round-robin"
+    _next: int = 0
+
+    def assign(self, ops: Sequence[MicroOp], power: FUPowerModel) -> Assignment:
+        count = power.num_modules
+        modules = tuple((self._next + k) % count for k in range(len(ops)))
+        self._next = (self._next + len(ops)) % count
+        return Assignment(modules=modules, swapped=(False,) * len(ops),
+                          total_cost=0.0)
+
+
+@dataclass
+class FullHammingPolicy:
+    """Optimal full-width Hamming assignment (cost-prohibitive bound)."""
+
+    allow_swap: bool = False
+    name: str = "full-ham"
+
+    def __post_init__(self) -> None:
+        if self.allow_swap:
+            self.name = "full-ham+swap"
+
+    def assign(self, ops: Sequence[MicroOp], power: FUPowerModel) -> Assignment:
+        mask = (1 << operand_width(power.fu_class)) - 1
+
+        def cost(op1: int, op2: int, prev1: int, prev2: int) -> float:
+            return (encoding.popcount((op1 ^ prev1) & mask)
+                    + encoding.popcount((op2 ^ prev2) & mask))
+
+        inputs = [power.module_inputs(m) for m in range(power.num_modules)]
+        return optimal_assignment(ops, inputs, cost, allow_swap=self.allow_swap)
+
+
+@dataclass
+class OneBitHammingPolicy:
+    """Optimal assignment seeing only information bits (section 4.2)."""
+
+    scheme: InfoBitScheme
+    allow_swap: bool = False
+    name: str = "1bit-ham"
+
+    def __post_init__(self) -> None:
+        if self.allow_swap:
+            self.name = "1bit-ham+swap"
+
+    def assign(self, ops: Sequence[MicroOp], power: FUPowerModel) -> Assignment:
+        extract = self.scheme.extract
+
+        def cost(op1: int, op2: int, prev1: int, prev2: int) -> float:
+            return (abs(extract(op1) - extract(prev1))
+                    + abs(extract(op2) - extract(prev2)))
+
+        inputs = [power.module_inputs(m) for m in range(power.num_modules)]
+        return optimal_assignment(ops, inputs, cost, allow_swap=self.allow_swap)
+
+
+@dataclass
+class LUTPolicy:
+    """The paper's proposal: stateless LUT steering (section 4.3).
+
+    The first ``lut.vector_ops`` operations are steered by the table;
+    any additional operations (issue wider than the vector) fall back to
+    the remaining modules first-come-first-serve, mirroring a router
+    whose vector simply does not see them.
+    """
+
+    lut: SteeringLUT
+    scheme: InfoBitScheme
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            self.name = f"lut-{self.lut.vector_bits}bit"
+
+    def assign(self, ops: Sequence[MicroOp], power: FUPowerModel) -> Assignment:
+        visible = ops[:self.lut.vector_ops]
+        cases = [case_of(op, self.scheme) for op in visible]
+        steered = list(self.lut.lookup(cases))
+        free = [m for m in range(power.num_modules) if m not in steered]
+        modules = tuple(steered + free[:len(ops) - len(steered)])
+        return Assignment(modules=modules, swapped=(False,) * len(ops),
+                          total_cost=0.0)
+
+
+@dataclass
+class EvaluationTotals:
+    """What one policy accumulated over a stream."""
+
+    policy: str
+    fu_class: FUClass
+    switched_bits: int
+    operations: int
+    cycles_seen: int
+    hardware_swaps: int
+
+    @property
+    def bits_per_operation(self) -> float:
+        if not self.operations:
+            return 0.0
+        return self.switched_bits / self.operations
+
+    def reduction_vs(self, baseline: "EvaluationTotals") -> float:
+        """Fractional energy reduction relative to a baseline run."""
+        if not baseline.switched_bits:
+            return 0.0
+        return 1.0 - self.switched_bits / baseline.switched_bits
+
+
+class PolicyEvaluator:
+    """Issue-stream listener scoring one (policy, swapper) combination."""
+
+    def __init__(self, fu_class: FUClass, num_modules: int,
+                 policy: SteeringPolicy,
+                 scheme: Optional[InfoBitScheme] = None,
+                 pre_swapper: Optional[HardwareSwapper] = None,
+                 include_speculative: bool = True):
+        self.fu_class = fu_class
+        self.policy = policy
+        self.scheme = scheme or scheme_for(fu_class)
+        self.pre_swapper = pre_swapper
+        self.include_speculative = include_speculative
+        self.power = FUPowerModel(fu_class, num_modules)
+        self.cycles_seen = 0
+
+    def __call__(self, group: IssueGroup) -> None:
+        if group.fu_class is not self.fu_class:
+            return
+        ops: List[MicroOp] = group.ops
+        if not self.include_speculative:
+            ops = [op for op in ops if not op.speculative]
+        if not ops:
+            return
+        if self.pre_swapper is not None:
+            ops = [self.pre_swapper(op) for op in ops]
+        self.cycles_seen += 1
+        assignment = self.policy.assign(ops, self.power)
+        for op, module, swap in zip(ops, assignment.modules,
+                                    assignment.swapped):
+            op1, op2 = (op.op2, op.op1) if swap else (op.op1, op.op2)
+            self.power.account(module, op1, op2)
+
+    @property
+    def label(self) -> str:
+        suffix = "+hwswap" if self.pre_swapper is not None else ""
+        return f"{self.policy.name}{suffix}"
+
+    def totals(self) -> EvaluationTotals:
+        swaps = (self.pre_swapper.swaps_performed
+                 if self.pre_swapper is not None else 0)
+        return EvaluationTotals(policy=self.label, fu_class=self.fu_class,
+                                switched_bits=self.power.switched_bits,
+                                operations=self.power.operations,
+                                cycles_seen=self.cycles_seen,
+                                hardware_swaps=swaps)
+
+
+def make_policy(kind: str, fu_class: FUClass, num_modules: int,
+                stats: Optional[CaseStatistics] = None,
+                scheme: Optional[InfoBitScheme] = None,
+                allow_swap: bool = False) -> SteeringPolicy:
+    """Factory covering every scheme in Figure 4.
+
+    ``kind`` is one of ``original``, ``round-robin``, ``full-ham``,
+    ``1bit-ham``, ``lut-8``, ``lut-4``, ``lut-2`` (the number is the
+    vector width in bits).  LUT kinds require ``stats``.
+    """
+    scheme = scheme or scheme_for(fu_class)
+    if kind == "original":
+        return OriginalPolicy()
+    if kind == "round-robin":
+        return RoundRobinPolicy()
+    if kind == "full-ham":
+        return FullHammingPolicy(allow_swap=allow_swap)
+    if kind == "1bit-ham":
+        return OneBitHammingPolicy(scheme=scheme, allow_swap=allow_swap)
+    if kind.startswith("lut-"):
+        if stats is None:
+            raise ValueError("LUT policies need case statistics")
+        vector_bits = int(kind.split("-", 1)[1])
+        lut = build_lut(stats, num_modules, vector_bits)
+        return LUTPolicy(lut=lut, scheme=scheme)
+    raise ValueError(f"unknown policy kind '{kind}'")

@@ -1,0 +1,103 @@
+"""Operand swapping (section 4.4).
+
+Three swappers are provided:
+
+* :class:`HardwareSwapper` — the paper's dynamic rule for steered FU
+  classes: always swap commutative operations of one chosen case.  The
+  case to swap *from* is the one of {01, 10} whose non-commutative
+  residue is rarer, because non-commutative instructions cannot be
+  flipped and would keep causing worst-case transitions.  With the
+  paper's Table 1 this selects case 01 for the IALU and case 10 for
+  the FPAU.
+
+* :class:`MultiplierSwapper` — for non-duplicated Booth multipliers:
+  ensure the *second* operand (the multiplier) is the one with fewer
+  1s, since partial-product adds track the multiplier's set bits.  The
+  information-bit mode is hardware-feasible (swap case 01 into 10); the
+  popcount and Booth modes model what a compiler or a wider comparator
+  could do.
+
+* compiler swapping lives in :mod:`repro.compiler` — it rewrites the
+  program statically from profile data.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..cpu.trace import MicroOp
+from .info_bits import InfoBitScheme, case_of
+from .power import booth_recode_activity, operand_width, shift_add_activity
+from .statistics import CaseStatistics
+
+
+def choose_swap_case(stats: CaseStatistics) -> int:
+    """Pick the case to always swap, per the paper's rule.
+
+    Of the two mixed cases, swap the one with the lower frequency of
+    non-commutative instructions (ties break toward case 01, the
+    paper's IALU choice).
+    """
+    freq_01 = stats.noncommutative_freq(0b01)
+    freq_10 = stats.noncommutative_freq(0b10)
+    return 0b01 if freq_01 <= freq_10 else 0b10
+
+
+@dataclass
+class HardwareSwapper:
+    """Always swap commutative operations of ``swap_from_case``."""
+
+    scheme: InfoBitScheme
+    swap_from_case: int
+    swaps_performed: int = field(default=0, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.swap_from_case not in (0b01, 0b10):
+            raise ValueError("only the mixed cases 01 and 10 are swappable"
+                             " to any benefit")
+
+    def __call__(self, op: MicroOp) -> MicroOp:
+        if not op.hardware_swappable:
+            return op
+        if case_of(op, self.scheme) != self.swap_from_case:
+            return op
+        self.swaps_performed += 1
+        return op.swap()
+
+
+class SwapMode(enum.Enum):
+    """How a multiplier swapper compares the two operands."""
+
+    INFO_BIT = "info-bit"
+    POPCOUNT = "popcount"
+    BOOTH = "booth"
+
+
+@dataclass
+class MultiplierSwapper:
+    """Put the operand with less add activity second (section 4.4)."""
+
+    scheme: InfoBitScheme
+    mode: SwapMode = SwapMode.INFO_BIT
+    width: Optional[int] = None
+    swaps_performed: int = field(default=0, compare=False)
+
+    def __call__(self, op: MicroOp) -> MicroOp:
+        if not op.hardware_swappable:
+            return op
+        if self._should_swap(op):
+            self.swaps_performed += 1
+            return op.swap()
+        return op
+
+    def _should_swap(self, op: MicroOp) -> bool:
+        if self.mode is SwapMode.INFO_BIT:
+            return case_of(op, self.scheme) == 0b01
+        width = self.width or operand_width(op.op.fu_class)
+        if self.mode is SwapMode.POPCOUNT:
+            return (shift_add_activity(op.op2, width)
+                    > shift_add_activity(op.op1, width))
+        return (booth_recode_activity(op.op2, width)
+                > booth_recode_activity(op.op1, width))

@@ -1,0 +1,25 @@
+"""Out-of-order superscalar cycle simulator (SimpleScalar stand-in)."""
+
+from .branch import BimodalPredictor
+from .cache import CacheConfig, DataCache
+from .config import DEFAULT_FU_COUNTS, MachineConfig, default_config
+from .golden import ExecutionLimitExceeded, GoldenResult, run_program
+from .memory import Memory, MemoryError_
+from .simulator import CycleLimitExceeded, Simulator, simulate
+from .trace import (IssueGroup, IssueListener, ListenerFanout, MicroOp,
+                    SimulationResult, TraceCollector)
+from .tracefile import (TraceWriter, load_trace, read_trace_header, replay,
+                        save_trace)
+
+__all__ = [
+    "BimodalPredictor",
+    "CacheConfig", "DataCache",
+    "DEFAULT_FU_COUNTS", "MachineConfig", "default_config",
+    "ExecutionLimitExceeded", "GoldenResult", "run_program",
+    "Memory", "MemoryError_",
+    "CycleLimitExceeded", "Simulator", "simulate",
+    "IssueGroup", "IssueListener", "ListenerFanout", "MicroOp",
+    "SimulationResult", "TraceCollector",
+    "TraceWriter", "load_trace", "read_trace_header", "replay",
+    "save_trace",
+]

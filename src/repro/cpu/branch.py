@@ -1,0 +1,112 @@
+"""Bimodal branch predictor (2-bit saturating counters).
+
+A table of two-bit counters indexed by instruction address, as in
+SimpleScalar's default ``bimod`` predictor.  Direct-branch targets are
+encoded in the instruction, so no BTB is modelled; jumps are always
+taken.
+"""
+
+from __future__ import annotations
+
+
+STRONG_NOT_TAKEN = 0
+WEAK_NOT_TAKEN = 1
+WEAK_TAKEN = 2
+STRONG_TAKEN = 3
+
+
+class BimodalPredictor:
+    """Classic 2-bit-counter bimodal predictor."""
+
+    def __init__(self, entries: int = 2048):
+        if entries < 1 or entries & (entries - 1):
+            raise ValueError("predictor size must be a power of two")
+        self._mask = entries - 1
+        self._counters = [WEAK_TAKEN] * entries
+        self.lookups = 0
+        self.mispredictions = 0
+
+    def predict(self, address: int) -> bool:
+        """Predict taken/not-taken for the branch at ``address``."""
+        self.lookups += 1
+        return self._counters[address & self._mask] >= WEAK_TAKEN
+
+    def update(self, address: int, taken: bool, predicted: bool) -> None:
+        """Train the counter with the resolved outcome."""
+        index = address & self._mask
+        counter = self._counters[index]
+        if taken:
+            self._counters[index] = min(STRONG_TAKEN, counter + 1)
+        else:
+            self._counters[index] = max(STRONG_NOT_TAKEN, counter - 1)
+        if taken != predicted:
+            self.mispredictions += 1
+
+    @property
+    def accuracy(self) -> float:
+        """Fraction of lookups that were predicted correctly."""
+        if not self.lookups:
+            return 1.0
+        return 1.0 - self.mispredictions / self.lookups
+
+
+class GSharePredictorError(ValueError):
+    """Raised for invalid gshare geometry."""
+
+
+class GSharePredictor:
+    """Gshare: 2-bit counters indexed by PC xor global history.
+
+    History is maintained non-speculatively (updated at retirement,
+    which is also when ``update`` is called), a common simplification:
+    the index used for training can differ from the one used at
+    prediction when other branches resolve in between, slightly
+    understating a real gshare's accuracy on tight loops.
+    """
+
+    def __init__(self, entries: int = 2048, history_bits: int = 8):
+        if entries < 1 or entries & (entries - 1):
+            raise GSharePredictorError("predictor size must be a power"
+                                        " of two")
+        if not (1 <= history_bits <= 30):
+            raise GSharePredictorError("history bits must be 1..30")
+        self._mask = entries - 1
+        self._history_mask = (1 << history_bits) - 1
+        self._counters = [WEAK_TAKEN] * entries
+        self._history = 0
+        self.lookups = 0
+        self.mispredictions = 0
+
+    def _index(self, address: int) -> int:
+        return (address ^ self._history) & self._mask
+
+    def predict(self, address: int) -> bool:
+        self.lookups += 1
+        return self._counters[self._index(address)] >= WEAK_TAKEN
+
+    def update(self, address: int, taken: bool, predicted: bool) -> None:
+        index = self._index(address)
+        counter = self._counters[index]
+        if taken:
+            self._counters[index] = min(STRONG_TAKEN, counter + 1)
+        else:
+            self._counters[index] = max(STRONG_NOT_TAKEN, counter - 1)
+        self._history = ((self._history << 1) | int(taken)) \
+            & self._history_mask
+        if taken != predicted:
+            self.mispredictions += 1
+
+    @property
+    def accuracy(self) -> float:
+        if not self.lookups:
+            return 1.0
+        return 1.0 - self.mispredictions / self.lookups
+
+
+def make_predictor(kind: str, entries: int):
+    """Predictor factory used by the simulator configuration."""
+    if kind == "bimodal":
+        return BimodalPredictor(entries)
+    if kind == "gshare":
+        return GSharePredictor(entries)
+    raise ValueError(f"unknown branch predictor '{kind}'")

@@ -1,0 +1,88 @@
+"""L1 data cache model.
+
+SimpleScalar's default configuration runs loads and stores through a
+small set-associative L1; the timing side of our stand-in does the
+same.  The cache tracks tags only (data lives in the flat memory model
+— correctness never depends on the cache), with true-LRU replacement
+per set, write-allocate stores, and a fixed miss penalty added to a
+load's completion latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry and timing of the L1 data cache."""
+
+    size_bytes: int = 16 * 1024
+    line_bytes: int = 32
+    associativity: int = 4
+    miss_penalty: int = 18
+
+    def __post_init__(self) -> None:
+        for field_name in ("size_bytes", "line_bytes", "associativity"):
+            value = getattr(self, field_name)
+            if value < 1 or value & (value - 1):
+                raise ValueError(f"{field_name} must be a power of two")
+        if self.size_bytes < self.line_bytes * self.associativity:
+            raise ValueError("cache smaller than one set")
+        if self.miss_penalty < 0:
+            raise ValueError("miss penalty must be non-negative")
+
+    @property
+    def num_sets(self) -> int:
+        return self.size_bytes // (self.line_bytes * self.associativity)
+
+
+class DataCache:
+    """Tag array with true-LRU replacement."""
+
+    def __init__(self, config: CacheConfig):
+        self.config = config
+        self._sets: List[List[int]] = [[] for _ in range(config.num_sets)]
+        self._offset_bits = config.line_bytes.bit_length() - 1
+        self._index_mask = config.num_sets - 1
+        self.hits = 0
+        self.misses = 0
+
+    def _locate(self, address: int):
+        line = address >> self._offset_bits
+        return self._sets[line & self._index_mask], line
+
+    def access(self, address: int) -> bool:
+        """Probe (and fill) one line; returns True on hit.
+
+        The most recently used line moves to the back of its set;
+        misses allocate, evicting the least recently used line.
+        """
+        ways, line = self._locate(address)
+        if line in ways:
+            ways.remove(line)
+            ways.append(line)
+            self.hits += 1
+            return True
+        self.misses += 1
+        ways.append(line)
+        if len(ways) > self.config.associativity:
+            ways.pop(0)
+        return False
+
+    def load_latency(self, address: int, base_latency: int) -> int:
+        """Completion latency of a load at ``address``."""
+        if self.access(address):
+            return base_latency
+        return base_latency + self.config.miss_penalty
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        if not self.accesses:
+            return 1.0
+        return self.hits / self.accesses

@@ -1,0 +1,68 @@
+"""Machine configuration for the out-of-order simulator.
+
+The defaults reproduce the paper's evaluation machine: SimpleScalar 2.0
+``sim-outorder`` in its default configuration — a 4-wide out-of-order
+superscalar with 4 integer ALUs, 4 floating point adders, one integer
+multiplier/divider and one floating point multiplier/divider.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..isa.instructions import FUClass
+from .cache import CacheConfig
+
+DEFAULT_FU_COUNTS: Dict[FUClass, int] = {
+    FUClass.IALU: 4,
+    FUClass.FPAU: 4,
+    FUClass.IMULT: 1,
+    FUClass.FPMULT: 1,
+    FUClass.LSU: 2,
+}
+
+# FU classes that are not internally pipelined: a new operation may not
+# begin until the previous one completes.
+UNPIPELINED_CLASSES = frozenset({FUClass.IMULT, FUClass.FPMULT})
+
+
+@dataclass
+class MachineConfig:
+    """Parameters of the simulated superscalar core."""
+
+    fetch_width: int = 4
+    dispatch_width: int = 4
+    retire_width: int = 4
+    rob_entries: int = 64
+    rs_entries_per_class: int = 8
+    fu_counts: Dict[FUClass, int] = field(
+        default_factory=lambda: dict(DEFAULT_FU_COUNTS))
+    branch_predictor_entries: int = 2048
+    branch_predictor: str = "bimodal"  # or "gshare"
+    mispredict_penalty: int = 2
+    max_cycles: int = 50_000_000
+    # L1 data cache; None models an ideal (always-hit) memory
+    cache: Optional[CacheConfig] = field(default_factory=CacheConfig)
+
+    def __post_init__(self) -> None:
+        if self.fetch_width < 1 or self.dispatch_width < 1 or self.retire_width < 1:
+            raise ValueError("pipeline widths must be at least 1")
+        if self.rob_entries < self.dispatch_width:
+            raise ValueError("ROB must hold at least one dispatch group")
+        for fu_class in FUClass:
+            if self.fu_counts.get(fu_class, 0) < 1:
+                raise ValueError(f"need at least one {fu_class.value} unit")
+        if self.branch_predictor_entries & (self.branch_predictor_entries - 1):
+            raise ValueError("branch predictor size must be a power of two")
+        if self.branch_predictor not in ("bimodal", "gshare"):
+            raise ValueError("branch predictor must be 'bimodal' or 'gshare'")
+
+    def modules(self, fu_class: FUClass) -> int:
+        """Number of modules of the given FU class."""
+        return self.fu_counts[fu_class]
+
+
+def default_config() -> MachineConfig:
+    """The paper's evaluation configuration."""
+    return MachineConfig()

@@ -1,0 +1,129 @@
+"""In-order golden-model interpreter.
+
+Executes a :class:`~repro.isa.program.Program` one instruction at a
+time, architecturally.  It serves three purposes:
+
+* the reference against which the out-of-order simulator's final state
+  is checked (they share :mod:`repro.isa.semantics`, but the OoO engine
+  must also get renaming, forwarding and speculation right);
+* the cheap execution vehicle for compiler profiling (section 4.4 of the
+  paper: profile-guided static operand swapping);
+* a fast way for workload tests to validate kernel outputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from ..isa import encoding, semantics
+from ..isa.instructions import (NUM_ARCH_REGS, FUClass, Instruction,
+                                ZERO_REG)
+from ..isa.program import Program
+from .memory import Memory
+
+# (instruction, op1_bits, op2_bits, has_two) observed at execution time
+OpObserver = Callable[[Instruction, int, int, bool], None]
+
+
+class ExecutionLimitExceeded(RuntimeError):
+    """The program ran longer than the configured instruction budget."""
+
+
+@dataclass
+class GoldenResult:
+    """Final architectural state after in-order execution."""
+
+    registers: List[int]
+    memory: Memory
+    instructions: int
+    halted: bool
+    branch_outcomes: Dict[int, List[bool]] = field(default_factory=dict)
+
+    def int_reg(self, index: int) -> int:
+        """Signed value of integer register ``r<index>``."""
+        return encoding.to_signed(self.registers[index])
+
+    def fp_reg(self, index: int) -> float:
+        """Float value of floating point register ``f<index>``."""
+        return encoding.bits_to_float(self.registers[32 + index])
+
+
+def run_program(program: Program, max_instructions: int = 10_000_000,
+                observer: Optional[OpObserver] = None,
+                record_branches: bool = False) -> GoldenResult:
+    """Execute ``program`` to its ``halt`` and return the final state."""
+    registers = [0] * NUM_ARCH_REGS
+    memory = Memory(program.data)
+    pc = 0
+    executed = 0
+    halted = False
+    branch_outcomes: Dict[int, List[bool]] = {}
+    code = program.instructions
+    limit = len(code)
+
+    while 0 <= pc < limit:
+        if executed >= max_instructions:
+            raise ExecutionLimitExceeded(
+                f"{program.name}: exceeded {max_instructions} instructions")
+        instr = code[pc]
+        executed += 1
+        op = instr.op
+        next_pc = pc + 1
+
+        if op.name == "halt":
+            halted = True
+            break
+        if op.is_jump:
+            next_pc = instr.target
+        elif op.is_branch:
+            a = registers[instr.src1]
+            b = registers[instr.src2]
+            if observer is not None:
+                observer(instr, a, b, True)
+            taken = semantics.branch_taken(op, a, b)
+            if record_branches:
+                branch_outcomes.setdefault(pc, []).append(taken)
+            if taken:
+                next_pc = instr.target
+        elif op.is_load:
+            base = registers[instr.src1]
+            address = semantics.effective_address(instr, base)
+            if observer is not None:
+                observer(instr, base, instr.imm, True)
+            value = memory.load(address, double=op.name == "ld")
+            _write(registers, instr.dest, value)
+        elif op.is_store:
+            base = registers[instr.src1]
+            address = semantics.effective_address(instr, base)
+            if observer is not None:
+                observer(instr, base, instr.imm, True)
+            memory.store(address, registers[instr.src2], double=op.name == "sd")
+        else:
+            a = registers[instr.src1] if instr.src1 is not None else 0
+            if op.has_immediate:
+                b = instr.imm
+                has_two = True
+            elif instr.src2 is not None:
+                b = registers[instr.src2]
+                has_two = True
+            else:
+                b = 0
+                has_two = False
+            if observer is not None:
+                observer(instr, a, b, has_two)
+            if op.fu_class in (FUClass.IALU, FUClass.IMULT):
+                result = semantics.evaluate_int(op, a, b)
+            else:
+                result = semantics.evaluate_float(op, a, b)
+            _write(registers, instr.dest, result)
+        pc = next_pc
+
+    return GoldenResult(registers=registers, memory=memory,
+                        instructions=executed, halted=halted,
+                        branch_outcomes=branch_outcomes)
+
+
+def _write(registers: List[int], dest: Optional[int], value: int) -> None:
+    if dest is not None and dest != ZERO_REG:
+        registers[dest] = value

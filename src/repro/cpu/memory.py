@@ -1,0 +1,77 @@
+"""Byte-addressed sparse memory for the simulators.
+
+Backed by a dict so multi-megabyte address spaces cost only what is
+touched.  Words are 4 bytes, doubles 8 bytes, little endian, and both
+must be naturally aligned — the mini ISA has no unaligned accesses.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..isa.program import DataImage
+
+
+class MemoryError_(Exception):
+    """Raised on unaligned access."""
+
+
+class Memory:
+    """Sparse main memory with word and double accessors."""
+
+    def __init__(self, image: Optional[DataImage] = None):
+        self._bytes: Dict[int, int] = dict(image.bytes_) if image else {}
+
+    def load_byte(self, address: int) -> int:
+        return self._bytes.get(address, 0)
+
+    def store_byte(self, address: int, value: int) -> None:
+        self._bytes[address] = value & 0xFF
+
+    def load_word(self, address: int) -> int:
+        if address % 4:
+            raise MemoryError_(f"unaligned word load at 0x{address:x}")
+        get = self._bytes.get
+        return (get(address, 0)
+                | (get(address + 1, 0) << 8)
+                | (get(address + 2, 0) << 16)
+                | (get(address + 3, 0) << 24))
+
+    def store_word(self, address: int, bits: int) -> None:
+        if address % 4:
+            raise MemoryError_(f"unaligned word store at 0x{address:x}")
+        store = self._bytes
+        store[address] = bits & 0xFF
+        store[address + 1] = (bits >> 8) & 0xFF
+        store[address + 2] = (bits >> 16) & 0xFF
+        store[address + 3] = (bits >> 24) & 0xFF
+
+    def load_double(self, address: int) -> int:
+        if address % 8:
+            raise MemoryError_(f"unaligned double load at 0x{address:x}")
+        get = self._bytes.get
+        value = 0
+        for i in range(8):
+            value |= get(address + i, 0) << (8 * i)
+        return value
+
+    def store_double(self, address: int, bits: int) -> None:
+        if address % 8:
+            raise MemoryError_(f"unaligned double store at 0x{address:x}")
+        for i in range(8):
+            self._bytes[address + i] = (bits >> (8 * i)) & 0xFF
+
+    def load(self, address: int, double: bool) -> int:
+        """Width-dispatching load used by the simulators."""
+        return self.load_double(address) if double else self.load_word(address)
+
+    def store(self, address: int, bits: int, double: bool) -> None:
+        """Width-dispatching store used by the simulators."""
+        if double:
+            self.store_double(address, bits)
+        else:
+            self.store_word(address, bits)
+
+    def touched_bytes(self) -> int:
+        """Number of distinct bytes ever written (for tests/diagnostics)."""
+        return len(self._bytes)

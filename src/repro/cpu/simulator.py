@@ -1,0 +1,458 @@
+"""Out-of-order superscalar cycle simulator (Tomasulo + ROB).
+
+A Python stand-in for SimpleScalar 2.0's ``sim-outorder``, which the
+paper uses for its evaluation.  The machine fetches along a bimodal
+predicted path, renames through a register alias table into a reorder
+buffer, holds waiting operations in per-FU-class reservation stations,
+issues oldest-first to free functional unit modules, and retires in
+order.  Stores write memory only at retirement; loads forward from
+older in-flight stores, conservatively waiting until all older store
+addresses are known.
+
+Every cycle, the operations issued to each FU class are published to
+subscribed listeners as an :class:`~repro.cpu.trace.IssueGroup` carrying
+the operand bit images — this stream is what the paper's steering logic
+operates on, and it includes wrong-path (later squashed) operations just
+as real routing hardware would see them.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..isa import semantics
+from ..isa.instructions import (ZERO_REG, FUClass, Instruction)
+from ..isa.program import Program
+from .branch import make_predictor
+from .cache import DataCache
+from .config import UNPIPELINED_CLASSES, MachineConfig, default_config
+from .memory import Memory, MemoryError_
+from .trace import IssueGroup, IssueListener, MicroOp, SimulationResult
+
+_DISPATCHED = 0
+_ISSUED = 1
+_DONE = 2
+
+
+@dataclass(slots=True)
+class _RobEntry:
+    seq: int
+    instr: Instruction
+    state: int = _DISPATCHED
+    dest: Optional[int] = None
+    result: int = 0
+    # source operand capture: value or producer seq (tag)
+    val1: int = 0
+    val2: int = 0
+    tag1: Optional[int] = None
+    tag2: Optional[int] = None
+    has_two: bool = True
+    # branches
+    predicted_taken: bool = False
+    actual_taken: bool = False
+    # memory
+    address: Optional[int] = None
+    store_value: int = 0
+    is_double: bool = False
+    squashed: bool = False
+    # module index held by an issued op on an unpipelined FU class
+    held_module: Optional[int] = None
+    # the MicroOp emitted when this entry issued, for retroactive
+    # wrong-path marking at flush time
+    micro: Optional[MicroOp] = None
+
+    @property
+    def ready(self) -> bool:
+        return self.tag1 is None and self.tag2 is None
+
+
+class CycleLimitExceeded(RuntimeError):
+    """The simulation ran longer than ``MachineConfig.max_cycles``."""
+
+
+class Simulator:
+    """Out-of-order execution engine for one program."""
+
+    def __init__(self, program: Program,
+                 config: Optional[MachineConfig] = None):
+        program.validate()
+        self.program = program
+        self.config = config or default_config()
+        self.memory = Memory(program.data)
+        self.registers: List[int] = [0] * 64
+        self.dcache = (DataCache(self.config.cache)
+                       if self.config.cache is not None else None)
+        self.predictor = make_predictor(
+            self.config.branch_predictor,
+            self.config.branch_predictor_entries)
+        self._listeners: List[IssueListener] = []
+        # pipeline state
+        self._rob: List[_RobEntry] = []  # program order, head at [0]
+        self._rename: Dict[int, _RobEntry] = {}
+        self._waiting: Dict[FUClass, List[_RobEntry]] = {
+            fu: [] for fu in FUClass}
+        self._module_free_at: Dict[FUClass, List[int]] = {
+            fu: [0] * self.config.modules(fu) for fu in FUClass}
+        self._events: List[Tuple[int, int, _RobEntry]] = []  # (cycle, seq, entry)
+        self._seq = itertools.count()
+        self._pc: Optional[int] = 0
+        self._fetch_stalled_until = 0
+        self._halted = False
+        self._halt_fetched = False
+        self.result = SimulationResult(name=program.name)
+        self.result.issue_counts = {fu: 0 for fu in FUClass}
+
+    # ----- listener management -------------------------------------------------
+
+    def add_listener(self, listener: IssueListener) -> None:
+        """Subscribe a consumer of per-cycle issue groups."""
+        self._listeners.append(listener)
+
+    # ----- top level -------------------------------------------------------------
+
+    def run(self) -> SimulationResult:
+        """Simulate until the program's ``halt`` retires."""
+        cycle = 0
+        max_cycles = self.config.max_cycles
+        while not self._halted:
+            if cycle >= max_cycles:
+                raise CycleLimitExceeded(
+                    f"{self.program.name}: exceeded {max_cycles} cycles")
+            self._retire(cycle)
+            if self._halted:
+                break
+            self._complete(cycle)
+            self._issue(cycle)
+            self._dispatch(cycle)
+            if not self._rob and self._pc is None and not self._halt_fetched:
+                # ran off the end of code without halt: architecturally done
+                break
+            cycle += 1
+        self.result.cycles = cycle + 1
+        self.result.branch_lookups = self.predictor.lookups
+        self.result.branch_mispredictions = self.predictor.mispredictions
+        if self.dcache is not None:
+            self.result.cache_hits = self.dcache.hits
+            self.result.cache_misses = self.dcache.misses
+        return self.result
+
+    # ----- retire ----------------------------------------------------------------
+
+    def _retire(self, cycle: int) -> None:
+        retired = 0
+        while self._rob and retired < self.config.retire_width:
+            entry = self._rob[0]
+            if entry.state != _DONE:
+                break
+            instr = entry.instr
+            op = instr.op
+            if op.name == "halt":
+                self._halted = True
+                self.result.retired_instructions += 1
+                return
+            if op.is_store:
+                self.memory.store(entry.address, entry.store_value,
+                                  double=entry.is_double)
+            elif entry.dest is not None and entry.dest != ZERO_REG:
+                self.registers[entry.dest] = entry.result
+            if op.is_branch:
+                self.predictor.update(instr.address, entry.actual_taken,
+                                      entry.predicted_taken)
+            if self._rename.get(entry.dest) is entry:
+                del self._rename[entry.dest]
+            self._rob.pop(0)
+            self.result.retired_instructions += 1
+            retired += 1
+
+    # ----- complete --------------------------------------------------------------
+
+    def _complete(self, cycle: int) -> None:
+        while self._events and self._events[0][0] <= cycle:
+            _, _, entry = heapq.heappop(self._events)
+            if entry.squashed:
+                continue
+            entry.state = _DONE
+            if entry.dest is not None:
+                self._broadcast(entry)
+            instr = entry.instr
+            if instr.op.is_branch and entry.actual_taken != entry.predicted_taken:
+                self._flush_after(entry)
+                correct = (instr.target if entry.actual_taken
+                           else instr.address + 1)
+                self._pc = correct
+                self._fetch_stalled_until = cycle + self.config.mispredict_penalty
+
+    def _broadcast(self, producer: _RobEntry) -> None:
+        seq = producer.seq
+        value = producer.result
+        for entry in self._rob:
+            if entry.tag1 == seq:
+                entry.tag1 = None
+                entry.val1 = value
+            if entry.tag2 == seq:
+                entry.tag2 = None
+                entry.val2 = value
+
+    def _flush_after(self, branch: _RobEntry) -> None:
+        keep = []
+        flushed = []
+        seen_branch = False
+        for entry in self._rob:
+            if seen_branch:
+                flushed.append(entry)
+            else:
+                keep.append(entry)
+            if entry is branch:
+                seen_branch = True
+        if not flushed:
+            return
+        for entry in flushed:
+            entry.squashed = True
+            if entry.state >= _ISSUED:  # executed (or completed) wrong-path
+                self.result.squashed_ops += 1
+            if entry.micro is not None:
+                # retroactive wrong-path mark: listeners that *store*
+                # groups (TraceCollector) see the final flag; streaming
+                # evaluators have already accounted the op, which is the
+                # correct hardware model (the router really drove it)
+                entry.micro.speculative = True
+        self._rob = keep
+        # a wrong-path halt must not stop fetch forever: any halt younger
+        # than the mispredicted branch has just been flushed (fetch stops
+        # at a halt, so no surviving entry can follow one)
+        self._halt_fetched = False
+        # rebuild the rename table from surviving producers; completed but
+        # unretired entries must still be read through the ROB, so they
+        # stay in the table until retirement removes them
+        self._rename.clear()
+        for entry in self._rob:
+            if entry.dest is not None:
+                self._rename[entry.dest] = entry
+        # drop squashed entries from reservation stations
+        for fu_class, waiting in self._waiting.items():
+            self._waiting[fu_class] = [e for e in waiting if not e.squashed]
+        # release unpipelined modules held by squashed operations
+        for entry in flushed:
+            if entry.held_module is not None and entry.state == _ISSUED:
+                self._module_free_at[entry.instr.op.fu_class][entry.held_module] = 0
+
+    # ----- issue -----------------------------------------------------------------
+
+    def _issue(self, cycle: int) -> None:
+        for fu_class in FUClass:
+            waiting = self._waiting[fu_class]
+            if not waiting:
+                continue
+            free_at = self._module_free_at[fu_class]
+            free_slots = sum(1 for when in free_at if when <= cycle)
+            if not free_slots:
+                continue
+            free_indices = [i for i, when in enumerate(free_at) if when <= cycle]
+            issued: List[MicroOp] = []
+            still_waiting: List[_RobEntry] = []
+            unpipelined = fu_class in UNPIPELINED_CLASSES
+            for entry in waiting:
+                if len(issued) >= free_slots or not self._can_issue(entry):
+                    still_waiting.append(entry)
+                    continue
+                micro = self._execute(entry, cycle)
+                # the oldest ready op of the class is the best guess at
+                # the critical-path op this cycle (related work [19])
+                micro.critical = not issued
+                # occupy a module: pipelined units accept a new op next
+                # cycle, unpipelined units block for the full latency
+                module = free_indices[len(issued)]
+                if unpipelined:
+                    free_at[module] = cycle + entry.instr.op.latency
+                    entry.held_module = module
+                else:
+                    free_at[module] = cycle + 1
+                issued.append(micro)
+            if issued:
+                self._waiting[fu_class] = still_waiting
+                self.result.issue_counts[fu_class] += len(issued)
+                group = IssueGroup(cycle, fu_class, issued)
+                for listener in self._listeners:
+                    listener(group)
+
+    def _can_issue(self, entry: _RobEntry) -> bool:
+        if not entry.ready:
+            return False
+        if entry.instr.op.is_load:
+            return self._load_ready(entry)
+        return True
+
+    def _load_ready(self, load: _RobEntry) -> bool:
+        """Conservative disambiguation: all older stores must have known
+        addresses (they compute them at issue), and an overlapping store
+        of a different width blocks the load until it retires."""
+        address = semantics.effective_address(load.instr, load.val1)
+        size = 8 if load.instr.op.name == "ld" else 4
+        for entry in self._rob:
+            if entry is load:
+                break
+            if not entry.instr.op.is_store:
+                continue
+            if entry.address is None:
+                return False
+            store_size = 8 if entry.is_double else 4
+            overlap = (entry.address < address + size
+                       and address < entry.address + store_size)
+            if overlap and (entry.address != address or store_size != size):
+                return False
+        return True
+
+    def _execute(self, entry: _RobEntry, cycle: int) -> MicroOp:
+        instr = entry.instr
+        op = instr.op
+        entry.state = _ISSUED
+        self.result.executed_ops += 1
+        a, b, has_two = entry.val1, entry.val2, entry.has_two
+        latency = op.latency
+
+        if op.is_load:
+            address = semantics.effective_address(instr, a)
+            entry.address = address
+            entry.is_double = op.name == "ld"
+            try:
+                entry.result = self._load_value(entry, address)
+            except MemoryError_:
+                # wrong-path load with a garbage base register: real
+                # hardware would fault and squash; we return zero and let
+                # the flush discard the entry
+                entry.result = 0
+            if self.dcache is not None:
+                latency = self.dcache.load_latency(address, op.latency)
+            micro = MicroOp(op, a, instr.imm, has_two=True,
+                            static_index=instr.address,
+                            speculative=False)
+        elif op.is_store:
+            address = semantics.effective_address(instr, a)
+            entry.address = address
+            entry.is_double = op.name == "sd"
+            entry.store_value = b
+            if self.dcache is not None:
+                self.dcache.access(address)  # write-allocate fill
+            micro = MicroOp(op, a, instr.imm, has_two=True,
+                            static_index=instr.address)
+        elif op.is_branch:
+            entry.actual_taken = semantics.branch_taken(op, a, b)
+            micro = MicroOp(op, a, b, has_two=True,
+                            static_index=instr.address)
+        elif op.name == "j" or op.name == "halt":
+            micro = MicroOp(op, 0, 0, has_two=False,
+                            static_index=instr.address)
+        else:
+            if op.fu_class in (FUClass.IALU, FUClass.IMULT):
+                entry.result = semantics.evaluate_int(op, a, b)
+            else:
+                entry.result = semantics.evaluate_float(op, a, b)
+            micro = MicroOp(op, a, b, has_two=has_two,
+                            static_index=instr.address,
+                            swapped=instr.static_swapped)
+        entry.micro = micro
+        heapq.heappush(self._events, (cycle + latency, entry.seq, entry))
+        return micro
+
+    def _load_value(self, load: _RobEntry, address: int) -> int:
+        """Read a load's value, forwarding from the youngest older store."""
+        forwarded = None
+        for entry in self._rob:
+            if entry is load:
+                break
+            if (entry.instr.op.is_store and entry.address == address
+                    and entry.is_double == (load.instr.op.name == "ld")
+                    and entry.state != _DISPATCHED):
+                forwarded = entry.store_value
+        if forwarded is not None:
+            return forwarded
+        return self.memory.load(address, double=load.instr.op.name == "ld")
+
+    # ----- dispatch / fetch --------------------------------------------------------
+
+    def _dispatch(self, cycle: int) -> None:
+        if cycle < self._fetch_stalled_until or self._halt_fetched:
+            return
+        code = self.program.instructions
+        dispatched = 0
+        while (dispatched < self.config.dispatch_width
+               and self._pc is not None
+               and 0 <= self._pc < len(code)
+               and len(self._rob) < self.config.rob_entries):
+            instr = code[self._pc]
+            fu_class = instr.op.fu_class
+            if (len(self._waiting[fu_class])
+                    >= self.config.rs_entries_per_class):
+                break
+            entry = self._make_entry(instr)
+            self._rob.append(entry)
+            self._waiting[fu_class].append(entry)
+            dispatched += 1
+
+            op = instr.op
+            if op.name == "halt":
+                self._halt_fetched = True
+                self._pc = None
+                break
+            if op.is_jump:
+                self._pc = instr.target
+                break
+            if op.is_branch:
+                predicted = self.predictor.predict(instr.address)
+                entry.predicted_taken = predicted
+                if predicted:
+                    self._pc = instr.target
+                    break
+                self._pc = instr.address + 1
+            else:
+                self._pc += 1
+        if self._pc is not None and not (0 <= self._pc < len(code)):
+            self._pc = None
+
+    def _make_entry(self, instr: Instruction) -> _RobEntry:
+        op = instr.op
+        entry = _RobEntry(seq=next(self._seq), instr=instr)
+        if op.writes_dest and instr.dest is not None and instr.dest != ZERO_REG:
+            entry.dest = instr.dest
+
+        def capture(reg: Optional[int]) -> Tuple[int, Optional[int]]:
+            if reg is None:
+                return 0, None
+            if reg == ZERO_REG:
+                return 0, None
+            producer = self._rename.get(reg)
+            if producer is None:
+                return self.registers[reg], None
+            if producer.state == _DONE:
+                return producer.result, None
+            return 0, producer.seq
+
+        entry.val1, entry.tag1 = capture(instr.src1)
+        if op.has_immediate and not op.is_memory:
+            entry.val2, entry.tag2 = instr.imm, None
+            entry.has_two = True
+        elif instr.src2 is not None:
+            entry.val2, entry.tag2 = capture(instr.src2)
+            entry.has_two = True
+        else:
+            entry.val2, entry.tag2 = 0, None
+            entry.has_two = False
+        if op.is_memory:
+            # the offset rides in the instruction; only the base (and the
+            # store value, in src2) come from registers
+            entry.has_two = True
+        if entry.dest is not None:
+            self._rename[entry.dest] = entry
+        return entry
+
+
+def simulate(program: Program, config: Optional[MachineConfig] = None,
+             listeners: Optional[List[IssueListener]] = None) -> SimulationResult:
+    """Convenience wrapper: build a simulator, attach listeners, run."""
+    sim = Simulator(program, config)
+    for listener in listeners or []:
+        sim.add_listener(listener)
+    return sim.run()

@@ -1,0 +1,121 @@
+"""Trace persistence: save and replay issue-group streams.
+
+Simulating a workload is far more expensive than evaluating a steering
+policy on its operand stream, so experiments that sweep many policies
+benefit from capturing the stream once.  Traces are stored as
+gzip-compressed JSON lines — one line of metadata, then one line per
+issue group:
+
+    [cycle, fu_class,
+     [[op, op1, op2, has_two, static, spec, swap, critical], ...]]
+
+Operand images are serialised as hex strings to stay compact and
+byte-exact.  ``TraceWriter`` doubles as a simulator listener so capture
+happens inline with simulation.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+from pathlib import Path
+from typing import Iterable, Iterator, Optional, Union
+
+from ..isa.instructions import FUClass, opcode
+from .trace import IssueGroup, MicroOp
+
+FORMAT_VERSION = 1
+
+PathLike = Union[str, Path]
+
+
+def _encode_group(group: IssueGroup) -> str:
+    ops = [[op.op.name, format(op.op1, "x"), format(op.op2, "x"),
+            int(op.has_two), op.static_index, int(op.speculative),
+            int(op.swapped), int(op.critical)]
+           for op in group.ops]
+    return json.dumps([group.cycle, group.fu_class.value, ops],
+                      separators=(",", ":"))
+
+
+def _decode_group(line: str) -> IssueGroup:
+    cycle, fu_value, raw_ops = json.loads(line)
+    ops = [MicroOp(opcode(name), int(op1, 16), int(op2, 16),
+                   has_two=bool(has_two), static_index=static,
+                   speculative=bool(spec), swapped=bool(swap),
+                   critical=bool(critical))
+           for name, op1, op2, has_two, static, spec, swap, critical
+           in raw_ops]
+    return IssueGroup(cycle, FUClass(fu_value), ops)
+
+
+class TraceWriter:
+    """Simulator listener streaming issue groups to a trace file."""
+
+    def __init__(self, path: PathLike,
+                 fu_classes: Optional[Iterable[FUClass]] = None,
+                 name: str = "trace"):
+        self._filter = set(fu_classes) if fu_classes is not None else None
+        self._file = gzip.open(Path(path), "wt", encoding="utf-8")
+        self.groups_written = 0
+        header = {"version": FORMAT_VERSION, "name": name,
+                  "fu_classes": sorted(fu.value for fu in self._filter)
+                  if self._filter is not None else None}
+        self._file.write(json.dumps(header) + "\n")
+
+    def __call__(self, group: IssueGroup) -> None:
+        if self._filter is not None and group.fu_class not in self._filter:
+            return
+        self._file.write(_encode_group(group) + "\n")
+        self.groups_written += 1
+
+    def close(self) -> None:
+        self._file.close()
+
+    def __enter__(self) -> "TraceWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def save_trace(path: PathLike, groups: Iterable[IssueGroup],
+               name: str = "trace") -> int:
+    """Write an iterable of issue groups to ``path``; returns count."""
+    with TraceWriter(path, name=name) as writer:
+        for group in groups:
+            writer(group)
+        return writer.groups_written
+
+
+def read_trace_header(path: PathLike) -> dict:
+    """Read a trace file's metadata line."""
+    with gzip.open(Path(path), "rt", encoding="utf-8") as handle:
+        header = json.loads(handle.readline())
+    if header.get("version") != FORMAT_VERSION:
+        raise ValueError(f"unsupported trace version {header.get('version')}")
+    return header
+
+
+def load_trace(path: PathLike) -> Iterator[IssueGroup]:
+    """Stream issue groups back from a trace file."""
+    with gzip.open(Path(path), "rt", encoding="utf-8") as handle:
+        header = json.loads(handle.readline())
+        if header.get("version") != FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported trace version {header.get('version')}")
+        for line in handle:
+            line = line.strip()
+            if line:
+                yield _decode_group(line)
+
+
+def replay(path: PathLike, listeners: Iterable) -> int:
+    """Feed a stored trace to evaluator listeners; returns group count."""
+    listeners = list(listeners)
+    count = 0
+    for group in load_trace(path):
+        for listener in listeners:
+            listener(group)
+        count += 1
+    return count

@@ -1,0 +1,18 @@
+"""Mini MIPS-like ISA: encodings, instructions, semantics, assembler."""
+
+from . import encoding, semantics
+from .assembler import Assembler, AssemblerError, assemble
+from .disasm import instruction_text, program_to_source
+from .instructions import (FUClass, Instruction, OpcodeInfo, OperandKind,
+                           all_opcodes, fp_reg, int_reg, is_fp_reg, opcode,
+                           reg_name)
+from .program import DATA_BASE, STACK_BASE, DataImage, Program, ProgramError
+
+__all__ = [
+    "Assembler", "AssemblerError", "assemble",
+    "instruction_text", "program_to_source",
+    "FUClass", "Instruction", "OpcodeInfo", "OperandKind",
+    "all_opcodes", "fp_reg", "int_reg", "is_fp_reg", "opcode", "reg_name",
+    "DATA_BASE", "STACK_BASE", "DataImage", "Program", "ProgramError",
+    "encoding", "semantics",
+]

@@ -1,0 +1,399 @@
+"""Two-pass text assembler for the mini ISA.
+
+Supported syntax (MIPS-flavoured)::
+
+    .data
+    arr:    .word 1, 2, 3
+    vals:   .double 1.5, -2.25
+    buf:    .space 64
+    .text
+    main:
+        li   r1, 10
+        la   r2, arr
+    loop:
+        lw   r3, 0(r2)
+        add  r4, r4, r3
+        addi r2, r2, 4
+        addi r1, r1, -1
+        bne  r1, r0, loop
+        halt
+
+Comments start with ``#`` or ``;``.  Pseudo-instructions ``li`` (load
+32-bit constant), ``la`` (load data symbol address), ``mov`` and ``nop``
+expand to real instructions, so label arithmetic stays exact.
+
+Immediate handling mirrors MIPS: arithmetic/compare immediates are
+16-bit sign-extended, logical immediates are 16-bit zero-extended, and
+shift amounts are 5 bits.  The assembler stores the final 32-bit
+*image* in ``Instruction.imm`` so simulators never re-interpret it.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from . import encoding
+from .instructions import (Instruction, OpcodeInfo, OperandKind, fp_reg,
+                           int_reg, opcode)
+from .program import DATA_BASE, DataImage, Program, ProgramError
+
+
+class AssemblerError(ProgramError):
+    """Raised with a line number for any syntactic or semantic error."""
+
+    def __init__(self, line_number: int, message: str):
+        super().__init__(f"line {line_number}: {message}")
+        self.line_number = line_number
+
+
+_LOGICAL_IMM = {"andi", "ori", "xori"}
+_SHIFT_IMM = {"slli", "srli", "srai"}
+
+# Operand register-bank signatures that differ from the opcode's own
+# operand kind: (dest_bank, src_banks...).  'i' = integer, 'f' = float.
+_BANK_OVERRIDES: Dict[str, Tuple[str, ...]] = {
+    "flt": ("i", "f", "f"),
+    "fgt": ("i", "f", "f"),
+    "fle": ("i", "f", "f"),
+    "fge": ("i", "f", "f"),
+    "feq": ("i", "f", "f"),
+    "cvtif": ("f", "i"),
+    "cvtfi": ("i", "f"),
+    "cvtsd": ("f", "f"),
+}
+
+_LABEL_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_.$]*$")
+_MEM_RE = re.compile(r"^(-?\w+)\((\w+)\)$")
+
+
+def _strip_comment(line: str) -> str:
+    for marker in ("#", ";"):
+        position = line.find(marker)
+        if position >= 0:
+            line = line[:position]
+    return line.strip()
+
+
+def _parse_int(token: str, line_number: int) -> int:
+    try:
+        return int(token, 0)
+    except ValueError:
+        raise AssemblerError(line_number, f"bad integer '{token}'") from None
+
+
+def _parse_float(token: str, line_number: int) -> float:
+    try:
+        return float(token)
+    except ValueError:
+        raise AssemblerError(line_number, f"bad float '{token}'") from None
+
+
+class Assembler:
+    """Assembles source text into a :class:`Program`."""
+
+    def __init__(self, name: str = "program"):
+        self.name = name
+
+    def assemble(self, source: str) -> Program:
+        data_lines, text_lines = self._split_sections(source)
+        data, symbols = self._assemble_data(data_lines)
+        instructions, labels = self._assemble_text(text_lines, symbols)
+        program = Program(instructions, labels=labels, symbols=symbols,
+                          data=data, name=self.name)
+        program.validate()
+        return program
+
+    # ----- section splitting -------------------------------------------------
+
+    def _split_sections(self, source: str):
+        data_lines: List[Tuple[int, str]] = []
+        text_lines: List[Tuple[int, str]] = []
+        section = "text"
+        for number, raw in enumerate(source.splitlines(), start=1):
+            line = _strip_comment(raw)
+            if not line:
+                continue
+            if line == ".data":
+                section = "data"
+                continue
+            if line == ".text":
+                section = "text"
+                continue
+            (data_lines if section == "data" else text_lines).append((number, line))
+        return data_lines, text_lines
+
+    # ----- data section ------------------------------------------------------
+
+    def _assemble_data(self, lines: Sequence[Tuple[int, str]]):
+        data = DataImage()
+        symbols: Dict[str, int] = {}
+        cursor = DATA_BASE
+        for number, line in lines:
+            label, rest = self._take_label(line, number)
+            if label is not None:
+                if label in symbols:
+                    raise AssemblerError(number, f"duplicate data symbol '{label}'")
+            if not rest:
+                if label is not None:
+                    symbols[label] = cursor
+                continue
+            parts = rest.split(None, 1)
+            directive = parts[0]
+            arguments = parts[1] if len(parts) > 1 else ""
+            if directive == ".word":
+                cursor = self._align(cursor, 4)
+                if label is not None:
+                    symbols[label] = cursor
+                for token in self._split_args(arguments, number):
+                    data.store_word(cursor, encoding.wrap_int(_parse_int(token, number)))
+                    cursor += 4
+            elif directive == ".double":
+                cursor = self._align(cursor, 8)
+                if label is not None:
+                    symbols[label] = cursor
+                for token in self._split_args(arguments, number):
+                    data.store_double(cursor, encoding.float_to_bits(
+                        _parse_float(token, number)))
+                    cursor += 8
+            elif directive == ".space":
+                cursor = self._align(cursor, 8)
+                if label is not None:
+                    symbols[label] = cursor
+                size = _parse_int(arguments.strip(), number)
+                if size < 0:
+                    raise AssemblerError(number, ".space size must be non-negative")
+                cursor += size
+            elif directive == ".align":
+                amount = _parse_int(arguments.strip(), number)
+                cursor = self._align(cursor, 1 << amount)
+                if label is not None:
+                    symbols[label] = cursor
+            else:
+                raise AssemblerError(number, f"unknown data directive '{directive}'")
+        return data, symbols
+
+    @staticmethod
+    def _align(cursor: int, boundary: int) -> int:
+        remainder = cursor % boundary
+        return cursor if remainder == 0 else cursor + boundary - remainder
+
+    @staticmethod
+    def _split_args(arguments: str, line_number: int) -> List[str]:
+        tokens = [token.strip() for token in arguments.split(",")]
+        if not arguments.strip() or any(not token for token in tokens):
+            raise AssemblerError(line_number, "empty argument list")
+        return tokens
+
+    def _take_label(self, line: str, number: int):
+        if ":" in line:
+            label, _, rest = line.partition(":")
+            label = label.strip()
+            if not _LABEL_RE.match(label):
+                raise AssemblerError(number, f"bad label '{label}'")
+            return label, rest.strip()
+        return None, line
+
+    # ----- text section ------------------------------------------------------
+
+    def _assemble_text(self, lines: Sequence[Tuple[int, str]],
+                       symbols: Dict[str, int]):
+        instructions: List[Instruction] = []
+        labels: Dict[str, int] = {}
+        pending_branches: List[Tuple[int, str, int]] = []  # (instr idx, label, line)
+        for number, line in lines:
+            label, rest = self._take_label(line, number)
+            if label is not None:
+                if label in labels:
+                    raise AssemblerError(number, f"duplicate label '{label}'")
+                labels[label] = len(instructions)
+            if not rest:
+                continue
+            expanded = self._parse_statement(rest, number, symbols)
+            for instr, branch_label in expanded:
+                if branch_label is not None:
+                    pending_branches.append((len(instructions), branch_label, number))
+                instructions.append(instr)
+        for index, target_label, number in pending_branches:
+            if target_label not in labels:
+                raise AssemblerError(number, f"undefined label '{target_label}'")
+            instructions[index].target = labels[target_label]
+            instructions[index].label = target_label
+        return instructions, labels
+
+    def _parse_statement(self, statement: str, number: int,
+                         symbols: Dict[str, int]):
+        parts = statement.split(None, 1)
+        mnemonic = parts[0]
+        operand_text = parts[1] if len(parts) > 1 else ""
+        operands = ([token.strip() for token in operand_text.split(",")]
+                    if operand_text.strip() else [])
+        if mnemonic in ("li", "la", "mov", "nop"):
+            return self._expand_pseudo(mnemonic, operands, number, symbols)
+        try:
+            info = opcode(mnemonic)
+        except ValueError:
+            raise AssemblerError(number, f"unknown mnemonic '{mnemonic}'") from None
+        return [(self._parse_real(info, operands, number), self._branch_label(info, operands))]
+
+    @staticmethod
+    def _branch_label(info: OpcodeInfo, operands: Sequence[str]) -> Optional[str]:
+        if info.is_branch:
+            return operands[-1] if operands else None
+        if info.is_jump:
+            return operands[0] if operands else None
+        return None
+
+    # ----- pseudo-instructions ------------------------------------------------
+
+    def _expand_pseudo(self, mnemonic: str, operands: Sequence[str],
+                       number: int, symbols: Dict[str, int]):
+        if mnemonic == "nop":
+            if operands:
+                raise AssemblerError(number, "nop takes no operands")
+            instr = Instruction(opcode("add"), dest=int_reg(0),
+                                src1=int_reg(0), src2=int_reg(0))
+            return [(instr, None)]
+        if mnemonic == "mov":
+            if len(operands) != 2:
+                raise AssemblerError(number, "mov needs 2 operands")
+            dest = self._parse_reg(operands[0], "i", number)
+            src = self._parse_reg(operands[1], "i", number)
+            instr = Instruction(opcode("add"), dest=dest, src1=src, src2=int_reg(0))
+            return [(instr, None)]
+        if mnemonic == "li":
+            if len(operands) != 2:
+                raise AssemblerError(number, "li needs 2 operands")
+            dest = self._parse_reg(operands[0], "i", number)
+            value = _parse_int(operands[1], number)
+            return [(instr, None) for instr in self._load_constant(dest, value, number)]
+        if mnemonic == "la":
+            if len(operands) != 2:
+                raise AssemblerError(number, "la needs 2 operands")
+            dest = self._parse_reg(operands[0], "i", number)
+            symbol = operands[1]
+            if symbol not in symbols:
+                raise AssemblerError(number, f"undefined data symbol '{symbol}'")
+            return [(instr, None)
+                    for instr in self._load_constant(dest, symbols[symbol], number)]
+        raise AssemblerError(number, f"unknown pseudo '{mnemonic}'")
+
+    def _load_constant(self, dest: int, value: int, number: int) -> List[Instruction]:
+        image = encoding.wrap_int(value)
+        signed = encoding.to_signed(image)
+        if -32768 <= signed <= 32767:
+            return [Instruction(opcode("addi"), dest=dest, src1=int_reg(0),
+                                imm=image)]
+        high = (image >> 16) & 0xFFFF
+        low = image & 0xFFFF
+        sequence = [Instruction(opcode("lui"), dest=dest, imm=high)]
+        if low:
+            sequence.append(Instruction(opcode("ori"), dest=dest, src1=dest, imm=low))
+        return sequence
+
+    # ----- real instructions ---------------------------------------------------
+
+    def _parse_real(self, info: OpcodeInfo, operands: Sequence[str],
+                    number: int) -> Instruction:
+        if info.name == "halt":
+            self._expect_count(info, operands, 0, number)
+            return Instruction(info)
+        if info.is_jump:
+            self._expect_count(info, operands, 1, number)
+            return Instruction(info)
+        if info.is_branch:
+            self._expect_count(info, operands, 3, number)
+            src1 = self._parse_reg(operands[0], "i", number)
+            src2 = self._parse_reg(operands[1], "i", number)
+            return Instruction(info, src1=src1, src2=src2)
+        if info.is_memory:
+            return self._parse_memory(info, operands, number)
+        if info.name == "lui":
+            self._expect_count(info, operands, 2, number)
+            dest = self._parse_reg(operands[0], "i", number)
+            imm = _parse_int(operands[1], number)
+            if not (0 <= imm <= 0xFFFF):
+                raise AssemblerError(number, "lui immediate must fit 16 bits")
+            return Instruction(info, dest=dest, imm=imm)
+        banks = _BANK_OVERRIDES.get(info.name)
+        default_bank = "f" if info.operand_kind is OperandKind.FLOAT else "i"
+        if info.has_immediate:
+            self._expect_count(info, operands, 3, number)
+            dest = self._parse_reg(operands[0], default_bank, number)
+            src1 = self._parse_reg(operands[1], default_bank, number)
+            imm = self._immediate_image(info, operands[2], number)
+            return Instruction(info, dest=dest, src1=src1, imm=imm)
+        if not info.reads_two_regs:
+            self._expect_count(info, operands, 2, number)
+            dest_bank = banks[0] if banks else default_bank
+            src_bank = banks[1] if banks else default_bank
+            dest = self._parse_reg(operands[0], dest_bank, number)
+            src1 = self._parse_reg(operands[1], src_bank, number)
+            return Instruction(info, dest=dest, src1=src1)
+        self._expect_count(info, operands, 3, number)
+        dest_bank = banks[0] if banks else default_bank
+        src_banks = banks[1:] if banks else (default_bank, default_bank)
+        dest = self._parse_reg(operands[0], dest_bank, number)
+        src1 = self._parse_reg(operands[1], src_banks[0], number)
+        src2 = self._parse_reg(operands[2], src_banks[1], number)
+        return Instruction(info, dest=dest, src1=src1, src2=src2)
+
+    def _parse_memory(self, info: OpcodeInfo, operands: Sequence[str],
+                      number: int) -> Instruction:
+        self._expect_count(info, operands, 2, number)
+        value_bank = "f" if info.name in ("ld", "sd") else "i"
+        match = _MEM_RE.match(operands[1].replace(" ", ""))
+        if not match:
+            raise AssemblerError(number, f"bad memory operand '{operands[1]}'")
+        offset = _parse_int(match.group(1), number)
+        if not (-32768 <= offset <= 32767):
+            raise AssemblerError(number, "memory offset must fit 16 bits signed")
+        base = self._parse_reg(match.group(2), "i", number)
+        imm = encoding.wrap_int(offset)
+        if info.is_load:
+            dest = self._parse_reg(operands[0], value_bank, number)
+            return Instruction(info, dest=dest, src1=base, imm=imm)
+        value = self._parse_reg(operands[0], value_bank, number)
+        return Instruction(info, src1=base, src2=value, imm=imm)
+
+    def _immediate_image(self, info: OpcodeInfo, token: str, number: int) -> int:
+        value = _parse_int(token, number)
+        if info.name in _SHIFT_IMM:
+            if not (0 <= value <= 31):
+                raise AssemblerError(number, "shift amount must be 0..31")
+            return value
+        if info.name in _LOGICAL_IMM:
+            if not (0 <= value <= 0xFFFF):
+                raise AssemblerError(number, "logical immediate must fit 16 bits unsigned")
+            return value
+        if not (-32768 <= value <= 32767):
+            raise AssemblerError(number, "immediate must fit 16 bits signed")
+        return encoding.wrap_int(value)
+
+    @staticmethod
+    def _expect_count(info: OpcodeInfo, operands: Sequence[str],
+                      expected: int, number: int) -> None:
+        if len(operands) != expected:
+            raise AssemblerError(
+                number, f"'{info.name}' expects {expected} operands, got {len(operands)}")
+
+    def _parse_reg(self, token: str, bank: str, number: int) -> int:
+        token = token.strip()
+        match = re.match(r"^([rf])(\d+)$", token)
+        if not match:
+            raise AssemblerError(number, f"bad register '{token}'")
+        kind, index_text = match.groups()
+        expected_kind = "r" if bank == "i" else "f"
+        if kind != expected_kind:
+            want = "integer" if bank == "i" else "floating point"
+            raise AssemblerError(number, f"expected {want} register, got '{token}'")
+        index = int(index_text)
+        try:
+            return int_reg(index) if kind == "r" else fp_reg(index)
+        except ValueError as error:
+            raise AssemblerError(number, str(error)) from None
+
+
+def assemble(source: str, name: str = "program") -> Program:
+    """Assemble ``source`` into a :class:`Program`."""
+    return Assembler(name=name).assemble(source)

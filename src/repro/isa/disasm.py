@@ -1,0 +1,103 @@
+"""Disassembler: turn a :class:`Program` back into assembler source.
+
+The emitted text re-assembles to an equivalent program (same opcodes,
+registers, immediates, control targets, and data image) — the
+round-trip is property-tested.  Useful for inspecting generated or
+transformed programs (e.g. after the compiler swap pass) and for
+persisting programs as text.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from . import encoding
+from .instructions import Instruction, reg_name
+from .program import DATA_BASE, Program
+
+_LOGICAL_IMM = {"andi", "ori", "xori"}
+_SHIFT_IMM = {"slli", "srli", "srai"}
+
+
+def _immediate_text(instr: Instruction) -> str:
+    name = instr.op.name
+    if name in _SHIFT_IMM or name in _LOGICAL_IMM or name == "lui":
+        return str(instr.imm)
+    return str(encoding.to_signed(instr.imm))
+
+
+def _offset_text(instr: Instruction) -> str:
+    return str(encoding.to_signed(instr.imm))
+
+
+def instruction_text(instr: Instruction, labels: Dict[int, str]) -> str:
+    """Assembler-compatible text for one instruction."""
+    op = instr.op
+    if op.name == "halt":
+        return "halt"
+    if op.is_jump:
+        return f"j {labels[instr.target]}"
+    if op.is_branch:
+        return (f"{op.name} {reg_name(instr.src1)},"
+                f" {reg_name(instr.src2)}, {labels[instr.target]}")
+    if op.is_memory:
+        base = reg_name(instr.src1)
+        if op.is_load:
+            return (f"{op.name} {reg_name(instr.dest)},"
+                    f" {_offset_text(instr)}({base})")
+        return (f"{op.name} {reg_name(instr.src2)},"
+                f" {_offset_text(instr)}({base})")
+    if op.name == "lui":
+        return f"lui {reg_name(instr.dest)}, {instr.imm}"
+    if op.has_immediate:
+        return (f"{op.name} {reg_name(instr.dest)},"
+                f" {reg_name(instr.src1)}, {_immediate_text(instr)}")
+    if not op.reads_two_regs:
+        return f"{op.name} {reg_name(instr.dest)}, {reg_name(instr.src1)}"
+    return (f"{op.name} {reg_name(instr.dest)}, {reg_name(instr.src1)},"
+            f" {reg_name(instr.src2)}")
+
+
+def _data_section(program: Program) -> List[str]:
+    """Re-emit the data image as byte-exact ``.word`` runs.
+
+    Symbols are re-declared at their original offsets relative to
+    ``DATA_BASE`` using ``.space`` padding, so ``la`` references resolve
+    to the same addresses.
+    """
+    if not program.data.bytes_ and not program.symbols:
+        return []
+    lines = [".data"]
+    addresses = sorted(program.data.bytes_)
+    end = addresses[-1] + 1 if addresses else DATA_BASE
+    for address in program.symbols.values():
+        end = max(end, address + 1)
+    # round the image up to whole words
+    span = end - DATA_BASE
+    span = (span + 3) // 4 * 4
+    by_address = {address: name for name, address in program.symbols.items()}
+    for offset in range(0, span, 4):
+        address = DATA_BASE + offset
+        if address in by_address:
+            lines.append(f"{by_address[address]}:")
+        word = program.data.load_word(address) \
+            if address % 4 == 0 else 0
+        lines.append(f".word {encoding.to_signed(word)}")
+    # symbols that do not sit on word boundaries cannot occur: the
+    # assembler aligns every allocation to at least 4 bytes
+    return lines
+
+
+def program_to_source(program: Program) -> str:
+    """Full assembler source whose assembly is equivalent to ``program``."""
+    labels: Dict[int, str] = {}
+    for instr in program.instructions:
+        if instr.op.is_control and instr.target is not None:
+            labels.setdefault(instr.target, f"L{instr.target}")
+    lines = _data_section(program)
+    lines.append(".text")
+    for index, instr in enumerate(program.instructions):
+        if index in labels:
+            lines.append(f"{labels[index]}:")
+        lines.append(f"    {instruction_text(instr, labels)}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,223 @@
+"""Bit-level encodings for the mini ISA.
+
+The paper's machine is SimpleScalar's MIPS-like target: 32-bit integer
+registers (two's complement) and 64-bit IEEE-754 floating point
+registers.  Everything in the power model works on the *bit images* of
+operand values, so this module is the single place where Python numbers
+are converted to and from fixed-width bit patterns.
+
+Integer values are carried as Python ints constrained to the unsigned
+range ``[0, 2**32)``; helpers convert between the signed and unsigned
+views.  Floating point values are carried as IEEE-754 double bit images
+in ``[0, 2**64)``.
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+
+INT_BITS = 32
+INT_MASK = (1 << INT_BITS) - 1
+INT_SIGN_BIT = 1 << (INT_BITS - 1)
+INT_MIN = -(1 << (INT_BITS - 1))
+INT_MAX = (1 << (INT_BITS - 1)) - 1
+
+FLOAT_BITS = 64
+FLOAT_MASK = (1 << FLOAT_BITS) - 1
+MANTISSA_BITS = 52
+MANTISSA_MASK = (1 << MANTISSA_BITS) - 1
+EXPONENT_BITS = 11
+EXPONENT_MASK = (1 << EXPONENT_BITS) - 1
+FLOAT_SIGN_SHIFT = 63
+EXPONENT_SHIFT = MANTISSA_BITS
+EXPONENT_BIAS = 1023
+
+
+class EncodingError(ValueError):
+    """Raised when a value cannot be represented in the target width."""
+
+
+def to_unsigned(value: int) -> int:
+    """Convert a signed 32-bit integer to its unsigned bit image.
+
+    Values already in the unsigned range are passed through, so this is
+    idempotent for bit images.
+
+    >>> to_unsigned(-20) == 0xFFFFFFEC
+    True
+    """
+    if not (INT_MIN <= value <= INT_MASK):
+        raise EncodingError(f"{value} does not fit in {INT_BITS} bits")
+    return value & INT_MASK
+
+
+def to_signed(bits: int) -> int:
+    """Interpret a 32-bit image as a signed (two's complement) integer.
+
+    >>> to_signed(0xFFFFFFEC)
+    -20
+    """
+    if not (0 <= bits <= INT_MASK):
+        raise EncodingError(f"0x{bits:x} is not a {INT_BITS}-bit image")
+    if bits & INT_SIGN_BIT:
+        return bits - (1 << INT_BITS)
+    return bits
+
+
+def wrap_int(value: int) -> int:
+    """Truncate an arbitrary Python int to a 32-bit unsigned image.
+
+    This models the machine's silent modular arithmetic (overflow wraps).
+    """
+    return value & INT_MASK
+
+
+def int_sign_bit(bits: int) -> int:
+    """Return the sign bit (0 or 1) of a 32-bit image."""
+    return (bits >> (INT_BITS - 1)) & 1
+
+
+def float_to_bits(value: float) -> int:
+    """Pack a Python float into its IEEE-754 double bit image."""
+    return struct.unpack("<Q", struct.pack("<d", value))[0]
+
+
+def bits_to_float(bits: int) -> float:
+    """Unpack an IEEE-754 double bit image into a Python float."""
+    if not (0 <= bits <= FLOAT_MASK):
+        raise EncodingError(f"0x{bits:x} is not a {FLOAT_BITS}-bit image")
+    return struct.unpack("<d", struct.pack("<Q", bits))[0]
+
+
+def mantissa(bits: int) -> int:
+    """Return the 52-bit stored mantissa of a double bit image.
+
+    The paper's FP power model considers the mantissa portion only, and
+    its floating point information bit is computed from the mantissa's
+    least significant four bits.
+    """
+    return bits & MANTISSA_MASK
+
+
+def exponent(bits: int) -> int:
+    """Return the raw (biased) 11-bit exponent field."""
+    return (bits >> EXPONENT_SHIFT) & EXPONENT_MASK
+
+
+def float_sign_bit(bits: int) -> int:
+    """Return the sign bit of a double bit image."""
+    return (bits >> FLOAT_SIGN_SHIFT) & 1
+
+
+def make_double(sign: int, biased_exponent: int, mantissa_bits: int) -> int:
+    """Assemble a double bit image from its three fields."""
+    if sign not in (0, 1):
+        raise EncodingError("sign must be 0 or 1")
+    if not (0 <= biased_exponent <= EXPONENT_MASK):
+        raise EncodingError("exponent field out of range")
+    if not (0 <= mantissa_bits <= MANTISSA_MASK):
+        raise EncodingError("mantissa field out of range")
+    return (sign << FLOAT_SIGN_SHIFT) | (biased_exponent << EXPONENT_SHIFT) | mantissa_bits
+
+
+def popcount(bits: int) -> int:
+    """Number of set bits in a non-negative integer."""
+    if bits < 0:
+        raise EncodingError("popcount is defined on non-negative images")
+    return bin(bits).count("1")
+
+
+def hamming(a: int, b: int) -> int:
+    """Hamming distance between two equal-width bit images."""
+    return popcount(a ^ b)
+
+
+def hamming_int(a: int, b: int) -> int:
+    """Hamming distance between two 32-bit integer images."""
+    return popcount((a ^ b) & INT_MASK)
+
+
+def hamming_mantissa(a: int, b: int) -> int:
+    """Hamming distance between the mantissas of two double images.
+
+    Per section 2 of the paper, only the mantissa portions of floating
+    point operands are considered when computing Hamming distances.
+    """
+    return popcount((a ^ b) & MANTISSA_MASK)
+
+
+def trailing_zeros(bits: int, width: int) -> int:
+    """Count trailing zero bits of a ``width``-bit image.
+
+    A zero image has ``width`` trailing zeros by convention.
+    """
+    if bits == 0:
+        return width
+    count = 0
+    while not (bits & 1):
+        bits >>= 1
+        count += 1
+    return min(count, width)
+
+
+def leading_sign_bits(bits: int) -> int:
+    """Number of leading bits equal to the sign bit of a 32-bit image.
+
+    For 0x00000014 (decimal 20) this is 27; the paper uses exactly this
+    redundancy to justify the integer information bit.
+    """
+    sign = int_sign_bit(bits)
+    count = 0
+    for position in range(INT_BITS - 1, -1, -1):
+        if (bits >> position) & 1 == sign:
+            count += 1
+        else:
+            break
+    return count
+
+
+def cast_int_to_double_bits(value: int) -> int:
+    """Bit image of ``float(value)`` for a signed 32-bit integer.
+
+    Casting integers into floating point is one of the three reasons the
+    paper gives for FP mantissas with many trailing zeros.
+    """
+    if not (INT_MIN <= value <= INT_MAX):
+        raise EncodingError(f"{value} is not a signed {INT_BITS}-bit value")
+    return float_to_bits(float(value))
+
+
+def cast_single_to_double_bits(value: float) -> int:
+    """Bit image of a single-precision value widened to double.
+
+    SimpleScalar has no separate single-precision register file, so
+    singles live in doubles; the widened mantissa has at least 29
+    trailing zeros (52 - 23).  Non-finite singles widen exactly.
+    """
+    single = struct.unpack("<f", struct.pack("<f", value))[0]
+    return float_to_bits(single)
+
+
+def is_finite_bits(bits: int) -> bool:
+    """True when the image encodes a finite number (not inf or NaN)."""
+    return exponent(bits) != EXPONENT_MASK
+
+
+def ulp_round(value: float, fractional_bits: int) -> float:
+    """Round ``value`` to ``fractional_bits`` bits after the binary point.
+
+    Workload kernels use this to model fixed-point-like "round numbers"
+    that the paper observes are common in FP programs.
+    """
+    if not math.isfinite(value):
+        return value
+    scale = 1 << fractional_bits
+    return round(value * scale) / scale
+
+
+def bit_string(bits: int, width: int) -> str:
+    """Render a bit image as a fixed-width binary string (MSB first)."""
+    if not (0 <= bits < (1 << width)):
+        raise EncodingError(f"0x{bits:x} is not a {width}-bit image")
+    return format(bits, f"0{width}b")

@@ -1,0 +1,324 @@
+"""Instruction set of the mini ISA.
+
+The instruction set is modelled on SimpleScalar's MIPS-like PISA target,
+which is what the paper simulates: 32 general-purpose 32-bit integer
+registers (``r0`` hardwired to zero) and 32 64-bit floating point
+registers.  Each opcode carries the metadata the rest of the system
+needs:
+
+* which functional-unit class executes it (the paper steers IALU and
+  FPAU operations and swaps multiplier operands);
+* whether it is commutative in hardware (operands may be swapped by the
+  router) — immediate forms are never hardware-swappable because the
+  immediate is architecturally always the second operand;
+* whether it is *compiler*-commutable via an opcode change (e.g. the
+  paper's ``>`` versus ``<=`` example);
+* its execution latency in cycles.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+NUM_INT_REGS = 32
+NUM_FP_REGS = 32
+NUM_ARCH_REGS = NUM_INT_REGS + NUM_FP_REGS
+
+ZERO_REG = 0  # r0 reads as zero and ignores writes
+
+
+class FUClass(enum.Enum):
+    """Functional-unit classes of the simulated machine.
+
+    The paper's default configuration has 4 IALUs, 4 FPAUs, one integer
+    multiplier and one floating point multiplier.  Loads and stores
+    occupy a memory port after their address is generated on an IALU,
+    matching sim-outorder's split of memory operations.
+    """
+
+    IALU = "ialu"
+    IMULT = "imult"
+    FPAU = "fpau"
+    FPMULT = "fpmult"
+    LSU = "lsu"
+
+
+class OperandKind(enum.Enum):
+    """Datatype of an instruction's register operands."""
+
+    INT = "int"
+    FLOAT = "float"
+
+
+def int_reg(index: int) -> int:
+    """Architectural register id of integer register ``r<index>``."""
+    if not (0 <= index < NUM_INT_REGS):
+        raise ValueError(f"no integer register r{index}")
+    return index
+
+
+def fp_reg(index: int) -> int:
+    """Architectural register id of floating point register ``f<index>``."""
+    if not (0 <= index < NUM_FP_REGS):
+        raise ValueError(f"no floating point register f{index}")
+    return NUM_INT_REGS + index
+
+
+def is_fp_reg(reg: int) -> bool:
+    """True when an architectural register id names an FP register."""
+    return reg >= NUM_INT_REGS
+
+
+def reg_name(reg: int) -> str:
+    """Human-readable name (``r5`` / ``f3``) of an architectural id."""
+    if not (0 <= reg < NUM_ARCH_REGS):
+        raise ValueError(f"no architectural register {reg}")
+    if is_fp_reg(reg):
+        return f"f{reg - NUM_INT_REGS}"
+    return f"r{reg}"
+
+
+@dataclass(frozen=True)
+class OpcodeInfo:
+    """Static properties of one opcode."""
+
+    name: str
+    fu_class: FUClass
+    operand_kind: OperandKind
+    commutative: bool = False
+    has_immediate: bool = False
+    compiler_swap_to: Optional[str] = None
+    latency: int = 1
+    is_branch: bool = False
+    is_jump: bool = False
+    is_load: bool = False
+    is_store: bool = False
+    writes_dest: bool = True
+    reads_two_regs: bool = True
+
+    @property
+    def is_control(self) -> bool:
+        return self.is_branch or self.is_jump
+
+    @property
+    def is_memory(self) -> bool:
+        return self.is_load or self.is_store
+
+    @property
+    def hardware_swappable(self) -> bool:
+        """May the router swap the two source operands dynamically?"""
+        return self.commutative and not self.has_immediate
+
+    @property
+    def compiler_swappable(self) -> bool:
+        """May the compiler statically reorder the source operands?
+
+        True for register-form commutative opcodes and for opcodes with a
+        commuted twin (``compiler_swap_to``).  Immediate forms are not
+        swappable: machine encoding fixes the immediate as operand two —
+        the paper's third compiler disadvantage.
+        """
+        if self.has_immediate:
+            return False
+        return self.commutative or self.compiler_swap_to is not None
+
+
+_OPCODES: Dict[str, OpcodeInfo] = {}
+
+
+def _define(info: OpcodeInfo) -> None:
+    if info.name in _OPCODES:
+        raise ValueError(f"duplicate opcode {info.name}")
+    _OPCODES[info.name] = info
+
+
+def opcode(name: str) -> OpcodeInfo:
+    """Look up an opcode by mnemonic."""
+    try:
+        return _OPCODES[name]
+    except KeyError:
+        raise ValueError(f"unknown opcode '{name}'") from None
+
+
+def all_opcodes() -> Tuple[OpcodeInfo, ...]:
+    """All defined opcodes, in definition order."""
+    return tuple(_OPCODES.values())
+
+
+def _int_alu(name: str, commutative: bool = False, swap_to: Optional[str] = None) -> None:
+    _define(OpcodeInfo(name, FUClass.IALU, OperandKind.INT,
+                       commutative=commutative, compiler_swap_to=swap_to))
+
+
+def _int_alu_imm(name: str) -> None:
+    _define(OpcodeInfo(name, FUClass.IALU, OperandKind.INT,
+                       has_immediate=True, reads_two_regs=False))
+
+
+# --- integer ALU, register forms ------------------------------------------
+_int_alu("add", commutative=True)
+_int_alu("sub")
+_int_alu("and", commutative=True)
+_int_alu("or", commutative=True)
+_int_alu("xor", commutative=True)
+_int_alu("nor", commutative=True)
+_int_alu("sll")
+_int_alu("srl")
+_int_alu("sra")
+_int_alu("slt", swap_to="sgt")
+_int_alu("sgt", swap_to="slt")
+_int_alu("sle", swap_to="sge")
+_int_alu("sge", swap_to="sle")
+_int_alu("seq", commutative=True)
+_int_alu("sne", commutative=True)
+
+# --- integer ALU, immediate forms ------------------------------------------
+_int_alu_imm("addi")
+_int_alu_imm("subi")
+_int_alu_imm("andi")
+_int_alu_imm("ori")
+_int_alu_imm("xori")
+_int_alu_imm("slli")
+_int_alu_imm("srli")
+_int_alu_imm("srai")
+_int_alu_imm("slti")
+_int_alu_imm("sgti")
+_int_alu_imm("seqi")
+_int_alu_imm("snei")
+# load upper immediate: one source (the immediate), still an IALU op
+_define(OpcodeInfo("lui", FUClass.IALU, OperandKind.INT,
+                   has_immediate=True, reads_two_regs=False))
+
+# --- integer multiply / divide ---------------------------------------------
+_define(OpcodeInfo("mult", FUClass.IMULT, OperandKind.INT,
+                   commutative=True, latency=3))
+_define(OpcodeInfo("div", FUClass.IMULT, OperandKind.INT, latency=12))
+_define(OpcodeInfo("rem", FUClass.IMULT, OperandKind.INT, latency=12))
+
+# --- floating point add/sub/compare (FPAU) ---------------------------------
+_define(OpcodeInfo("fadd", FUClass.FPAU, OperandKind.FLOAT,
+                   commutative=True, latency=2))
+_define(OpcodeInfo("fsub", FUClass.FPAU, OperandKind.FLOAT, latency=2))
+_define(OpcodeInfo("fabs", FUClass.FPAU, OperandKind.FLOAT,
+                   latency=2, reads_two_regs=False))
+_define(OpcodeInfo("fneg", FUClass.FPAU, OperandKind.FLOAT,
+                   latency=2, reads_two_regs=False))
+_define(OpcodeInfo("fmov", FUClass.FPAU, OperandKind.FLOAT,
+                   latency=1, reads_two_regs=False))
+_define(OpcodeInfo("fmin", FUClass.FPAU, OperandKind.FLOAT,
+                   commutative=True, latency=2))
+_define(OpcodeInfo("fmax", FUClass.FPAU, OperandKind.FLOAT,
+                   commutative=True, latency=2))
+# comparisons produce an integer 0/1 in an int register but execute on the FPAU
+_define(OpcodeInfo("flt", FUClass.FPAU, OperandKind.FLOAT,
+                   latency=2, compiler_swap_to="fgt"))
+_define(OpcodeInfo("fgt", FUClass.FPAU, OperandKind.FLOAT,
+                   latency=2, compiler_swap_to="flt"))
+_define(OpcodeInfo("fle", FUClass.FPAU, OperandKind.FLOAT,
+                   latency=2, compiler_swap_to="fge"))
+_define(OpcodeInfo("fge", FUClass.FPAU, OperandKind.FLOAT,
+                   latency=2, compiler_swap_to="fle"))
+_define(OpcodeInfo("feq", FUClass.FPAU, OperandKind.FLOAT,
+                   commutative=True, latency=2))
+# int <-> float conversions execute on the FPAU, single source
+_define(OpcodeInfo("cvtif", FUClass.FPAU, OperandKind.FLOAT,
+                   latency=2, reads_two_regs=False))
+_define(OpcodeInfo("cvtfi", FUClass.FPAU, OperandKind.FLOAT,
+                   latency=2, reads_two_regs=False))
+_define(OpcodeInfo("cvtsd", FUClass.FPAU, OperandKind.FLOAT,
+                   latency=2, reads_two_regs=False))
+
+# --- floating point multiply / divide ---------------------------------------
+_define(OpcodeInfo("fmul", FUClass.FPMULT, OperandKind.FLOAT,
+                   commutative=True, latency=4))
+_define(OpcodeInfo("fdiv", FUClass.FPMULT, OperandKind.FLOAT, latency=12))
+_define(OpcodeInfo("fsqrt", FUClass.FPMULT, OperandKind.FLOAT,
+                   latency=18, reads_two_regs=False))
+
+# --- memory -----------------------------------------------------------------
+_define(OpcodeInfo("lw", FUClass.LSU, OperandKind.INT,
+                   has_immediate=True, is_load=True, latency=2,
+                   reads_two_regs=False))
+_define(OpcodeInfo("sw", FUClass.LSU, OperandKind.INT,
+                   has_immediate=True, is_store=True, latency=1,
+                   writes_dest=False, reads_two_regs=False))
+_define(OpcodeInfo("ld", FUClass.LSU, OperandKind.FLOAT,
+                   has_immediate=True, is_load=True, latency=2,
+                   reads_two_regs=False))
+_define(OpcodeInfo("sd", FUClass.LSU, OperandKind.FLOAT,
+                   has_immediate=True, is_store=True, latency=1,
+                   writes_dest=False, reads_two_regs=False))
+
+# --- control ----------------------------------------------------------------
+# Branches compare two integer registers on an IALU, as in sim-outorder.
+_define(OpcodeInfo("beq", FUClass.IALU, OperandKind.INT,
+                   commutative=True, is_branch=True, writes_dest=False))
+_define(OpcodeInfo("bne", FUClass.IALU, OperandKind.INT,
+                   commutative=True, is_branch=True, writes_dest=False))
+_define(OpcodeInfo("blt", FUClass.IALU, OperandKind.INT,
+                   is_branch=True, writes_dest=False, compiler_swap_to="bgt"))
+_define(OpcodeInfo("bgt", FUClass.IALU, OperandKind.INT,
+                   is_branch=True, writes_dest=False, compiler_swap_to="blt"))
+_define(OpcodeInfo("ble", FUClass.IALU, OperandKind.INT,
+                   is_branch=True, writes_dest=False, compiler_swap_to="bge"))
+_define(OpcodeInfo("bge", FUClass.IALU, OperandKind.INT,
+                   is_branch=True, writes_dest=False, compiler_swap_to="ble"))
+_define(OpcodeInfo("j", FUClass.IALU, OperandKind.INT,
+                   is_jump=True, writes_dest=False, reads_two_regs=False))
+_define(OpcodeInfo("halt", FUClass.IALU, OperandKind.INT,
+                   writes_dest=False, reads_two_regs=False))
+
+
+@dataclass
+class Instruction:
+    """One assembled instruction.
+
+    ``dest``/``src1``/``src2`` are architectural register ids (or None).
+    ``imm`` is the immediate for immediate forms, the address offset for
+    memory forms, and unused otherwise.  ``target`` is the resolved
+    instruction index for control transfers.
+    """
+
+    op: OpcodeInfo
+    dest: Optional[int] = None
+    src1: Optional[int] = None
+    src2: Optional[int] = None
+    imm: int = 0
+    target: Optional[int] = None
+    label: Optional[str] = None
+    address: int = 0
+    static_swapped: bool = field(default=False, compare=False)
+
+    def source_regs(self) -> Tuple[int, ...]:
+        """Architectural registers this instruction reads."""
+        sources = []
+        if self.src1 is not None:
+            sources.append(self.src1)
+        if self.src2 is not None:
+            sources.append(self.src2)
+        return tuple(sources)
+
+    def __str__(self) -> str:
+        parts = [self.op.name]
+        operands = []
+        if self.dest is not None:
+            operands.append(reg_name(self.dest))
+        if self.op.is_memory:
+            base = reg_name(self.src1) if self.src1 is not None else "?"
+            if self.op.is_store:
+                operands = [reg_name(self.src2)] if self.src2 is not None else []
+            operands.append(f"{self.imm}({base})")
+        else:
+            if self.src1 is not None:
+                operands.append(reg_name(self.src1))
+            if self.src2 is not None:
+                operands.append(reg_name(self.src2))
+            if self.op.has_immediate:
+                operands.append(str(self.imm))
+        if self.op.is_control and self.label is not None:
+            operands.append(self.label)
+        if operands:
+            parts.append(", ".join(operands))
+        return " ".join(parts)

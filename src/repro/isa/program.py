@@ -1,0 +1,123 @@
+"""Program representation: assembled code plus an initial data image.
+
+A :class:`Program` is what the assembler produces and what both the
+out-of-order simulator and the in-order golden model execute.  Code is a
+flat list of :class:`~repro.isa.instructions.Instruction`; data is a
+sparse byte image with word (4-byte) and double (8-byte) convenience
+accessors used when building initial memory contents.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from . import encoding
+from .instructions import Instruction
+
+
+class ProgramError(ValueError):
+    """Raised for malformed programs (bad labels, unaligned data, ...)."""
+
+
+DATA_BASE = 0x1000_0000
+STACK_BASE = 0x7FFF_F000
+
+
+@dataclass
+class DataImage:
+    """Sparse initial memory contents, byte addressed, little endian."""
+
+    bytes_: Dict[int, int] = field(default_factory=dict)
+
+    def store_byte(self, address: int, value: int) -> None:
+        self.bytes_[address] = value & 0xFF
+
+    def load_byte(self, address: int) -> int:
+        return self.bytes_.get(address, 0)
+
+    def store_word(self, address: int, bits: int) -> None:
+        """Store a 32-bit image at a 4-byte-aligned address."""
+        if address % 4:
+            raise ProgramError(f"unaligned word store at 0x{address:x}")
+        for i in range(4):
+            self.store_byte(address + i, (bits >> (8 * i)) & 0xFF)
+
+    def load_word(self, address: int) -> int:
+        if address % 4:
+            raise ProgramError(f"unaligned word load at 0x{address:x}")
+        return sum(self.load_byte(address + i) << (8 * i) for i in range(4))
+
+    def store_double(self, address: int, bits: int) -> None:
+        """Store a 64-bit image at an 8-byte-aligned address."""
+        if address % 8:
+            raise ProgramError(f"unaligned double store at 0x{address:x}")
+        for i in range(8):
+            self.store_byte(address + i, (bits >> (8 * i)) & 0xFF)
+
+    def load_double(self, address: int) -> int:
+        if address % 8:
+            raise ProgramError(f"unaligned double load at 0x{address:x}")
+        return sum(self.load_byte(address + i) << (8 * i) for i in range(8))
+
+    def store_float_value(self, address: int, value: float) -> None:
+        self.store_double(address, encoding.float_to_bits(value))
+
+    def store_int_value(self, address: int, value: int) -> None:
+        self.store_word(address, encoding.to_unsigned(value))
+
+    def copy(self) -> "DataImage":
+        return DataImage(dict(self.bytes_))
+
+
+@dataclass
+class Program:
+    """An assembled program: code, resolved labels, and data image."""
+
+    instructions: List[Instruction]
+    labels: Dict[str, int] = field(default_factory=dict)
+    symbols: Dict[str, int] = field(default_factory=dict)
+    data: DataImage = field(default_factory=DataImage)
+    name: str = "program"
+
+    def __post_init__(self) -> None:
+        for index, instr in enumerate(self.instructions):
+            instr.address = index
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def label_index(self, label: str) -> int:
+        try:
+            return self.labels[label]
+        except KeyError:
+            raise ProgramError(f"undefined label '{label}'") from None
+
+    def symbol_address(self, symbol: str) -> int:
+        try:
+            return self.symbols[symbol]
+        except KeyError:
+            raise ProgramError(f"undefined data symbol '{symbol}'") from None
+
+    def validate(self) -> None:
+        """Check referential integrity of control-flow targets."""
+        limit = len(self.instructions)
+        for instr in self.instructions:
+            if instr.op.is_control and not instr.op.name == "halt":
+                if instr.target is None:
+                    raise ProgramError(f"unresolved control target in '{instr}'")
+                if not (0 <= instr.target < limit):
+                    raise ProgramError(
+                        f"control target {instr.target} out of range in '{instr}'")
+
+    def listing(self) -> str:
+        """Human-readable disassembly with labels."""
+        by_index: Dict[int, List[str]] = {}
+        for label, index in self.labels.items():
+            by_index.setdefault(index, []).append(label)
+        lines = []
+        for index, instr in enumerate(self.instructions):
+            for label in sorted(by_index.get(index, [])):
+                lines.append(f"{label}:")
+            lines.append(f"  {index:5d}  {instr}")
+        return "\n".join(lines)

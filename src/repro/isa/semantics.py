@@ -1,0 +1,168 @@
+"""Architectural semantics of the mini ISA.
+
+Pure functions from operand bit images to result bit images; the cycle
+simulator and the in-order golden model both call into this module so
+the two can never disagree about what an opcode computes.
+
+Integer values are 32-bit unsigned images (two's complement view where
+signedness matters); floating point values are IEEE-754 double images.
+Conversion opcodes cross the two domains.
+"""
+
+from __future__ import annotations
+
+from . import encoding
+from .instructions import Instruction, OpcodeInfo
+
+
+class SemanticsError(ValueError):
+    """Raised for opcodes with no defined evaluation."""
+
+
+def _signed(bits: int) -> int:
+    return encoding.to_signed(bits & encoding.INT_MASK)
+
+
+def _bool_bits(flag: bool) -> int:
+    return 1 if flag else 0
+
+
+def _float(bits: int) -> float:
+    return encoding.bits_to_float(bits & encoding.FLOAT_MASK)
+
+
+def _fbits(value: float) -> int:
+    return encoding.float_to_bits(value)
+
+
+def evaluate_int(op: OpcodeInfo, a: int, b: int) -> int:
+    """Evaluate an integer ALU/multiplier opcode on 32-bit images.
+
+    ``b`` is either the second register image or the (already wrapped)
+    immediate image, whichever the instruction form supplies.
+    """
+    name = op.name
+    if name in ("add", "addi"):
+        return encoding.wrap_int(a + b)
+    if name in ("sub", "subi"):
+        return encoding.wrap_int(a - b)
+    if name in ("and", "andi"):
+        return a & b
+    if name in ("or", "ori"):
+        return a | b
+    if name in ("xor", "xori"):
+        return a ^ b
+    if name == "nor":
+        return encoding.INT_MASK & ~(a | b)
+    if name in ("sll", "slli"):
+        return encoding.wrap_int(a << (b & 31))
+    if name in ("srl", "srli"):
+        return (a & encoding.INT_MASK) >> (b & 31)
+    if name in ("sra", "srai"):
+        return encoding.wrap_int(_signed(a) >> (b & 31))
+    if name in ("slt", "slti"):
+        return _bool_bits(_signed(a) < _signed(b))
+    if name in ("sgt", "sgti"):
+        return _bool_bits(_signed(a) > _signed(b))
+    if name == "sle":
+        return _bool_bits(_signed(a) <= _signed(b))
+    if name == "sge":
+        return _bool_bits(_signed(a) >= _signed(b))
+    if name in ("seq", "seqi"):
+        return _bool_bits(a == b)
+    if name in ("sne", "snei"):
+        return _bool_bits(a != b)
+    if name == "lui":
+        return encoding.wrap_int(b << 16)
+    if name == "mult":
+        return encoding.wrap_int(_signed(a) * _signed(b))
+    if name == "div":
+        if b == 0:
+            return encoding.INT_MASK  # architectural: division by zero yields all ones
+        quotient = abs(_signed(a)) // abs(_signed(b))
+        if (_signed(a) < 0) != (_signed(b) < 0):
+            quotient = -quotient
+        return encoding.wrap_int(quotient)
+    if name == "rem":
+        if b == 0:
+            return a & encoding.INT_MASK
+        remainder = abs(_signed(a)) % abs(_signed(b))
+        if _signed(a) < 0:
+            remainder = -remainder
+        return encoding.wrap_int(remainder)
+    raise SemanticsError(f"no integer semantics for '{name}'")
+
+
+def evaluate_float(op: OpcodeInfo, a: int, b: int) -> int:
+    """Evaluate a floating point opcode on double bit images.
+
+    Comparison opcodes return a 0/1 integer image; conversions cross the
+    int/float domains as noted per opcode.
+    """
+    name = op.name
+    if name == "fadd":
+        return _fbits(_float(a) + _float(b))
+    if name == "fsub":
+        return _fbits(_float(a) - _float(b))
+    if name == "fmul":
+        return _fbits(_float(a) * _float(b))
+    if name == "fdiv":
+        divisor = _float(b)
+        if divisor == 0.0:
+            return _fbits(float("inf") if _float(a) >= 0 else float("-inf"))
+        return _fbits(_float(a) / divisor)
+    if name == "fsqrt":
+        value = _float(a)
+        return _fbits(value ** 0.5 if value >= 0.0 else float("nan"))
+    if name == "fabs":
+        return a & ~(1 << encoding.FLOAT_SIGN_SHIFT)
+    if name == "fneg":
+        return a ^ (1 << encoding.FLOAT_SIGN_SHIFT)
+    if name == "fmov":
+        return a
+    if name == "fmin":
+        return a if _float(a) <= _float(b) else b
+    if name == "fmax":
+        return a if _float(a) >= _float(b) else b
+    if name == "flt":
+        return _bool_bits(_float(a) < _float(b))
+    if name == "fgt":
+        return _bool_bits(_float(a) > _float(b))
+    if name == "fle":
+        return _bool_bits(_float(a) <= _float(b))
+    if name == "fge":
+        return _bool_bits(_float(a) >= _float(b))
+    if name == "feq":
+        return _bool_bits(_float(a) == _float(b))
+    if name == "cvtif":
+        return _fbits(float(_signed(a)))
+    if name == "cvtfi":
+        value = _float(a)
+        truncated = int(value) if abs(value) < 2 ** 31 else (2 ** 31 - 1 if value > 0 else -(2 ** 31))
+        return encoding.wrap_int(truncated)
+    if name == "cvtsd":
+        return encoding.cast_single_to_double_bits(_float(a))
+    raise SemanticsError(f"no floating point semantics for '{name}'")
+
+
+def branch_taken(op: OpcodeInfo, a: int, b: int) -> bool:
+    """Resolve a conditional branch from its two integer source images."""
+    name = op.name
+    if name == "beq":
+        return a == b
+    if name == "bne":
+        return a != b
+    if name == "blt":
+        return _signed(a) < _signed(b)
+    if name == "bgt":
+        return _signed(a) > _signed(b)
+    if name == "ble":
+        return _signed(a) <= _signed(b)
+    if name == "bge":
+        return _signed(a) >= _signed(b)
+    raise SemanticsError(f"'{name}' is not a conditional branch")
+
+
+def effective_address(instr: Instruction, base_bits: int) -> int:
+    """Compute the memory address of a load/store: base + offset."""
+    return encoding.wrap_int(base_bits + encoding.wrap_int(instr.imm))

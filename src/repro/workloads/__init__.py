@@ -1,0 +1,12 @@
+"""Workload suite: SPEC95-analogue kernels and statistical generators."""
+
+from .base import (Workload, all_workloads, float_suite, integer_suite,
+                   register, workload)
+from .generators import (BitProbs, OperandModel, SyntheticStream,
+                         paper_bit_probs)
+
+__all__ = [
+    "Workload", "all_workloads", "float_suite", "integer_suite",
+    "register", "workload",
+    "BitProbs", "OperandModel", "SyntheticStream", "paper_bit_probs",
+]

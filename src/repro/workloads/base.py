@@ -1,0 +1,104 @@
+"""Workload registry.
+
+The paper evaluates on SPEC 95 (integer: m88ksim, ijpeg, li, go,
+compress, cc1, perl; floating point: apsi, applu, hydro2d, wave5, swim,
+mgrid, turb3d, fpppp) run to completion under SimpleScalar.  SPEC 95
+binaries and inputs are not redistributable, so this package provides
+*kernels in the mini ISA* that exercise the same algorithmic domains
+and, crucially, produce data streams with the same bit-pattern
+character: small sign-extended integers, pointer arithmetic, branchy
+interpreters, and floating point values mixing integer casts, widened
+singles and round constants with full-precision results.
+
+Every workload registers a builder (scale -> assembly source) and a
+checker that validates the architectural result against a pure-Python
+golden computation, so the workloads double as end-to-end tests of the
+simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from ..cpu.golden import GoldenResult
+from ..isa.assembler import assemble
+from ..isa.program import Program
+
+# checker(program, result, scale) raises AssertionError on mismatch
+Checker = Callable[[Program, GoldenResult, int], None]
+SourceBuilder = Callable[[int], str]
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One registered benchmark kernel."""
+
+    name: str
+    kind: str  # "int" or "fp"
+    spec_analogue: str
+    description: str
+    build_source: SourceBuilder
+    check: Checker
+    default_scale: int = 1
+
+    def build(self, scale: Optional[int] = None) -> Program:
+        """Assemble this workload at the given scale."""
+        actual = self.default_scale if scale is None else scale
+        if actual < 1:
+            raise ValueError("scale must be at least 1")
+        return assemble(self.build_source(actual), name=self.name)
+
+
+_REGISTRY: Dict[str, Workload] = {}
+
+
+def register(workload: Workload) -> Workload:
+    """Add a workload to the global registry (module import side)."""
+    if workload.name in _REGISTRY:
+        raise ValueError(f"duplicate workload '{workload.name}'")
+    if workload.kind not in ("int", "fp"):
+        raise ValueError("workload kind must be 'int' or 'fp'")
+    _REGISTRY[workload.name] = workload
+    return workload
+
+
+def workload(name: str) -> Workload:
+    """Look up a workload by name."""
+    _ensure_loaded()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(f"unknown workload '{name}'; available:"
+                         f" {sorted(_REGISTRY)}") from None
+
+
+def all_workloads(kind: Optional[str] = None) -> List[Workload]:
+    """All registered workloads, optionally filtered by kind."""
+    _ensure_loaded()
+    loads = sorted(_REGISTRY.values(), key=lambda w: w.name)
+    if kind is not None:
+        loads = [w for w in loads if w.kind == kind]
+    return loads
+
+
+def integer_suite() -> List[Workload]:
+    """The SPEC95-integer-analogue suite."""
+    return all_workloads("int")
+
+
+def float_suite() -> List[Workload]:
+    """The SPEC95-floating-point-analogue suite."""
+    return all_workloads("fp")
+
+
+_LOADED = False
+
+
+def _ensure_loaded() -> None:
+    """Import kernel modules on first registry access."""
+    global _LOADED
+    if _LOADED:
+        return
+    from . import kernels  # noqa: F401  (import registers the kernels)
+    _LOADED = True

@@ -1,0 +1,7 @@
+"""Kernel modules; importing this package registers every workload."""
+
+from . import (extra_kernels, fp_kernels1, fp_kernels2, int_kernels1,
+               int_kernels2)  # noqa: F401
+
+__all__ = ["extra_kernels", "fp_kernels1", "fp_kernels2", "int_kernels1",
+           "int_kernels2"]

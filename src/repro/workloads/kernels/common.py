@@ -1,0 +1,49 @@
+"""Shared helpers for workload kernels: deterministic data generation
+and assembly data-section formatting."""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from ...isa import encoding
+
+_LCG_MULT = 1103515245
+_LCG_ADD = 12345
+_LCG_MASK = 0x7FFFFFFF
+
+
+def lcg_sequence(seed: int, count: int, modulo: int) -> List[int]:
+    """Deterministic pseudo-random ints in ``[0, modulo)`` (POSIX LCG)."""
+    values = []
+    state = seed & encoding.INT_MASK
+    for _ in range(count):
+        state = (state * _LCG_MULT + _LCG_ADD) & encoding.INT_MASK
+        values.append(((state >> 16) & _LCG_MASK) % modulo)
+    return values
+
+
+def words_directive(label: str, values: Iterable[int],
+                    per_line: int = 12) -> str:
+    """Format a ``.word`` data block with a label."""
+    items = [str(encoding.to_signed(encoding.wrap_int(v))) for v in values]
+    if not items:
+        raise ValueError("empty data block")
+    lines = [f"{label}: .word {', '.join(items[:per_line])}"]
+    for start in range(per_line, len(items), per_line):
+        lines.append(f"    .word {', '.join(items[start:start + per_line])}")
+    return "\n".join(lines)
+
+
+def doubles_directive(label: str, values: Iterable[float],
+                      per_line: int = 6) -> str:
+    """Format a ``.double`` data block with a label.
+
+    Values are rendered with ``repr`` so they round-trip exactly.
+    """
+    items = [repr(float(v)) for v in values]
+    if not items:
+        raise ValueError("empty data block")
+    lines = [f"{label}: .double {', '.join(items[:per_line])}"]
+    for start in range(per_line, len(items), per_line):
+        lines.append(f"    .double {', '.join(items[start:start + per_line])}")
+    return "\n".join(lines)

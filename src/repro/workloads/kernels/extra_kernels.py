@@ -1,0 +1,295 @@
+"""Extra kernels: vortex (OODB) and tomcatv (mesh generation) analogues.
+
+SPEC 95 also contained 147.vortex (object database) and 101.tomcatv
+(vectorised mesh generation); the paper's list omits them, but they
+round out the suite's coverage of hash-probe memory behaviour and
+coupled-grid floating point smoothing.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ...cpu.golden import GoldenResult
+from ...isa import encoding
+from ...isa.program import Program
+from ..base import Workload, register
+from .common import doubles_directive, lcg_sequence, words_directive
+
+_MASK = encoding.INT_MASK
+
+
+# =====================================================================
+# vortex: open-addressing hash table (insert / lookup mix)
+# =====================================================================
+
+_VORTEX_SLOTS = 128  # power of two; keys drawn from 1..96 so it never fills
+
+
+def _vortex_ops(scale: int) -> List[Tuple[int, int]]:
+    count = 150 * scale
+    raw = lcg_sequence(seed=0x0DB + scale, count=count * 2, modulo=96 * 4)
+    ops = []
+    for i in range(count):
+        kind = 0 if raw[2 * i] % 4 < 3 else 1  # 75% insert, 25% lookup
+        key = 1 + raw[2 * i + 1] % 96
+        ops.append((kind, key))
+    return ops
+
+
+def _vortex_source(scale: int) -> str:
+    ops = _vortex_ops(scale)
+    flat = [word for kind, key in ops for word in (kind, key)]
+    return f"""
+.data
+table: .space {_VORTEX_SLOTS * 8}
+{words_directive("ops", flat)}
+results: .space 16
+.text
+main:
+    la   r2, ops
+    li   r3, {len(ops)}
+    la   r4, table
+    li   r20, 0         # probe counter
+    li   r21, 0         # lookup-hit accumulator
+oploop:
+    beq  r3, r0, done
+    lw   r5, 0(r2)      # kind
+    lw   r6, 4(r2)      # key
+    addi r2, r2, 8
+    addi r3, r3, -1
+    andi r7, r6, {_VORTEX_SLOTS - 1}   # slot index
+probe:
+    addi r20, r20, 1
+    slli r8, r7, 3
+    add  r8, r8, r4
+    lw   r9, 0(r8)      # stored key
+    beq  r9, r0, empty
+    beq  r9, r6, found
+    addi r7, r7, 1
+    andi r7, r7, {_VORTEX_SLOTS - 1}
+    j    probe
+empty:
+    bne  r5, r0, oploop      # lookup miss: next operation
+    sw   r6, 0(r8)           # insert key
+    mult r10, r6, r6
+    addi r10, r10, 17        # value = key*key + 17
+    sw   r10, 4(r8)
+    j    oploop
+found:
+    bne  r5, r0, hit
+    mult r10, r6, r6         # re-insert: refresh the value
+    addi r10, r10, 17
+    sw   r10, 4(r8)
+    j    oploop
+hit:
+    lw   r10, 4(r8)
+    add  r21, r21, r10
+    j    oploop
+done:
+    la   r11, results
+    sw   r20, 0(r11)
+    sw   r21, 4(r11)
+    halt
+"""
+
+
+def _vortex_golden(scale: int) -> Tuple[int, int]:
+    probes = 0
+    hits = 0
+    slots = [0] * _VORTEX_SLOTS
+    values = [0] * _VORTEX_SLOTS
+    for kind, key in _vortex_ops(scale):
+        index = key & (_VORTEX_SLOTS - 1)
+        while True:
+            probes += 1
+            stored = slots[index]
+            if stored == 0:
+                if kind == 0:
+                    slots[index] = key
+                    values[index] = (key * key + 17) & _MASK
+                break
+            if stored == key:
+                if kind == 0:
+                    values[index] = (key * key + 17) & _MASK
+                else:
+                    hits = (hits + values[index]) & _MASK
+                break
+            index = (index + 1) & (_VORTEX_SLOTS - 1)
+    return probes & _MASK, hits
+
+
+def _vortex_check(program: Program, result: GoldenResult, scale: int) -> None:
+    probes, hits = _vortex_golden(scale)
+    base = program.symbol_address("results")
+    assert result.memory.load_word(base) == probes, "probe count mismatch"
+    assert result.memory.load_word(base + 4) == hits, "hit sum mismatch"
+
+
+register(Workload(
+    name="vortex",
+    kind="int",
+    spec_analogue="147.vortex",
+    description="Open-addressing hash table with a 3:1 insert/lookup"
+                " mix (database-style pointer probing).",
+    build_source=_vortex_source,
+    check=_vortex_check,
+    default_scale=2,
+))
+
+
+# =====================================================================
+# tomcatv: coupled-grid mesh smoothing with residual tracking
+# =====================================================================
+
+_TOM_N = 9
+
+
+def _tomcatv_grid(which: int) -> List[float]:
+    if which == 0:
+        return [0.5 * j + 0.125 * (i % 3)
+                for i in range(_TOM_N) for j in range(_TOM_N)]
+    return [0.5 * i + 0.25 * (j % 2)
+            for i in range(_TOM_N) for j in range(_TOM_N)]
+
+
+def _tomcatv_source(scale: int) -> str:
+    n = _TOM_N
+    steps = 5 * scale
+    return f"""
+.data
+{doubles_directive("xs", _tomcatv_grid(0))}
+{doubles_directive("ys", _tomcatv_grid(1))}
+consts: .double 0.25, 0.5
+results: .space 24
+.text
+main:
+    la   r2, xs
+    la   r3, ys
+    la   r4, consts
+    ld   f10, 0(r4)     # 0.25
+    ld   f11, 8(r4)     # omega = 0.5
+    li   r20, {steps}
+    li   r7, {n}
+step:
+    beq  r20, r0, reduce
+    # f22 tracks the max residual of this sweep (reset each step)
+    fsub f22, f22, f22
+    li   r5, 1
+iloop:
+    li   r6, 1
+jloop:
+    mult r8, r5, r7
+    add  r8, r8, r6
+    slli r8, r8, 3
+    # --- x smoothing ---
+    add  r9, r2, r8
+    ld   f1, 0(r9)
+    ld   f2, -8(r9)
+    ld   f3, 8(r9)
+    ld   f4, {-8 * n}(r9)
+    ld   f5, {8 * n}(r9)
+    fadd f6, f2, f3
+    fadd f6, f6, f4
+    fadd f6, f6, f5
+    fmul f6, f6, f10    # neighbour average
+    fsub f7, f6, f1     # residual
+    fabs f8, f7
+    fmax f22, f22, f8
+    fmul f7, f7, f11
+    fadd f1, f1, f7
+    sd   f1, 0(r9)
+    # --- y smoothing ---
+    add  r9, r3, r8
+    ld   f1, 0(r9)
+    ld   f2, -8(r9)
+    ld   f3, 8(r9)
+    ld   f4, {-8 * n}(r9)
+    ld   f5, {8 * n}(r9)
+    fadd f6, f2, f3
+    fadd f6, f6, f4
+    fadd f6, f6, f5
+    fmul f6, f6, f10
+    fsub f7, f6, f1
+    fabs f8, f7
+    fmax f22, f22, f8
+    fmul f7, f7, f11
+    fadd f1, f1, f7
+    sd   f1, 0(r9)
+    addi r6, r6, 1
+    li   r11, {n - 1}
+    bne  r6, r11, jloop
+    addi r5, r5, 1
+    bne  r5, r11, iloop
+    addi r20, r20, -1
+    j    step
+reduce:
+    li   r13, {n * n}
+    add  r14, r2, r0
+    add  r15, r3, r0
+sumloop:
+    beq  r13, r0, done
+    ld   f1, 0(r14)
+    fadd f20, f20, f1
+    ld   f2, 0(r15)
+    fadd f21, f21, f2
+    addi r14, r14, 8
+    addi r15, r15, 8
+    addi r13, r13, -1
+    j    sumloop
+done:
+    la   r16, results
+    sd   f20, 0(r16)
+    sd   f21, 8(r16)
+    sd   f22, 16(r16)
+    halt
+"""
+
+
+def _tomcatv_golden(scale: int) -> Tuple[float, float, float]:
+    n = _TOM_N
+    xs = _tomcatv_grid(0)
+    ys = _tomcatv_grid(1)
+    residual = 0.0
+    for _ in range(5 * scale):
+        residual = residual - residual  # matches fsub f22, f22, f22
+        for i in range(1, n - 1):
+            for j in range(1, n - 1):
+                for grid in (xs, ys):
+                    centre = grid[i * n + j]
+                    average = grid[i * n + j - 1] + grid[i * n + j + 1]
+                    average = average + grid[(i - 1) * n + j]
+                    average = average + grid[(i + 1) * n + j]
+                    average = average * 0.25
+                    delta = average - centre
+                    residual = max(residual, abs(delta))
+                    grid[i * n + j] = centre + delta * 0.5
+    x_sum = 0.0
+    for value in xs:
+        x_sum = x_sum + value
+    y_sum = 0.0
+    for value in ys:
+        y_sum = y_sum + value
+    return x_sum, y_sum, residual
+
+
+def _tomcatv_check(program: Program, result: GoldenResult,
+                   scale: int) -> None:
+    x_sum, y_sum, residual = _tomcatv_golden(scale)
+    base = program.symbol_address("results")
+    for offset, expected, what in ((0, x_sum, "x sum"), (8, y_sum, "y sum"),
+                                   (16, residual, "residual")):
+        actual = result.memory.load_double(base + offset)
+        assert actual == encoding.float_to_bits(expected), what
+
+
+register(Workload(
+    name="tomcatv",
+    kind="fp",
+    spec_analogue="101.tomcatv",
+    description="Coupled x/y mesh smoothing with max-residual tracking"
+                " (fabs/fmax heavy).",
+    build_source=_tomcatv_source,
+    check=_tomcatv_check,
+    default_scale=2,
+))

@@ -1,0 +1,684 @@
+"""Floating point kernels, part 1: swim, mgrid, applu, hydro2d analogues.
+
+All checkers mirror the kernel's floating point operations in Python in
+the exact same order, so results compare bit-for-bit (Python floats are
+IEEE-754 doubles, the same arithmetic the ISA semantics performs).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ...cpu.golden import GoldenResult
+from ...isa import encoding
+from ...isa.program import Program
+from ..base import Workload, register
+from .common import doubles_directive
+
+
+def _expect_double(result: GoldenResult, address: int, expected: float,
+                   what: str) -> None:
+    actual_bits = result.memory.load_double(address)
+    expected_bits = encoding.float_to_bits(expected)
+    assert actual_bits == expected_bits, (
+        f"{what}: got {encoding.bits_to_float(actual_bits)!r},"
+        f" expected {expected!r}")
+
+
+# =====================================================================
+# swim: 2D five-point stencil relaxation (shallow-water flavour)
+# =====================================================================
+
+_SWIM_H = 10
+_SWIM_W = 10
+
+
+def _swim_grid() -> List[float]:
+    # round numbers, as the paper observes are common in FP codes
+    return [(i + j) * 0.25 for i in range(_SWIM_H) for j in range(_SWIM_W)]
+
+
+def _swim_steps(scale: int) -> int:
+    return 6 * scale
+
+
+def _swim_source(scale: int) -> str:
+    grid = _swim_grid()
+    w = _SWIM_W
+    return f"""
+.data
+{doubles_directive("grid_a", grid)}
+{doubles_directive("grid_b", grid)}
+consts: .double 0.125, 4.0
+results: .space 8
+.text
+main:
+    li   r20, {_swim_steps(scale)}
+    la   r2, grid_a
+    la   r3, grid_b
+    la   r4, consts
+    ld   f10, 0(r4)     # c = 0.125
+    ld   f11, 8(r4)     # 4.0
+    li   r7, {w}
+step:
+    beq  r20, r0, sumup
+    li   r5, 1
+iloop:
+    li   r6, 1
+jloop:
+    mult r8, r5, r7
+    add  r8, r8, r6
+    slli r8, r8, 3
+    add  r9, r2, r8
+    ld   f1, 0(r9)          # centre
+    ld   f2, -8(r9)         # west
+    ld   f3, 8(r9)          # east
+    ld   f4, {-8 * w}(r9)   # north
+    ld   f5, {8 * w}(r9)    # south
+    fadd f6, f2, f3
+    fadd f6, f6, f4
+    fadd f6, f6, f5
+    fmul f7, f1, f11
+    fsub f6, f6, f7
+    fmul f6, f6, f10
+    fadd f6, f1, f6
+    add  r10, r3, r8
+    sd   f6, 0(r10)
+    addi r6, r6, 1
+    li   r11, {w - 1}
+    bne  r6, r11, jloop
+    addi r5, r5, 1
+    li   r11, {_SWIM_H - 1}
+    bne  r5, r11, iloop
+    add  r12, r2, r0
+    add  r2, r3, r0
+    add  r3, r12, r0
+    addi r20, r20, -1
+    j    step
+sumup:
+    li   r13, {_SWIM_H * _SWIM_W}
+    add  r14, r2, r0
+sumloop:
+    beq  r13, r0, done
+    ld   f1, 0(r14)
+    fadd f20, f20, f1
+    addi r14, r14, 8
+    addi r13, r13, -1
+    j    sumloop
+done:
+    la   r15, results
+    sd   f20, 0(r15)
+    halt
+"""
+
+
+def _swim_golden(scale: int) -> float:
+    w, h = _SWIM_W, _SWIM_H
+    src = _swim_grid()
+    dst = list(src)
+    for _ in range(_swim_steps(scale)):
+        for i in range(1, h - 1):
+            for j in range(1, w - 1):
+                centre = src[i * w + j]
+                acc = src[i * w + j - 1] + src[i * w + j + 1]
+                acc = acc + src[(i - 1) * w + j]
+                acc = acc + src[(i + 1) * w + j]
+                acc = acc - centre * 4.0
+                dst[i * w + j] = centre + acc * 0.125
+        src, dst = dst, src
+    total = 0.0
+    for value in src:
+        total = total + value
+    return total
+
+
+def _swim_check(program: Program, result: GoldenResult, scale: int) -> None:
+    base = program.symbol_address("results")
+    _expect_double(result, base, _swim_golden(scale), "stencil sum")
+
+
+register(Workload(
+    name="swim",
+    kind="fp",
+    spec_analogue="102.swim",
+    description="Five-point stencil relaxation on a 2D grid of round"
+                " numbers (shallow-water flavour).",
+    build_source=_swim_source,
+    check=_swim_check,
+    default_scale=2,
+))
+
+
+# =====================================================================
+# mgrid: two-level multigrid V-cycle (smooth, restrict, smooth, prolong)
+# =====================================================================
+
+_MGRID_N = 64
+
+
+def _mgrid_rhs() -> List[float]:
+    return [0.5 if (i % 5) == 0 else 0.0625 * (i % 9) for i in range(_MGRID_N)]
+
+
+def _mgrid_source(scale: int) -> str:
+    n = _MGRID_N
+    coarse = n // 2
+    cycles = 2 * scale
+    return f"""
+.data
+fine: .space {8 * n}
+{doubles_directive("rhs", _mgrid_rhs())}
+coarse: .space {8 * coarse}
+consts: .double 0.5, 0.25
+results: .space 8
+.text
+main:
+    la   r2, fine
+    la   r3, rhs
+    la   r4, coarse
+    la   r5, consts
+    ld   f10, 0(r5)     # 0.5
+    ld   f11, 8(r5)     # 0.25
+    li   r20, {cycles}
+vcycle:
+    beq  r20, r0, sumup
+    # --- smooth fine: 2 Gauss-Seidel sweeps ---
+    li   r21, 2
+fs_sweep:
+    beq  r21, r0, restrict
+    li   r6, 1
+fs_loop:
+    slli r7, r6, 3
+    add  r8, r2, r7
+    ld   f1, -8(r8)
+    ld   f2, 8(r8)
+    add  r9, r3, r7
+    ld   f3, 0(r9)
+    fadd f4, f1, f2
+    fadd f4, f4, f3
+    fmul f4, f4, f10
+    sd   f4, 0(r8)
+    addi r6, r6, 1
+    li   r10, {n - 1}
+    bne  r6, r10, fs_loop
+    addi r21, r21, -1
+    j    fs_sweep
+restrict:
+    li   r6, 1
+rs_loop:
+    slli r7, r6, 4      # fine index 2i, byte offset 16*i
+    add  r8, r2, r7
+    ld   f1, -8(r8)
+    ld   f2, 0(r8)
+    ld   f3, 8(r8)
+    fadd f4, f2, f2
+    fadd f4, f4, f1
+    fadd f4, f4, f3
+    fmul f4, f4, f11
+    slli r9, r6, 3
+    add  r9, r9, r4
+    sd   f4, 0(r9)
+    addi r6, r6, 1
+    li   r10, {coarse - 1}
+    bne  r6, r10, rs_loop
+    # --- smooth coarse: 2 sweeps, zero rhs ---
+    li   r21, 2
+cs_sweep:
+    beq  r21, r0, prolong
+    li   r6, 1
+cs_loop:
+    slli r7, r6, 3
+    add  r8, r4, r7
+    ld   f1, -8(r8)
+    ld   f2, 8(r8)
+    fadd f4, f1, f2
+    fmul f4, f4, f10
+    sd   f4, 0(r8)
+    addi r6, r6, 1
+    li   r10, {coarse - 1}
+    bne  r6, r10, cs_loop
+    addi r21, r21, -1
+    j    cs_sweep
+prolong:
+    li   r6, 1
+pl_loop:
+    slli r7, r6, 3
+    add  r8, r4, r7
+    ld   f1, 0(r8)      # C[i]
+    ld   f2, 8(r8)      # C[i+1]
+    slli r9, r6, 4
+    add  r10, r2, r9
+    ld   f3, 0(r10)     # F[2i]
+    fadd f3, f3, f1
+    sd   f3, 0(r10)
+    ld   f4, 8(r10)     # F[2i+1]
+    fadd f5, f1, f2
+    fmul f5, f5, f10
+    fadd f4, f4, f5
+    sd   f4, 8(r10)
+    addi r6, r6, 1
+    li   r11, {coarse - 2}
+    bne  r6, r11, pl_loop
+    addi r20, r20, -1
+    j    vcycle
+sumup:
+    li   r13, {n}
+    add  r14, r2, r0
+sumloop:
+    beq  r13, r0, done
+    ld   f1, 0(r14)
+    fadd f20, f20, f1
+    addi r14, r14, 8
+    addi r13, r13, -1
+    j    sumloop
+done:
+    la   r15, results
+    sd   f20, 0(r15)
+    halt
+"""
+
+
+def _mgrid_golden(scale: int) -> float:
+    n = _MGRID_N
+    half = n // 2
+    fine = [0.0] * n
+    rhs = _mgrid_rhs()
+    coarse = [0.0] * half
+    for _ in range(2 * scale):
+        for _ in range(2):
+            for i in range(1, n - 1):
+                fine[i] = ((fine[i - 1] + fine[i + 1]) + rhs[i]) * 0.5
+        for i in range(1, half - 1):
+            value = fine[2 * i] + fine[2 * i]
+            value = value + fine[2 * i - 1]
+            value = value + fine[2 * i + 1]
+            coarse[i] = value * 0.25
+        for _ in range(2):
+            for i in range(1, half - 1):
+                coarse[i] = (coarse[i - 1] + coarse[i + 1]) * 0.5
+        for i in range(1, half - 2):
+            fine[2 * i] = fine[2 * i] + coarse[i]
+            fine[2 * i + 1] = fine[2 * i + 1] \
+                + (coarse[i] + coarse[i + 1]) * 0.5
+    total = 0.0
+    for value in fine:
+        total = total + value
+    return total
+
+
+def _mgrid_check(program: Program, result: GoldenResult, scale: int) -> None:
+    base = program.symbol_address("results")
+    _expect_double(result, base, _mgrid_golden(scale), "multigrid sum")
+
+
+register(Workload(
+    name="mgrid",
+    kind="fp",
+    spec_analogue="107.mgrid",
+    description="Two-level multigrid V-cycle: Gauss-Seidel smoothing,"
+                " restriction, and prolongation on 1D grids.",
+    build_source=_mgrid_source,
+    check=_mgrid_check,
+    default_scale=2,
+))
+
+
+# =====================================================================
+# applu: dense LU factorisation and triangular solves
+# =====================================================================
+
+_APPLU_N = 10
+
+
+def _applu_matrix(scale: int) -> List[float]:
+    n = _APPLU_N
+    values = []
+    for i in range(n):
+        for j in range(n):
+            if i == j:
+                values.append(8.0 + 0.5 * (i % 3))
+            else:
+                values.append(0.25 * ((i * n + j + scale) % 7) - 0.75)
+    return values
+
+
+def _applu_rhs(scale: int) -> List[float]:
+    return [1.0 + 0.125 * ((i + scale) % 5) for i in range(_APPLU_N)]
+
+
+def _applu_source(scale: int) -> str:
+    n = _APPLU_N
+    repeats = 2 * scale
+    return f"""
+.data
+{doubles_directive("matrix0", _applu_matrix(scale))}
+{doubles_directive("rhs0", _applu_rhs(scale))}
+matrix: .space {8 * n * n}
+vec: .space {8 * n}
+results: .space 8
+.text
+main:
+    li   r20, {repeats}
+repeat:
+    beq  r20, r0, done
+    # copy pristine matrix and rhs (factorisation is in place)
+    la   r2, matrix0
+    la   r3, matrix
+    li   r4, {n * n}
+copym:
+    ld   f1, 0(r2)
+    sd   f1, 0(r3)
+    addi r2, r2, 8
+    addi r3, r3, 8
+    addi r4, r4, -1
+    bne  r4, r0, copym
+    la   r2, rhs0
+    la   r3, vec
+    li   r4, {n}
+copyv:
+    ld   f1, 0(r2)
+    sd   f1, 0(r3)
+    addi r2, r2, 8
+    addi r3, r3, 8
+    addi r4, r4, -1
+    bne  r4, r0, copyv
+    # --- LU factorisation (Doolittle, no pivoting) ---
+    la   r2, matrix
+    li   r5, 0              # k
+kloop:
+    li   r6, {n}
+    addi r7, r5, 1          # i = k+1
+    # pivot address = matrix + (k*n + k)*8
+    mult r8, r5, r6
+    add  r8, r8, r5
+    slli r8, r8, 3
+    add  r8, r8, r2
+    ld   f2, 0(r8)          # pivot
+iloop:
+    beq  r7, r6, knext
+    # a[i][k] /= pivot
+    mult r9, r7, r6
+    add  r9, r9, r5
+    slli r9, r9, 3
+    add  r9, r9, r2
+    ld   f3, 0(r9)
+    fdiv f3, f3, f2
+    sd   f3, 0(r9)
+    # row update: a[i][j] -= a[i][k]*a[k][j] for j=k+1..n-1
+    addi r10, r5, 1         # j
+jloop:
+    beq  r10, r6, inext
+    mult r11, r7, r6
+    add  r11, r11, r10
+    slli r11, r11, 3
+    add  r11, r11, r2
+    ld   f4, 0(r11)
+    mult r12, r5, r6
+    add  r12, r12, r10
+    slli r12, r12, 3
+    add  r12, r12, r2
+    ld   f5, 0(r12)
+    fmul f6, f3, f5
+    fsub f4, f4, f6
+    sd   f4, 0(r11)
+    addi r10, r10, 1
+    j    jloop
+inext:
+    addi r7, r7, 1
+    j    iloop
+knext:
+    addi r5, r5, 1
+    li   r13, {n - 1}
+    bne  r5, r13, kloop
+    # --- forward solve Ly = b (unit diagonal) ---
+    la   r3, vec
+    li   r5, 1              # i
+fwd:
+    li   r6, {n}
+    beq  r5, r6, back_init
+    slli r7, r5, 3
+    add  r7, r7, r3
+    ld   f2, 0(r7)          # b[i]
+    li   r8, 0              # j
+fwdj:
+    beq  r8, r5, fwdstore
+    mult r9, r5, r6
+    add  r9, r9, r8
+    slli r9, r9, 3
+    add  r9, r9, r2
+    ld   f3, 0(r9)          # L[i][j]
+    slli r10, r8, 3
+    add  r10, r10, r3
+    ld   f4, 0(r10)         # y[j]
+    fmul f5, f3, f4
+    fsub f2, f2, f5
+    addi r8, r8, 1
+    j    fwdj
+fwdstore:
+    sd   f2, 0(r7)
+    addi r5, r5, 1
+    j    fwd
+back_init:
+    # --- back substitution Ux = y ---
+    li   r5, {n - 1}        # i
+back:
+    li   r6, {n}
+    slli r7, r5, 3
+    add  r7, r7, r3
+    ld   f2, 0(r7)          # y[i]
+    addi r8, r5, 1          # j
+backj:
+    beq  r8, r6, backdiv
+    mult r9, r5, r6
+    add  r9, r9, r8
+    slli r9, r9, 3
+    add  r9, r9, r2
+    ld   f3, 0(r9)          # U[i][j]
+    slli r10, r8, 3
+    add  r10, r10, r3
+    ld   f4, 0(r10)         # x[j]
+    fmul f5, f3, f4
+    fsub f2, f2, f5
+    addi r8, r8, 1
+    j    backj
+backdiv:
+    mult r9, r5, r6
+    add  r9, r9, r5
+    slli r9, r9, 3
+    add  r9, r9, r2
+    ld   f3, 0(r9)          # U[i][i]
+    fdiv f2, f2, f3
+    sd   f2, 0(r7)
+    addi r5, r5, -1
+    bge  r5, r0, back
+    # accumulate sum of solution into f20
+    la   r3, vec
+    li   r5, {n}
+accum:
+    beq  r5, r0, rnext
+    ld   f1, 0(r3)
+    fadd f20, f20, f1
+    addi r3, r3, 8
+    addi r5, r5, -1
+    j    accum
+rnext:
+    addi r20, r20, -1
+    j    repeat
+done:
+    la   r15, results
+    sd   f20, 0(r15)
+    halt
+"""
+
+
+def _applu_golden(scale: int) -> float:
+    n = _APPLU_N
+    total = 0.0
+    for _ in range(2 * scale):
+        a = [list(_applu_matrix(scale)[i * n:(i + 1) * n]) for i in range(n)]
+        b = list(_applu_rhs(scale))
+        for k in range(n - 1):
+            pivot = a[k][k]
+            for i in range(k + 1, n):
+                a[i][k] = a[i][k] / pivot
+                factor = a[i][k]
+                for j in range(k + 1, n):
+                    a[i][j] = a[i][j] - factor * a[k][j]
+        for i in range(1, n):
+            acc = b[i]
+            for j in range(i):
+                acc = acc - a[i][j] * b[j]
+            b[i] = acc
+        for i in range(n - 1, -1, -1):
+            acc = b[i]
+            for j in range(i + 1, n):
+                acc = acc - a[i][j] * b[j]
+            b[i] = acc / a[i][i]
+        for value in b:
+            total = total + value
+    return total
+
+
+def _applu_check(program: Program, result: GoldenResult, scale: int) -> None:
+    base = program.symbol_address("results")
+    _expect_double(result, base, _applu_golden(scale), "LU solution sum")
+
+
+register(Workload(
+    name="applu",
+    kind="fp",
+    spec_analogue="110.applu",
+    description="Dense LU factorisation with forward/back substitution"
+                " (divide and multiply-subtract heavy).",
+    build_source=_applu_source,
+    check=_applu_check,
+    default_scale=2,
+))
+
+
+# =====================================================================
+# hydro2d: flux computation with limiter (fmin/fmax/fabs)
+# =====================================================================
+
+_HYDRO_N = 48
+
+
+def _hydro_init() -> List[float]:
+    return [2.0 + (0.5 if 16 <= i < 32 else 0.0) + 0.0625 * (i % 4)
+            for i in range(_HYDRO_N)]
+
+
+def _hydro_source(scale: int) -> str:
+    n = _HYDRO_N
+    steps = 8 * scale
+    return f"""
+.data
+{doubles_directive("u", _hydro_init())}
+flux: .space {8 * n}
+consts: .double 0.5, 0.25, 0.0
+results: .space 8
+.text
+main:
+    la   r2, u
+    la   r3, flux
+    la   r4, consts
+    ld   f10, 0(r4)     # 0.5
+    ld   f11, 8(r4)     # lam = 0.25
+    ld   f12, 16(r4)    # 0.0
+    li   r20, {steps}
+step:
+    beq  r20, r0, sumup
+    # flux[i] = 0.5*(u[i]+u[i+1]) - 0.5*lam*limited(u[i+1]-u[i])
+    li   r5, 0
+floop:
+    slli r6, r5, 3
+    add  r7, r2, r6
+    ld   f1, 0(r7)      # u[i]
+    ld   f2, 8(r7)      # u[i+1]
+    fadd f3, f1, f2
+    fmul f3, f3, f10
+    fsub f4, f2, f1     # du
+    fabs f5, f4
+    fmin f5, f5, f10    # |du| clamped to 0.5
+    fmax f6, f4, f12    # positive part
+    fmin f6, f6, f5     # limited slope
+    fadd f7, f1, f2
+    fdiv f6, f6, f7     # scale by local density sum
+    fmul f6, f6, f11
+    fmul f6, f6, f10
+    fsub f3, f3, f6
+    add  r8, r3, r6
+    sd   f3, 0(r8)
+    addi r5, r5, 1
+    li   r9, {n - 1}
+    bne  r5, r9, floop
+    # u[i] -= lam*(flux[i] - flux[i-1]) for interior
+    li   r5, 1
+uloop:
+    slli r6, r5, 3
+    add  r7, r3, r6
+    ld   f1, 0(r7)      # flux[i]
+    ld   f2, -8(r7)     # flux[i-1]
+    fsub f3, f1, f2
+    fmul f3, f3, f11
+    add  r8, r2, r6
+    ld   f4, 0(r8)
+    fsub f4, f4, f3
+    sd   f4, 0(r8)
+    addi r5, r5, 1
+    li   r9, {n - 1}
+    bne  r5, r9, uloop
+    addi r20, r20, -1
+    j    step
+sumup:
+    li   r13, {n}
+    add  r14, r2, r0
+sumloop:
+    beq  r13, r0, done
+    ld   f1, 0(r14)
+    fadd f20, f20, f1
+    addi r14, r14, 8
+    addi r13, r13, -1
+    j    sumloop
+done:
+    la   r15, results
+    sd   f20, 0(r15)
+    halt
+"""
+
+
+def _hydro_golden(scale: int) -> float:
+    n = _HYDRO_N
+    u = _hydro_init()
+    flux = [0.0] * n
+    for _ in range(8 * scale):
+        for i in range(n - 1):
+            average = (u[i] + u[i + 1]) * 0.5
+            du = u[i + 1] - u[i]
+            magnitude = min(abs(du), 0.5)
+            limited = min(max(du, 0.0), magnitude)
+            limited = limited / (u[i] + u[i + 1])
+            flux[i] = average - limited * 0.25 * 0.5
+        for i in range(1, n - 1):
+            u[i] = u[i] - (flux[i] - flux[i - 1]) * 0.25
+    total = 0.0
+    for value in u:
+        total = total + value
+    return total
+
+
+def _hydro_check(program: Program, result: GoldenResult, scale: int) -> None:
+    base = program.symbol_address("results")
+    _expect_double(result, base, _hydro_golden(scale), "hydro field sum")
+
+
+register(Workload(
+    name="hydro2d",
+    kind="fp",
+    spec_analogue="104.hydro2d",
+    description="Flux-limited advection sweep (fmin/fmax/fabs limiter,"
+                " multiply/subtract updates).",
+    build_source=_hydro_source,
+    check=_hydro_check,
+    default_scale=2,
+))

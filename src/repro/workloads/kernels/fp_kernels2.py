@@ -1,0 +1,560 @@
+"""Floating point kernels, part 2: wave5, turb3d, apsi, fpppp analogues."""
+
+from __future__ import annotations
+
+import math
+from typing import List, Tuple
+
+from ...cpu.golden import GoldenResult
+from ...isa import encoding
+from ...isa.program import Program
+from ..base import Workload, register
+from .common import doubles_directive, lcg_sequence, words_directive
+
+
+def _expect_double(result: GoldenResult, address: int, expected: float,
+                   what: str) -> None:
+    actual_bits = result.memory.load_double(address)
+    expected_bits = encoding.float_to_bits(expected)
+    assert actual_bits == expected_bits, (
+        f"{what}: got {encoding.bits_to_float(actual_bits)!r},"
+        f" expected {expected!r}")
+
+
+# =====================================================================
+# wave5: 1D field update plus particle push (int<->float conversions)
+# =====================================================================
+
+_WAVE_N = 40
+_WAVE_P = 12
+
+
+def _wave_field() -> List[float]:
+    return [0.25 * (i % 8) for i in range(_WAVE_N)]
+
+
+def _wave_particles(scale: int) -> List[int]:
+    return [1 + p % (_WAVE_N - 2)
+            for p in lcg_sequence(seed=0x3A7E + scale, count=_WAVE_P,
+                                  modulo=_WAVE_N - 2)]
+
+
+def _wave_source(scale: int) -> str:
+    n = _WAVE_N
+    steps = 6 * scale
+    return f"""
+.data
+{doubles_directive("efield", _wave_field())}
+{doubles_directive("bfield", _wave_field())}
+{words_directive("pos", _wave_particles(scale))}
+vel: .space {8 * _WAVE_P}
+consts: .double 0.5, 0.0625
+results: .space 16
+.text
+main:
+    la   r2, efield
+    la   r3, bfield
+    la   r4, pos
+    la   r5, vel
+    la   r6, consts
+    ld   f10, 0(r6)     # c = 0.5
+    ld   f11, 8(r6)     # qm*dt = 0.0625
+    li   r20, {steps}
+step:
+    beq  r20, r0, reduce
+    # E[i] += c*(B[i+1]-B[i]) for i in 0..n-2
+    li   r7, 0
+eloop:
+    slli r8, r7, 3
+    add  r9, r3, r8
+    ld   f1, 8(r9)
+    ld   f2, 0(r9)
+    fsub f3, f1, f2
+    fmul f3, f3, f10
+    add  r10, r2, r8
+    ld   f4, 0(r10)
+    fadd f4, f4, f3
+    sd   f4, 0(r10)
+    addi r7, r7, 1
+    li   r11, {n - 1}
+    bne  r7, r11, eloop
+    # B[i] -= c*(E[i]-E[i-1]) for i in 1..n-1
+    li   r7, 1
+bloop:
+    slli r8, r7, 3
+    add  r9, r2, r8
+    ld   f1, 0(r9)
+    ld   f2, -8(r9)
+    fsub f3, f1, f2
+    fmul f3, f3, f10
+    add  r10, r3, r8
+    ld   f4, 0(r10)
+    fsub f4, f4, f3
+    sd   f4, 0(r10)
+    addi r7, r7, 1
+    li   r11, {n}
+    bne  r7, r11, bloop
+    # particle push: v += E[p]*qmdt; p += trunc(v); clamp to interior
+    li   r7, 0
+ploop:
+    slli r8, r7, 2
+    add  r9, r4, r8
+    lw   r12, 0(r9)     # p
+    slli r13, r12, 3
+    add  r13, r13, r2
+    ld   f1, 0(r13)     # E[p]
+    fmul f2, f1, f11
+    slli r14, r7, 3
+    add  r15, r5, r14
+    ld   f3, 0(r15)     # v
+    fadd f3, f3, f2
+    sd   f3, 0(r15)
+    cvtfi r16, f3       # integer displacement
+    add  r12, r12, r16
+    li   r17, 1
+    bge  r12, r17, noclamp_lo
+    li   r12, 1
+noclamp_lo:
+    li   r17, {n - 2}
+    ble  r12, r17, noclamp_hi
+    li   r12, {n - 2}
+noclamp_hi:
+    sw   r12, 0(r9)
+    addi r7, r7, 1
+    li   r11, {_WAVE_P}
+    bne  r7, r11, ploop
+    addi r20, r20, -1
+    j    step
+reduce:
+    # energy = sum E[i]; moment = sum v_k * float(p_k)
+    li   r7, 0
+    li   r11, {n}
+srloop:
+    slli r8, r7, 3
+    add  r9, r2, r8
+    ld   f1, 0(r9)
+    fadd f20, f20, f1
+    addi r7, r7, 1
+    bne  r7, r11, srloop
+    li   r7, 0
+    li   r11, {_WAVE_P}
+prloop:
+    slli r8, r7, 2
+    add  r9, r4, r8
+    lw   r12, 0(r9)
+    cvtif f1, r12       # float(p)
+    slli r14, r7, 3
+    add  r15, r5, r14
+    ld   f2, 0(r15)
+    fmul f3, f1, f2
+    fadd f21, f21, f3
+    addi r7, r7, 1
+    bne  r7, r11, prloop
+    la   r16, results
+    sd   f20, 0(r16)
+    sd   f21, 8(r16)
+    halt
+"""
+
+
+def _wave_golden(scale: int) -> Tuple[float, float]:
+    n = _WAVE_N
+    efield = _wave_field()
+    bfield = _wave_field()
+    pos = _wave_particles(scale)
+    vel = [0.0] * _WAVE_P
+    for _ in range(6 * scale):
+        for i in range(n - 1):
+            efield[i] = efield[i] + (bfield[i + 1] - bfield[i]) * 0.5
+        for i in range(1, n):
+            bfield[i] = bfield[i] - (efield[i] - efield[i - 1]) * 0.5
+        for k in range(_WAVE_P):
+            vel[k] = vel[k] + efield[pos[k]] * 0.0625
+            displacement = int(vel[k])  # truncation toward zero
+            pos[k] = min(max(pos[k] + displacement, 1), n - 2)
+    energy = 0.0
+    for value in efield:
+        energy = energy + value
+    moment = 0.0
+    for k in range(_WAVE_P):
+        moment = moment + float(pos[k]) * vel[k]
+    return energy, moment
+
+
+def _wave_check(program: Program, result: GoldenResult, scale: int) -> None:
+    energy, moment = _wave_golden(scale)
+    base = program.symbol_address("results")
+    _expect_double(result, base, energy, "field energy")
+    _expect_double(result, base + 8, moment, "particle moment")
+
+
+register(Workload(
+    name="wave5",
+    kind="fp",
+    spec_analogue="146.wave5",
+    description="1D field update with particle push: int<->float casts"
+                " (cvtif/cvtfi) feeding the FPAU, as in PIC codes.",
+    build_source=_wave_source,
+    check=_wave_check,
+    default_scale=2,
+))
+
+
+# =====================================================================
+# turb3d: butterfly passes over complex arrays (FFT flavour)
+# =====================================================================
+
+_TURB_N = 32  # complex points; butterflies pair i with i + n/2
+
+
+def _turb_init() -> Tuple[List[float], List[float]]:
+    real = [0.5 * (i % 4) + (1.0 if i % 7 == 0 else 0.0)
+            for i in range(_TURB_N)]
+    imag = [0.25 * (i % 3) for i in range(_TURB_N)]
+    return real, imag
+
+
+def _turb_twiddles() -> Tuple[List[float], List[float]]:
+    half = _TURB_N // 2
+    w_re = [math.cos(2.0 * math.pi * i / _TURB_N) for i in range(half)]
+    w_im = [-math.sin(2.0 * math.pi * i / _TURB_N) for i in range(half)]
+    return w_re, w_im
+
+
+def _turb_source(scale: int) -> str:
+    n = _TURB_N
+    half = n // 2
+    real, imag = _turb_init()
+    w_re, w_im = _turb_twiddles()
+    stages = 4 * scale
+    return f"""
+.data
+{doubles_directive("re", real)}
+{doubles_directive("im", imag)}
+{doubles_directive("w_re", w_re)}
+{doubles_directive("w_im", w_im)}
+results: .space 16
+.text
+main:
+    la   r2, re
+    la   r3, im
+    la   r4, w_re
+    la   r5, w_im
+    li   r20, {stages}
+stage:
+    beq  r20, r0, reduce
+    li   r6, 0
+bfly:
+    slli r7, r6, 3
+    add  r8, r2, r7
+    add  r9, r3, r7
+    ld   f1, 0(r8)              # ar
+    ld   f2, 0(r9)              # ai
+    ld   f3, {8 * half}(r8)     # br
+    ld   f4, {8 * half}(r9)     # bi
+    add  r10, r4, r7
+    add  r11, r5, r7
+    ld   f5, 0(r10)             # wr
+    ld   f6, 0(r11)             # wi
+    # t = b * w (complex)
+    fmul f7, f3, f5
+    fmul f8, f4, f6
+    fsub f7, f7, f8             # tr
+    fmul f8, f3, f6
+    fmul f9, f4, f5
+    fadd f8, f8, f9             # ti
+    fadd f10, f1, f7
+    sd   f10, 0(r8)
+    fadd f11, f2, f8
+    sd   f11, 0(r9)
+    fsub f12, f1, f7
+    sd   f12, {8 * half}(r8)
+    fsub f13, f2, f8
+    sd   f13, {8 * half}(r9)
+    addi r6, r6, 1
+    li   r12, {half}
+    bne  r6, r12, bfly
+    addi r20, r20, -1
+    j    stage
+reduce:
+    li   r6, 0
+    li   r12, {n}
+rloop:
+    slli r7, r6, 3
+    add  r8, r2, r7
+    add  r9, r3, r7
+    ld   f1, 0(r8)
+    ld   f2, 0(r9)
+    fadd f20, f20, f1
+    fmul f3, f2, f2
+    fadd f21, f21, f3
+    addi r6, r6, 1
+    bne  r6, r12, rloop
+    la   r13, results
+    sd   f20, 0(r13)
+    sd   f21, 8(r13)
+    halt
+"""
+
+
+def _turb_golden(scale: int) -> Tuple[float, float]:
+    n = _TURB_N
+    half = n // 2
+    real, imag = _turb_init()
+    w_re, w_im = _turb_twiddles()
+    for _ in range(4 * scale):
+        for i in range(half):
+            ar, ai = real[i], imag[i]
+            br, bi = real[i + half], imag[i + half]
+            tr = br * w_re[i] - bi * w_im[i]
+            ti = br * w_im[i] + bi * w_re[i]
+            real[i] = ar + tr
+            imag[i] = ai + ti
+            real[i + half] = ar - tr
+            imag[i + half] = ai - ti
+    re_sum = 0.0
+    power = 0.0
+    for i in range(n):
+        re_sum = re_sum + real[i]
+        power = power + imag[i] * imag[i]
+    return re_sum, power
+
+
+def _turb_check(program: Program, result: GoldenResult, scale: int) -> None:
+    re_sum, power = _turb_golden(scale)
+    base = program.symbol_address("results")
+    _expect_double(result, base, re_sum, "real sum")
+    _expect_double(result, base + 8, power, "imaginary power")
+
+
+register(Workload(
+    name="turb3d",
+    kind="fp",
+    spec_analogue="125.turb3d",
+    description="Complex butterfly passes with twiddle factors"
+                " (FFT flavour; floating point multiplier heavy).",
+    build_source=_turb_source,
+    check=_turb_check,
+    default_scale=2,
+))
+
+
+# =====================================================================
+# apsi: column physics relaxation with source decay
+# =====================================================================
+
+_APSI_N = 36
+
+
+def _apsi_temperature() -> List[float]:
+    return [280.0 + 0.5 * (i % 9) for i in range(_APSI_N)]
+
+
+def _apsi_sources() -> List[float]:
+    return [1.0 if i % 6 == 0 else 0.125 for i in range(_APSI_N)]
+
+
+def _apsi_source_asm(scale: int) -> str:
+    n = _APSI_N
+    steps = 10 * scale
+    return f"""
+.data
+{doubles_directive("temp", _apsi_temperature())}
+{doubles_directive("src", _apsi_sources())}
+consts: .double 0.0625, 2.0, 0.96875, 240.0, 320.0
+results: .space 8
+.text
+main:
+    la   r2, temp
+    la   r3, src
+    la   r4, consts
+    ld   f10, 0(r4)     # alpha*dt
+    ld   f11, 8(r4)     # 2.0
+    ld   f12, 16(r4)    # decay
+    ld   f13, 24(r4)    # floor
+    ld   f14, 32(r4)    # ceiling
+    li   r20, {steps}
+step:
+    beq  r20, r0, sumup
+    li   r5, 1
+tloop:
+    slli r6, r5, 3
+    add  r7, r2, r6
+    ld   f1, -8(r7)
+    ld   f2, 0(r7)
+    ld   f3, 8(r7)
+    fmul f4, f2, f11
+    fsub f5, f1, f4
+    fadd f5, f5, f3     # diffusion
+    add  r8, r3, r6
+    ld   f6, 0(r8)
+    fadd f5, f5, f6
+    fmul f5, f5, f10
+    fadd f2, f2, f5
+    fmax f2, f2, f13
+    fmin f2, f2, f14
+    sd   f2, 0(r7)
+    addi r5, r5, 1
+    li   r9, {n - 1}
+    bne  r5, r9, tloop
+    # sources decay geometrically
+    li   r5, 0
+dloop:
+    slli r6, r5, 3
+    add  r8, r3, r6
+    ld   f6, 0(r8)
+    fmul f6, f6, f12
+    sd   f6, 0(r8)
+    addi r5, r5, 1
+    li   r9, {n}
+    bne  r5, r9, dloop
+    addi r20, r20, -1
+    j    step
+sumup:
+    li   r5, 0
+    li   r9, {n}
+sumloop:
+    slli r6, r5, 3
+    add  r7, r2, r6
+    ld   f1, 0(r7)
+    fadd f20, f20, f1
+    addi r5, r5, 1
+    bne  r5, r9, sumloop
+    la   r15, results
+    sd   f20, 0(r15)
+    halt
+"""
+
+
+def _apsi_golden(scale: int) -> float:
+    n = _APSI_N
+    temp = _apsi_temperature()
+    src = _apsi_sources()
+    for _ in range(10 * scale):
+        for i in range(1, n - 1):
+            diffusion = temp[i - 1] - temp[i] * 2.0
+            diffusion = diffusion + temp[i + 1]
+            delta = (diffusion + src[i]) * 0.0625
+            value = temp[i] + delta
+            value = max(value, 240.0)
+            value = min(value, 320.0)
+            temp[i] = value
+        for i in range(n):
+            src[i] = src[i] * 0.96875
+    total = 0.0
+    for value in temp:
+        total = total + value
+    return total
+
+
+def _apsi_check(program: Program, result: GoldenResult, scale: int) -> None:
+    base = program.symbol_address("results")
+    _expect_double(result, base, _apsi_golden(scale), "column sum")
+
+
+register(Workload(
+    name="apsi",
+    kind="fp",
+    spec_analogue="141.apsi",
+    description="Column physics: clamped diffusion with geometrically"
+                " decaying sources (round constants everywhere).",
+    build_source=_apsi_source_asm,
+    check=_apsi_check,
+    default_scale=2,
+))
+
+
+# =====================================================================
+# fpppp: many-term polynomial evaluation (Horner) over mixed points
+# =====================================================================
+
+_FPPPP_DEGREE = 10
+_FPPPP_COEFFS = [0.5, -0.25, 1.0, 0.125, -0.5, 0.0625, 2.0, -1.0,
+                 0.25, -0.125, 0.03125]
+
+
+def _fpppp_points(scale: int) -> List[float]:
+    # mix of integer casts, round values, and full-precision values, the
+    # three mantissa populations section 4.2 describes
+    count = 30 * scale
+    raw = lcg_sequence(seed=0xF9 + scale, count=count, modulo=1 << 20)
+    points = []
+    for index, value in enumerate(raw):
+        if index % 3 == 0:
+            points.append(float(value % 17))          # integer cast
+        elif index % 3 == 1:
+            points.append(0.25 + 0.125 * (value % 9))  # round number
+        else:
+            points.append(1.0 + value / (1 << 20))     # full precision
+    return points
+
+
+def _fpppp_source(scale: int) -> str:
+    points = _fpppp_points(scale)
+    return f"""
+.data
+{doubles_directive("coeffs", _FPPPP_COEFFS)}
+{doubles_directive("points", points)}
+results: .space 16
+.text
+main:
+    la   r2, points
+    li   r3, {len(points)}
+ploop:
+    beq  r3, r0, done
+    ld   f1, 0(r2)      # x
+    addi r2, r2, 8
+    addi r3, r3, -1
+    la   r4, coeffs
+    ld   f2, 0(r4)      # acc = c0
+    li   r5, {_FPPPP_DEGREE}
+horner:
+    beq  r5, r0, evaluated
+    addi r4, r4, 8
+    ld   f3, 0(r4)
+    fmul f2, f2, f1
+    fadd f2, f2, f3
+    addi r5, r5, -1
+    j    horner
+evaluated:
+    fadd f20, f20, f2   # sum
+    fmul f4, f2, f2
+    fadd f21, f21, f4   # sum of squares
+    j    ploop
+done:
+    la   r15, results
+    sd   f20, 0(r15)
+    sd   f21, 8(r15)
+    halt
+"""
+
+
+def _fpppp_golden(scale: int) -> Tuple[float, float]:
+    total = 0.0
+    squares = 0.0
+    for x in _fpppp_points(scale):
+        acc = _FPPPP_COEFFS[0]
+        for coeff in _FPPPP_COEFFS[1:]:
+            acc = acc * x + coeff
+        total = total + acc
+        squares = squares + acc * acc
+    return total, squares
+
+
+def _fpppp_check(program: Program, result: GoldenResult, scale: int) -> None:
+    total, squares = _fpppp_golden(scale)
+    base = program.symbol_address("results")
+    _expect_double(result, base, total, "polynomial sum")
+    _expect_double(result, base + 8, squares, "polynomial sum of squares")
+
+
+register(Workload(
+    name="fpppp",
+    kind="fp",
+    spec_analogue="145.fpppp",
+    description="Horner evaluation of a degree-10 polynomial over points"
+                " mixing integer casts, round numbers, and full precision.",
+    build_source=_fpppp_source,
+    check=_fpppp_check,
+    default_scale=2,
+))

@@ -1,0 +1,490 @@
+"""Integer kernels, part 1: compress, li, ijpeg, and go analogues.
+
+Each kernel mirrors the algorithmic domain of one SPEC 95 integer
+benchmark from the paper's suite, and each checker replicates the
+computation in Python (with the same 32-bit wrap-around semantics) so
+the kernels double as end-to-end simulator tests.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ...cpu.golden import GoldenResult
+from ...isa import encoding
+from ...isa.program import Program
+from ..base import Workload, register
+from .common import lcg_sequence, words_directive
+
+
+def _wrap_mul(a: int, b: int) -> int:
+    return (a * b) & encoding.INT_MASK
+
+
+def _signed(bits: int) -> int:
+    return encoding.to_signed(bits & encoding.INT_MASK)
+
+
+def _div_trunc(a: int, b: int) -> int:
+    """Division truncating toward zero, matching the ISA's ``div``."""
+    if b == 0:
+        return _signed(encoding.INT_MASK)
+    quotient = abs(a) // abs(b)
+    return -quotient if (a < 0) != (b < 0) else quotient
+
+
+# =====================================================================
+# compress: run-length encoding with a multiplicative checksum
+# =====================================================================
+
+def _compress_data(scale: int) -> List[int]:
+    # few distinct symbols so runs actually occur; the alphabet is signed
+    # (delta-encoded pixel/text data), as in real compressors
+    return [value - 3
+            for value in lcg_sequence(seed=0x5EED + scale,
+                                      count=256 * scale, modulo=6)]
+
+
+def _compress_source(scale: int) -> str:
+    data = _compress_data(scale)
+    count = len(data)
+    return f"""
+.data
+{words_directive("input", data)}
+output: .space {8 * count}
+results: .space 16
+.text
+main:
+    la   r2, input
+    li   r3, {count}
+    la   r4, output
+    li   r5, 0          # checksum
+    li   r10, 0         # emitted pairs
+    lw   r6, 0(r2)      # current run value
+    addi r2, r2, 4
+    addi r3, r3, -1
+    li   r7, 1          # run length
+loop:
+    beq  r3, r0, flush
+    lw   r8, 0(r2)
+    addi r2, r2, 4
+    addi r3, r3, -1
+    bne  r8, r6, emit
+    addi r7, r7, 1
+    j    loop
+emit:
+    sw   r6, 0(r4)
+    sw   r7, 4(r4)
+    addi r4, r4, 8
+    addi r10, r10, 1
+    li   r9, 31
+    mult r5, r5, r9
+    mult r11, r6, r7
+    add  r5, r5, r11
+    add  r6, r8, r0
+    li   r7, 1
+    j    loop
+flush:
+    sw   r6, 0(r4)
+    sw   r7, 4(r4)
+    addi r10, r10, 1
+    li   r9, 31
+    mult r5, r5, r9
+    mult r11, r6, r7
+    add  r5, r5, r11
+    la   r12, results
+    sw   r5, 0(r12)
+    sw   r10, 4(r12)
+    halt
+"""
+
+
+def _compress_golden(scale: int) -> Tuple[int, int, List[Tuple[int, int]]]:
+    data = _compress_data(scale)
+    pairs: List[Tuple[int, int]] = []
+    current, run = data[0], 1
+    for value in data[1:]:
+        if value == current:
+            run += 1
+        else:
+            pairs.append((current, run))
+            current, run = value, 1
+    pairs.append((current, run))
+    checksum = 0
+    for value, run in pairs:
+        checksum = (_wrap_mul(checksum, 31) + _wrap_mul(value, run)) \
+            & encoding.INT_MASK
+    return checksum, len(pairs), pairs
+
+
+def _compress_check(program: Program, result: GoldenResult, scale: int) -> None:
+    checksum, pairs_count, pairs = _compress_golden(scale)
+    base = program.symbol_address("results")
+    assert result.memory.load_word(base) == checksum, "checksum mismatch"
+    assert result.memory.load_word(base + 4) == pairs_count, "pair count mismatch"
+    out = program.symbol_address("output")
+    for index, (value, run) in enumerate(pairs[:8]):
+        assert result.memory.load_word(out + 8 * index) \
+            == encoding.wrap_int(value)
+        assert result.memory.load_word(out + 8 * index + 4) == run
+
+
+register(Workload(
+    name="compress",
+    kind="int",
+    spec_analogue="129.compress",
+    description="Run-length compression of a low-entropy symbol stream"
+                " with a multiplicative checksum.",
+    build_source=_compress_source,
+    check=_compress_check,
+    default_scale=2,
+))
+
+
+# =====================================================================
+# li: linked-list construction, in-place reversal, traversal
+# =====================================================================
+
+def _li_count(scale: int) -> int:
+    return 96 * scale
+
+
+def _li_source(scale: int) -> str:
+    count = _li_count(scale)
+    return f"""
+.data
+heap: .space {8 * count}
+results: .space 16
+.text
+main:
+    la   r2, heap
+    li   r3, {count}
+    li   r4, 0          # i
+    addi r8, r3, -1     # last index
+build:
+    beq  r4, r3, built
+    mult r5, r4, r4     # value = ((i*i) & 255) - 128, signed
+    andi r5, r5, 255
+    addi r5, r5, -128
+    sw   r5, 0(r2)
+    addi r6, r2, 8      # tentative next pointer
+    bne  r4, r8, link
+    li   r6, 0          # last cell: null next
+link:
+    sw   r6, 4(r2)
+    addi r2, r2, 8
+    addi r4, r4, 1
+    j    build
+built:
+    la   r2, heap       # head
+    li   r9, 0          # prev
+reverse:
+    beq  r2, r0, reversed
+    lw   r10, 4(r2)
+    sw   r9, 4(r2)
+    add  r9, r2, r0
+    add  r2, r10, r0
+    j    reverse
+reversed:
+    li   r11, 0         # sum
+    add  r2, r9, r0
+sumloop:
+    beq  r2, r0, done
+    lw   r12, 0(r2)
+    add  r11, r11, r12
+    lw   r2, 4(r2)
+    j    sumloop
+done:
+    la   r13, results
+    sw   r11, 0(r13)
+    sw   r9, 4(r13)     # head pointer after reversal
+    halt
+"""
+
+
+def _li_check(program: Program, result: GoldenResult, scale: int) -> None:
+    count = _li_count(scale)
+    expected_sum = sum(((i * i) & 255) - 128
+                       for i in range(count)) & encoding.INT_MASK
+    base = program.symbol_address("results")
+    heap = program.symbol_address("heap")
+    assert result.memory.load_word(base) == expected_sum, "list sum mismatch"
+    expected_head = heap + 8 * (count - 1)
+    assert result.memory.load_word(base + 4) == expected_head, \
+        "reversed head pointer mismatch"
+
+
+register(Workload(
+    name="li",
+    kind="int",
+    spec_analogue="130.li",
+    description="Cons-cell list build, in-place reversal, and pointer-"
+                "chasing traversal.",
+    build_source=_li_source,
+    check=_li_check,
+    default_scale=2,
+))
+
+
+# =====================================================================
+# ijpeg: blocked integer transform with quantisation
+# =====================================================================
+
+_DCT_COEF = [
+    [32, 32, 32, 32, 32, 32, 32, 32],
+    [44, 38, 25, 9, -9, -25, -38, -44],
+    [42, 17, -17, -42, -42, -17, 17, 42],
+    [38, -9, -44, -25, 25, 44, 9, -38],
+    [32, -32, -32, 32, 32, -32, -32, 32],
+    [25, -44, 9, 38, -38, -9, 44, -25],
+    [17, -42, 42, -17, -17, 42, -42, 17],
+    [9, -25, 38, -44, 44, -38, 25, -9],
+]
+_QTABLE = [16, 11, 10, 16, 24, 40, 51, 61]
+
+
+def _ijpeg_blocks(scale: int) -> List[int]:
+    return lcg_sequence(seed=0x1A6E + scale, count=8 * 24 * scale, modulo=256)
+
+
+def _ijpeg_source(scale: int) -> str:
+    samples = _ijpeg_blocks(scale)
+    nblocks = len(samples) // 8
+    flat_coef = [value for row in _DCT_COEF for value in row]
+    return f"""
+.data
+{words_directive("blocks", samples)}
+{words_directive("coef", flat_coef)}
+{words_directive("qtable", _QTABLE)}
+results: .space 8
+.text
+main:
+    la   r2, blocks
+    li   r3, {nblocks}
+    li   r14, 0         # checksum
+    li   r15, 8
+blockloop:
+    beq  r3, r0, done
+    li   r4, 0          # u
+uloop:
+    beq  r4, r15, blocknext
+    li   r6, 0          # acc
+    li   r7, 0          # x
+    slli r8, r4, 5      # coef row byte offset
+    la   r9, coef
+    add  r8, r8, r9
+xloop:
+    beq  r7, r15, xdone
+    slli r10, r7, 2
+    add  r11, r2, r10
+    lw   r11, 0(r11)
+    addi r11, r11, -128     # JPEG level shift: samples become signed
+    add  r12, r8, r10
+    lw   r12, 0(r12)
+    mult r13, r11, r12
+    add  r6, r6, r13
+    addi r7, r7, 1
+    j    xloop
+xdone:
+    srai r6, r6, 5
+    la   r10, qtable
+    slli r11, r4, 2
+    add  r10, r10, r11
+    lw   r10, 0(r10)
+    div  r12, r6, r10
+    xor  r13, r12, r4
+    add  r14, r14, r13
+    addi r4, r4, 1
+    j    uloop
+blocknext:
+    addi r2, r2, 32
+    addi r3, r3, -1
+    j    blockloop
+done:
+    la   r5, results
+    sw   r14, 0(r5)
+    halt
+"""
+
+
+def _ijpeg_golden(scale: int) -> int:
+    samples = _ijpeg_blocks(scale)
+    checksum = 0
+    for start in range(0, len(samples), 8):
+        block = samples[start:start + 8]
+        for u in range(8):
+            acc = 0
+            for x in range(8):
+                acc = (acc + _wrap_mul((block[x] - 128) & encoding.INT_MASK,
+                                       _DCT_COEF[u][x] & encoding.INT_MASK)) \
+                    & encoding.INT_MASK
+            acc = _signed(acc) >> 5
+            q = _div_trunc(acc, _QTABLE[u])
+            checksum = (checksum + ((q & encoding.INT_MASK) ^ u)) \
+                & encoding.INT_MASK
+    return checksum
+
+
+def _ijpeg_check(program: Program, result: GoldenResult, scale: int) -> None:
+    expected = _ijpeg_golden(scale)
+    base = program.symbol_address("results")
+    assert result.memory.load_word(base) == expected, "DCT checksum mismatch"
+
+
+register(Workload(
+    name="ijpeg",
+    kind="int",
+    spec_analogue="132.ijpeg",
+    description="Blocked 8-point integer transform with quantisation"
+                " (multiply/shift/divide heavy).",
+    build_source=_ijpeg_source,
+    check=_ijpeg_check,
+    default_scale=2,
+))
+
+
+# =====================================================================
+# go: board-scan position evaluation
+# =====================================================================
+
+_GO_N = 9  # playing area; board is (N+2)^2 with sentinel border 3
+
+
+def _go_board(scale: int) -> List[int]:
+    side = _GO_N + 2
+    stones = lcg_sequence(seed=0x60 + scale, count=_GO_N * _GO_N, modulo=3)
+    board = [3] * (side * side)
+    index = 0
+    for row in range(1, _GO_N + 1):
+        for col in range(1, _GO_N + 1):
+            board[row * side + col] = stones[index]
+            index += 1
+    return board
+
+
+def _go_source(scale: int) -> str:
+    board = _go_board(scale)
+    side = _GO_N + 2
+    passes = 4 * scale
+    return f"""
+.data
+{words_directive("board", board)}
+results: .space 8
+.text
+main:
+    li   r20, 0         # player 1 score
+    li   r21, 0         # player 2 score
+    li   r22, {passes}  # evaluation passes
+    li   r23, {side}
+pass_loop:
+    beq  r22, r0, done
+    la   r2, board
+    li   r3, 1          # row
+rowloop:
+    beq  r3, r23, pass_next   # row == side-1 boundary handled below
+    li   r4, 1          # col
+colloop:
+    mult r6, r3, r23
+    add  r6, r6, r4
+    slli r6, r6, 2
+    add  r6, r6, r2
+    lw   r7, 0(r6)      # stone
+    beq  r7, r0, cell_next
+    li   r8, 3
+    beq  r7, r8, cell_next
+    li   r10, 0         # cell contribution
+    sub  r15, r8, r7    # enemy stone id
+    lw   r9, -4(r6)     # west
+    seq  r11, r9, r0
+    add  r10, r10, r11
+    seq  r11, r9, r7
+    slli r11, r11, 1
+    add  r10, r10, r11
+    seq  r11, r9, r15
+    sub  r10, r10, r11
+    lw   r9, 4(r6)      # east
+    seq  r11, r9, r0
+    add  r10, r10, r11
+    seq  r11, r9, r7
+    slli r11, r11, 1
+    add  r10, r10, r11
+    seq  r11, r9, r15
+    sub  r10, r10, r11
+    lw   r9, {-4 * side}(r6)   # north
+    seq  r11, r9, r0
+    add  r10, r10, r11
+    seq  r11, r9, r7
+    slli r11, r11, 1
+    add  r10, r10, r11
+    seq  r11, r9, r15
+    sub  r10, r10, r11
+    lw   r9, {4 * side}(r6)    # south
+    seq  r11, r9, r0
+    add  r10, r10, r11
+    seq  r11, r9, r7
+    slli r11, r11, 1
+    add  r10, r10, r11
+    seq  r11, r9, r15
+    sub  r10, r10, r11
+    li   r8, 1
+    bne  r7, r8, credit_p2
+    add  r20, r20, r10
+    j    cell_next
+credit_p2:
+    add  r21, r21, r10
+cell_next:
+    addi r4, r4, 1
+    li   r8, {_GO_N + 1}
+    bne  r4, r8, colloop
+    addi r3, r3, 1
+    li   r8, {_GO_N + 1}
+    bne  r3, r8, rowloop
+pass_next:
+    addi r22, r22, -1
+    j    pass_loop
+done:
+    la   r5, results
+    sw   r20, 0(r5)
+    sw   r21, 4(r5)
+    halt
+"""
+
+
+def _go_golden(scale: int) -> Tuple[int, int]:
+    board = _go_board(scale)
+    side = _GO_N + 2
+    scores = {1: 0, 2: 0}
+    for row in range(1, _GO_N + 1):
+        for col in range(1, _GO_N + 1):
+            stone = board[row * side + col]
+            if stone in (0, 3):
+                continue
+            contribution = 0
+            for offset in (-1, 1, -side, side):
+                neighbour = board[row * side + col + offset]
+                contribution += 1 if neighbour == 0 else 0
+                contribution += 2 if neighbour == stone else 0
+                contribution -= 1 if neighbour == 3 - stone else 0
+            scores[stone] += contribution
+    passes = 4 * scale
+    return (scores[1] * passes) & encoding.INT_MASK, \
+           (scores[2] * passes) & encoding.INT_MASK
+
+
+def _go_check(program: Program, result: GoldenResult, scale: int) -> None:
+    expected_p1, expected_p2 = _go_golden(scale)
+    base = program.symbol_address("results")
+    assert result.memory.load_word(base) == expected_p1, "player 1 score"
+    assert result.memory.load_word(base + 4) == expected_p2, "player 2 score"
+
+
+register(Workload(
+    name="go",
+    kind="int",
+    spec_analogue="099.go",
+    description="Board-scan position evaluation with neighbour counting"
+                " (branchy, comparison heavy).",
+    build_source=_go_source,
+    check=_go_check,
+    default_scale=2,
+))

@@ -1,0 +1,396 @@
+"""Integer kernels, part 2: perl, cc1, and m88ksim analogues."""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ...cpu.golden import GoldenResult
+from ...isa import encoding
+from ...isa.program import Program
+from ..base import Workload, register
+from .common import lcg_sequence, words_directive
+
+_MASK = encoding.INT_MASK
+
+
+# =====================================================================
+# perl: string hashing into buckets (djb2-style, multiply heavy)
+# =====================================================================
+
+_PERL_STRLEN = 12
+_PERL_BUCKETS = 64
+
+
+def _perl_strings(scale: int) -> List[List[int]]:
+    count = 24 * scale
+    flat = lcg_sequence(seed=0x9E71 + scale, count=count * _PERL_STRLEN,
+                        modulo=96)
+    return [flat[i * _PERL_STRLEN:(i + 1) * _PERL_STRLEN]
+            for i in range(count)]
+
+
+def _perl_source(scale: int) -> str:
+    strings = _perl_strings(scale)
+    flat = [char + 32 for string in strings for char in string]
+    return f"""
+.data
+{words_directive("chars", flat)}
+buckets: .space {4 * _PERL_BUCKETS}
+results: .space 8
+.text
+main:
+    la   r2, chars
+    li   r3, {len(strings)}
+    li   r14, 0             # xor checksum of hashes
+    la   r15, buckets
+strloop:
+    beq  r3, r0, done
+    li   r4, 5381           # djb2 seed
+    li   r5, {_PERL_STRLEN}
+charloop:
+    beq  r5, r0, hashed
+    lw   r6, 0(r2)
+    addi r2, r2, 4
+    li   r7, 33
+    mult r4, r4, r7
+    add  r4, r4, r6
+    addi r5, r5, -1
+    j    charloop
+hashed:
+    xor  r14, r14, r4
+    andi r8, r4, {_PERL_BUCKETS - 1}
+    slli r8, r8, 2
+    add  r8, r8, r15
+    lw   r9, 0(r8)
+    addi r9, r9, 1
+    sw   r9, 0(r8)
+    addi r3, r3, -1
+    j    strloop
+done:
+    la   r10, results
+    sw   r14, 0(r10)
+    halt
+"""
+
+
+def _perl_golden(scale: int) -> Tuple[int, List[int]]:
+    strings = _perl_strings(scale)
+    checksum = 0
+    buckets = [0] * _PERL_BUCKETS
+    for string in strings:
+        value = 5381
+        for char in string:
+            value = (value * 33 + char + 32) & _MASK
+        checksum ^= value
+        buckets[value & (_PERL_BUCKETS - 1)] += 1
+    return checksum, buckets
+
+
+def _perl_check(program: Program, result: GoldenResult, scale: int) -> None:
+    checksum, buckets = _perl_golden(scale)
+    base = program.symbol_address("results")
+    assert result.memory.load_word(base) == checksum, "hash checksum mismatch"
+    bucket_base = program.symbol_address("buckets")
+    for index, expected in enumerate(buckets):
+        actual = result.memory.load_word(bucket_base + 4 * index)
+        assert actual == expected, f"bucket {index}: {actual} != {expected}"
+
+
+register(Workload(
+    name="perl",
+    kind="int",
+    spec_analogue="134.perl",
+    description="String hashing with bucket histogram (djb2, hash-table"
+                " style memory traffic).",
+    build_source=_perl_source,
+    check=_perl_check,
+    default_scale=2,
+))
+
+
+# =====================================================================
+# cc1: stack-machine expression evaluator (branchy dispatch)
+# =====================================================================
+
+_OP_PUSH, _OP_ADD, _OP_SUB, _OP_MUL, _OP_DUP = 0, 1, 2, 3, 4
+
+
+def _cc1_bytecode(scale: int) -> List[Tuple[int, int]]:
+    """A random well-formed expression program (op, operand) pairs."""
+    count = 160 * scale
+    raw = lcg_sequence(seed=0xCC1 + scale, count=count * 2, modulo=997)
+    ops: List[Tuple[int, int]] = []
+    depth = 0
+    for i in range(count):
+        choice = raw[2 * i] % 5
+        operand = raw[2 * i + 1] - 498  # signed-ish constants
+        if depth < 2 or choice == 0:
+            ops.append((_OP_PUSH, operand))
+            depth += 1
+        elif choice == 4 and depth < 12:
+            ops.append((_OP_DUP, 0))
+            depth += 1
+        else:
+            ops.append((choice % 3 + 1, 0))  # add/sub/mul
+            depth -= 1
+    while depth > 1:
+        ops.append((_OP_ADD, 0))
+        depth -= 1
+    return ops
+
+
+def _cc1_source(scale: int) -> str:
+    bytecode = _cc1_bytecode(scale)
+    flat = [word for op, operand in bytecode for word in (op, operand)]
+    return f"""
+.data
+{words_directive("bytecode", flat)}
+stack: .space 512
+results: .space 8
+.text
+main:
+    la   r2, bytecode
+    li   r3, {len(bytecode)}
+    la   r4, stack          # stack pointer (grows upward)
+dispatch:
+    beq  r3, r0, done
+    lw   r5, 0(r2)          # opcode
+    lw   r6, 4(r2)          # operand
+    addi r2, r2, 8
+    addi r3, r3, -1
+    beq  r5, r0, do_push
+    li   r7, 1
+    beq  r5, r7, do_add
+    li   r7, 2
+    beq  r5, r7, do_sub
+    li   r7, 3
+    beq  r5, r7, do_mul
+    # dup
+    lw   r8, -4(r4)
+    sw   r8, 0(r4)
+    addi r4, r4, 4
+    j    dispatch
+do_push:
+    sw   r6, 0(r4)
+    addi r4, r4, 4
+    j    dispatch
+do_add:
+    lw   r8, -4(r4)
+    lw   r9, -8(r4)
+    addi r4, r4, -4
+    add  r10, r9, r8
+    sw   r10, -4(r4)
+    j    dispatch
+do_sub:
+    lw   r8, -4(r4)
+    lw   r9, -8(r4)
+    addi r4, r4, -4
+    sub  r10, r9, r8
+    sw   r10, -4(r4)
+    j    dispatch
+do_mul:
+    lw   r8, -4(r4)
+    lw   r9, -8(r4)
+    addi r4, r4, -4
+    mult r10, r9, r8
+    sw   r10, -4(r4)
+    j    dispatch
+done:
+    lw   r11, -4(r4)
+    la   r12, results
+    sw   r11, 0(r12)
+    halt
+"""
+
+
+def _cc1_golden(scale: int) -> int:
+    stack: List[int] = []
+    for op, operand in _cc1_bytecode(scale):
+        if op == _OP_PUSH:
+            stack.append(operand & _MASK)
+        elif op == _OP_DUP:
+            stack.append(stack[-1])
+        else:
+            b = stack.pop()
+            a = stack.pop()
+            if op == _OP_ADD:
+                stack.append((a + b) & _MASK)
+            elif op == _OP_SUB:
+                stack.append((a - b) & _MASK)
+            else:
+                stack.append((a * b) & _MASK)
+    assert len(stack) == 1
+    return stack[0]
+
+
+def _cc1_check(program: Program, result: GoldenResult, scale: int) -> None:
+    expected = _cc1_golden(scale)
+    base = program.symbol_address("results")
+    assert result.memory.load_word(base) == expected, \
+        "expression result mismatch"
+
+
+register(Workload(
+    name="cc1",
+    kind="int",
+    spec_analogue="126.gcc",
+    description="Stack-machine expression evaluator with branchy opcode"
+                " dispatch, like a compiler's constant folder.",
+    build_source=_cc1_source,
+    check=_cc1_check,
+    default_scale=2,
+))
+
+
+# =====================================================================
+# m88ksim: interpreter for a tiny guest register machine
+# =====================================================================
+
+# guest instruction word: op(4) | rd(3) | rs1(3) | rs2(3) | imm(8)
+_G_ADD, _G_SUB, _G_XOR, _G_AND, _G_LI, _G_SHL = range(6)
+
+
+def _m88k_program(scale: int) -> List[int]:
+    count = 200 * scale
+    raw = lcg_sequence(seed=0x88 + scale, count=count * 5, modulo=256)
+    words: List[int] = []
+    for i in range(count):
+        op = raw[5 * i] % 6
+        rd = raw[5 * i + 1] % 8
+        rs1 = raw[5 * i + 2] % 8
+        rs2 = raw[5 * i + 3] % 8
+        imm = raw[5 * i + 4]
+        words.append((op << 17) | (rd << 14) | (rs1 << 11) | (rs2 << 8) | imm)
+    return words
+
+
+def _m88k_source(scale: int) -> str:
+    guest = _m88k_program(scale)
+    return f"""
+.data
+{words_directive("guest", guest)}
+gregs: .space 32
+results: .space 8
+.text
+main:
+    la   r2, guest
+    li   r3, {len(guest)}
+    la   r4, gregs
+interp:
+    beq  r3, r0, done
+    lw   r5, 0(r2)          # guest instruction
+    addi r2, r2, 4
+    addi r3, r3, -1
+    srli r6, r5, 17         # op
+    srli r7, r5, 14
+    andi r7, r7, 7          # rd
+    srli r8, r5, 11
+    andi r8, r8, 7          # rs1
+    srli r9, r5, 8
+    andi r9, r9, 7          # rs2
+    andi r10, r5, 255       # imm
+    slli r11, r8, 2
+    add  r11, r11, r4
+    lw   r12, 0(r11)        # guest rs1 value
+    slli r11, r9, 2
+    add  r11, r11, r4
+    lw   r13, 0(r11)        # guest rs2 value
+    beq  r6, r0, g_add
+    li   r14, 1
+    beq  r6, r14, g_sub
+    li   r14, 2
+    beq  r6, r14, g_xor
+    li   r14, 3
+    beq  r6, r14, g_and
+    li   r14, 4
+    beq  r6, r14, g_li
+    # shl: rd = rs1 << (imm & 7)
+    andi r10, r10, 7
+    sll  r15, r12, r10
+    j    writeback
+g_add:
+    add  r15, r12, r13
+    j    writeback
+g_sub:
+    sub  r15, r12, r13
+    j    writeback
+g_xor:
+    xor  r15, r12, r13
+    j    writeback
+g_and:
+    and  r15, r12, r13
+    j    writeback
+g_li:
+    addi r15, r10, -128     # guest constants are signed
+writeback:
+    slli r11, r7, 2
+    add  r11, r11, r4
+    sw   r15, 0(r11)
+    j    interp
+done:
+    # checksum all guest registers
+    li   r16, 8
+    li   r17, 0
+    add  r18, r4, r0
+ckloop:
+    beq  r16, r0, finish
+    lw   r19, 0(r18)
+    xor  r17, r17, r19
+    slli r20, r17, 1
+    srli r21, r17, 31
+    or   r17, r20, r21      # rotate left 1
+    addi r18, r18, 4
+    addi r16, r16, -1
+    j    ckloop
+finish:
+    la   r22, results
+    sw   r17, 0(r22)
+    halt
+"""
+
+
+def _m88k_golden(scale: int) -> int:
+    regs = [0] * 8
+    for word in _m88k_program(scale):
+        op = word >> 17
+        rd = (word >> 14) & 7
+        rs1 = (word >> 11) & 7
+        rs2 = (word >> 8) & 7
+        imm = word & 255
+        a, b = regs[rs1], regs[rs2]
+        if op == _G_ADD:
+            regs[rd] = (a + b) & _MASK
+        elif op == _G_SUB:
+            regs[rd] = (a - b) & _MASK
+        elif op == _G_XOR:
+            regs[rd] = a ^ b
+        elif op == _G_AND:
+            regs[rd] = a & b
+        elif op == _G_LI:
+            regs[rd] = (imm - 128) & _MASK
+        else:
+            regs[rd] = (a << (imm & 7)) & _MASK
+    checksum = 0
+    for value in regs:
+        checksum ^= value
+        checksum = ((checksum << 1) | (checksum >> 31)) & _MASK
+    return checksum
+
+
+def _m88k_check(program: Program, result: GoldenResult, scale: int) -> None:
+    expected = _m88k_golden(scale)
+    base = program.symbol_address("results")
+    assert result.memory.load_word(base) == expected, \
+        "guest register checksum mismatch"
+
+
+register(Workload(
+    name="m88ksim",
+    kind="int",
+    spec_analogue="124.m88ksim",
+    description="Fetch/decode/execute interpreter for a small guest"
+                " register machine (shift/mask decode, branchy dispatch).",
+    build_source=_m88k_source,
+    check=_m88k_check,
+    default_scale=2,
+))

@@ -1,0 +1,104 @@
+"""Table 1/3 collector tests."""
+
+import pytest
+
+from repro.analysis.bit_patterns import BitPatternCollector
+from repro.core.info_bits import CASES
+from repro.cpu.trace import IssueGroup, MicroOp
+from repro.isa import encoding
+from repro.isa.instructions import FUClass, opcode
+
+NEG = encoding.to_unsigned(-1)
+
+
+def ialu_group(ops, cycle=0):
+    return IssueGroup(cycle, FUClass.IALU, ops)
+
+
+class TestBitPatternCollector:
+    def test_classifies_cases_and_commutativity(self):
+        collector = BitPatternCollector(FUClass.IALU)
+        collector(ialu_group([
+            MicroOp(opcode("add"), 1, 2),      # case 00, commutative
+            MicroOp(opcode("sub"), 1, NEG),    # case 01, non-commutative
+            MicroOp(opcode("add"), NEG, NEG),  # case 11, commutative
+        ]))
+        assert collector.frequency(0b00, True) == pytest.approx(1 / 3)
+        assert collector.frequency(0b01, False) == pytest.approx(1 / 3)
+        assert collector.frequency(0b11, True) == pytest.approx(1 / 3)
+        assert collector.total_ops == 3
+
+    def test_immediate_forms_count_as_non_commutative(self):
+        collector = BitPatternCollector(FUClass.IALU)
+        collector(ialu_group([MicroOp(opcode("addi"), 1, 2)]))
+        assert collector.frequency(0b00, False) == 1.0
+
+    def test_bit_probabilities(self):
+        collector = BitPatternCollector(FUClass.IALU)
+        collector(ialu_group([MicroOp(opcode("add"), 0xFFFF, 0)]))
+        assert collector.bit_prob(0b00, True, 0) == pytest.approx(16 / 32)
+        assert collector.bit_prob(0b00, True, 1) == 0.0
+
+    def test_fp_probabilities_use_mantissa_width(self):
+        collector = BitPatternCollector(FUClass.FPAU)
+        bits = encoding.make_double(0, 1023, (1 << 52) - 1)
+        collector(IssueGroup(0, FUClass.FPAU,
+                             [MicroOp(opcode("fadd"), bits, bits)]))
+        assert collector.bit_prob(0b11, True, 0) == pytest.approx(1.0)
+
+    def test_single_source_op2_reads_zero(self):
+        collector = BitPatternCollector(FUClass.IALU)
+        collector(ialu_group([MicroOp(opcode("lui"), NEG, 0,
+                                      has_two=False)]))
+        assert collector.frequency(0b10, False) == 1.0
+
+    def test_ignores_other_classes(self):
+        collector = BitPatternCollector(FUClass.IALU)
+        collector(IssueGroup(0, FUClass.FPAU,
+                             [MicroOp(opcode("fadd"), 1, 2)]))
+        assert collector.total_ops == 0
+
+    def test_speculative_filter(self):
+        strict = BitPatternCollector(FUClass.IALU,
+                                     include_speculative=False)
+        wrong_path = MicroOp(opcode("add"), 1, 2, speculative=True)
+        strict(ialu_group([wrong_path]))
+        assert strict.total_ops == 0
+
+    def test_merge(self):
+        a = BitPatternCollector(FUClass.IALU)
+        b = BitPatternCollector(FUClass.IALU)
+        a(ialu_group([MicroOp(opcode("add"), 1, 2)]))
+        b(ialu_group([MicroOp(opcode("add"), NEG, NEG)]))
+        a.merge(b)
+        assert a.total_ops == 2
+        assert a.case_frequency(0b11) == 0.5
+
+    def test_merge_rejects_other_class(self):
+        a = BitPatternCollector(FUClass.IALU)
+        b = BitPatternCollector(FUClass.FPAU)
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_table_rows_layout(self):
+        collector = BitPatternCollector(FUClass.IALU)
+        collector(ialu_group([MicroOp(opcode("add"), 1, 2)]))
+        rows = collector.table_rows()
+        assert len(rows) == 8  # 4 cases x commutativity
+        op1, op2, comm, freq, p1, p2 = rows[0]
+        assert (op1, op2, comm) == ("0", "0", "Yes")
+        assert freq == pytest.approx(100.0)
+
+    def test_to_statistics(self):
+        collector = BitPatternCollector(FUClass.IALU)
+        collector(ialu_group([MicroOp(opcode("add"), 1, 2)]))
+        stats = collector.to_statistics({1: 1.0})
+        assert stats.case_freq(0b00) == 1.0
+        assert stats.fu_class is FUClass.IALU
+
+    def test_empty_collector_safe(self):
+        collector = BitPatternCollector(FUClass.IALU)
+        assert collector.frequency(0b00, True) == 0.0
+        assert collector.merged_bit_prob(0b00, 0) == 0.0
+        for case in CASES:
+            assert collector.case_frequency(case) == 0.0

@@ -1,0 +1,120 @@
+"""Figure 4 experiment driver tests (reduced scale)."""
+
+import pytest
+
+from repro.analysis.energy import (chip_level_estimate, measure_statistics,
+                                   run_figure4, run_figure4_synthetic)
+from repro.core.statistics import paper_statistics
+from repro.isa.instructions import FUClass
+from repro.workloads import workload
+
+
+@pytest.fixture(scope="module")
+def ialu_panel():
+    # two small integer workloads keep the test quick
+    loads = [workload("compress"), workload("cc1")]
+    return run_figure4(FUClass.IALU, workloads=loads, scale=1,
+                       schemes=("1bit-ham", "lut-4", "original"),
+                       swap_modes=("none", "hw", "hw+compiler"))
+
+
+class TestRunFigure4:
+    def test_baseline_zero_reduction(self, ialu_panel):
+        assert ialu_panel.reduction("original", "none") == 0.0
+        assert ialu_panel.baseline_bits > 0
+
+    def test_steering_reduces_energy(self, ialu_panel):
+        assert ialu_panel.reduction("lut-4", "none") > 0.0
+        assert ialu_panel.reduction("1bit-ham", "none") > 0.0
+
+    def test_onebit_ham_bounds_lut(self, ialu_panel):
+        assert ialu_panel.reduction("1bit-ham", "hw") \
+            >= ialu_panel.reduction("lut-4", "hw") - 0.02
+
+    def test_all_requested_cells_present(self, ialu_panel):
+        for scheme in ("1bit-ham", "lut-4", "original"):
+            for mode in ("none", "hw", "hw+compiler"):
+                assert (scheme, mode) in ialu_panel.cells
+
+    def test_operation_counts_match_across_cells(self, ialu_panel):
+        ops = {cell.operations for key, cell in ialu_panel.cells.items()
+               if key[1] in ("none", "hw")}
+        assert len(ops) == 1  # every policy saw the same stream
+
+    def test_grid_rows(self, ialu_panel):
+        rows = dict(ialu_panel.grid())
+        assert "lut-4" in rows
+        assert "none" in rows["lut-4"]
+
+    def test_invalid_stats_source(self):
+        with pytest.raises(ValueError):
+            run_figure4(FUClass.IALU, workloads=[workload("cc1")],
+                        stats_source="vibes")
+
+
+class TestMeasureStatistics:
+    def test_measured_statistics_well_formed(self):
+        program = workload("compress").build(1)
+        stats, patterns, usage = measure_statistics([program], FUClass.IALU)
+        assert sum(stats.case_comm_freq.values()) == pytest.approx(1.0)
+        assert sum(stats.usage.values()) == pytest.approx(1.0)
+        assert patterns.total_ops > 0
+        assert usage.busy_cycles(FUClass.IALU) > 0
+
+
+class TestSyntheticFigure4:
+    def test_paper_calibrated_shape(self):
+        panel = run_figure4_synthetic(
+            FUClass.IALU, cycles=4000,
+            schemes=("full-ham", "lut-4", "lut-2", "original"))
+        assert panel.reduction("lut-4") > 0.05
+        assert panel.reduction("lut-4") >= panel.reduction("lut-2") - 0.02
+        assert panel.reduction("full-ham", "hw") >= panel.reduction("lut-4")
+
+    def test_fpau_swapping_is_weak(self):
+        # Figure 4(b): "the FPAU does not benefit much from swapping"
+        panel = run_figure4_synthetic(FUClass.FPAU, cycles=4000,
+                                      schemes=("lut-4", "original"),
+                                      swap_modes=("none", "hw"))
+        gain = (panel.reduction("lut-4", "hw")
+                - panel.reduction("lut-4", "none"))
+        assert abs(gain) < 0.05
+
+    def test_compiler_mode_rejected(self):
+        with pytest.raises(ValueError, match="compiler"):
+            run_figure4_synthetic(FUClass.IALU,
+                                  swap_modes=("none", "hw+compiler"))
+
+
+class TestChipEstimate:
+    def test_blends_by_baseline_weight(self):
+        ialu = run_figure4_synthetic(FUClass.IALU, cycles=2000,
+                                     schemes=("lut-4", "original"),
+                                     swap_modes=("none", "hw"))
+        fpau = run_figure4_synthetic(FUClass.FPAU, cycles=2000,
+                                     schemes=("lut-4", "original"),
+                                     swap_modes=("none", "hw"))
+        estimate = chip_level_estimate(ialu, fpau)
+        assert 0.0 < estimate < 0.22
+        # the paper lands around 4% of total chip power
+        assert estimate == pytest.approx(0.04, abs=0.03)
+
+
+class TestPerWorkloadBreakdown:
+    def test_breakdown_sums_to_totals(self, ialu_panel):
+        for key, cell in ialu_panel.cells.items():
+            total = sum(cells.get(key, 0)
+                        for cells in ialu_panel.per_workload.values())
+            assert total == cell.switched_bits, key
+
+    def test_workload_reduction(self, ialu_panel):
+        for name in ialu_panel.per_workload:
+            value = ialu_panel.workload_reduction(name, "lut-4", "hw")
+            assert -1.0 < value < 1.0
+
+    def test_render_per_workload(self, ialu_panel):
+        from repro.analysis.report import render_figure4_per_workload
+        text = render_figure4_per_workload(ialu_panel)
+        assert "Per-workload" in text
+        for name in ialu_panel.per_workload:
+            assert name in text

@@ -1,0 +1,72 @@
+"""Per-module load analysis tests."""
+
+import pytest
+
+from repro.analysis.module_load import (LoadTrackingPowerModel, ModuleLoad,
+                                        attach_load_tracking, module_load,
+                                        render_module_load)
+from repro.core import make_policy, paper_statistics
+from repro.core.steering import OriginalPolicy, PolicyEvaluator
+from repro.isa.instructions import FUClass
+from repro.workloads import SyntheticStream
+
+
+class TestLoadTrackingModel:
+    def test_tracks_per_module(self):
+        model = LoadTrackingPowerModel(FUClass.IALU, 2)
+        model.account(0, 0xF, 0)
+        model.account(1, 0x3, 0)
+        model.account(0, 0xF, 0)
+        assert model.per_module_ops == [2, 1]
+        assert model.per_module_bits == [4, 2]
+        assert model.switched_bits == 6  # parent accounting intact
+
+
+class TestModuleLoad:
+    def test_shares(self):
+        load = ModuleLoad("p", operations=[3, 1], switched_bits=[30, 10])
+        assert load.operation_share(0) == 0.75
+        assert load.bits_share(1) == 0.25
+        assert load.max_bits_share == 0.75
+        assert load.imbalance() == pytest.approx(1.5)
+
+    def test_empty(self):
+        load = ModuleLoad("p", operations=[0, 0], switched_bits=[0, 0])
+        assert load.operation_share(0) == 0.0
+        assert load.imbalance() == 1.0
+
+
+class TestEndToEnd:
+    def test_steering_concentrates_activity(self, ialu_stats):
+        """The LUT lowers total switching but concentrates it on home
+        modules — the redistribution this analysis exists to expose."""
+        lut_eval = attach_load_tracking(PolicyEvaluator(
+            FUClass.IALU, 4,
+            make_policy("lut-4", FUClass.IALU, 4, stats=ialu_stats)))
+        fcfs_eval = attach_load_tracking(PolicyEvaluator(
+            FUClass.IALU, 4, OriginalPolicy()))
+        for group in SyntheticStream(ialu_stats, seed=15).groups(4000):
+            lut_eval(group)
+            fcfs_eval(group)
+        lut = module_load(lut_eval)
+        fcfs = module_load(fcfs_eval)
+        assert lut.total_bits < fcfs.total_bits          # saves energy
+        assert lut.total_operations == fcfs.total_operations
+        # FCFS already concentrates ops on module 0 (most cycles are
+        # narrow); steering spreads ops by case but keeps coherent
+        # streams — verify the analysis exposes a real difference
+        assert lut.operations != fcfs.operations
+
+    def test_requires_tracking_model(self, ialu_stats):
+        evaluator = PolicyEvaluator(FUClass.IALU, 4, OriginalPolicy())
+        with pytest.raises(TypeError):
+            module_load(evaluator)
+
+    def test_render(self, ialu_stats):
+        evaluator = attach_load_tracking(PolicyEvaluator(
+            FUClass.IALU, 4, OriginalPolicy()))
+        for group in SyntheticStream(ialu_stats, seed=3).groups(200):
+            evaluator(group)
+        text = render_module_load([module_load(evaluator)])
+        assert "Per-module activity" in text
+        assert "hottest" in text

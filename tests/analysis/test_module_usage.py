@@ -1,0 +1,63 @@
+"""Table 2 collector tests."""
+
+import pytest
+
+from repro.analysis.module_usage import ModuleUsageCollector
+from repro.cpu.trace import IssueGroup, MicroOp
+from repro.isa.instructions import FUClass, opcode
+
+
+def group(width, fu_class=FUClass.IALU, cycle=0):
+    ops = [MicroOp(opcode("add"), 1, 2) for _ in range(width)]
+    return IssueGroup(cycle, fu_class, ops)
+
+
+class TestModuleUsageCollector:
+    def test_counts_busy_cycles_by_width(self):
+        collector = ModuleUsageCollector()
+        collector(group(1))
+        collector(group(1, cycle=1))
+        collector(group(3, cycle=2))
+        distribution = collector.distribution(FUClass.IALU)
+        assert distribution[1] == pytest.approx(2 / 3)
+        assert distribution[3] == pytest.approx(1 / 3)
+        assert collector.busy_cycles(FUClass.IALU) == 3
+
+    def test_idle_cycles_not_counted(self):
+        collector = ModuleUsageCollector()
+        collector(IssueGroup(0, FUClass.IALU, []))
+        assert collector.busy_cycles(FUClass.IALU) == 0
+
+    def test_class_filter(self):
+        collector = ModuleUsageCollector([FUClass.FPAU])
+        collector(group(2, FUClass.IALU))
+        collector(group(1, FUClass.FPAU))
+        assert collector.busy_cycles(FUClass.IALU) == 0
+        assert collector.busy_cycles(FUClass.FPAU) == 1
+
+    def test_overflow_folds_into_max_width(self):
+        collector = ModuleUsageCollector()
+        collector(group(6))
+        assert collector.distribution(FUClass.IALU, max_width=4)[4] == 1.0
+
+    def test_empty_distribution(self):
+        collector = ModuleUsageCollector()
+        distribution = collector.distribution(FUClass.IALU)
+        assert all(value == 0.0 for value in distribution.values())
+
+    def test_merge(self):
+        a = ModuleUsageCollector()
+        b = ModuleUsageCollector()
+        a(group(1))
+        b(group(1))
+        b(group(2, cycle=1))
+        a.merge(b)
+        assert a.busy_cycles(FUClass.IALU) == 3
+        assert a.distribution(FUClass.IALU)[1] == pytest.approx(2 / 3)
+
+    def test_distribution_sums_to_one(self):
+        collector = ModuleUsageCollector()
+        for width in (1, 2, 3, 4, 2, 1):
+            collector(group(width))
+        assert sum(collector.distribution(FUClass.IALU).values()) \
+            == pytest.approx(1.0)

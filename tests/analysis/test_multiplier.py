@@ -1,0 +1,66 @@
+"""Multiplier swapping experiment tests (Table 3 / section 4.4)."""
+
+import pytest
+
+from repro.analysis.multiplier import run_multiplier_experiment
+from repro.isa.instructions import FUClass
+from repro.workloads import workload
+
+
+@pytest.fixture(scope="module")
+def results():
+    loads = [workload("ijpeg"), workload("turb3d"), workload("perl")]
+    return run_multiplier_experiment(workloads=loads, scale=1)
+
+
+class TestMultiplierExperiment:
+    def test_both_multipliers_reported(self, results):
+        assert FUClass.IMULT in results and FUClass.FPMULT in results
+        assert results[FUClass.IMULT].operations > 0
+        assert results[FUClass.FPMULT].operations > 0
+
+    def test_case_fractions_sum_to_one(self, results):
+        for result in results.values():
+            total = sum(result.case_fraction(case) for case in
+                        (0b00, 0b01, 0b10, 0b11))
+            assert total == pytest.approx(1.0)
+
+    def test_swappable_fraction_bounded_by_case01(self, results):
+        for result in results.values():
+            assert result.swappable_01_fraction \
+                <= result.case_fraction(0b01) + 1e-9
+
+    def test_popcount_swap_minimises_shift_add_counts(self):
+        # exact popcount swapping minimises the shift-add count per op,
+        # so under the shift-add activity model (use_booth=False) the
+        # aggregate cannot be worse than no swapping
+        loads = [workload("ijpeg"), workload("turb3d")]
+        shift_add = run_multiplier_experiment(workloads=loads, scale=1,
+                                              use_booth=False)
+        for result in shift_add.values():
+            assert result.adds_reduction("popcount") >= -1e-9
+
+    def test_booth_mode_minimises_booth_adds(self):
+        loads = [workload("ijpeg")]
+        booth_results = run_multiplier_experiment(workloads=loads, scale=1,
+                                                  use_booth=True)
+        result = booth_results[FUClass.IMULT]
+        assert result.adds_reduction("booth") >= -1e-9
+        assert result.adds_reduction("booth") \
+            >= result.adds_reduction("info-bit") - 1e-9
+
+    def test_activity_modes_present(self, results):
+        for result in results.values():
+            assert set(result.activity) \
+                == {"none", "info-bit", "popcount", "booth"}
+
+    def test_empty_result_fractions(self):
+        from repro.analysis.multiplier import MultiplierExperimentResult
+        empty = MultiplierExperimentResult(
+            fu_class=FUClass.IMULT, operations=0, case_counts={},
+            swappable_01=0,
+            activity={m: (0, 0) for m in ("none", "info-bit", "popcount",
+                                          "booth")})
+        assert empty.case_fraction(0b00) == 0.0
+        assert empty.swappable_01_fraction == 0.0
+        assert empty.adds_reduction("popcount") == 0.0

@@ -1,0 +1,59 @@
+"""Absolute power report tests."""
+
+import pytest
+
+from repro.analysis.energy import run_figure4_synthetic
+from repro.analysis.power_report import (absolute_power_rows,
+                                         average_power_watts,
+                                         render_power_report,
+                                         saved_power_watts)
+from repro.core.power import PowerParameters
+from repro.isa.instructions import FUClass
+
+
+@pytest.fixture(scope="module")
+def panel():
+    return run_figure4_synthetic(FUClass.IALU, cycles=1500,
+                                 schemes=("lut-4", "original"),
+                                 swap_modes=("none", "hw"))
+
+
+class TestAbsolutePower:
+    def test_rows_cover_all_cells(self, panel):
+        rows = absolute_power_rows(panel)
+        assert len(rows) == len(panel.cells)
+        schemes = {(row.scheme, row.swap) for row in rows}
+        assert ("original", "none") in schemes
+
+    def test_energy_scales_with_bits(self, panel):
+        params = PowerParameters(vdd=1.0, capacitance_per_bit_f=2e-15)
+        for row in absolute_power_rows(panel, params):
+            expected = 0.5 * 1.0 * 2e-15 * row.switched_bits
+            assert row.energy_joules == pytest.approx(expected)
+            assert row.energy_per_op_joules > 0
+
+    def test_reductions_match_panel(self, panel):
+        rows = {(r.scheme, r.swap): r for r in absolute_power_rows(panel)}
+        assert rows[("lut-4", "none")].reduction \
+            == pytest.approx(panel.reduction("lut-4", "none"))
+
+    def test_average_and_saved_power(self, panel):
+        baseline = average_power_watts(panel, cycles=10_000)
+        assert baseline > 0
+        saved = saved_power_watts(panel, cycles=10_000,
+                                  scheme="lut-4", swap="hw")
+        assert 0 < saved < baseline
+        assert saved / baseline \
+            == pytest.approx(panel.reduction("lut-4", "hw"))
+
+    def test_render(self, panel):
+        text = render_power_report(panel, cycles=10_000)
+        assert "Absolute power" in text
+        assert "lut-4" in text and "mW" in text
+
+    def test_doubling_frequency_doubles_power(self, panel):
+        slow = PowerParameters(frequency_hz=1e9)
+        fast = PowerParameters(frequency_hz=2e9)
+        assert average_power_watts(panel, 1000, params=fast) \
+            == pytest.approx(2 * average_power_watts(panel, 1000,
+                                                     params=slow))

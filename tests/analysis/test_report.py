@@ -1,0 +1,83 @@
+"""Report rendering and Figure 1 tests."""
+
+import pytest
+
+from repro.analysis.bit_patterns import BitPatternCollector
+from repro.analysis.energy import run_figure4_synthetic
+from repro.analysis.figure1 import evaluate_figure1
+from repro.analysis.module_usage import ModuleUsageCollector
+from repro.analysis.multiplier import run_multiplier_experiment
+from repro.analysis.report import (render_figure4,
+                                   render_multiplier_swapping,
+                                   render_table1, render_table2,
+                                   render_table3)
+from repro.cpu.simulator import Simulator
+from repro.isa.instructions import FUClass
+from repro.workloads import workload
+
+
+@pytest.fixture(scope="module")
+def collected():
+    ialu = BitPatternCollector(FUClass.IALU)
+    fpau = BitPatternCollector(FUClass.FPAU)
+    usage = ModuleUsageCollector()
+    for name in ("compress", "swim"):
+        sim = Simulator(workload(name).build(1))
+        for listener in (ialu, fpau, usage):
+            sim.add_listener(listener)
+        sim.run()
+    return ialu, fpau, usage
+
+
+class TestFigure1:
+    def test_alternative_routing_saves_energy(self):
+        result = evaluate_figure1()
+        assert result.optimal_energy < result.default_energy
+        # the paper's chosen alternative saves 57%; the optimum with
+        # router swapping is at least that good
+        assert result.saving >= 0.57
+
+    def test_without_swap_still_beats_default(self):
+        result = evaluate_figure1(allow_swap=False)
+        assert 0.0 < result.saving < evaluate_figure1().saving
+
+    def test_modules_distinct(self):
+        result = evaluate_figure1()
+        assert len(set(result.optimal_modules)) == len(result.optimal_modules)
+
+
+class TestRendering:
+    def test_table1_contains_all_rows(self, collected):
+        ialu, fpau, _ = collected
+        text = render_table1({FUClass.IALU: ialu, FUClass.FPAU: fpau})
+        assert "Table 1" in text
+        assert text.count("Yes") == 4
+        assert text.count("No") == 4
+        assert "(paper)" in text
+
+    def test_table1_without_paper_columns(self, collected):
+        ialu, _, _ = collected
+        text = render_table1({FUClass.IALU: ialu}, compare_paper=False)
+        assert "paper" not in text
+
+    def test_table2(self, collected):
+        _, _, usage = collected
+        text = render_table2(usage)
+        assert "IALU" in text and "FPAU" in text
+        assert "Num(I)=4" in text
+
+    def test_table3_and_swapping(self):
+        results = run_multiplier_experiment(
+            workloads=[workload("ijpeg"), workload("turb3d")], scale=1)
+        table = render_table3(results)
+        assert "Table 3" in table and "00" in table
+        swapping = render_multiplier_swapping(results)
+        assert "01 swappable" in swapping
+
+    def test_figure4_render(self):
+        panel = run_figure4_synthetic(FUClass.IALU, cycles=500,
+                                      schemes=("lut-4", "original"))
+        text = render_figure4(panel)
+        assert "lut-4" in text
+        assert "original" in text
+        assert "IALU" in text

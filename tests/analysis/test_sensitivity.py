@@ -1,0 +1,45 @@
+"""Profile-transfer sensitivity tests."""
+
+import pytest
+
+from repro.analysis.sensitivity import (SensitivityResult,
+                                        profile_transfer_study,
+                                        run_sensitivity_suite)
+from repro.isa.instructions import FUClass
+
+
+class TestProfileTransfer:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return profile_transfer_study("m88ksim", FUClass.IALU,
+                                      train_scale=1, test_scale=2)
+
+    def test_fields(self, result):
+        assert result.workload == "m88ksim"
+        assert result.baseline_bits > 0
+        assert result.train_scale == 1 and result.test_scale == 2
+
+    def test_swapping_adds_over_steering(self, result):
+        # both swap variants should not lose to plain steering by much
+        assert result.self_profiled_reduction \
+            >= result.unswapped_reduction - 0.02
+        assert result.cross_profiled_reduction \
+            >= result.unswapped_reduction - 0.02
+
+    def test_transfer_penalty_small(self, result):
+        """The paper says cross-input behaviour 'will vary somewhat' —
+        it should degrade gracefully, not collapse."""
+        assert abs(result.transfer_penalty) < 0.1
+
+    def test_self_profile_at_same_scale_is_zero_penalty(self):
+        result = profile_transfer_study("cc1", FUClass.IALU,
+                                        train_scale=2, test_scale=2)
+        assert result.transfer_penalty == pytest.approx(0.0, abs=1e-12)
+
+    def test_suite_runner(self):
+        results = run_sensitivity_suite(FUClass.IALU,
+                                        names=["cc1", "perl"],
+                                        train_scale=1, test_scale=2)
+        assert set(results) <= {"cc1", "perl"}
+        for result in results.values():
+            assert isinstance(result, SensitivityResult)

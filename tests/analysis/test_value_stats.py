@@ -1,0 +1,87 @@
+"""Section 4.2 derived value statistics tests."""
+
+import pytest
+
+from repro.analysis.value_stats import (ValueStatsCollector,
+                                        render_value_stats)
+from repro.core.statistics import paper_statistics
+from repro.cpu.trace import IssueGroup, MicroOp
+from repro.isa import encoding
+from repro.isa.instructions import FUClass, opcode
+from repro.workloads import SyntheticStream
+from repro.workloads.generators import OperandModel
+
+
+def int_group(*values):
+    ops = [MicroOp(opcode("add"), a, b) for a, b in values]
+    return IssueGroup(0, FUClass.IALU, ops)
+
+
+class TestCollector:
+    def test_integer_match_probability(self):
+        collector = ValueStatsCollector(FUClass.IALU)
+        # +20: sign 0, 30 zero bits of 32 -> match 30/32
+        # -20: sign 1, bits are 0xFFFFFFEC -> 29 ones of 32
+        collector(int_group((encoding.to_unsigned(20),
+                             encoding.to_unsigned(-20))))
+        assert collector.match_probability(0) == pytest.approx(30 / 32)
+        assert collector.match_probability(1) == pytest.approx(29 / 32)
+        assert collector.total_operands == 2
+
+    def test_fp_info_fraction(self):
+        collector = ValueStatsCollector(FUClass.FPAU)
+        round_bits = encoding.float_to_bits(2.0)      # low4 == 0
+        dense_bits = encoding.float_to_bits(2.0000000001)
+        group = IssueGroup(0, FUClass.FPAU,
+                           [MicroOp(opcode("fadd"), round_bits, dense_bits)])
+        collector(group)
+        assert collector.info_bit_fraction(0) == 0.5
+        assert collector.fp_accidental_full_precision() \
+            == pytest.approx(0.5 / 15)
+
+    def test_single_source_counts_one_operand(self):
+        collector = ValueStatsCollector(FUClass.IALU)
+        group = IssueGroup(0, FUClass.IALU,
+                           [MicroOp(opcode("lui"), 5, 0, has_two=False)])
+        collector(group)
+        assert collector.total_operands == 1
+
+    def test_fp_only_helper_guarded(self):
+        with pytest.raises(ValueError):
+            ValueStatsCollector(FUClass.IALU).fp_accidental_full_precision()
+
+    def test_empty_safe(self):
+        collector = ValueStatsCollector(FUClass.IALU)
+        assert collector.match_probability(0) == 0.0
+        assert collector.info_bit_fraction(1) == 0.0
+
+
+class TestAgainstPaperCalibration:
+    """On a structured stream calibrated to Table 1, the section 4.2
+    qualitative claims must hold."""
+
+    def _collect(self, fu_class):
+        stats = paper_statistics(fu_class)
+        model = OperandModel(fu_class, mode="structured")
+        collector = ValueStatsCollector(fu_class)
+        for group in SyntheticStream(stats, operand_model=model,
+                                     seed=8).groups(4000):
+            collector(group)
+        return collector
+
+    def test_integer_sign_predicts_majority(self):
+        collector = self._collect(FUClass.IALU)
+        # paper: 91.2% and 63.7% — both decisively above chance
+        assert collector.match_probability(0) > 0.8
+        assert collector.match_probability(1) > 0.6
+
+    def test_fp_low4_zero_predicts_zeros(self):
+        collector = self._collect(FUClass.FPAU)
+        assert collector.match_probability(0) > 0.7  # paper: 86.5%
+        assert 0.0 < collector.fp_genuine_trailing_zero_fraction() \
+            < collector.info_bit_fraction(0)
+
+    def test_render(self):
+        text = render_value_stats(self._collect(FUClass.IALU),
+                                  self._collect(FUClass.FPAU))
+        assert "91.2%" in text and "86.5%" in text

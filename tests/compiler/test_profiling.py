@@ -1,0 +1,80 @@
+"""Profiling pass tests."""
+
+from repro.compiler.profiling import profile_program
+from repro.isa import encoding
+from repro.isa.assembler import assemble
+
+
+class TestProfiling:
+    def test_counts_executions_per_static_instruction(self):
+        program = assemble("""
+.text
+    li r1, 4
+    li r2, 3
+    li r3, 5
+loop:
+    add r4, r2, r3
+    addi r1, r1, -1
+    bne r1, r0, loop
+    halt
+""")
+        profile = profile_program(program)
+        add_index = next(i for i, instr in enumerate(program.instructions)
+                         if instr.op.name == "add" and instr.src1 == 2)
+        record = profile.profile_for(add_index)
+        assert record.executions == 4
+        # operands are 3 (2 ones) and 5 (2 ones) every time
+        assert record.mean_ones_op1 == 2.0
+        assert record.mean_ones_op2 == 2.0
+
+    def test_skips_immediate_and_single_source(self):
+        program = assemble(".text\naddi r1, r0, 7\nlui r2, 9\nhalt")
+        profile = profile_program(program)
+        assert not profile.by_static_index
+
+    def test_skips_non_swappable(self):
+        program = assemble(".text\nli r1, 3\nli r2, 5\nsll r3, r1, r2\nhalt")
+        profile = profile_program(program)
+        sll_index = 2
+        assert profile.profile_for(sll_index) is None
+
+    def test_profiles_compare_twins_and_branches(self):
+        program = assemble("""
+.text
+    li r1, -3
+    li r2, 5
+    slt r3, r1, r2
+    blt r1, r2, out
+out:
+    halt
+""")
+        profile = profile_program(program)
+        profiled_ops = {program.instructions[i].op.name
+                        for i in profile.by_static_index}
+        assert "slt" in profiled_ops
+        assert "blt" in profiled_ops
+
+    def test_fp_uses_mantissa_ones(self):
+        program = assemble("""
+.data
+xs: .double 1.5, 3.0
+.text
+    la r1, xs
+    ld f1, 0(r1)
+    ld f2, 8(r1)
+    fadd f3, f1, f2
+    halt
+""")
+        profile = profile_program(program)
+        fadd_index = next(i for i, instr in enumerate(program.instructions)
+                          if instr.op.name == "fadd")
+        record = profile.profile_for(fadd_index)
+        # 1.5 has one explicit mantissa bit; 3.0 also one
+        assert record.ones_op1 == encoding.popcount(
+            encoding.mantissa(encoding.float_to_bits(1.5)))
+        assert record.ones_op2 == 1
+
+    def test_total_instruction_count(self, sum_program):
+        profile = profile_program(sum_program)
+        assert profile.instructions_executed > 0
+        assert profile.program_name == "sum-loop"

@@ -1,0 +1,126 @@
+"""VLIW-style static assignment tests."""
+
+import pytest
+
+from repro.compiler.static_assignment import (CaseProfile,
+                                              StaticAssignmentPolicy,
+                                              assign_static_modules,
+                                              build_static_policy,
+                                              profile_cases)
+from repro.core.power import FUPowerModel
+from repro.core.steering import OriginalPolicy, PolicyEvaluator
+from repro.core.lut import build_lut
+from repro.core.steering import LUTPolicy
+from repro.core.info_bits import scheme_for
+from repro.cpu.simulator import Simulator
+from repro.cpu.trace import MicroOp
+from repro.isa import encoding
+from repro.isa.assembler import assemble
+from repro.isa.instructions import FUClass, opcode
+from repro.workloads import workload
+
+MIXED_PROGRAM = """
+.text
+    li r1, 5
+    li r2, -9
+    li r9, 20
+loop:
+    add r3, r1, r1      # always case 00
+    add r4, r2, r2      # always case 11
+    add r5, r2, r1      # always case 10
+    addi r9, r9, -1
+    bne r9, r0, loop
+    halt
+"""
+
+
+class TestCaseProfile:
+    def test_dominant_case(self):
+        profile = CaseProfile(FUClass.IALU)
+        profile.record(3, 0b00)
+        profile.record(3, 0b00)
+        profile.record(3, 0b10)
+        assert profile.dominant_case(3) == 0b00
+        assert profile.executions(3) == 3
+        assert profile.dominant_case(99) is None
+
+    def test_profile_cases_on_program(self):
+        program = assemble(MIXED_PROGRAM, name="mixed")
+        profile = profile_cases(program, FUClass.IALU)
+        by_case = {}
+        for index, instr in enumerate(program.instructions):
+            if instr.op.name == "add":
+                by_case[(instr.src1, instr.src2)] = \
+                    profile.dominant_case(index)
+        assert by_case[(1, 1)] == 0b00
+        assert by_case[(2, 2)] == 0b11
+        assert by_case[(2, 1)] == 0b10
+
+
+class TestStaticMapping:
+    def test_distinct_cases_get_distinct_modules(self, ialu_stats):
+        program = assemble(MIXED_PROGRAM, name="mixed")
+        profile = profile_cases(program, FUClass.IALU)
+        mapping = assign_static_modules(profile, ialu_stats, 4)
+        adds = [index for index, instr in enumerate(program.instructions)
+                if instr.op.name == "add"]
+        modules = {mapping[index] for index in adds}
+        assert len(modules) == 3  # three cases -> three different modules
+
+    def test_load_balanced_within_home(self, ialu_stats):
+        # many equally-hot case-00 instructions spread across the
+        # multiple case-00 home modules
+        profile = CaseProfile(FUClass.IALU)
+        for index in range(6):
+            for _ in range(10):
+                profile.record(index, 0b00)
+        mapping = assign_static_modules(profile, ialu_stats, 4)
+        assert len(set(mapping.values())) >= 2
+
+
+class TestStaticPolicy:
+    def test_honours_mapping(self):
+        policy = StaticAssignmentPolicy({7: 2})
+        power = FUPowerModel(FUClass.IALU, 4)
+        ops = [MicroOp(opcode("add"), 1, 2, static_index=7)]
+        assert policy.assign(ops, power).modules == (2,)
+
+    def test_conflicts_resolved_oldest_first(self):
+        policy = StaticAssignmentPolicy({1: 0, 2: 0})
+        power = FUPowerModel(FUClass.IALU, 4)
+        ops = [MicroOp(opcode("add"), 1, 2, static_index=1),
+               MicroOp(opcode("add"), 3, 4, static_index=2)]
+        assignment = policy.assign(ops, power)
+        assert assignment.modules[0] == 0
+        assert assignment.modules[1] != 0
+
+    def test_unmapped_ops_take_free_modules(self):
+        policy = StaticAssignmentPolicy({})
+        power = FUPowerModel(FUClass.IALU, 4)
+        ops = [MicroOp(opcode("add"), 1, 2, static_index=55)]
+        assert policy.assign(ops, power).modules == (0,)
+
+
+class TestDynamicBeatsStatic:
+    def test_paper_claim_on_kernel(self, ialu_stats):
+        """Section 2: dynamic assignment should beat the static one on
+        an out-of-order machine; the static one still beats FCFS."""
+        program = workload("m88ksim").build(1)
+        static_policy = build_static_policy(program, FUClass.IALU,
+                                            ialu_stats, 4)
+        scheme = scheme_for(FUClass.IALU)
+        lut = build_lut(ialu_stats, 4, 8)
+        evaluators = {
+            "static": PolicyEvaluator(FUClass.IALU, 4, static_policy),
+            "dynamic": PolicyEvaluator(FUClass.IALU, 4,
+                                       LUTPolicy(lut=lut, scheme=scheme)),
+            "fcfs": PolicyEvaluator(FUClass.IALU, 4, OriginalPolicy()),
+        }
+        sim = Simulator(program)
+        for evaluator in evaluators.values():
+            sim.add_listener(evaluator)
+        sim.run()
+        bits = {name: e.totals().switched_bits
+                for name, e in evaluators.items()}
+        assert bits["static"] < bits["fcfs"]
+        assert bits["dynamic"] <= bits["static"] * 1.05

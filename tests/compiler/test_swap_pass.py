@@ -1,0 +1,124 @@
+"""Static operand swap pass tests."""
+
+import pytest
+
+from repro.compiler.profiling import profile_program
+from repro.compiler.swap_pass import (PAPER_DENSER_FIRST, apply_swapping,
+                                      denser_first_from_swap_case,
+                                      swap_optimize)
+from repro.cpu.golden import run_program
+from repro.isa.assembler import assemble
+from repro.isa.instructions import FUClass
+
+
+DENSE_FIRST_PROGRAM = """
+.text
+    li r1, 3            # sparse (2 ones)
+    li r2, -3           # dense (31 ones)
+    li r5, 10
+loop:
+    add r3, r1, r2      # sparse first: candidate for IALU swap
+    add r4, r2, r1      # dense first: already canonical
+    sgt r6, r1, r2      # compiler-commutable comparison
+    addi r5, r5, -1
+    bne r5, r0, loop
+    halt
+"""
+
+
+class TestDirectionHelpers:
+    def test_denser_first_from_swap_case(self):
+        assert denser_first_from_swap_case(0b01) is True
+        assert denser_first_from_swap_case(0b10) is False
+        with pytest.raises(ValueError):
+            denser_first_from_swap_case(0b00)
+
+    def test_paper_defaults(self):
+        assert PAPER_DENSER_FIRST[FUClass.IALU] is True
+        assert PAPER_DENSER_FIRST[FUClass.FPAU] is False
+
+
+class TestApplySwapping:
+    def test_swaps_sparse_first_add_for_ialu(self):
+        program = assemble(DENSE_FIRST_PROGRAM, name="p")
+        swapped, report = swap_optimize(program)
+        add_sparse = next(i for i in swapped.instructions
+                          if i.op.name == "add" and i.static_swapped)
+        assert (add_sparse.src1, add_sparse.src2) == (2, 1)
+        assert report.swapped >= 1
+        assert report.by_class[FUClass.IALU] >= 1
+
+    def test_canonical_add_untouched(self):
+        program = assemble(DENSE_FIRST_PROGRAM, name="p")
+        swapped, _ = swap_optimize(program)
+        canonical = [i for i in swapped.instructions
+                     if i.op.name == "add" and i.src1 == 2 and i.src2 == 1]
+        # both the rewritten r1+r2 and the original r2+r1 are dense first
+        assert len(canonical) == 2
+
+    def test_opcode_twin_rewrite(self):
+        program = assemble(DENSE_FIRST_PROGRAM, name="p")
+        swapped, _ = swap_optimize(program)
+        names = [i.op.name for i in swapped.instructions]
+        # sgt r6, r1(sparse), r2(dense) becomes slt r6, r2, r1
+        assert "slt" in names and "sgt" not in names
+
+    def test_architectural_equivalence(self):
+        program = assemble(DENSE_FIRST_PROGRAM, name="p")
+        swapped, _ = swap_optimize(program)
+        original = run_program(program)
+        rewritten = run_program(swapped)
+        assert original.registers == rewritten.registers
+
+    def test_kernel_equivalence_after_swapping(self):
+        from repro.workloads import workload
+        load = workload("ijpeg")
+        program = load.build(1)
+        swapped, _ = swap_optimize(program)
+        result = run_program(swapped)
+        load.check(program, result, 1)  # same symbols, same results
+
+    def test_direction_flip(self):
+        program = assemble(DENSE_FIRST_PROGRAM, name="p")
+        profile = profile_program(program)
+        sparse_first, _ = apply_swapping(
+            program, profile, denser_first={FUClass.IALU: False})
+        adds = [i for i in sparse_first.instructions if i.op.name == "add"]
+        assert all((i.src1, i.src2) == (1, 2) for i in adds)
+
+    def test_margin_suppresses_marginal_swaps(self):
+        program = assemble(DENSE_FIRST_PROGRAM, name="p")
+        profile = profile_program(program)
+        _, eager = apply_swapping(program, profile)
+        _, reluctant = apply_swapping(program, profile, margin=100.0)
+        assert reluctant.swapped == 0
+        assert eager.swapped > 0
+
+    def test_report_fraction(self):
+        program = assemble(DENSE_FIRST_PROGRAM, name="p")
+        _, report = swap_optimize(program)
+        assert 0.0 <= report.swap_fraction <= 1.0
+        assert report.program_name == "p"
+
+    def test_multiplier_direction(self):
+        program = assemble("""
+.text
+    li r1, -3           # dense
+    li r2, 3            # sparse
+    li r5, 6
+loop:
+    mult r3, r2, r1     # dense multiplier second: should swap
+    addi r5, r5, -1
+    bne r5, r0, loop
+    halt
+""", name="m")
+        swapped, report = swap_optimize(program)
+        mult = next(i for i in swapped.instructions if i.op.name == "mult")
+        assert mult.static_swapped
+        assert (mult.src1, mult.src2) == (1, 2)  # sparse operand second
+        assert report.by_class[FUClass.IMULT] == 1
+
+    def test_swapped_program_name(self):
+        program = assemble(DENSE_FIRST_PROGRAM, name="p")
+        swapped, _ = swap_optimize(program)
+        assert swapped.name == "p+cswap"

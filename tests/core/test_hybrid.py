@@ -1,0 +1,173 @@
+"""Hybrid scheme tests (section 3 related-work hybrids)."""
+
+import pytest
+
+from repro.core.hybrid import (CriticalityAwareLUTPolicy,
+                               GuardedFUPowerModel, HeterogeneousPowerModel,
+                               ModuleVariant, standard_variants)
+from repro.core.info_bits import scheme_for
+from repro.core.lut import build_lut
+from repro.core.power import FUPowerModel
+from repro.core.statistics import paper_statistics
+from repro.core.steering import LUTPolicy, OriginalPolicy, PolicyEvaluator
+from repro.cpu.trace import MicroOp
+from repro.isa import encoding
+from repro.isa.instructions import FUClass, opcode
+from repro.workloads import SyntheticStream
+from repro.workloads.generators import OperandModel
+
+NEG = encoding.to_unsigned(-5)
+
+
+class TestGuardedPowerModel:
+    def test_narrow_operands_charge_low_bits_only(self):
+        model = GuardedFUPowerModel(FUClass.IALU, 1, low_width=16,
+                                    guard_overhead_bits=0)
+        model.account(0, 0, 0)
+        # 0x7FFF fits 16 bits (sign-extended); full model would pay 15
+        # bits; guarded pays the same here but the high latches held 0
+        cost = model.account(0, 0x7FFF, 0)
+        assert cost == 15
+        assert model.narrow_operations == 2
+
+    def test_high_latches_hold_across_narrow_ops(self):
+        model = GuardedFUPowerModel(FUClass.IALU, 1, low_width=16,
+                                    guard_overhead_bits=0)
+        model.account(0, 0xABCD0000, 0)     # wide: high latches now ABCD
+        narrow_cost = model.account(0, 0x1234, 0)  # narrow
+        assert narrow_cost == encoding.popcount(0x1234 ^ 0x0000)
+        # the next wide op pays against the *held* high half, not the
+        # narrow op's sign extension
+        wide_cost = model.account(0, 0xABCD0000, 0)
+        assert wide_cost == encoding.popcount(0xABCD0000 ^ 0xABCD1234)
+
+    def test_negative_narrow_values_guarded(self):
+        model = GuardedFUPowerModel(FUClass.IALU, 1, low_width=16)
+        model.account(0, NEG, NEG)  # -5 sign-extends from 16 bits
+        assert model.narrow_operations == 1
+
+    def test_wide_value_not_guarded(self):
+        model = GuardedFUPowerModel(FUClass.IALU, 1, low_width=16)
+        model.account(0, 0x00123456, 0)
+        assert model.narrow_operations == 0
+
+    def test_guard_overhead_charged(self):
+        with_overhead = GuardedFUPowerModel(FUClass.IALU, 1, low_width=16,
+                                            guard_overhead_bits=2)
+        cost = with_overhead.account(0, 1, 1)
+        assert cost == 2 + 2  # two switched bits + overhead
+
+    def test_guarding_saves_on_mixed_stream(self):
+        """The hybrid claim: guarding reduces energy on top of whatever
+        the router does, for streams mixing narrow and wide values."""
+        plain = FUPowerModel(FUClass.IALU, 1)
+        guarded = GuardedFUPowerModel(FUClass.IALU, 1, low_width=16,
+                                      guard_overhead_bits=1)
+        values = [0x12340000, 5, NEG, 0x0BAD0000, 3, encoding.wrap_int(-9)]
+        for value in values:
+            plain.account(0, value, 7)
+            guarded.account(0, value, 7)
+        assert guarded.switched_bits < plain.switched_bits
+        assert 0 < guarded.narrow_fraction < 1
+
+    def test_rejects_fp_and_bad_width(self):
+        with pytest.raises(ValueError):
+            GuardedFUPowerModel(FUClass.FPAU, 1)
+        with pytest.raises(ValueError):
+            GuardedFUPowerModel(FUClass.IALU, 1, low_width=32)
+
+    def test_steering_composes_with_guarding(self):
+        """Steering gains persist when every module is guarded."""
+        stats = paper_statistics(FUClass.IALU)
+        scheme = scheme_for(FUClass.IALU)
+        lut = build_lut(stats, 4, 4)
+        steered = PolicyEvaluator(FUClass.IALU, 4,
+                                  LUTPolicy(lut=lut, scheme=scheme))
+        fcfs = PolicyEvaluator(FUClass.IALU, 4, OriginalPolicy())
+        steered.power = GuardedFUPowerModel(FUClass.IALU, 4)
+        fcfs.power = GuardedFUPowerModel(FUClass.IALU, 4)
+        model = OperandModel(FUClass.IALU, mode="structured")
+        stream = SyntheticStream(stats, operand_model=model, seed=23)
+        for group in stream.groups(4000):
+            steered(group)
+            fcfs(group)
+        assert steered.power.switched_bits < fcfs.power.switched_bits
+
+
+class TestHeterogeneousPool:
+    def test_standard_variants(self):
+        variants = standard_variants(4, 2, slow_energy=0.5)
+        assert sum(v.fast for v in variants) == 2
+        assert variants[-1].energy_weight == 0.5
+        with pytest.raises(ValueError):
+            standard_variants(4, 5)
+
+    def test_weighted_energy(self):
+        model = HeterogeneousPowerModel(
+            FUClass.IALU, [ModuleVariant(True, 1.0),
+                           ModuleVariant(False, 0.5)])
+        model.account(0, 0xF, 0)  # 4 bits on the fast module
+        model.account(1, 0xF, 0)  # 4 bits on the slow module
+        assert model.switched_bits == 8
+        assert model.weighted_energy == pytest.approx(4 + 2)
+
+
+class TestCriticalityAwarePolicy:
+    @pytest.fixture
+    def policy(self, ialu_stats):
+        lut = build_lut(ialu_stats, 4, 4)
+        return CriticalityAwareLUTPolicy(
+            lut=lut, scheme=scheme_for(FUClass.IALU),
+            variants=standard_variants(4, 2))
+
+    def _op(self, critical):
+        return MicroOp(opcode("add"), 1, 2, critical=critical)
+
+    def test_critical_ops_on_fast_modules(self, policy):
+        power = FUPowerModel(FUClass.IALU, 4)
+        ops = [self._op(True), self._op(False), self._op(False)]
+        assignment = policy.assign(ops, power)
+        fast = {i for i, v in enumerate(policy.variants) if v.fast}
+        assert assignment.modules[0] in fast
+        assert assignment.modules[1] not in fast
+        assert assignment.modules[2] not in fast
+
+    def test_overflow_critical_falls_back_to_slow(self, policy):
+        power = FUPowerModel(FUClass.IALU, 4)
+        ops = [self._op(True)] * 4
+        assignment = policy.assign(ops, power)
+        assert sorted(assignment.modules) == [0, 1, 2, 3]
+
+    def test_requires_a_fast_module(self, ialu_stats):
+        lut = build_lut(ialu_stats, 4, 4)
+        with pytest.raises(ValueError, match="fast"):
+            CriticalityAwareLUTPolicy(lut=lut,
+                                      scheme=scheme_for(FUClass.IALU),
+                                      variants=standard_variants(4, 0))
+
+    def test_variant_count_checked(self, ialu_stats):
+        lut = build_lut(ialu_stats, 4, 4)
+        with pytest.raises(ValueError, match="variant"):
+            CriticalityAwareLUTPolicy(lut=lut,
+                                      scheme=scheme_for(FUClass.IALU),
+                                      variants=standard_variants(2, 1))
+
+    def test_hybrid_saves_weighted_energy_on_real_stream(self, ialu_stats):
+        """End to end: the heterogeneous hybrid beats FCFS-on-fast-pool
+        in weighted energy while still steering by case."""
+        from repro.cpu.simulator import Simulator
+        from repro.workloads import workload
+
+        variants = standard_variants(4, 2)
+        lut = build_lut(ialu_stats, 4, 4)
+        hybrid = PolicyEvaluator(FUClass.IALU, 4, CriticalityAwareLUTPolicy(
+            lut=lut, scheme=scheme_for(FUClass.IALU), variants=variants))
+        hybrid.power = HeterogeneousPowerModel(FUClass.IALU, variants)
+        fcfs = PolicyEvaluator(FUClass.IALU, 4, OriginalPolicy())
+        fcfs.power = HeterogeneousPowerModel(FUClass.IALU, variants)
+
+        sim = Simulator(workload("go").build(1))
+        sim.add_listener(hybrid)
+        sim.add_listener(fcfs)
+        sim.run()
+        assert hybrid.power.weighted_energy < fcfs.power.weighted_energy

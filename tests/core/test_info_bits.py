@@ -1,0 +1,125 @@
+"""Information-bit extraction and case classification tests."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.info_bits import (CASES, PAPER_FP_SCHEME, PAPER_INT_SCHEME,
+                                  case_hamming, case_of, fp_info_bit,
+                                  fp_info_bit_k, int_info_bit,
+                                  int_top_bits_majority, make_fp_scheme,
+                                  make_int_scheme, scheme_for, swapped_case)
+from repro.cpu.trace import MicroOp
+from repro.isa import encoding
+from repro.isa.instructions import FUClass, opcode
+
+int_images = st.integers(min_value=0, max_value=encoding.INT_MASK)
+double_images = st.integers(min_value=0, max_value=encoding.FLOAT_MASK)
+
+
+class TestIntegerInfoBit:
+    def test_sign_bit_examples(self):
+        assert int_info_bit(encoding.to_unsigned(20)) == 0
+        assert int_info_bit(encoding.to_unsigned(-20)) == 1
+        assert int_info_bit(0) == 0
+
+    @given(int_images)
+    def test_equals_sign(self, bits):
+        assert int_info_bit(bits) == (encoding.to_signed(bits) < 0)
+
+    @given(st.integers(min_value=-1000, max_value=1000))
+    def test_predicts_majority_for_small_values(self, value):
+        # for small-magnitude integers the sign bit is the majority bit
+        bits = encoding.to_unsigned(value)
+        ones = encoding.popcount(bits)
+        if int_info_bit(bits):
+            assert ones > 16
+        else:
+            assert ones < 16
+
+
+class TestFloatInfoBit:
+    def test_round_number_is_zero(self):
+        assert fp_info_bit(encoding.float_to_bits(7.0)) == 0
+        assert fp_info_bit(encoding.float_to_bits(0.25)) == 0
+
+    def test_full_precision_is_usually_one(self):
+        import math
+        assert fp_info_bit(encoding.float_to_bits(math.pi)) == 1
+
+    @given(double_images)
+    def test_is_or_of_bottom_four(self, bits):
+        expected = 1 if bits & 0xF else 0
+        assert fp_info_bit(bits) == expected
+
+    @given(double_images, st.integers(min_value=1, max_value=52))
+    def test_k_bit_variant_monotone(self, bits, k):
+        # widening the OR window can only turn 0 into 1
+        if fp_info_bit_k(bits, k) == 1 and k < 52:
+            assert fp_info_bit_k(bits, k + 1) == 1
+
+    def test_k_out_of_range(self):
+        with pytest.raises(ValueError):
+            fp_info_bit_k(0, 0)
+        with pytest.raises(ValueError):
+            fp_info_bit_k(0, 53)
+
+
+class TestSchemes:
+    def test_scheme_for_classes(self):
+        assert scheme_for(FUClass.IALU) is PAPER_INT_SCHEME
+        assert scheme_for(FUClass.IMULT) is PAPER_INT_SCHEME
+        assert scheme_for(FUClass.FPAU) is PAPER_FP_SCHEME
+        assert scheme_for(FUClass.FPMULT) is PAPER_FP_SCHEME
+
+    def test_case_concatenation_order(self):
+        # operand 1's bit is the high bit of the case
+        negative = encoding.to_unsigned(-1)
+        assert PAPER_INT_SCHEME.case_of(negative, 0) == 0b10
+        assert PAPER_INT_SCHEME.case_of(0, negative) == 0b01
+
+    def test_case_of_microop_missing_operand(self):
+        op = MicroOp(opcode("fabs"), encoding.float_to_bits(3.141592653589793),
+                     0, has_two=False)
+        # the missing operand reads as a zero image -> info bit 0
+        assert case_of(op, PAPER_FP_SCHEME) in (0b10, 0b00)
+        assert case_of(op, PAPER_FP_SCHEME) & 1 == 0
+
+    def test_make_int_scheme_majority(self):
+        scheme = make_int_scheme(4)
+        assert scheme.extract(0xF0000000) == 1
+        assert scheme.extract(0x10000000) == 0
+
+    def test_make_int_scheme_k1_is_paper(self):
+        assert make_int_scheme(1) is PAPER_INT_SCHEME
+
+    def test_make_fp_scheme(self):
+        scheme = make_fp_scheme(8)
+        assert scheme.extract(0x80) == 1
+        assert scheme.extract(0x100) == 0
+
+    def test_majority_validation(self):
+        with pytest.raises(ValueError):
+            int_top_bits_majority(0, 0)
+
+
+class TestCaseAlgebra:
+    def test_case_hamming_table(self):
+        assert case_hamming(0b00, 0b00) == 0
+        assert case_hamming(0b00, 0b11) == 2
+        assert case_hamming(0b01, 0b10) == 2
+        assert case_hamming(0b01, 0b11) == 1
+
+    @given(st.sampled_from(CASES), st.sampled_from(CASES))
+    def test_case_hamming_symmetric(self, a, b):
+        assert case_hamming(a, b) == case_hamming(b, a)
+
+    @given(st.sampled_from(CASES))
+    def test_swapped_case_involution(self, case):
+        assert swapped_case(swapped_case(case)) == case
+
+    def test_swapped_case_values(self):
+        assert swapped_case(0b01) == 0b10
+        assert swapped_case(0b10) == 0b01
+        assert swapped_case(0b00) == 0b00
+        assert swapped_case(0b11) == 0b11

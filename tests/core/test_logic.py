@@ -1,0 +1,151 @@
+"""Quine-McCluskey minimiser and LUT logic-synthesis tests."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.logic import (LogicCost, SOPCover, cube_covers,
+                              cube_literals, estimate_router_cost, minimize,
+                              prime_implicants, synthesize_lut_logic,
+                              synthesize_truth_table)
+from repro.core.lut import build_lut
+from repro.core.statistics import paper_statistics
+from repro.isa.instructions import FUClass
+
+
+class TestCubes:
+    def test_cube_covers(self):
+        cube = (0b110, 0b100)  # x2=1, x1=0, x0 free
+        assert cube_covers(cube, 0b100)
+        assert cube_covers(cube, 0b101)
+        assert not cube_covers(cube, 0b110)
+
+    def test_cube_literals(self):
+        assert cube_literals((0b1011, 0)) == 3
+        assert cube_literals((0, 0)) == 0
+
+
+class TestMinimize:
+    def test_textbook_example(self):
+        # f(a,b,c,d) = sum m(4,8,10,11,12,15) + dc(9,14): minimal cover
+        # is three terms (a classic QM exercise)
+        cover = minimize([4, 8, 10, 11, 12, 15], 4, dont_cares=[9, 14])
+        assert len(cover.cubes) == 3
+        assert cover.literals == 7
+
+    def test_constant_zero_and_one(self):
+        assert minimize([], 3).constant == 0
+        assert minimize(range(8), 3).constant == 1
+        assert minimize([0, 1], 1).constant == 1
+
+    def test_single_variable(self):
+        cover = minimize([1], 1)
+        assert cover.cubes == ((1, 1),)
+
+    def test_xor_cannot_be_reduced(self):
+        cover = minimize([0b01, 0b10], 2)
+        assert len(cover.cubes) == 2
+        assert cover.literals == 4
+
+    def test_dont_cares_enlarge_cubes(self):
+        with_dc = minimize([0b11], 2, dont_cares=[0b10])
+        without = minimize([0b11], 2)
+        assert with_dc.literals < without.literals
+
+    def test_out_of_range_minterm(self):
+        with pytest.raises(ValueError):
+            minimize([8], 3)
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.sets(st.integers(0, 31), max_size=32),
+           st.sets(st.integers(0, 31), max_size=8))
+    def test_cover_is_exact_on_care_set(self, on_set, dc_set):
+        """The minimised cover equals the spec everywhere outside DC."""
+        cover = minimize(on_set, 5, dont_cares=dc_set)
+        for assignment in range(32):
+            if assignment in dc_set and assignment not in on_set:
+                continue
+            expected = int(assignment in on_set)
+            assert cover.evaluate(assignment) == expected
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.sets(st.integers(0, 15), min_size=1, max_size=15))
+    def test_primes_cover_all_minterms(self, on_set):
+        primes = prime_implicants(on_set, (), 4)
+        for minterm in on_set:
+            assert any(cube_covers(p, minterm) for p in primes)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.sets(st.integers(0, 15), min_size=1, max_size=15))
+    def test_no_cube_covers_off_set(self, on_set):
+        cover = minimize(on_set, 4)
+        off_set = set(range(16)) - set(on_set)
+        for cube in cover.cubes:
+            for minterm in off_set:
+                assert not cube_covers(cube, minterm)
+
+
+class TestMultiOutput:
+    def test_shared_terms_counted_once(self):
+        # two identical outputs share their AND terms
+        bits = [1 if i in (3, 7) else 0 for i in range(8)]
+        single = synthesize_truth_table([bits], 3)
+        double = synthesize_truth_table([bits, bits], 3)
+        assert double.gates <= single.gates + 1  # at most one extra OR
+
+    def test_constant_outputs_free(self):
+        cost = synthesize_truth_table([[0] * 4, [1] * 4], 2)
+        assert cost.gates == 0
+        assert cost.levels == 0
+
+    def test_inverters_counted(self):
+        # f = NOT a (1 var): one inverter, no AND/OR
+        cost = synthesize_truth_table([[1, 0]], 1)
+        assert cost.gates == 1
+        assert cost.levels == 1
+
+
+class TestLutSynthesis:
+    @pytest.fixture(scope="class")
+    def ialu_lut(self):
+        return build_lut(paper_statistics(FUClass.IALU), 4, 4)
+
+    def test_synthesis_matches_lut_exactly(self, ialu_lut):
+        """The minimised network must compute the same assignment as the
+        behavioural table for every vector."""
+        cost = synthesize_lut_logic(ialu_lut)
+        select_bits = 2
+        for index in range(1 << ialu_lut.vector_bits):
+            cases = []
+            for slot in range(ialu_lut.vector_ops):
+                shift = 2 * (ialu_lut.vector_ops - 1 - slot)
+                cases.append((index >> shift) & 0b11)
+            expected = ialu_lut.table[tuple(cases)]
+            for slot, module in enumerate(expected):
+                for bit in range(select_bits):
+                    cover = cost.covers[slot * select_bits + bit]
+                    assert cover.evaluate(index) == (module >> bit) & 1
+
+    def test_router_cost_reproduces_paper_numbers(self, ialu_lut):
+        # "requires 58 small logic gates and 6 logic levels" (8 RS
+        # entries); "with 32 entries, 130 gates and 8 levels are needed"
+        small = estimate_router_cost(ialu_lut, 8)
+        assert (small.gates, small.levels) == (58, 6)
+        large = estimate_router_cost(ialu_lut, 32)
+        assert (large.gates, large.levels) == (130, 8)
+
+    def test_wider_vector_costs_more(self):
+        stats = paper_statistics(FUClass.IALU)
+        narrow = synthesize_lut_logic(build_lut(stats, 4, 2))
+        wide = synthesize_lut_logic(build_lut(stats, 4, 8))
+        assert wide.gates > narrow.gates
+
+    def test_router_cost_validation(self, ialu_lut):
+        with pytest.raises(ValueError):
+            estimate_router_cost(ialu_lut, 0)
+
+    def test_rejects_non_lut(self):
+        with pytest.raises(TypeError):
+            synthesize_lut_logic("not a lut")

@@ -1,0 +1,143 @@
+"""LUT synthesis tests (section 4.3)."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.info_bits import CASES
+from repro.core.lut import (SteeringLUT, allocate_homes,
+                            allocate_homes_paper_rule, build_lut,
+                            estimate_gate_cost)
+from repro.core.statistics import CaseStatistics, paper_statistics
+from repro.isa.instructions import FUClass
+
+
+class TestHomeAllocation:
+    def test_fpau_gets_one_module_per_case(self, fpau_stats):
+        # the paper: "the best strategy is to first attempt to assign a
+        # unique case to each module" for floating point
+        assert allocate_homes(fpau_stats, 4) == (0b00, 0b01, 0b10, 0b11)
+
+    def test_ialu_dominant_case_gets_multiple_modules(self, ialu_stats):
+        homes = allocate_homes(ialu_stats, 4)
+        assert homes.count(0b00) >= 2
+        # the mixed cases keep representation
+        assert 0b01 in homes or 0b10 in homes
+
+    def test_paper_rule_ialu(self, ialu_stats):
+        # "we assign three of the modules as being likely to contain
+        # case 00, and we use the fourth module for all three other"
+        homes = allocate_homes_paper_rule(ialu_stats, 4)
+        assert homes.count(0b00) == 3
+
+    def test_paper_rule_fpau(self, fpau_stats):
+        assert allocate_homes_paper_rule(fpau_stats, 4) \
+            == (0b00, 0b01, 0b10, 0b11)
+
+    def test_single_module(self, ialu_stats):
+        assert len(allocate_homes(ialu_stats, 1)) == 1
+
+    def test_invalid_module_count(self, ialu_stats):
+        with pytest.raises(ValueError):
+            allocate_homes(ialu_stats, 0)
+        with pytest.raises(ValueError):
+            allocate_homes_paper_rule(ialu_stats, 0)
+
+    def test_uniform_distribution_spreads_homes(self):
+        stats = CaseStatistics(
+            FUClass.IALU,
+            {(case, True): 0.25 for case in CASES},
+            {1: 0.4, 2: 0.3, 3: 0.2, 4: 0.1})
+        homes = allocate_homes(stats, 4)
+        assert sorted(homes) == list(CASES)
+
+
+class TestBuildLut:
+    @pytest.fixture
+    def ialu_lut(self, ialu_stats):
+        return build_lut(ialu_stats, 4, 8)
+
+    def test_table_is_total(self, ialu_lut):
+        assert len(ialu_lut.table) == 4 ** 4
+        for vector in itertools.product(CASES, repeat=4):
+            assert vector in ialu_lut.table
+
+    def test_assignments_are_permutations(self, ialu_lut):
+        for assignment in ialu_lut.table.values():
+            assert len(set(assignment)) == len(assignment)
+            assert all(0 <= m < 4 for m in assignment)
+
+    def test_pad_case_is_least_frequent(self, ialu_stats, ialu_lut):
+        assert ialu_lut.pad_case == ialu_stats.least_case() == 0b11
+
+    def test_lookup_pads_short_vectors(self, ialu_lut):
+        single = ialu_lut.lookup((0b00,))
+        assert len(single) == 1
+        padded = ialu_lut.table[(0b00,) + (ialu_lut.pad_case,) * 3]
+        assert single == padded[:1]
+
+    def test_lookup_rejects_oversized(self, ialu_lut):
+        with pytest.raises(ValueError):
+            ialu_lut.lookup((0, 0, 0, 0, 0))
+
+    def test_same_case_ops_go_to_home_modules(self, ialu_lut):
+        # two case-00 ops land on the two 00-homed modules
+        homes = ialu_lut.homes
+        modules = ialu_lut.lookup((0b00, 0b00))
+        assert all(homes[m] == 0b00 for m in modules)
+
+    def test_distinct_cases_distinct_homes_fpau(self, fpau_stats):
+        lut = build_lut(fpau_stats, 4, 8)
+        modules = lut.lookup((0b00, 0b01, 0b10, 0b11))
+        assert [lut.homes[m] for m in modules] == [0b00, 0b01, 0b10, 0b11]
+
+    def test_vector_width_validation(self, ialu_stats):
+        with pytest.raises(ValueError):
+            build_lut(ialu_stats, 4, 3)
+        with pytest.raises(ValueError):
+            build_lut(ialu_stats, 4, 0)
+        with pytest.raises(ValueError):
+            build_lut(ialu_stats, 2, 8)  # more slots than modules
+
+    def test_custom_homes(self, ialu_stats):
+        homes = (0b00, 0b00, 0b00, 0b10)
+        lut = build_lut(ialu_stats, 4, 4, homes=homes)
+        assert lut.homes == homes
+        with pytest.raises(ValueError):
+            build_lut(ialu_stats, 4, 4, homes=(0b00,))
+
+    def test_vector_bits_property(self, ialu_stats):
+        assert build_lut(ialu_stats, 4, 4).vector_bits == 4
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(st.sampled_from(CASES), min_size=1, max_size=4))
+    def test_lookup_valid_for_any_prefix(self, cases):
+        stats = paper_statistics(FUClass.IALU)
+        for vector_bits in (2, 4, 8):
+            lut = build_lut(stats, 4, vector_bits)
+            prefix = cases[:lut.vector_ops]
+            modules = lut.lookup(prefix)
+            assert len(modules) == len(prefix)
+            assert len(set(modules)) == len(modules)
+            assert all(0 <= m < 4 for m in modules)
+
+
+class TestGateCost:
+    def test_calibrated_to_paper_points(self):
+        # "requires 58 small logic gates and 6 logic levels" (8 RS
+        # entries); "with 32 entries, 130 gates and 8 levels"
+        small = estimate_gate_cost(4, 8)
+        assert (small.gates, small.levels) == (58, 6)
+        large = estimate_gate_cost(4, 32)
+        assert (large.gates, large.levels) == (130, 8)
+
+    def test_monotone_in_vector_width(self):
+        assert estimate_gate_cost(8, 8).gates > estimate_gate_cost(4, 8).gates
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            estimate_gate_cost(0, 8)
+        with pytest.raises(ValueError):
+            estimate_gate_cost(4, 0)

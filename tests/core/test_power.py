@@ -1,0 +1,136 @@
+"""Power model tests: Hamming accounting and multiplier activity."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.power import (FUPowerModel, MultiplierActivityModel,
+                              PowerParameters, booth_recode_activity,
+                              operand_width, shift_add_activity)
+from repro.isa import encoding
+from repro.isa.instructions import FUClass
+
+int_images = st.integers(min_value=0, max_value=encoding.INT_MASK)
+
+
+class TestFUPowerModel:
+    def test_first_operation_charged_from_zero(self):
+        model = FUPowerModel(FUClass.IALU, 2)
+        cost = model.account(0, 0b1011, 0b1)
+        assert cost == 4  # 3 + 1 bits against the all-zero power-up state
+
+    def test_repeat_inputs_cost_nothing(self):
+        model = FUPowerModel(FUClass.IALU, 1)
+        model.account(0, 123, 456)
+        assert model.account(0, 123, 456) == 0
+
+    def test_modules_have_independent_state(self):
+        model = FUPowerModel(FUClass.IALU, 2)
+        model.account(0, 0xFFFFFFFF, 0)
+        assert model.account(1, 0xFFFFFFFF, 0) == 32
+
+    def test_fp_uses_mantissa_only(self):
+        model = FUPowerModel(FUClass.FPAU, 1)
+        a = encoding.make_double(0, 1023, 0)
+        b = encoding.make_double(1, 1040, 0)  # same mantissa, new exp/sign
+        model.account(0, a, a)
+        assert model.account(0, b, a) == 0
+        assert operand_width(FUClass.FPAU) == 52
+        assert operand_width(FUClass.IALU) == 32
+
+    def test_peek_does_not_mutate(self):
+        model = FUPowerModel(FUClass.IALU, 1)
+        model.account(0, 1, 2)
+        cost = model.peek_cost(0, 0xFF, 0)
+        assert cost == model.peek_cost(0, 0xFF, 0)
+        assert model.module_inputs(0) == (1, 2)
+
+    def test_accumulates(self):
+        model = FUPowerModel(FUClass.IALU, 1)
+        model.account(0, 1, 0)
+        model.account(0, 2, 0)
+        assert model.switched_bits == 1 + 2  # 0->1 then 01->10
+        assert model.operations == 2
+        assert model.bits_per_operation == 1.5
+
+    def test_reset(self):
+        model = FUPowerModel(FUClass.IALU, 1)
+        model.account(0, 0xFFFF, 0xFFFF)
+        model.reset()
+        assert model.switched_bits == 0
+        assert model.module_inputs(0) == (0, 0)
+
+    def test_module_range_checked(self):
+        model = FUPowerModel(FUClass.IALU, 2)
+        with pytest.raises(ValueError):
+            model.account(2, 0, 0)
+        with pytest.raises(ValueError):
+            FUPowerModel(FUClass.IALU, 0)
+
+    @given(int_images, int_images, int_images, int_images)
+    def test_cost_is_hamming(self, p1, p2, n1, n2):
+        model = FUPowerModel(FUClass.IALU, 1)
+        model.account(0, p1, p2)
+        expected = (encoding.hamming_int(p1, n1)
+                    + encoding.hamming_int(p2, n2))
+        assert model.account(0, n1, n2) == expected
+
+
+class TestPowerParameters:
+    def test_energy_scaling(self):
+        params = PowerParameters(vdd=2.0, capacitance_per_bit_f=1e-12)
+        assert params.energy_joules(10) == pytest.approx(0.5 * 4 * 1e-12 * 10)
+
+    def test_average_power(self):
+        params = PowerParameters()
+        assert params.average_power_watts(0, 100) == 0.0
+        assert params.average_power_watts(100, 0) == 0.0
+        assert params.average_power_watts(100, 10) > 0
+
+
+class TestMultiplierActivity:
+    def test_shift_add_counts_ones(self):
+        assert shift_add_activity(0b1011) == 3
+        assert shift_add_activity(0) == 0
+        assert shift_add_activity(0xFFFFFFFF, width=32) == 32
+
+    def test_booth_constant_run_is_cheap(self):
+        # Booth's advantage: a run of ones costs ~1 boundary, popcount 32
+        minus_one = encoding.to_unsigned(-1)
+        assert booth_recode_activity(minus_one, 32) == 1
+        assert shift_add_activity(minus_one, 32) == 32
+
+    def test_booth_alternating_is_expensive(self):
+        assert booth_recode_activity(0x55555555, 32) == 32
+
+    def test_booth_zero(self):
+        assert booth_recode_activity(0, 32) == 0
+
+    @given(int_images)
+    def test_booth_bounded_by_width(self, bits):
+        assert 0 <= booth_recode_activity(bits, 32) <= 32
+
+    @given(int_images)
+    def test_booth_never_worse_than_twice_runs(self, bits):
+        # each run of ones contributes at most 2 boundaries
+        runs = len([r for r in bin(bits)[2:].split("0") if r])
+        assert booth_recode_activity(bits, 32) <= 2 * runs + 1
+
+    def test_activity_model_accumulates(self):
+        model = MultiplierActivityModel(FUClass.IMULT, add_weight=2.0)
+        model.account(3, 0b101)
+        # Booth digits of 0b101 (alternating bits) = 4 boundaries
+        assert model.adds == 4
+        assert model.switched_bits == 2 + 2  # 3 and 5 against zero state
+        assert model.total_cost == 4 + 2.0 * 4
+
+    def test_activity_model_shift_add_mode(self):
+        model = MultiplierActivityModel(FUClass.IMULT, use_booth=False)
+        model.account(1, encoding.to_unsigned(-1))
+        assert model.adds == 32
+
+    def test_fp_model_masks_to_mantissa(self):
+        model = MultiplierActivityModel(FUClass.FPMULT)
+        bits = encoding.make_double(1, 2000, 0)
+        model.account(bits, bits)
+        assert model.switched_bits == 0  # exponent/sign outside mantissa

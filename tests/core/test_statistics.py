@@ -1,0 +1,74 @@
+"""CaseStatistics container tests."""
+
+import pytest
+
+from repro.core.info_bits import CASES
+from repro.core.statistics import (CaseStatistics, PAPER_FPAU_USAGE,
+                                   PAPER_IALU_USAGE, paper_statistics)
+from repro.isa.instructions import FUClass
+
+
+class TestPaperStatistics:
+    def test_ialu_row_values(self, ialu_stats):
+        assert ialu_stats.case_comm_freq[(0b00, True)] \
+            == pytest.approx(0.4011)
+        assert ialu_stats.case_freq(0b00) == pytest.approx(0.6949)
+
+    def test_frequencies_sum_to_one(self, ialu_stats, fpau_stats):
+        for stats in (ialu_stats, fpau_stats):
+            assert sum(stats.case_comm_freq.values()) == pytest.approx(1.0)
+            assert sum(stats.case_distribution().values()) \
+                == pytest.approx(1.0)
+
+    def test_least_case(self, ialu_stats, fpau_stats):
+        # IALU: case 11 is rarest (1.79%); FPAU: case 10 (10.14%)
+        assert ialu_stats.least_case() == 0b11
+        assert fpau_stats.least_case() == 0b10
+
+    def test_noncommutative_freq(self, ialu_stats):
+        assert ialu_stats.noncommutative_freq(0b01) == pytest.approx(0.0058)
+        assert ialu_stats.noncommutative_freq(0b10) == pytest.approx(0.0151)
+
+    def test_expected_issue_width(self, ialu_stats, fpau_stats):
+        assert ialu_stats.expected_issue_width() == pytest.approx(1.877)
+        assert fpau_stats.expected_issue_width() == pytest.approx(1.105)
+
+    def test_no_paper_stats_for_multipliers(self):
+        with pytest.raises(ValueError):
+            paper_statistics(FUClass.IMULT)
+
+
+class TestUsageDistribution:
+    def test_truncation_folds_overflow(self):
+        stats = CaseStatistics(FUClass.IALU,
+                               {(0b00, True): 1.0},
+                               PAPER_IALU_USAGE)
+        truncated = stats.usage_distribution(2)
+        assert truncated[2] == pytest.approx((0.362 + 0.194 + 0.042) / 1.001,
+                                             rel=0.01)
+        assert sum(truncated.values()) == pytest.approx(1.0)
+
+    def test_full_width_normalised(self, fpau_stats):
+        distribution = fpau_stats.usage_distribution(4)
+        assert sum(distribution.values()) == pytest.approx(1.0)
+        assert distribution[1] == pytest.approx(PAPER_FPAU_USAGE[1], rel=0.01)
+
+    def test_empty_usage_defaults_single_issue(self):
+        stats = CaseStatistics(FUClass.IALU, {(0b00, True): 1.0}, {})
+        assert stats.usage_distribution(4)[1] == 1.0
+
+
+class TestValidation:
+    def test_rejects_bad_case_sum(self):
+        with pytest.raises(ValueError):
+            CaseStatistics(FUClass.IALU, {(0b00, True): 0.5},
+                           {1: 1.0})
+
+    def test_rejects_bad_usage_sum(self):
+        with pytest.raises(ValueError):
+            CaseStatistics(FUClass.IALU, {(0b00, True): 1.0},
+                           {1: 0.5, 2: 0.1})
+
+    def test_empty_distribution_uniform(self):
+        stats = CaseStatistics(FUClass.IALU, {}, {})
+        assert stats.case_distribution() == {case: 0.25 for case in CASES}

@@ -1,0 +1,206 @@
+"""Steering policy and evaluator tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.info_bits import PAPER_INT_SCHEME, scheme_for
+from repro.core.lut import build_lut
+from repro.core.power import FUPowerModel
+from repro.core.statistics import paper_statistics
+from repro.core.steering import (FullHammingPolicy, LUTPolicy,
+                                 OneBitHammingPolicy, OriginalPolicy,
+                                 PolicyEvaluator, RoundRobinPolicy,
+                                 make_policy)
+from repro.core.swapping import HardwareSwapper
+from repro.cpu.trace import IssueGroup, MicroOp
+from repro.isa import encoding
+from repro.isa.instructions import FUClass, opcode
+from repro.workloads.generators import SyntheticStream
+
+NEG = encoding.to_unsigned(-100)
+
+
+def group(ops, cycle=0, fu_class=FUClass.IALU):
+    return IssueGroup(cycle, fu_class, ops)
+
+
+def add_op(a, b):
+    return MicroOp(opcode("add"), a, b)
+
+
+class TestOriginalPolicy:
+    def test_fcfs_order(self):
+        power = FUPowerModel(FUClass.IALU, 4)
+        ops = [add_op(1, 2), add_op(3, 4), add_op(5, 6)]
+        assignment = OriginalPolicy().assign(ops, power)
+        assert assignment.modules == (0, 1, 2)
+        assert assignment.swapped == (False,) * 3
+
+
+class TestRoundRobinPolicy:
+    def test_rotates(self):
+        power = FUPowerModel(FUClass.IALU, 4)
+        policy = RoundRobinPolicy()
+        first = policy.assign([add_op(1, 2), add_op(3, 4)], power)
+        second = policy.assign([add_op(5, 6)], power)
+        assert first.modules == (0, 1)
+        assert second.modules == (2,)
+
+
+class TestFullHammingPolicy:
+    def test_routes_to_matching_module(self):
+        power = FUPowerModel(FUClass.IALU, 2)
+        power.account(0, 100, 200)
+        power.account(1, NEG, NEG)
+        assignment = FullHammingPolicy().assign([add_op(NEG, NEG)], power)
+        assert assignment.modules == (1,)
+
+    def test_swap_needs_flag(self):
+        power = FUPowerModel(FUClass.IALU, 1)
+        power.account(0, 100, NEG)
+        no_swap = FullHammingPolicy().assign([add_op(NEG, 100)], power)
+        with_swap = FullHammingPolicy(allow_swap=True).assign(
+            [add_op(NEG, 100)], power)
+        assert no_swap.swapped == (False,)
+        assert with_swap.swapped == (True,)
+
+    def test_names(self):
+        assert FullHammingPolicy().name == "full-ham"
+        assert FullHammingPolicy(allow_swap=True).name == "full-ham+swap"
+
+
+class TestOneBitHammingPolicy:
+    def test_sees_only_info_bits(self):
+        power = FUPowerModel(FUClass.IALU, 2)
+        # module 0 latched positives differing in many low bits
+        power.account(0, 0x7FFF, 0x7FFF)
+        power.account(1, NEG, NEG)
+        policy = OneBitHammingPolicy(scheme=PAPER_INT_SCHEME)
+        # a (pos, pos) op: info bits match module 0 exactly
+        assignment = policy.assign([add_op(3, 5)], power)
+        assert assignment.modules == (0,)
+
+
+class TestLUTPolicy:
+    @pytest.fixture
+    def lut_policy(self, ialu_stats):
+        lut = build_lut(ialu_stats, 4, 4)
+        return LUTPolicy(lut=lut, scheme=scheme_for(FUClass.IALU))
+
+    def test_default_name(self, lut_policy):
+        assert lut_policy.name == "lut-4bit"
+
+    def test_overflow_ops_fall_back_to_free_modules(self, lut_policy):
+        power = FUPowerModel(FUClass.IALU, 4)
+        ops = [add_op(1, 2), add_op(3, 4), add_op(5, 6), add_op(7, 8)]
+        assignment = lut_policy.assign(ops, power)
+        # 4 ops on a 2-slot vector: all modules used exactly once
+        assert sorted(assignment.modules) == [0, 1, 2, 3]
+
+    def test_stateless(self, lut_policy):
+        power = FUPowerModel(FUClass.IALU, 4)
+        ops = [add_op(1, 2)]
+        first = lut_policy.assign(ops, power)
+        power.account(first.modules[0], 1, 2)
+        second = lut_policy.assign(ops, power)
+        assert first.modules == second.modules
+
+
+class TestMakePolicy:
+    def test_all_kinds(self, ialu_stats):
+        for kind in ("original", "round-robin", "full-ham", "1bit-ham",
+                     "lut-8", "lut-4", "lut-2"):
+            policy = make_policy(kind, FUClass.IALU, 4, stats=ialu_stats)
+            assert policy is not None
+
+    def test_lut_requires_stats(self):
+        with pytest.raises(ValueError, match="need case statistics"):
+            make_policy("lut-4", FUClass.IALU, 4)
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown policy"):
+            make_policy("magic", FUClass.IALU, 4)
+
+
+class TestPolicyEvaluator:
+    def test_ignores_other_classes(self):
+        evaluator = PolicyEvaluator(FUClass.IALU, 4, OriginalPolicy())
+        evaluator(group([MicroOp(opcode("fadd"), 1, 2)],
+                        fu_class=FUClass.FPAU))
+        assert evaluator.power.operations == 0
+
+    def test_accounts_each_op_once(self):
+        evaluator = PolicyEvaluator(FUClass.IALU, 4, OriginalPolicy())
+        evaluator(group([add_op(1, 2), add_op(3, 4)]))
+        assert evaluator.power.operations == 2
+        assert evaluator.cycles_seen == 1
+
+    def test_pre_swapper_applied(self):
+        swapper = HardwareSwapper(PAPER_INT_SCHEME, 0b01)
+        evaluator = PolicyEvaluator(FUClass.IALU, 4, OriginalPolicy(),
+                                    pre_swapper=swapper)
+        evaluator(group([add_op(100, NEG)]))  # case 01 -> swapped
+        assert swapper.swaps_performed == 1
+        assert evaluator.power.module_inputs(0) == (NEG, 100)
+        assert "hwswap" in evaluator.label
+
+    def test_policy_swap_applied_to_accounting(self):
+        evaluator = PolicyEvaluator(FUClass.IALU, 1,
+                                    FullHammingPolicy(allow_swap=True))
+        evaluator(group([add_op(100, NEG)]))
+        evaluator(group([add_op(NEG, 100)], cycle=1))
+        # the second op should be swapped to match the latched (100, NEG)
+        assert evaluator.power.module_inputs(0) == (100, NEG)
+
+    def test_totals(self, ialu_stats):
+        evaluator = PolicyEvaluator(FUClass.IALU, 4, OriginalPolicy())
+        evaluator(group([add_op(0xF, 0)]))
+        totals = evaluator.totals()
+        assert totals.switched_bits == 4
+        assert totals.operations == 1
+        assert totals.policy == "original"
+        assert totals.bits_per_operation == 4.0
+
+    def test_reduction_vs(self):
+        a = PolicyEvaluator(FUClass.IALU, 4, OriginalPolicy())
+        b = PolicyEvaluator(FUClass.IALU, 4, OriginalPolicy())
+        a(group([add_op(0xF, 0)]))
+        b(group([add_op(0x3, 0)]))
+        assert b.totals().reduction_vs(a.totals()) == pytest.approx(0.5)
+
+
+class TestPolicyQualityOrdering:
+    """The qualitative Figure 4 ordering must hold on calibrated streams."""
+
+    @pytest.mark.parametrize("fu_class", [FUClass.IALU, FUClass.FPAU])
+    def test_steering_beats_fcfs(self, fu_class):
+        stats = paper_statistics(fu_class)
+        evaluators = {
+            kind: PolicyEvaluator(fu_class, 4,
+                                  make_policy(kind, fu_class, 4, stats=stats))
+            for kind in ("original", "lut-4", "full-ham", "1bit-ham")}
+        stream = SyntheticStream(stats, seed=11)
+        for issue_group in stream.groups(4000):
+            for evaluator in evaluators.values():
+                evaluator(issue_group)
+        bits = {kind: e.totals().switched_bits
+                for kind, e in evaluators.items()}
+        assert bits["lut-4"] < bits["original"]
+        assert bits["full-ham"] < bits["original"]
+        assert bits["1bit-ham"] < bits["original"]
+
+    def test_wider_vector_no_worse(self):
+        stats = paper_statistics(FUClass.IALU)
+        evaluators = {
+            kind: PolicyEvaluator(FUClass.IALU, 4,
+                                  make_policy(kind, FUClass.IALU, 4,
+                                              stats=stats))
+            for kind in ("lut-2", "lut-4", "lut-8")}
+        stream = SyntheticStream(stats, seed=5)
+        for issue_group in stream.groups(6000):
+            for evaluator in evaluators.values():
+                evaluator(issue_group)
+        bits = {kind: e.totals().switched_bits
+                for kind, e in evaluators.items()}
+        assert bits["lut-8"] <= bits["lut-4"] <= bits["lut-2"]

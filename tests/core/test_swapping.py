@@ -1,0 +1,117 @@
+"""Operand swapping tests (section 4.4)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.info_bits import PAPER_FP_SCHEME, PAPER_INT_SCHEME, case_of
+from repro.core.power import booth_recode_activity, shift_add_activity
+from repro.core.swapping import (HardwareSwapper, MultiplierSwapper,
+                                 SwapMode, choose_swap_case)
+from repro.cpu.trace import MicroOp
+from repro.isa import encoding
+from repro.isa.instructions import opcode
+
+NEG = encoding.to_unsigned(-42)
+POS = 42
+
+
+class TestChooseSwapCase:
+    def test_paper_directions(self, ialu_stats, fpau_stats):
+        # "case 01 instructions will be swapped for the IALU, and case
+        # 10 instructions for the FPAU"
+        assert choose_swap_case(ialu_stats) == 0b01
+        assert choose_swap_case(fpau_stats) == 0b10
+
+
+class TestHardwareSwapper:
+    def test_swaps_target_case_commutative(self):
+        swapper = HardwareSwapper(PAPER_INT_SCHEME, 0b01)
+        op = MicroOp(opcode("add"), POS, NEG)  # case 01
+        swapped = swapper(op)
+        assert (swapped.op1, swapped.op2) == (NEG, POS)
+        assert swapper.swaps_performed == 1
+
+    def test_leaves_other_cases(self):
+        swapper = HardwareSwapper(PAPER_INT_SCHEME, 0b01)
+        op = MicroOp(opcode("add"), NEG, POS)  # case 10
+        assert swapper(op) is op
+        both_pos = MicroOp(opcode("add"), POS, POS)
+        assert swapper(both_pos) is both_pos
+
+    def test_leaves_non_commutative(self):
+        swapper = HardwareSwapper(PAPER_INT_SCHEME, 0b01)
+        op = MicroOp(opcode("sub"), POS, NEG)
+        assert swapper(op) is op
+        assert swapper.swaps_performed == 0
+
+    def test_leaves_immediate_forms(self):
+        swapper = HardwareSwapper(PAPER_INT_SCHEME, 0b01)
+        op = MicroOp(opcode("addi"), POS, NEG)
+        assert swapper(op) is op
+
+    def test_rejects_unswappable_case(self):
+        with pytest.raises(ValueError):
+            HardwareSwapper(PAPER_INT_SCHEME, 0b00)
+
+    @given(st.integers(0, encoding.INT_MASK), st.integers(0, encoding.INT_MASK))
+    def test_output_case_never_swap_from(self, a, b):
+        swapper = HardwareSwapper(PAPER_INT_SCHEME, 0b01)
+        result = swapper(MicroOp(opcode("add"), a, b))
+        assert case_of(result, PAPER_INT_SCHEME) != 0b01 \
+            or case_of(MicroOp(opcode("add"), a, b), PAPER_INT_SCHEME) != 0b01
+
+
+class TestMultiplierSwapper:
+    def test_info_bit_mode_swaps_case_01(self):
+        round_fp = encoding.float_to_bits(2.0)
+        dense_fp = encoding.float_to_bits(2.0000000001)
+        swapper = MultiplierSwapper(PAPER_FP_SCHEME, SwapMode.INFO_BIT)
+        op = MicroOp(opcode("fmul"), round_fp, dense_fp)  # case 01
+        swapped = swapper(op)
+        assert swapped.op1 == dense_fp and swapped.op2 == round_fp
+
+    def test_info_bit_mode_keeps_case_10(self):
+        round_fp = encoding.float_to_bits(2.0)
+        dense_fp = encoding.float_to_bits(2.0000000001)
+        swapper = MultiplierSwapper(PAPER_FP_SCHEME, SwapMode.INFO_BIT)
+        op = MicroOp(opcode("fmul"), dense_fp, round_fp)
+        assert swapper(op) is op
+
+    def test_non_commutative_division_untouched(self):
+        swapper = MultiplierSwapper(PAPER_INT_SCHEME, SwapMode.POPCOUNT)
+        op = MicroOp(opcode("div"), 0, 0xFFFF)
+        assert swapper(op) is op
+
+    @given(st.integers(0, encoding.INT_MASK), st.integers(0, encoding.INT_MASK))
+    def test_popcount_mode_never_increases_second_operand_ones(self, a, b):
+        swapper = MultiplierSwapper(PAPER_INT_SCHEME, SwapMode.POPCOUNT,
+                                    width=32)
+        result = swapper(MicroOp(opcode("mult"), a, b))
+        assert shift_add_activity(result.op2, 32) \
+            <= shift_add_activity(result.op1, 32) \
+            or shift_add_activity(result.op2, 32) == shift_add_activity(b, 32)
+
+    @given(st.integers(0, encoding.INT_MASK), st.integers(0, encoding.INT_MASK))
+    def test_popcount_swap_minimises(self, a, b):
+        swapper = MultiplierSwapper(PAPER_INT_SCHEME, SwapMode.POPCOUNT,
+                                    width=32)
+        result = swapper(MicroOp(opcode("mult"), a, b))
+        assert shift_add_activity(result.op2, 32) \
+            == min(shift_add_activity(a, 32), shift_add_activity(b, 32))
+
+    @given(st.integers(0, encoding.INT_MASK), st.integers(0, encoding.INT_MASK))
+    def test_booth_swap_minimises(self, a, b):
+        swapper = MultiplierSwapper(PAPER_INT_SCHEME, SwapMode.BOOTH,
+                                    width=32)
+        result = swapper(MicroOp(opcode("mult"), a, b))
+        assert booth_recode_activity(result.op2, 32) \
+            == min(booth_recode_activity(a, 32),
+                   booth_recode_activity(b, 32))
+
+    def test_swap_counter(self):
+        swapper = MultiplierSwapper(PAPER_INT_SCHEME, SwapMode.POPCOUNT,
+                                    width=32)
+        swapper(MicroOp(opcode("mult"), 0b1, 0b111))
+        swapper(MicroOp(opcode("mult"), 0b111, 0b1))
+        assert swapper.swaps_performed == 1

@@ -1,0 +1,109 @@
+"""Bimodal branch predictor tests."""
+
+import pytest
+
+from repro.cpu.branch import BimodalPredictor
+
+
+class TestBimodalPredictor:
+    def test_initial_prediction_weakly_taken(self):
+        assert BimodalPredictor(16).predict(0) is True
+
+    def test_saturating_training(self):
+        predictor = BimodalPredictor(16)
+        for _ in range(4):
+            predictor.update(0, taken=False, predicted=True)
+        assert predictor.predict(0) is False
+        # one taken outcome is not enough to flip a saturated counter
+        predictor.update(0, taken=True, predicted=False)
+        assert predictor.predict(0) is False
+        predictor.update(0, taken=True, predicted=False)
+        assert predictor.predict(0) is True
+
+    def test_loop_branch_learned(self):
+        predictor = BimodalPredictor(64)
+        mispredicts = 0
+        for _ in range(10):  # 10 loop visits: taken 7 times, exit once
+            for _ in range(7):
+                predicted = predictor.predict(5)
+                if not predicted:
+                    mispredicts += 1
+                predictor.update(5, taken=True, predicted=predicted)
+            predicted = predictor.predict(5)
+            if predicted:
+                mispredicts += 1
+            predictor.update(5, taken=False, predicted=predicted)
+        # a 2-bit counter should mispredict roughly once per loop exit
+        assert mispredicts <= 21
+
+    def test_aliasing_by_index_mask(self):
+        predictor = BimodalPredictor(16)
+        for _ in range(4):
+            predictor.update(3, taken=False, predicted=True)
+        # address 19 aliases to the same counter (19 & 15 == 3)
+        assert predictor.predict(19) is False
+
+    def test_accuracy_accounting(self):
+        predictor = BimodalPredictor(16)
+        predicted = predictor.predict(0)
+        predictor.update(0, taken=predicted, predicted=predicted)
+        predicted = predictor.predict(0)
+        predictor.update(0, taken=not predicted, predicted=predicted)
+        assert predictor.lookups == 2
+        assert predictor.mispredictions == 1
+        assert predictor.accuracy == 0.5
+
+    def test_power_of_two_required(self):
+        with pytest.raises(ValueError):
+            BimodalPredictor(100)
+
+    def test_accuracy_with_no_lookups(self):
+        assert BimodalPredictor(16).accuracy == 1.0
+
+
+class TestGShare:
+    def test_factory(self):
+        from repro.cpu.branch import (BimodalPredictor, GSharePredictor,
+                                      make_predictor)
+        assert isinstance(make_predictor("bimodal", 16), BimodalPredictor)
+        assert isinstance(make_predictor("gshare", 16), GSharePredictor)
+        with pytest.raises(ValueError):
+            make_predictor("neural", 16)
+
+    def test_geometry_validation(self):
+        from repro.cpu.branch import GSharePredictor
+        with pytest.raises(ValueError):
+            GSharePredictor(entries=100)
+        with pytest.raises(ValueError):
+            GSharePredictor(history_bits=0)
+
+    def test_learns_alternating_pattern(self):
+        """A strictly alternating branch defeats bimodal but is learned
+        by gshare once the history register captures the period."""
+        from repro.cpu.branch import BimodalPredictor, GSharePredictor
+        gshare = GSharePredictor(256, history_bits=4)
+        bimodal = BimodalPredictor(256)
+        outcomes = [bool(i % 2) for i in range(400)]
+        for predictor in (gshare, bimodal):
+            for taken in outcomes:
+                predicted = predictor.predict(7)
+                predictor.update(7, taken, predicted)
+        assert gshare.mispredictions < bimodal.mispredictions
+
+    def test_history_wraps(self):
+        from repro.cpu.branch import GSharePredictor
+        predictor = GSharePredictor(16, history_bits=2)
+        for _ in range(10):
+            predicted = predictor.predict(0)
+            predictor.update(0, True, predicted)
+        assert predictor._history <= 0b11
+
+    def test_simulator_integration(self):
+        from repro.cpu import MachineConfig, Simulator
+        from repro.cpu.golden import run_program
+        from repro.workloads import workload
+        program = workload("cc1").build(1)
+        golden = run_program(program)
+        sim = Simulator(program, MachineConfig(branch_predictor="gshare"))
+        sim.run()
+        assert sim.registers == golden.registers

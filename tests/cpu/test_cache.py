@@ -1,0 +1,119 @@
+"""L1 data cache tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cpu.cache import CacheConfig, DataCache
+from repro.cpu.config import MachineConfig
+from repro.cpu.golden import run_program
+from repro.cpu.simulator import Simulator, simulate
+from repro.isa.assembler import assemble
+from repro.workloads import workload
+
+
+def small_cache(**overrides):
+    defaults = dict(size_bytes=256, line_bytes=32, associativity=2,
+                    miss_penalty=10)
+    defaults.update(overrides)
+    return CacheConfig(**defaults)
+
+
+class TestCacheConfig:
+    def test_default_geometry(self):
+        config = CacheConfig()
+        assert config.num_sets == 16 * 1024 // (32 * 4)
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            CacheConfig(size_bytes=1000)
+        with pytest.raises(ValueError):
+            CacheConfig(line_bytes=33)
+        with pytest.raises(ValueError):
+            CacheConfig(associativity=3)
+
+    def test_rejects_degenerate_geometry(self):
+        with pytest.raises(ValueError):
+            CacheConfig(size_bytes=32, line_bytes=32, associativity=4)
+        with pytest.raises(ValueError):
+            CacheConfig(miss_penalty=-1)
+
+
+class TestDataCache:
+    def test_cold_miss_then_hit(self):
+        cache = DataCache(small_cache())
+        assert cache.access(0x1000) is False
+        assert cache.access(0x1004) is True  # same line
+        assert cache.access(0x1020) is False  # next line
+        assert cache.hits == 1 and cache.misses == 2
+
+    def test_lru_eviction(self):
+        # 2-way, 4 sets of 32B lines: three lines mapping to one set
+        cache = DataCache(small_cache())
+        set_stride = 4 * 32  # lines A, B, C all land in set 0
+        a, b, c = 0, set_stride, 2 * set_stride
+        cache.access(a)
+        cache.access(b)
+        cache.access(a)      # A is now most recently used
+        cache.access(c)      # evicts B (LRU)
+        assert cache.access(a) is True
+        assert cache.access(b) is False
+
+    def test_load_latency(self):
+        cache = DataCache(small_cache(miss_penalty=10))
+        assert cache.load_latency(0x40, base_latency=2) == 12
+        assert cache.load_latency(0x40, base_latency=2) == 2
+
+    def test_hit_rate(self):
+        cache = DataCache(small_cache())
+        assert cache.hit_rate == 1.0
+        cache.access(0)
+        cache.access(0)
+        assert cache.hit_rate == 0.5
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(0, 1 << 16), min_size=1, max_size=200))
+    def test_sets_never_exceed_associativity(self, addresses):
+        cache = DataCache(small_cache())
+        for address in addresses:
+            cache.access(address)
+        for ways in cache._sets:
+            assert len(ways) <= cache.config.associativity
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 1 << 20))
+    def test_repeat_access_always_hits(self, address):
+        cache = DataCache(small_cache())
+        cache.access(address)
+        assert cache.access(address) is True
+
+
+class TestSimulatorIntegration:
+    def test_cache_slows_cold_loads(self):
+        program = workload("li").build(1)
+        warm = simulate(program, MachineConfig(cache=None))
+        cold = simulate(program, MachineConfig(cache=CacheConfig(
+            size_bytes=128, line_bytes=32, associativity=1,
+            miss_penalty=25)))
+        assert cold.cycles > warm.cycles
+        assert cold.cache_misses > 0
+
+    def test_architectural_result_independent_of_cache(self):
+        load = workload("compress")
+        program = load.build(1)
+        golden = run_program(program)
+        for config in (MachineConfig(cache=None),
+                       MachineConfig(cache=small_cache())):
+            sim = Simulator(program, config)
+            sim.run()
+            assert sim.registers == golden.registers
+
+    def test_small_footprint_kernel_mostly_hits(self):
+        result = simulate(workload("swim").build(1))
+        assert result.cache_hits > 10 * result.cache_misses
+
+    def test_disabled_cache_reports_zero(self):
+        program = assemble(".data\nx: .word 1\n.text\nla r1, x\n"
+                           "lw r2, 0(r1)\nhalt")
+        result = simulate(program, MachineConfig(cache=None))
+        assert result.cache_hits == 0 and result.cache_misses == 0

@@ -1,0 +1,47 @@
+"""Machine configuration validation tests."""
+
+import pytest
+
+from repro.cpu.config import (DEFAULT_FU_COUNTS, UNPIPELINED_CLASSES,
+                              MachineConfig, default_config)
+from repro.isa.instructions import FUClass
+
+
+class TestMachineConfig:
+    def test_paper_default_configuration(self):
+        config = default_config()
+        # the paper: default SimpleScalar, 4 IALUs, 4 FPAUs, 1 integer
+        # multiplier, 1 FP multiplier
+        assert config.modules(FUClass.IALU) == 4
+        assert config.modules(FUClass.FPAU) == 4
+        assert config.modules(FUClass.IMULT) == 1
+        assert config.modules(FUClass.FPMULT) == 1
+        assert config.fetch_width == 4
+
+    def test_multipliers_unpipelined(self):
+        assert FUClass.IMULT in UNPIPELINED_CLASSES
+        assert FUClass.FPMULT in UNPIPELINED_CLASSES
+        assert FUClass.IALU not in UNPIPELINED_CLASSES
+
+    def test_rejects_zero_width(self):
+        with pytest.raises(ValueError):
+            MachineConfig(fetch_width=0)
+
+    def test_rejects_missing_fu(self):
+        counts = dict(DEFAULT_FU_COUNTS)
+        counts[FUClass.LSU] = 0
+        with pytest.raises(ValueError):
+            MachineConfig(fu_counts=counts)
+
+    def test_rejects_tiny_rob(self):
+        with pytest.raises(ValueError):
+            MachineConfig(rob_entries=2, dispatch_width=4)
+
+    def test_rejects_non_power_of_two_predictor(self):
+        with pytest.raises(ValueError):
+            MachineConfig(branch_predictor_entries=1000)
+
+    def test_custom_counts_independent_of_default(self):
+        config = MachineConfig()
+        config.fu_counts[FUClass.IALU] = 2
+        assert DEFAULT_FU_COUNTS[FUClass.IALU] == 4

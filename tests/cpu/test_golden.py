@@ -1,0 +1,89 @@
+"""Golden in-order interpreter tests."""
+
+import pytest
+
+from repro.cpu.golden import ExecutionLimitExceeded, run_program
+from repro.isa import encoding
+from repro.isa.assembler import assemble
+
+
+class TestGoldenModel:
+    def test_sum_loop(self, sum_program):
+        result = run_program(sum_program)
+        assert result.halted
+        assert result.int_reg(4) == 5 - 3 + 8 + 1 - 9 + 2 + 7 - 4
+        base = sum_program.symbol_address("results")
+        assert result.memory.load_word(base) \
+            == encoding.wrap_int(result.int_reg(4))
+
+    def test_fp_kernel(self, fp_program):
+        result = run_program(fp_program)
+        expected = 0.0
+        for x in (1.5, -2.25, 0.5, 3.0):
+            expected = expected + x * 2.0
+        assert result.fp_reg(10) == expected
+
+    def test_r0_stays_zero(self):
+        program = assemble(".text\naddi r0, r0, 5\nadd r1, r0, r0\nhalt")
+        result = run_program(program)
+        assert result.registers[0] == 0
+        assert result.int_reg(1) == 0
+
+    def test_instruction_limit(self, sum_program):
+        with pytest.raises(ExecutionLimitExceeded):
+            run_program(sum_program, max_instructions=3)
+
+    def test_running_off_code_end(self):
+        program = assemble(".text\nadd r1, r0, r0")
+        result = run_program(program)
+        assert not result.halted
+        assert result.instructions == 1
+
+    def test_branch_recording(self):
+        program = assemble("""
+.text
+    li r1, 3
+loop:
+    addi r1, r1, -1
+    bne r1, r0, loop
+    halt
+""")
+        result = run_program(program, record_branches=True)
+        [(index, outcomes)] = list(result.branch_outcomes.items())
+        assert outcomes == [True, True, False]
+
+    def test_observer_sees_operand_values(self, sum_program):
+        seen = []
+
+        def observe(instr, op1, op2, has_two):
+            if instr.op.name == "add":
+                seen.append((op1, op2))
+
+        run_program(sum_program, observer=observe)
+        assert len(seen) == 8  # one accumulate per element
+        assert seen[0] == (0, 5)
+
+    def test_store_then_load(self):
+        program = assemble("""
+.data
+buf: .space 8
+.text
+    la r1, buf
+    li r2, -77
+    sw r2, 4(r1)
+    lw r3, 4(r1)
+    halt
+""")
+        result = run_program(program)
+        assert result.int_reg(3) == -77
+
+    def test_jump(self):
+        program = assemble("""
+.text
+    j over
+    addi r1, r0, 99
+over:
+    halt
+""")
+        result = run_program(program)
+        assert result.int_reg(1) == 0

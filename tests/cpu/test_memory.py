@@ -1,0 +1,67 @@
+"""Memory subsystem tests."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cpu.memory import Memory, MemoryError_
+from repro.isa.program import DataImage
+
+
+class TestMemory:
+    def test_reads_default_zero(self):
+        memory = Memory()
+        assert memory.load_word(0x1000) == 0
+        assert memory.load_double(0x2000) == 0
+
+    def test_initialised_from_image(self):
+        image = DataImage()
+        image.store_word(0x100, 0xCAFEBABE)
+        memory = Memory(image)
+        assert memory.load_word(0x100) == 0xCAFEBABE
+
+    def test_image_not_aliased(self):
+        image = DataImage()
+        image.store_word(0x100, 1)
+        memory = Memory(image)
+        memory.store_word(0x100, 2)
+        assert image.load_word(0x100) == 1
+
+    def test_unaligned_raises(self):
+        memory = Memory()
+        with pytest.raises(MemoryError_):
+            memory.load_word(2)
+        with pytest.raises(MemoryError_):
+            memory.store_double(4, 0)
+
+    def test_width_dispatch(self):
+        memory = Memory()
+        memory.store(0, 0x11223344, double=False)
+        memory.store(8, 0x1122334455667788, double=True)
+        assert memory.load(0, double=False) == 0x11223344
+        assert memory.load(8, double=True) == 0x1122334455667788
+
+    def test_adjacent_words_do_not_overlap(self):
+        memory = Memory()
+        memory.store_word(0, 0xFFFFFFFF)
+        memory.store_word(4, 0)
+        assert memory.load_word(0) == 0xFFFFFFFF
+
+    def test_touched_bytes(self):
+        memory = Memory()
+        memory.store_word(0, 1)
+        assert memory.touched_bytes() == 4
+
+    @given(st.integers(min_value=0, max_value=2 ** 20 // 4 - 1),
+           st.integers(min_value=0, max_value=0xFFFFFFFF))
+    def test_word_roundtrip(self, index, value):
+        memory = Memory()
+        memory.store_word(index * 4, value)
+        assert memory.load_word(index * 4) == value
+
+    @given(st.integers(min_value=0, max_value=2 ** 20 // 8 - 1),
+           st.integers(min_value=0, max_value=2 ** 64 - 1))
+    def test_double_roundtrip(self, index, value):
+        memory = Memory()
+        memory.store_double(index * 8, value)
+        assert memory.load_double(index * 8) == value

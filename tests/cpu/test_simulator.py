@@ -1,0 +1,306 @@
+"""Out-of-order simulator tests, including golden-model equivalence on
+randomly generated programs (the core correctness property)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cpu.config import MachineConfig
+from repro.cpu.golden import run_program
+from repro.cpu.simulator import CycleLimitExceeded, Simulator, simulate
+from repro.cpu.trace import TraceCollector
+from repro.isa import encoding
+from repro.isa.assembler import assemble
+from repro.isa.instructions import FUClass
+
+
+def ooo_matches_golden(program, config=None):
+    golden = run_program(program)
+    sim = Simulator(program, config)
+    sim.run()
+    assert sim.registers == golden.registers, "register state diverged"
+    # compare every byte either side ever touched
+    addresses = set(golden.memory._bytes) | set(sim.memory._bytes)
+    for address in addresses:
+        assert sim.memory.load_byte(address) \
+            == golden.memory.load_byte(address), f"memory at 0x{address:x}"
+    return sim
+
+
+class TestBasicExecution:
+    def test_sum_loop_matches_golden(self, sum_program):
+        ooo_matches_golden(sum_program)
+
+    def test_fp_kernel_matches_golden(self, fp_program):
+        ooo_matches_golden(fp_program)
+
+    def test_retires_all_instructions(self, sum_program):
+        golden = run_program(sum_program)
+        result = simulate(sum_program)
+        assert result.retired_instructions == golden.instructions
+
+    def test_ipc_exceeds_one_on_parallel_code(self):
+        source = ".text\n" + "\n".join(
+            f"addi r{i}, r0, {i}" for i in range(1, 25)) + "\nhalt"
+        result = simulate(assemble(source))
+        assert result.ipc > 1.5
+
+    def test_dependent_chain_is_serial(self):
+        source = ".text\nli r1, 1\n" + "\n".join(
+            "add r1, r1, r1" for _ in range(20)) + "\nhalt"
+        result = simulate(assemble(source))
+        # a 20-deep dependence chain cannot finish in fewer cycles
+        assert result.cycles >= 20
+
+    def test_cycle_limit(self, sum_program):
+        config = MachineConfig(max_cycles=3)
+        with pytest.raises(CycleLimitExceeded):
+            Simulator(sum_program, config).run()
+
+
+class TestSpeculation:
+    def test_mispredicted_branch_recovers(self):
+        # the loop exit is mispredicted by a warm predictor; wrong-path
+        # work must not corrupt architectural state
+        program = assemble("""
+.data
+results: .space 8
+.text
+    li r1, 20
+    li r2, 0
+loop:
+    add r2, r2, r1
+    addi r1, r1, -1
+    bne r1, r0, loop
+    la r3, results
+    sw r2, 0(r3)
+    halt
+""")
+        sim = ooo_matches_golden(program)
+        assert sim.result.branch_mispredictions >= 1
+
+    def test_wrong_path_stores_never_commit(self):
+        # if the not-taken path's store leaked, 'guard' would change
+        program = assemble("""
+.data
+guard: .word 1234
+.text
+    li r1, 1
+    li r2, 1
+    beq r1, r2, safe
+    la r3, guard
+    sw r0, 0(r3)
+safe:
+    halt
+""")
+        sim = Simulator(program)
+        sim.run()
+        assert sim.memory.load_word(program.symbol_address("guard")) == 1234
+
+    def test_wrong_path_halt_does_not_stop_simulation(self):
+        # a predicted-taken exit fetches halt speculatively on the first
+        # iteration; the machine must keep going after the flush
+        program = assemble("""
+.text
+    li r1, 5
+loop:
+    addi r1, r1, -1
+    beq r1, r0, done
+    j loop
+done:
+    halt
+""")
+        golden = run_program(program)
+        result = simulate(program)
+        assert result.retired_instructions == golden.instructions
+
+    def test_squashed_ops_counted(self):
+        program = assemble("""
+.text
+    li r1, 50
+loop:
+    addi r1, r1, -1
+    bne r1, r0, loop
+    halt
+""")
+        result = simulate(program)
+        assert result.squashed_ops > 0
+
+
+class TestMemoryOrdering:
+    def test_store_to_load_forwarding(self):
+        program = assemble("""
+.data
+buf: .space 16
+.text
+    la r1, buf
+    li r2, 42
+    sw r2, 0(r1)
+    lw r3, 0(r1)
+    addi r3, r3, 1
+    sw r3, 8(r1)
+    lw r4, 8(r1)
+    halt
+""")
+        sim = ooo_matches_golden(program)
+        assert encoding.to_signed(sim.registers[4]) == 43
+
+    def test_store_overwrite_forwards_youngest(self):
+        program = assemble("""
+.data
+buf: .space 8
+.text
+    la r1, buf
+    li r2, 1
+    li r3, 2
+    sw r2, 0(r1)
+    sw r3, 0(r1)
+    lw r4, 0(r1)
+    halt
+""")
+        sim = ooo_matches_golden(program)
+        assert encoding.to_signed(sim.registers[4]) == 2
+
+    def test_mixed_width_memory(self):
+        program = assemble("""
+.data
+words: .space 8
+dbl: .space 8
+.text
+    la r1, words
+    la r2, dbl
+    li r3, 7
+    sw r3, 0(r1)
+    cvtif f1, r3
+    sd f1, 0(r2)
+    ld f2, 0(r2)
+    lw r4, 0(r1)
+    halt
+""")
+        ooo_matches_golden(program)
+
+
+class TestStructuralHazards:
+    def test_single_multiplier_serialises(self):
+        # IMULT is unpipelined with latency 3: eight independent
+        # multiplies need at least 8*3 cycles
+        source = (".text\nli r1, 3\nli r2, 5\n"
+                  + "\n".join(f"mult r{3 + i}, r1, r2" for i in range(8))
+                  + "\nhalt")
+        result = simulate(assemble(source))
+        assert result.cycles >= 24
+
+    def test_issue_width_bounded_by_modules(self, sum_program):
+        collector = TraceCollector()
+        config = MachineConfig()
+        simulate(sum_program, config, listeners=[collector])
+        for group in collector.groups:
+            assert len(group.ops) <= config.modules(group.fu_class)
+
+    def test_two_ialu_machine(self):
+        config = MachineConfig(fu_counts={FUClass.IALU: 2, FUClass.FPAU: 2,
+                                          FUClass.IMULT: 1,
+                                          FUClass.FPMULT: 1, FUClass.LSU: 1})
+        program = assemble(".text\n" + "\n".join(
+            f"addi r{1 + (i % 8)}, r0, {i}" for i in range(16)) + "\nhalt")
+        collector = TraceCollector([FUClass.IALU])
+        simulate(program, config, listeners=[collector])
+        assert all(len(g.ops) <= 2 for g in collector.groups)
+
+
+# ---------------------------------------------------------------------------
+# property: OoO execution is architecturally identical to in-order golden
+# ---------------------------------------------------------------------------
+
+_INT_OPS = ["add", "sub", "and", "or", "xor", "slt", "sgt", "seq", "sne"]
+_FP_OPS = ["fadd", "fsub", "fmul", "fmin", "fmax"]
+
+
+@st.composite
+def straightline_programs(draw):
+    """Random straight-line programs seeding registers then mixing
+    integer, floating point, memory, and multiplier operations."""
+    lines = [".data", "buf: .space 64", ".text"]
+    for reg in range(1, 8):
+        lines.append(f"li r{reg}, {draw(st.integers(-30000, 30000))}")
+        lines.append(f"cvtif f{reg}, r{reg}")
+    lines.append("la r14, buf")
+    for _ in range(draw(st.integers(3, 25))):
+        choice = draw(st.integers(0, 5))
+        d = draw(st.integers(1, 7))
+        a = draw(st.integers(1, 7))
+        b = draw(st.integers(1, 7))
+        if choice == 0:
+            op = draw(st.sampled_from(_INT_OPS))
+            lines.append(f"{op} r{d}, r{a}, r{b}")
+        elif choice == 1:
+            op = draw(st.sampled_from(_FP_OPS))
+            lines.append(f"{op} f{d}, f{a}, f{b}")
+        elif choice == 2:
+            offset = draw(st.integers(0, 15)) * 4
+            lines.append(f"sw r{a}, {offset}(r14)")
+        elif choice == 3:
+            offset = draw(st.integers(0, 15)) * 4
+            lines.append(f"lw r{d}, {offset}(r14)")
+        elif choice == 4:
+            lines.append(f"mult r{d}, r{a}, r{b}")
+        else:
+            lines.append(f"addi r{d}, r{a}, {draw(st.integers(-100, 100))}")
+    lines.append("halt")
+    return "\n".join(lines)
+
+
+@st.composite
+def loopy_programs(draw):
+    """Random programs with a countdown loop and a data-dependent skip."""
+    trip = draw(st.integers(1, 12))
+    body = draw(straightline_programs())
+    body_lines = body.splitlines()
+    text_at = body_lines.index(".text")
+    data = body_lines[:text_at]
+    inner = body_lines[text_at + 1:-1]  # drop .text and halt
+    lines = data + [".text", f"li r13, {trip}", "loop:"] + inner + [
+        f"slti r12, r13, {draw(st.integers(2, 6))}",
+        "beq r12, r0, skip",
+        f"addi r11, r11, {draw(st.integers(-5, 5))}",
+        "skip:",
+        "addi r13, r13, -1",
+        "bne r13, r0, loop",
+        "halt",
+    ]
+    return "\n".join(lines)
+
+
+class TestGoldenEquivalence:
+    @settings(max_examples=40, deadline=None)
+    @given(straightline_programs())
+    def test_straightline(self, source):
+        ooo_matches_golden(assemble(source))
+
+    @settings(max_examples=25, deadline=None)
+    @given(loopy_programs())
+    def test_loops_with_speculation(self, source):
+        ooo_matches_golden(assemble(source))
+
+    @settings(max_examples=10, deadline=None)
+    @given(loopy_programs())
+    def test_narrow_machine(self, source):
+        config = MachineConfig(fetch_width=2, dispatch_width=2,
+                               retire_width=2, rob_entries=8,
+                               rs_entries_per_class=2)
+        ooo_matches_golden(assemble(source), config)
+
+    @settings(max_examples=10, deadline=None)
+    @given(loopy_programs())
+    def test_gshare_machine(self, source):
+        config = MachineConfig(branch_predictor="gshare")
+        ooo_matches_golden(assemble(source), config)
+
+    @settings(max_examples=10, deadline=None)
+    @given(loopy_programs())
+    def test_determinism(self, source):
+        program = assemble(source)
+        first = simulate(program)
+        second = simulate(program)
+        assert first.cycles == second.cycles
+        assert first.retired_instructions == second.retired_instructions

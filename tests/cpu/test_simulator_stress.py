@@ -1,0 +1,243 @@
+"""Targeted stress tests for the out-of-order engine's corner cases."""
+
+import pytest
+
+from repro.cpu.config import MachineConfig
+from repro.cpu.golden import run_program
+from repro.cpu.simulator import Simulator, simulate
+from repro.isa import encoding
+from repro.isa.assembler import assemble
+from repro.isa.instructions import FUClass, all_opcodes
+
+
+def ooo_matches_golden(program, config=None):
+    golden = run_program(program)
+    sim = Simulator(program, config)
+    sim.run()
+    assert sim.registers == golden.registers
+    addresses = set(golden.memory._bytes) | set(sim.memory._bytes)
+    for address in addresses:
+        assert sim.memory.load_byte(address) \
+            == golden.memory.load_byte(address)
+    return sim
+
+
+class TestWrongPathMultiplier:
+    def test_squashed_divide_frees_the_unit(self):
+        """A wrong-path divide occupies the single unpipelined IMULT;
+        the flush must release it or later multiplies deadlock."""
+        program = assemble("""
+.text
+    li r1, 6
+    li r2, 7
+    li r3, 0
+loop:
+    addi r1, r1, -1
+    beq r1, r0, done       # exit predicted not-taken at first, then
+    div r4, r2, r1         # trains taken; wrong-path div each exit miss
+    mult r3, r2, r2
+    j loop
+done:
+    mult r5, r2, r2
+    halt
+""")
+        sim = ooo_matches_golden(program)
+        assert sim.result.branch_mispredictions >= 1
+        assert encoding.to_signed(sim.registers[5]) == 49
+
+
+class TestTinyMachines:
+    def test_rob_of_four(self):
+        config = MachineConfig(rob_entries=4, dispatch_width=2,
+                               fetch_width=2, retire_width=2)
+        program = assemble("""
+.data
+buf: .space 32
+.text
+    la r1, buf
+    li r2, 10
+loop:
+    mult r3, r2, r2
+    sw r3, 0(r1)
+    lw r4, 0(r1)
+    add r5, r5, r4
+    addi r2, r2, -1
+    bne r2, r0, loop
+    halt
+""")
+        sim = ooo_matches_golden(program, config)
+        expected = sum(i * i for i in range(1, 11))
+        assert encoding.to_signed(sim.registers[5]) == expected
+
+    def test_single_rs_entry_per_class(self):
+        config = MachineConfig(rs_entries_per_class=1)
+        program = assemble("""
+.text
+    li r1, 8
+    li r2, 3
+loop:
+    mult r3, r2, r2
+    add r4, r4, r3
+    addi r1, r1, -1
+    bne r1, r0, loop
+    halt
+""")
+        sim = ooo_matches_golden(program, config)
+        assert encoding.to_signed(sim.registers[4]) == 8 * 9
+
+    def test_one_wide_machine(self):
+        config = MachineConfig(fetch_width=1, dispatch_width=1,
+                               retire_width=1, rob_entries=4)
+        program = assemble("""
+.text
+    li r1, 5
+loop:
+    add r2, r2, r1
+    addi r1, r1, -1
+    bne r1, r0, loop
+    halt
+""")
+        sim = ooo_matches_golden(program, config)
+        result = sim.result
+        # a 1-wide machine can never exceed IPC 1
+        assert result.ipc <= 1.0
+
+
+class TestWrongPathHazards:
+    def test_wrong_path_fp_divide_by_zero(self):
+        program = assemble("""
+.data
+vals: .double 4.0, 0.0
+.text
+    la r1, vals
+    ld f1, 0(r1)
+    ld f2, 8(r1)
+    li r2, 1
+    li r3, 1
+    beq r2, r3, safe
+    fdiv f3, f1, f2        # wrong path: divide by zero
+    cvtfi r4, f3
+safe:
+    halt
+""")
+        ooo_matches_golden(program)
+
+    def test_deep_wrong_path_store_chain(self):
+        # mispredicted loop exits repeatedly fetch the store sequence
+        program = assemble("""
+.data
+guard: .word 111
+buf: .space 8
+.text
+    li r1, 30
+loop:
+    addi r1, r1, -1
+    bne r1, r0, loop
+    la r2, guard
+    lw r3, 0(r2)
+    la r4, buf
+    sw r3, 0(r4)
+    halt
+""")
+        sim = ooo_matches_golden(program)
+        assert sim.memory.load_word(
+            sim.program.symbol_address("buf")) == 111
+
+
+class TestOpcodeCoverage:
+    def test_every_computational_opcode_executes(self):
+        """One program touching every opcode, checked against golden."""
+        source = """
+.data
+word_data: .word 13, -7
+dbl_data: .double 2.25, -8.0
+scratch: .space 32
+.text
+    la   r1, word_data
+    lw   r2, 0(r1)
+    lw   r3, 4(r1)
+    la   r4, dbl_data
+    ld   f2, 0(r4)
+    ld   f3, 8(r4)
+    la   r5, scratch
+    add  r6, r2, r3
+    sub  r7, r2, r3
+    and  r8, r2, r3
+    or   r9, r2, r3
+    xor  r10, r2, r3
+    nor  r11, r2, r3
+    sll  r12, r2, r8
+    srl  r13, r3, r8
+    sra  r14, r3, r8
+    slt  r15, r2, r3
+    sgt  r16, r2, r3
+    sle  r17, r2, r3
+    sge  r18, r2, r3
+    seq  r19, r2, r3
+    sne  r20, r2, r3
+    addi r21, r2, -5
+    subi r22, r2, 3
+    andi r23, r2, 0xFF
+    ori  r24, r2, 0x10
+    xori r25, r2, 0x3
+    slli r26, r2, 2
+    srli r27, r3, 2
+    srai r28, r3, 2
+    slti r29, r2, 50
+    sgti r30, r2, 50
+    seqi r31, r2, 13
+    lui  r6, 0x1234
+    snei r6, r2, 13
+    mult r7, r2, r3
+    div  r8, r3, r2
+    rem  r9, r3, r2
+    fadd f4, f2, f3
+    fsub f5, f2, f3
+    fmul f6, f2, f3
+    fdiv f7, f2, f3
+    fsqrt f8, f2
+    fabs f9, f3
+    fneg f10, f2
+    fmov f11, f2
+    fmin f12, f2, f3
+    fmax f13, f2, f3
+    flt  r10, f2, f3
+    fgt  r11, f2, f3
+    fle  r12, f2, f3
+    fge  r13, f2, f3
+    feq  r14, f2, f3
+    cvtif f14, r2
+    cvtfi r15, f3
+    cvtsd f15, f2
+    sw   r2, 0(r5)
+    sd   f4, 8(r5)
+    lw   r16, 0(r5)
+    ld   f16, 8(r5)
+    beq  r0, r0, taken
+    nop
+taken:
+    bne  r2, r0, t2
+    nop
+t2:
+    blt  r3, r2, t3
+    nop
+t3:
+    bgt  r2, r3, t4
+    nop
+t4:
+    ble  r3, r2, t5
+    nop
+t5:
+    bge  r2, r3, t6
+    nop
+t6:
+    j    end
+    nop
+end:
+    halt
+"""
+        program = assemble(source)
+        used = {instr.op.name for instr in program.instructions}
+        missing = {info.name for info in all_opcodes()} - used
+        assert not missing, f"opcodes not covered: {missing}"
+        ooo_matches_golden(program)

@@ -1,0 +1,196 @@
+"""Assembler tests: syntax, pseudo expansion, data layout, errors."""
+
+import pytest
+
+from repro.isa import encoding
+from repro.isa.assembler import AssemblerError, assemble
+from repro.isa.program import DATA_BASE
+
+
+class TestBasicAssembly:
+    def test_three_register_form(self):
+        program = assemble(".text\nadd r1, r2, r3\nhalt")
+        instr = program.instructions[0]
+        assert instr.op.name == "add"
+        assert (instr.dest, instr.src1, instr.src2) == (1, 2, 3)
+
+    def test_immediate_form_sign_extended(self):
+        program = assemble(".text\naddi r1, r0, -5\nhalt")
+        assert program.instructions[0].imm == encoding.wrap_int(-5)
+
+    def test_logical_immediate_zero_extended(self):
+        program = assemble(".text\nori r1, r0, 0xFFFF\nhalt")
+        assert program.instructions[0].imm == 0xFFFF
+
+    def test_comments_and_blank_lines(self):
+        program = assemble("""
+.text
+# full line comment
+main:   ; alternative comment marker
+    add r1, r2, r3   # trailing
+    halt
+""")
+        assert len(program.instructions) == 2
+
+    def test_fp_registers(self):
+        program = assemble(".text\nfadd f1, f2, f3\nhalt")
+        instr = program.instructions[0]
+        assert instr.dest == 32 + 1
+        assert instr.src1 == 32 + 2
+
+    def test_cross_bank_operands(self):
+        program = assemble(".text\ncvtif f1, r2\ncvtfi r3, f4\n"
+                           "flt r5, f6, f7\nhalt")
+        cvtif, cvtfi, flt, _ = program.instructions
+        assert cvtif.dest == 33 and cvtif.src1 == 2
+        assert cvtfi.dest == 3 and cvtfi.src1 == 36
+        assert flt.dest == 5 and flt.src1 == 38 and flt.src2 == 39
+
+    def test_memory_operands(self):
+        program = assemble(".text\nlw r1, 8(r2)\nsw r3, -4(r2)\nhalt")
+        load, store, _ = program.instructions
+        assert load.dest == 1 and load.src1 == 2 and load.imm == 8
+        assert store.src1 == 2 and store.src2 == 3
+        assert store.imm == encoding.wrap_int(-4)
+
+
+class TestControlFlow:
+    def test_branch_targets_resolved(self):
+        program = assemble("""
+.text
+main:
+    beq r1, r2, out
+    add r3, r3, r3
+out:
+    halt
+""")
+        assert program.instructions[0].target == 2
+        assert program.instructions[0].label == "out"
+
+    def test_forward_and_backward_jumps(self):
+        program = assemble("""
+.text
+start:
+    j end
+middle:
+    j start
+end:
+    halt
+""")
+        assert program.instructions[0].target == 2
+        assert program.instructions[1].target == 0
+
+    def test_undefined_label(self):
+        with pytest.raises(AssemblerError, match="undefined label"):
+            assemble(".text\nj nowhere\nhalt")
+
+    def test_duplicate_label(self):
+        with pytest.raises(AssemblerError, match="duplicate label"):
+            assemble(".text\na:\nhalt\na:\nhalt")
+
+
+class TestPseudoInstructions:
+    def test_li_small_is_one_instruction(self):
+        program = assemble(".text\nli r1, 100\nhalt")
+        assert len(program.instructions) == 2
+        assert program.instructions[0].op.name == "addi"
+
+    def test_li_large_expands_to_lui_ori(self):
+        program = assemble(".text\nli r1, 0x12345678\nhalt")
+        names = [i.op.name for i in program.instructions]
+        assert names == ["lui", "ori", "halt"]
+
+    def test_li_negative(self):
+        program = assemble(".text\nli r1, -42\nhalt")
+        assert program.instructions[0].imm == encoding.wrap_int(-42)
+
+    def test_la_resolves_symbol(self):
+        program = assemble(".data\nbuf: .space 8\n.text\nla r1, buf\nhalt")
+        # DATA_BASE needs lui+ori (or lui alone when low half is zero)
+        assert program.instructions[0].op.name == "lui"
+
+    def test_la_undefined_symbol(self):
+        with pytest.raises(AssemblerError, match="undefined data symbol"):
+            assemble(".text\nla r1, ghost\nhalt")
+
+    def test_mov_and_nop(self):
+        program = assemble(".text\nmov r1, r2\nnop\nhalt")
+        mov, nop, _ = program.instructions
+        assert mov.op.name == "add" and mov.src2 == 0
+        assert nop.dest == 0
+
+
+class TestDataSection:
+    def test_word_layout(self):
+        program = assemble(".data\nxs: .word 1, -2, 3\n.text\nhalt")
+        base = program.symbol_address("xs")
+        assert base == DATA_BASE
+        assert program.data.load_word(base) == 1
+        assert program.data.load_word(base + 4) == encoding.wrap_int(-2)
+        assert program.data.load_word(base + 8) == 3
+
+    def test_double_alignment(self):
+        program = assemble(""".data
+pad: .word 1
+vals: .double 1.5
+.text
+halt""")
+        address = program.symbol_address("vals")
+        assert address % 8 == 0
+        assert program.data.load_double(address) \
+            == encoding.float_to_bits(1.5)
+
+    def test_space_and_align(self):
+        program = assemble(""".data
+a: .space 12
+.align 4
+b: .word 7
+.text
+halt""")
+        assert program.symbol_address("b") % 16 == 0
+
+    def test_duplicate_symbol(self):
+        with pytest.raises(AssemblerError, match="duplicate data symbol"):
+            assemble(".data\nx: .word 1\nx: .word 2\n.text\nhalt")
+
+    def test_bare_label_binds_to_next_allocation(self):
+        program = assemble(".data\nmark:\n.word 9\n.text\nhalt")
+        assert program.data.load_word(program.symbol_address("mark")) == 9
+
+
+class TestErrors:
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AssemblerError, match="unknown mnemonic"):
+            assemble(".text\nfrobnicate r1, r2\nhalt")
+
+    def test_wrong_register_bank(self):
+        with pytest.raises(AssemblerError, match="floating point register"):
+            assemble(".text\nfadd f1, r2, f3\nhalt")
+        with pytest.raises(AssemblerError, match="integer register"):
+            assemble(".text\nadd r1, f2, r3\nhalt")
+
+    def test_operand_count(self):
+        with pytest.raises(AssemblerError, match="expects 3 operands"):
+            assemble(".text\nadd r1, r2\nhalt")
+
+    def test_immediate_range(self):
+        with pytest.raises(AssemblerError, match="immediate"):
+            assemble(".text\naddi r1, r0, 70000\nhalt")
+        with pytest.raises(AssemblerError, match="shift amount"):
+            assemble(".text\nslli r1, r2, 32\nhalt")
+
+    def test_bad_register_number(self):
+        with pytest.raises(AssemblerError):
+            assemble(".text\nadd r1, r2, r32\nhalt")
+
+    def test_bad_memory_operand(self):
+        with pytest.raises(AssemblerError, match="bad memory operand"):
+            assemble(".text\nlw r1, r2\nhalt")
+
+    def test_error_carries_line_number(self):
+        try:
+            assemble(".text\nnop\nbogus r1\nhalt")
+        except AssemblerError as error:
+            assert error.line_number == 3
+        else:
+            pytest.fail("expected AssemblerError")

@@ -1,0 +1,91 @@
+"""Disassembler round-trip tests."""
+
+import pytest
+
+from repro.isa.assembler import assemble
+from repro.isa.disasm import instruction_text, program_to_source
+from repro.workloads import all_workloads, workload
+
+
+def assert_programs_equivalent(original, rebuilt):
+    assert len(rebuilt) == len(original)
+    for a, b in zip(original.instructions, rebuilt.instructions):
+        assert a.op.name == b.op.name
+        assert (a.dest, a.src1, a.src2) == (b.dest, b.src1, b.src2)
+        assert a.imm == b.imm
+        assert a.target == b.target
+    # data symbols resolve to identical addresses
+    assert original.symbols == {name: rebuilt.symbols[name]
+                                for name in original.symbols}
+    # byte-exact data image over the original's touched range
+    for address in original.data.bytes_:
+        assert rebuilt.data.load_byte(address) \
+            == original.data.load_byte(address), hex(address)
+
+
+class TestInstructionText:
+    def test_forms(self):
+        program = assemble("""
+.data
+buf: .space 8
+.text
+start:
+    add r1, r2, r3
+    addi r4, r5, -7
+    ori r6, r7, 0xFF
+    lui r8, 0x12
+    lw r9, -4(r10)
+    sw r11, 8(r10)
+    fadd f1, f2, f3
+    fsqrt f4, f5
+    cvtif f6, r12
+    beq r1, r2, start
+    j start
+    halt
+""")
+        labels = {0: "L0"}
+        rendered = [instruction_text(i, labels)
+                    for i in program.instructions]
+        assert "add r1, r2, r3" in rendered
+        assert "addi r4, r5, -7" in rendered
+        assert "ori r6, r7, 255" in rendered
+        assert "lui r8, 18" in rendered
+        assert "lw r9, -4(r10)" in rendered
+        assert "sw r11, 8(r10)" in rendered
+        assert "fsqrt f4, f5" in rendered
+        assert "cvtif f6, r12" in rendered
+        assert "beq r1, r2, L0" in rendered
+        assert "j L0" in rendered
+        assert "halt" in rendered
+
+
+class TestRoundTrip:
+    def test_small_program(self, sum_program):
+        rebuilt = assemble(program_to_source(sum_program))
+        assert_programs_equivalent(sum_program, rebuilt)
+
+    def test_fp_program(self, fp_program):
+        rebuilt = assemble(program_to_source(fp_program))
+        assert_programs_equivalent(fp_program, rebuilt)
+
+    @pytest.mark.parametrize("name", [w.name for w in all_workloads()])
+    def test_every_kernel_round_trips(self, name):
+        """The strongest check: every kernel (code + data image)
+        disassembles to source that re-assembles equivalently and still
+        passes its architectural checker."""
+        from repro.cpu.golden import run_program
+
+        load = workload(name)
+        original = load.build(1)
+        rebuilt = assemble(program_to_source(original), name=name)
+        assert_programs_equivalent(original, rebuilt)
+        result = run_program(rebuilt)
+        load.check(original, result, 1)
+
+    def test_swapped_program_round_trips(self):
+        from repro.compiler import swap_optimize
+
+        program = workload("ijpeg").build(1)
+        swapped, _ = swap_optimize(program)
+        rebuilt = assemble(program_to_source(swapped))
+        assert_programs_equivalent(swapped, rebuilt)

@@ -1,0 +1,156 @@
+"""Unit and property tests for bit-level encodings."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.isa import encoding
+
+
+int_images = st.integers(min_value=0, max_value=encoding.INT_MASK)
+signed_ints = st.integers(min_value=encoding.INT_MIN, max_value=encoding.INT_MAX)
+double_images = st.integers(min_value=0, max_value=encoding.FLOAT_MASK)
+finite_floats = st.floats(allow_nan=False, allow_infinity=False)
+
+
+class TestIntegerEncoding:
+    def test_paper_example_positive(self):
+        # decimal 20 sign-extends to 0x00000014 with 27 leading zeros
+        bits = encoding.to_unsigned(20)
+        assert bits == 0x00000014
+        assert encoding.leading_sign_bits(bits) == 27
+
+    def test_paper_example_negative(self):
+        # decimal -20 is 0xFFFFFFEC with 27 leading ones
+        bits = encoding.to_unsigned(-20)
+        assert bits == 0xFFFFFFEC
+        assert encoding.leading_sign_bits(bits) == 27
+
+    def test_sign_bit(self):
+        assert encoding.int_sign_bit(encoding.to_unsigned(-1)) == 1
+        assert encoding.int_sign_bit(encoding.to_unsigned(1)) == 0
+        assert encoding.int_sign_bit(0) == 0
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(encoding.EncodingError):
+            encoding.to_unsigned(1 << 33)
+        with pytest.raises(encoding.EncodingError):
+            encoding.to_signed(-1)
+        with pytest.raises(encoding.EncodingError):
+            encoding.to_signed(1 << 32)
+
+    def test_wrap_int_modular(self):
+        assert encoding.wrap_int(1 << 32) == 0
+        assert encoding.wrap_int(-1) == encoding.INT_MASK
+        assert encoding.wrap_int((1 << 32) + 5) == 5
+
+    @given(signed_ints)
+    def test_signed_roundtrip(self, value):
+        assert encoding.to_signed(encoding.to_unsigned(value)) == value
+
+    @given(int_images)
+    def test_unsigned_roundtrip(self, bits):
+        assert encoding.to_unsigned(encoding.to_signed(bits)) == bits
+
+    @given(int_images)
+    def test_leading_sign_bits_at_least_one(self, bits):
+        assert 1 <= encoding.leading_sign_bits(bits) <= 32
+
+
+class TestFloatEncoding:
+    def test_seven_has_fifty_trailing_zeros(self):
+        # the paper's example: 7.0 stores mantissa 11 -> 50 trailing zeros
+        bits = encoding.float_to_bits(7.0)
+        assert encoding.trailing_zeros(encoding.mantissa(bits), 52) == 50
+
+    def test_mantissa_and_exponent_fields(self):
+        bits = encoding.make_double(1, 1023, 0x8000000000000)
+        assert encoding.float_sign_bit(bits) == 1
+        assert encoding.exponent(bits) == 1023
+        assert encoding.mantissa(bits) == 0x8000000000000
+        assert encoding.bits_to_float(bits) == -1.5
+
+    def test_field_validation(self):
+        with pytest.raises(encoding.EncodingError):
+            encoding.make_double(2, 0, 0)
+        with pytest.raises(encoding.EncodingError):
+            encoding.make_double(0, 1 << 11, 0)
+        with pytest.raises(encoding.EncodingError):
+            encoding.make_double(0, 0, 1 << 52)
+
+    def test_is_finite(self):
+        assert encoding.is_finite_bits(encoding.float_to_bits(1.0))
+        assert not encoding.is_finite_bits(encoding.float_to_bits(float("inf")))
+        assert not encoding.is_finite_bits(encoding.float_to_bits(float("nan")))
+
+    @given(finite_floats)
+    def test_float_roundtrip(self, value):
+        assert encoding.bits_to_float(encoding.float_to_bits(value)) == value
+
+    @given(double_images)
+    def test_bits_roundtrip(self, bits):
+        value = encoding.bits_to_float(bits)
+        if not math.isnan(value):
+            assert encoding.float_to_bits(value) == bits
+
+    @given(st.integers(min_value=-(2 ** 31), max_value=2 ** 31 - 1))
+    def test_int_cast_trailing_zeros(self, value):
+        # ints up to 2^31 fit in 31 mantissa bits -> at least 21 trailing
+        # zeros after the cast, the effect section 4.2 exploits
+        bits = encoding.cast_int_to_double_bits(value)
+        mantissa = encoding.mantissa(bits)
+        assert encoding.trailing_zeros(mantissa, 52) >= 21
+
+    @given(st.floats(allow_nan=False, allow_infinity=False,
+                     min_value=-1e30, max_value=1e30))
+    def test_single_widening_trailing_zeros(self, value):
+        bits = encoding.cast_single_to_double_bits(value)
+        if encoding.is_finite_bits(bits):
+            assert encoding.trailing_zeros(encoding.mantissa(bits), 52) >= 29
+
+
+class TestHamming:
+    def test_identity(self):
+        assert encoding.hamming(0xDEADBEEF, 0xDEADBEEF) == 0
+
+    def test_known_distance(self):
+        assert encoding.hamming(0b1010, 0b0101) == 4
+        assert encoding.hamming_int(0, encoding.INT_MASK) == 32
+
+    def test_mantissa_masks_exponent(self):
+        a = encoding.make_double(0, 1023, 0)
+        b = encoding.make_double(1, 1040, 0)
+        assert encoding.hamming_mantissa(a, b) == 0
+
+    @given(int_images, int_images)
+    def test_symmetry(self, a, b):
+        assert encoding.hamming_int(a, b) == encoding.hamming_int(b, a)
+
+    @given(int_images, int_images, int_images)
+    def test_triangle_inequality(self, a, b, c):
+        assert (encoding.hamming_int(a, c)
+                <= encoding.hamming_int(a, b) + encoding.hamming_int(b, c))
+
+    @given(int_images)
+    def test_popcount_vs_hamming_zero(self, a):
+        assert encoding.hamming_int(a, 0) == encoding.popcount(a)
+
+
+class TestMisc:
+    def test_trailing_zeros_of_zero(self):
+        assert encoding.trailing_zeros(0, 52) == 52
+
+    def test_bit_string(self):
+        assert encoding.bit_string(5, 4) == "0101"
+        with pytest.raises(encoding.EncodingError):
+            encoding.bit_string(16, 4)
+
+    def test_ulp_round(self):
+        assert encoding.ulp_round(0.3, 2) == 0.25
+        assert encoding.ulp_round(float("inf"), 2) == float("inf")
+
+    def test_popcount_negative_rejected(self):
+        with pytest.raises(encoding.EncodingError):
+            encoding.popcount(-1)

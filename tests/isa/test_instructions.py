@@ -1,0 +1,103 @@
+"""Tests for opcode metadata and the instruction model."""
+
+import pytest
+
+from repro.isa.instructions import (NUM_ARCH_REGS, FUClass, Instruction,
+                                    all_opcodes, fp_reg, int_reg, is_fp_reg,
+                                    opcode, reg_name)
+
+
+class TestRegisters:
+    def test_int_reg_range(self):
+        assert int_reg(0) == 0
+        assert int_reg(31) == 31
+        with pytest.raises(ValueError):
+            int_reg(32)
+
+    def test_fp_reg_range(self):
+        assert fp_reg(0) == 32
+        assert fp_reg(31) == 63
+        with pytest.raises(ValueError):
+            fp_reg(32)
+
+    def test_is_fp_reg(self):
+        assert not is_fp_reg(int_reg(5))
+        assert is_fp_reg(fp_reg(5))
+
+    def test_reg_name(self):
+        assert reg_name(int_reg(7)) == "r7"
+        assert reg_name(fp_reg(7)) == "f7"
+        with pytest.raises(ValueError):
+            reg_name(NUM_ARCH_REGS)
+
+
+class TestOpcodeMetadata:
+    def test_unknown_opcode(self):
+        with pytest.raises(ValueError):
+            opcode("bogus")
+
+    def test_commutative_flags(self):
+        assert opcode("add").commutative
+        assert not opcode("sub").commutative
+        assert opcode("fadd").commutative
+        assert not opcode("fsub").commutative
+        assert opcode("mult").commutative
+        assert not opcode("div").commutative
+
+    def test_immediate_forms_never_hardware_swappable(self):
+        # the paper: "there is no way to specify its operand ordering in
+        # the machine language - the immediate is always the second"
+        for info in all_opcodes():
+            if info.has_immediate:
+                assert not info.hardware_swappable
+                assert not info.compiler_swappable
+
+    def test_compiler_swap_twins_are_mutual(self):
+        for info in all_opcodes():
+            if info.compiler_swap_to is not None:
+                twin = opcode(info.compiler_swap_to)
+                assert twin.compiler_swap_to == info.name
+                assert twin.fu_class is info.fu_class
+
+    def test_fu_class_assignments(self):
+        assert opcode("add").fu_class is FUClass.IALU
+        assert opcode("mult").fu_class is FUClass.IMULT
+        assert opcode("fadd").fu_class is FUClass.FPAU
+        assert opcode("fmul").fu_class is FUClass.FPMULT
+        assert opcode("lw").fu_class is FUClass.LSU
+        # branches resolve on the integer ALU, as in sim-outorder
+        assert opcode("beq").fu_class is FUClass.IALU
+
+    def test_branch_compare_swappability(self):
+        assert opcode("beq").hardware_swappable
+        assert not opcode("blt").hardware_swappable
+        assert opcode("blt").compiler_swappable  # via bgt
+
+    def test_latencies_positive(self):
+        for info in all_opcodes():
+            assert info.latency >= 1
+
+    def test_memory_flags(self):
+        assert opcode("lw").is_load and not opcode("lw").is_store
+        assert opcode("sw").is_store and not opcode("sw").writes_dest
+        assert opcode("ld").is_memory and opcode("sd").is_memory
+
+    def test_every_opcode_unique_name(self):
+        names = [info.name for info in all_opcodes()]
+        assert len(names) == len(set(names))
+
+
+class TestInstruction:
+    def test_source_regs(self):
+        instr = Instruction(opcode("add"), dest=1, src1=2, src2=3)
+        assert instr.source_regs() == (2, 3)
+        single = Instruction(opcode("lui"), dest=1, imm=5)
+        assert single.source_regs() == ()
+
+    def test_str_rendering(self):
+        instr = Instruction(opcode("add"), dest=int_reg(1), src1=int_reg(2),
+                            src2=int_reg(3))
+        assert str(instr) == "add r1, r2, r3"
+        load = Instruction(opcode("lw"), dest=int_reg(4), src1=int_reg(5),
+                           imm=8)
+        assert "8(r5)" in str(load)

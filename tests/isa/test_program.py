@@ -1,0 +1,80 @@
+"""Program and DataImage representation tests."""
+
+import pytest
+
+from repro.isa import encoding
+from repro.isa.assembler import assemble
+from repro.isa.instructions import Instruction, opcode
+from repro.isa.program import DataImage, Program, ProgramError
+
+
+class TestDataImage:
+    def test_word_roundtrip_little_endian(self):
+        image = DataImage()
+        image.store_word(0, 0x12345678)
+        assert image.load_byte(0) == 0x78
+        assert image.load_byte(3) == 0x12
+        assert image.load_word(0) == 0x12345678
+
+    def test_double_roundtrip(self):
+        image = DataImage()
+        bits = encoding.float_to_bits(-2.5)
+        image.store_double(8, bits)
+        assert image.load_double(8) == bits
+
+    def test_unaligned_rejected(self):
+        image = DataImage()
+        with pytest.raises(ProgramError):
+            image.store_word(2, 0)
+        with pytest.raises(ProgramError):
+            image.load_double(4)
+
+    def test_unwritten_reads_zero(self):
+        assert DataImage().load_word(0x1000) == 0
+
+    def test_copy_is_independent(self):
+        image = DataImage()
+        image.store_word(0, 1)
+        clone = image.copy()
+        clone.store_word(0, 2)
+        assert image.load_word(0) == 1
+
+    def test_value_helpers(self):
+        image = DataImage()
+        image.store_int_value(0, -7)
+        image.store_float_value(8, 0.5)
+        assert image.load_word(0) == encoding.wrap_int(-7)
+        assert image.load_double(8) == encoding.float_to_bits(0.5)
+
+
+class TestProgram:
+    def test_addresses_assigned_in_order(self):
+        program = assemble(".text\nnop\nnop\nhalt")
+        assert [i.address for i in program.instructions] == [0, 1, 2]
+
+    def test_label_index(self):
+        program = assemble(".text\nmain:\nnop\nhalt")
+        assert program.label_index("main") == 0
+        with pytest.raises(ProgramError):
+            program.label_index("missing")
+
+    def test_validate_rejects_unresolved_branch(self):
+        branch = Instruction(opcode("beq"), src1=1, src2=2)
+        program = Program([branch, Instruction(opcode("halt"))])
+        with pytest.raises(ProgramError, match="unresolved"):
+            program.validate()
+
+    def test_validate_rejects_out_of_range_target(self):
+        jump = Instruction(opcode("j"), target=99)
+        program = Program([jump, Instruction(opcode("halt"))])
+        with pytest.raises(ProgramError, match="out of range"):
+            program.validate()
+
+    def test_listing_contains_labels(self):
+        program = assemble(".text\nmain:\nadd r1, r2, r3\nhalt")
+        listing = program.listing()
+        assert "main:" in listing
+        assert "add r1, r2, r3" in listing
+
+    def test_len(self):
+        assert len(assemble(".text\nnop\nhalt")) == 2

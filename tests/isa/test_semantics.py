@@ -1,0 +1,174 @@
+"""Semantics tests: ISA evaluation against Python reference arithmetic."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.isa import encoding, semantics
+from repro.isa.instructions import Instruction, opcode
+
+int_images = st.integers(min_value=0, max_value=encoding.INT_MASK)
+reasonable_floats = st.floats(allow_nan=False, allow_infinity=False,
+                              min_value=-1e100, max_value=1e100)
+
+
+def signed(bits):
+    return encoding.to_signed(bits)
+
+
+class TestIntegerSemantics:
+    @given(int_images, int_images)
+    def test_add_is_modular(self, a, b):
+        result = semantics.evaluate_int(opcode("add"), a, b)
+        assert result == (a + b) & encoding.INT_MASK
+
+    @given(int_images, int_images)
+    def test_sub_inverts_add(self, a, b):
+        total = semantics.evaluate_int(opcode("add"), a, b)
+        assert semantics.evaluate_int(opcode("sub"), total, b) == a
+
+    @given(int_images, int_images)
+    def test_logic_ops(self, a, b):
+        assert semantics.evaluate_int(opcode("and"), a, b) == a & b
+        assert semantics.evaluate_int(opcode("or"), a, b) == a | b
+        assert semantics.evaluate_int(opcode("xor"), a, b) == a ^ b
+        assert semantics.evaluate_int(opcode("nor"), a, b) \
+            == (~(a | b)) & encoding.INT_MASK
+
+    @given(int_images, st.integers(min_value=0, max_value=31))
+    def test_shifts(self, a, amount):
+        assert semantics.evaluate_int(opcode("sll"), a, amount) \
+            == (a << amount) & encoding.INT_MASK
+        assert semantics.evaluate_int(opcode("srl"), a, amount) == a >> amount
+        assert semantics.evaluate_int(opcode("sra"), a, amount) \
+            == (signed(a) >> amount) & encoding.INT_MASK
+
+    @given(int_images, int_images)
+    def test_comparisons_are_signed(self, a, b):
+        assert semantics.evaluate_int(opcode("slt"), a, b) \
+            == int(signed(a) < signed(b))
+        assert semantics.evaluate_int(opcode("sgt"), a, b) \
+            == int(signed(a) > signed(b))
+        assert semantics.evaluate_int(opcode("seq"), a, b) == int(a == b)
+
+    @given(int_images, int_images)
+    def test_mult_wraps(self, a, b):
+        result = semantics.evaluate_int(opcode("mult"), a, b)
+        assert result == (signed(a) * signed(b)) & encoding.INT_MASK
+
+    @given(int_images, int_images)
+    def test_div_truncates_toward_zero(self, a, b):
+        if b == 0:
+            assert semantics.evaluate_int(opcode("div"), a, b) \
+                == encoding.INT_MASK
+        else:
+            expected = abs(signed(a)) // abs(signed(b))
+            if (signed(a) < 0) != (signed(b) < 0):
+                expected = -expected
+            assert signed(semantics.evaluate_int(opcode("div"), a, b)) \
+                == expected
+
+    @given(int_images, int_images)
+    def test_div_rem_identity(self, a, b):
+        if b == 0:
+            return
+        quotient = signed(semantics.evaluate_int(opcode("div"), a, b))
+        remainder = signed(semantics.evaluate_int(opcode("rem"), a, b))
+        assert quotient * signed(b) + remainder == signed(a)
+
+    def test_lui(self):
+        assert semantics.evaluate_int(opcode("lui"), 0, 0x1234) == 0x12340000
+
+    def test_unknown_opcode_raises(self):
+        with pytest.raises(semantics.SemanticsError):
+            semantics.evaluate_int(opcode("fadd"), 0, 0)
+
+
+class TestFloatSemantics:
+    @given(reasonable_floats, reasonable_floats)
+    def test_fadd_matches_python(self, x, y):
+        a = encoding.float_to_bits(x)
+        b = encoding.float_to_bits(y)
+        assert semantics.evaluate_float(opcode("fadd"), a, b) \
+            == encoding.float_to_bits(x + y)
+
+    @given(reasonable_floats, reasonable_floats)
+    def test_fmul_matches_python(self, x, y):
+        a = encoding.float_to_bits(x)
+        b = encoding.float_to_bits(y)
+        assert semantics.evaluate_float(opcode("fmul"), a, b) \
+            == encoding.float_to_bits(x * y)
+
+    @given(reasonable_floats)
+    def test_fabs_fneg(self, x):
+        a = encoding.float_to_bits(x)
+        assert encoding.bits_to_float(
+            semantics.evaluate_float(opcode("fabs"), a, 0)) == abs(x)
+        assert encoding.bits_to_float(
+            semantics.evaluate_float(opcode("fneg"), a, 0)) == -x
+
+    @given(reasonable_floats, reasonable_floats)
+    def test_min_max(self, x, y):
+        a = encoding.float_to_bits(x)
+        b = encoding.float_to_bits(y)
+        assert encoding.bits_to_float(
+            semantics.evaluate_float(opcode("fmin"), a, b)) == min(x, y)
+        assert encoding.bits_to_float(
+            semantics.evaluate_float(opcode("fmax"), a, b)) == max(x, y)
+
+    @given(reasonable_floats, reasonable_floats)
+    def test_comparisons(self, x, y):
+        a = encoding.float_to_bits(x)
+        b = encoding.float_to_bits(y)
+        assert semantics.evaluate_float(opcode("flt"), a, b) == int(x < y)
+        assert semantics.evaluate_float(opcode("fge"), a, b) == int(x >= y)
+        assert semantics.evaluate_float(opcode("feq"), a, b) == int(x == y)
+
+    def test_fdiv_by_zero_gives_signed_infinity(self):
+        one = encoding.float_to_bits(1.0)
+        zero = encoding.float_to_bits(0.0)
+        assert encoding.bits_to_float(
+            semantics.evaluate_float(opcode("fdiv"), one, zero)) \
+            == float("inf")
+
+    def test_fsqrt(self):
+        nine = encoding.float_to_bits(9.0)
+        assert encoding.bits_to_float(
+            semantics.evaluate_float(opcode("fsqrt"), nine, 0)) == 3.0
+
+    @given(st.integers(min_value=-(2 ** 31), max_value=2 ** 31 - 1))
+    def test_cvtif_roundtrip(self, value):
+        bits = semantics.evaluate_float(opcode("cvtif"),
+                                        encoding.wrap_int(value), 0)
+        assert encoding.bits_to_float(bits) == float(value)
+
+    @given(st.floats(allow_nan=False, allow_infinity=False,
+                     min_value=-1e9, max_value=1e9))
+    def test_cvtfi_truncates(self, x):
+        bits = semantics.evaluate_float(opcode("cvtfi"),
+                                        encoding.float_to_bits(x), 0)
+        assert signed(bits) == int(x)
+
+    def test_fmov_identity(self):
+        a = encoding.float_to_bits(3.25)
+        assert semantics.evaluate_float(opcode("fmov"), a, 0) == a
+
+
+class TestBranchesAndAddresses:
+    @given(int_images, int_images)
+    def test_branch_conditions(self, a, b):
+        assert semantics.branch_taken(opcode("beq"), a, b) == (a == b)
+        assert semantics.branch_taken(opcode("bne"), a, b) == (a != b)
+        assert semantics.branch_taken(opcode("blt"), a, b) \
+            == (signed(a) < signed(b))
+        assert semantics.branch_taken(opcode("bge"), a, b) \
+            == (signed(a) >= signed(b))
+
+    def test_branch_taken_rejects_non_branch(self):
+        with pytest.raises(semantics.SemanticsError):
+            semantics.branch_taken(opcode("add"), 0, 0)
+
+    def test_effective_address_wraps(self):
+        load = Instruction(opcode("lw"), dest=1, src1=2,
+                           imm=encoding.wrap_int(-4))
+        assert semantics.effective_address(load, 100) == 96

@@ -1,0 +1,122 @@
+"""CLI smoke tests: every subcommand runs and prints what it promises."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    output = capsys.readouterr().out
+    return code, output
+
+
+class TestCli:
+    def test_workloads(self, capsys):
+        code, output = run_cli(capsys, "workloads")
+        assert code == 0
+        assert "compress" in output and "fpppp" in output
+
+    def test_simulate(self, capsys):
+        code, output = run_cli(capsys, "simulate", "li")
+        assert code == 0
+        assert "architectural check: passed" in output
+        assert "IPC" in output
+
+    def test_table1(self, capsys):
+        code, output = run_cli(capsys, "table1", "--workloads", "compress",
+                               "swim")
+        assert code == 0
+        assert "Table 1" in output and "(paper)" in output
+
+    def test_table2_no_paper(self, capsys):
+        code, output = run_cli(capsys, "table2", "--workloads", "compress",
+                               "swim", "--no-paper")
+        assert code == 0
+        assert "Table 2" in output and "paper" not in output
+
+    def test_table3(self, capsys):
+        code, output = run_cli(capsys, "table3", "--workloads", "ijpeg",
+                               "turb3d")
+        assert code == 0
+        assert "Table 3" in output
+
+    def test_figure1(self, capsys):
+        code, output = run_cli(capsys, "figure1")
+        assert code == 0
+        assert "57%" in output
+
+    def test_figure4_synthetic(self, capsys):
+        code, output = run_cli(capsys, "figure4", "ialu", "--synthetic",
+                               "--cycles", "800")
+        assert code == 0
+        assert "lut-4" in output
+
+    def test_multiplier(self, capsys):
+        code, output = run_cli(capsys, "multiplier", "--workloads", "ijpeg")
+        assert code == 0
+        assert "swappable" in output
+
+    def test_gates(self, capsys):
+        code, output = run_cli(capsys, "gates", "--vector-bits", "4",
+                               "--rs-entries", "8")
+        assert code == 0
+        assert "58 gates, 6 levels" in output
+
+    def test_trace_and_replay(self, capsys, tmp_path):
+        trace = str(tmp_path / "t.gz")
+        code, output = run_cli(capsys, "trace", "li", "-o", trace,
+                               "--fu", "ialu")
+        assert code == 0
+        assert "issue groups" in output
+        code, output = run_cli(capsys, "replay", trace,
+                               "--policies", "original", "lut-4")
+        assert code == 0
+        assert "original" in output and "lut-4" in output
+
+    def test_asm(self, capsys, tmp_path):
+        source = tmp_path / "prog.s"
+        source.write_text(".text\nli r1, 41\naddi r1, r1, 1\n"
+                          "cvtif f1, r1\nhalt\n")
+        code, output = run_cli(capsys, "asm", str(source))
+        assert code == 0
+        assert "r1  =           42" in output
+        assert "42.0" in output
+
+    def test_unknown_fu_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["figure4", "vpu"])
+
+    def test_parser_help_lists_commands(self):
+        parser = build_parser()
+        help_text = parser.format_help()
+        for command in ("table1", "figure4", "replay", "gates"):
+            assert command in help_text
+
+    def test_verilog(self, capsys, tmp_path):
+        out = tmp_path / "router.v"
+        code, output = run_cli(capsys, "verilog", "--vector-bits", "4",
+                               "-o", str(out))
+        assert code == 0
+        text = out.read_text()
+        assert "module steer_lut (" in text
+        assert text.count("endmodule") == 3
+
+    def test_value_stats(self, capsys):
+        code, output = run_cli(capsys, "value-stats", "--workloads",
+                               "compress", "swim")
+        assert code == 0
+        assert "91.2%" in output  # paper reference column
+
+    def test_sensitivity(self, capsys):
+        code, output = run_cli(capsys, "sensitivity", "--workloads",
+                               "cc1", "--test-scale", "2")
+        assert code == 0
+        assert "penalty" in output
+
+    def test_figure4_per_workload(self, capsys):
+        code, output = run_cli(capsys, "figure4", "ialu", "--scale", "1",
+                               "--per-workload")
+        assert code == 0
+        assert "Per-workload energy reduction" in output
+        assert "compress" in output

@@ -1,0 +1,44 @@
+"""The runnable examples must actually run (the fast ones, verbatim)."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, capsys):
+    path = EXAMPLES / name
+    assert path.exists(), f"missing example {name}"
+    saved_argv = sys.argv
+    sys.argv = [str(path)]
+    try:
+        runpy.run_path(str(path), run_name="__main__")
+    finally:
+        sys.argv = saved_argv
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        output = run_example("quickstart.py", capsys)
+        assert "reduction:" in output
+        assert "dot product = -1654" in output
+
+    def test_custom_workload(self, capsys):
+        output = run_example("custom_workload.py", capsys)
+        assert "golden check passed" in output
+        assert "compiler pass swapped" in output
+
+    def test_extensions(self, capsys):
+        output = run_example("extensions.py", capsys)
+        assert "static (VLIW)" in output
+        assert "58 gates / 6 levels (paper: 58 / 6)" in output
+        assert "module steer_lut" in output
+
+    def test_all_examples_present(self):
+        names = {path.name for path in EXAMPLES.glob("*.py")}
+        assert {"quickstart.py", "custom_workload.py", "design_space.py",
+                "paper_reproduction.py", "extensions.py"} <= names

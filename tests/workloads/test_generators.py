@@ -1,0 +1,108 @@
+"""Statistical stream generator tests: calibration against Table 1/2."""
+
+import pytest
+
+from repro.analysis.bit_patterns import BitPatternCollector
+from repro.analysis.module_usage import ModuleUsageCollector
+from repro.core.info_bits import CASES
+from repro.core.statistics import paper_statistics
+from repro.isa import encoding
+from repro.isa.instructions import FUClass
+from repro.workloads.generators import (OperandModel, SyntheticStream,
+                                        paper_bit_probs)
+
+
+class TestOperandModel:
+    @pytest.mark.parametrize("fu_class", [FUClass.IALU, FUClass.FPAU])
+    @pytest.mark.parametrize("mode", ["iid", "structured"])
+    def test_info_bits_always_match_case(self, fu_class, mode):
+        import random
+        model = OperandModel(fu_class, mode=mode)
+        rng = random.Random(3)
+        from repro.core.info_bits import scheme_for
+        scheme = scheme_for(fu_class)
+        for case in CASES:
+            for _ in range(50):
+                op1 = model.draw(rng, case, 0)
+                op2 = model.draw(rng, case, 1)
+                assert scheme.case_of(op1, op2) == case
+
+    def test_iid_matches_target_bit_probability(self):
+        import random
+        model = OperandModel(FUClass.IALU, mode="iid")
+        rng = random.Random(7)
+        target = paper_bit_probs(FUClass.IALU)[(0b10, 0)]
+        ones = sum(encoding.popcount(model.draw(rng, 0b10, 0))
+                   for _ in range(3000))
+        measured = ones / (3000 * 32)
+        assert measured == pytest.approx(target, abs=0.02)
+
+    def test_structured_integers_sign_extended(self):
+        import random
+        model = OperandModel(FUClass.IALU, mode="structured")
+        rng = random.Random(1)
+        # structured negatives have long runs of leading ones
+        leading = [encoding.leading_sign_bits(model.draw(rng, 0b10, 0))
+                   for _ in range(200)]
+        assert sum(leading) / len(leading) > 12
+
+    def test_structured_mantissas_trailing_zeros(self):
+        import random
+        model = OperandModel(FUClass.FPAU, mode="structured")
+        rng = random.Random(2)
+        trailing = [encoding.trailing_zeros(encoding.mantissa(
+            model.draw(rng, 0b00, 0)), 52) for _ in range(200)]
+        assert sum(trailing) / len(trailing) > 30
+
+    def test_invalid_mode(self):
+        with pytest.raises(ValueError):
+            OperandModel(FUClass.IALU, mode="chaotic")
+
+    def test_no_paper_probs_for_multipliers(self):
+        with pytest.raises(ValueError):
+            paper_bit_probs(FUClass.IMULT)
+
+
+class TestSyntheticStream:
+    def test_deterministic_by_seed(self, ialu_stats):
+        first = [g.ops[0].op1 for g in
+                 SyntheticStream(ialu_stats, seed=9).groups(50)]
+        second = [g.ops[0].op1 for g in
+                  SyntheticStream(ialu_stats, seed=9).groups(50)]
+        assert first == second
+        third = [g.ops[0].op1 for g in
+                 SyntheticStream(ialu_stats, seed=10).groups(50)]
+        assert first != third
+
+    def test_group_widths_bounded(self, ialu_stats):
+        for group in SyntheticStream(ialu_stats, num_modules=4,
+                                     seed=0).groups(500):
+            assert 1 <= len(group.ops) <= 4
+
+    def test_reproduces_case_frequencies(self, ialu_stats):
+        """Round trip: generate from Table 1, measure, recover Table 1."""
+        collector = BitPatternCollector(FUClass.IALU)
+        for group in SyntheticStream(ialu_stats, seed=4).groups(8000):
+            collector(group)
+        for case in CASES:
+            assert collector.case_frequency(case) \
+                == pytest.approx(ialu_stats.case_freq(case), abs=0.02)
+
+    def test_reproduces_usage_distribution(self, fpau_stats):
+        collector = ModuleUsageCollector()
+        for group in SyntheticStream(fpau_stats, seed=4).groups(8000):
+            collector(group)
+        measured = collector.distribution(FUClass.FPAU)
+        expected = fpau_stats.usage_distribution(4)
+        for width in range(1, 5):
+            assert measured[width] == pytest.approx(expected[width],
+                                                    abs=0.02)
+
+    def test_reproduces_bit_probabilities(self, ialu_stats):
+        collector = BitPatternCollector(FUClass.IALU)
+        for group in SyntheticStream(ialu_stats, seed=4).groups(8000):
+            collector(group)
+        probs = paper_bit_probs(FUClass.IALU)
+        for case in CASES:
+            assert collector.merged_bit_prob(case, 0) \
+                == pytest.approx(probs[(case, 0)], abs=0.03)

@@ -1,0 +1,65 @@
+"""Pinned kernel results.
+
+Every experiment in this repository is a function of the kernels'
+operand streams.  These pins freeze each kernel's dynamic instruction
+count and result words at scale 1, so an accidental change to a kernel
+(data generator, loop bound, instruction selection) shows up as a test
+failure instead of silently shifting the reproduced tables and figures.
+
+If a kernel is changed *deliberately*, re-pin with::
+
+    python -c "from tests.workloads.test_golden_pins import print_pins; print_pins()"
+"""
+
+from repro.cpu.golden import run_program
+from repro.workloads import all_workloads, workload
+
+import pytest
+
+# (dynamic instructions, first four words at the 'results' symbol)
+PINS = {
+    "applu": (14714, [3418162797, 1074267337, 0, 0]),
+    "apsi": (9624, [1035093556, 1086576251, 0, 0]),
+    "cc1": (2217, [1715088904, 0, 0, 0]),
+    "compress": (3770, [3865913753, 219, 0, 0]),
+    "fpppp": (2469, [22857287, 1114638424, 3132159959, 1154982750]),
+    "go": (11794, [140, 384, 0, 0]),
+    "hydro2d": (13025, [4008003829, 1079710194, 0, 0]),
+    "ijpeg": (20697, [40, 0, 0, 0]),
+    "li": (2129, [4294965520, 268436216, 0, 0]),
+    "m88ksim": (6110, [246063630, 0, 0, 0]),
+    "mgrid": (6762, [666391924, 1080631334, 0, 0]),
+    "perl": (2626, [2954945523, 0, 0, 0]),
+    "swim": (8915, [0, 1080827904, 0, 0]),
+    "tomcatv": (10189, [152347114, 1080394221, 2040570164, 1080373100]),
+    "turb3d": (2144, [3716837910, 1078235822, 2455498803, 1081331072]),
+    "vortex": (2457, [150, 51776, 0, 0]),
+    "wave5": (8098, [0, 1078231384, 0, 3224776999]),
+}
+
+
+def _measure(name):
+    program = workload(name).build(1)
+    result = run_program(program)
+    base = program.symbol_address("results")
+    words = [result.memory.load_word(base + 4 * i) for i in range(4)]
+    return result.instructions, words
+
+
+def print_pins():  # pragma: no cover - re-pinning helper
+    for load in all_workloads():
+        print(f'    "{load.name}": {_measure(load.name)},')
+
+
+def test_every_workload_is_pinned():
+    assert set(PINS) == {w.name for w in all_workloads()}, \
+        "new kernel? add a pin (see module docstring)"
+
+
+@pytest.mark.parametrize("name", sorted(PINS))
+def test_pinned_result(name):
+    instructions, words = _measure(name)
+    expected_instructions, expected_words = PINS[name]
+    assert instructions == expected_instructions, \
+        f"{name}: dynamic instruction count drifted"
+    assert words == expected_words, f"{name}: result words drifted"

@@ -1,0 +1,122 @@
+"""Workload kernel tests: every kernel validates against its Python
+golden computation on both the in-order and out-of-order engines."""
+
+import pytest
+
+from repro.cpu.golden import run_program
+from repro.cpu.simulator import Simulator
+from repro.isa.instructions import FUClass
+from repro.workloads import all_workloads, float_suite, integer_suite, workload
+from repro.workloads.base import Workload, register
+
+ALL_NAMES = [w.name for w in all_workloads()]
+
+
+class TestRegistry:
+    def test_expected_suites(self):
+        assert {w.name for w in integer_suite()} == {
+            "compress", "li", "ijpeg", "go", "perl", "cc1", "m88ksim",
+            "vortex"}
+        assert {w.name for w in float_suite()} == {
+            "swim", "mgrid", "applu", "hydro2d", "wave5", "turb3d",
+            "apsi", "fpppp", "tomcatv"}
+
+    def test_lookup(self):
+        assert workload("compress").kind == "int"
+        with pytest.raises(ValueError, match="unknown workload"):
+            workload("doom")
+
+    def test_every_workload_names_spec_analogue(self):
+        for load in all_workloads():
+            assert load.spec_analogue
+            assert load.description
+
+    def test_register_rejects_duplicates(self):
+        existing = workload("compress")
+        with pytest.raises(ValueError, match="duplicate"):
+            register(existing)
+
+    def test_register_rejects_bad_kind(self):
+        bogus = Workload(name="x", kind="quantum", spec_analogue="",
+                         description="", build_source=lambda s: "",
+                         check=lambda p, r, s: None)
+        with pytest.raises(ValueError, match="kind"):
+            register(bogus)
+
+    def test_build_rejects_bad_scale(self):
+        with pytest.raises(ValueError):
+            workload("compress").build(0)
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+class TestKernelCorrectness:
+    def test_golden_model(self, name):
+        load = workload(name)
+        program = load.build(1)
+        result = run_program(program)
+        assert result.halted
+        load.check(program, result, 1)
+
+    def test_out_of_order(self, name):
+        load = workload(name)
+        program = load.build(1)
+        sim = Simulator(program)
+        sim.run()
+
+        class Shim:
+            memory = sim.memory
+
+        load.check(program, Shim, 1)
+
+    def test_scales_change_work(self, name):
+        load = workload(name)
+        small = run_program(load.build(1)).instructions
+        big = run_program(load.build(2)).instructions
+        assert big > small
+
+
+class TestKernelCharacter:
+    """Each kernel must actually exercise the FU classes it claims to."""
+
+    def _issue_counts(self, name):
+        load = workload(name)
+        sim = Simulator(load.build(1))
+        return sim.run().issue_counts
+
+    def test_fp_kernels_use_fpau(self):
+        for load in float_suite():
+            counts = self._issue_counts(load.name)
+            assert counts[FUClass.FPAU] > 0, load.name
+
+    def test_turb3d_is_multiplier_heavy(self):
+        counts = self._issue_counts("turb3d")
+        assert counts[FUClass.FPMULT] > 100
+
+    def test_applu_uses_divider(self):
+        # LU factorisation divides by the pivot
+        counts = self._issue_counts("applu")
+        assert counts[FUClass.FPMULT] > 0
+
+    def test_ijpeg_uses_integer_multiplier(self):
+        counts = self._issue_counts("ijpeg")
+        assert counts[FUClass.IMULT] > 500
+
+    def test_wave5_mixes_conversions(self):
+        # wave5's particle push runs cvtif/cvtfi on the FPAU
+        load = workload("wave5")
+        program = load.build(1)
+        names = {instr.op.name for instr in program.instructions}
+        assert "cvtif" in names and "cvtfi" in names
+
+    def test_int_kernels_have_signed_traffic(self):
+        """The integer suites must produce both operand sign values,
+        otherwise the steering experiment degenerates (section 4.2)."""
+        from repro.analysis.bit_patterns import BitPatternCollector
+        collector = BitPatternCollector(FUClass.IALU)
+        for load in integer_suite():
+            sim = Simulator(load.build(1))
+            sim.add_listener(collector)
+            sim.run()
+        negative_fraction = sum(
+            collector.case_frequency(case) for case in (0b01, 0b10, 0b11))
+        assert negative_fraction > 0.05
