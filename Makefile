@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test bench quick-check reproduce clean
+.PHONY: install test bench bench-perf quick-check reproduce clean
 
 install:
 	pip install -e .
@@ -12,6 +12,11 @@ test:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# hot-path throughput regression harness: simulated cycles/sec and
+# issued ops/sec over the stress scenarios, written to BENCH_hotpath.json
+bench-perf:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_hotpath.py --output BENCH_hotpath.json
 
 # the two output files the reproduction record refers to
 outputs:

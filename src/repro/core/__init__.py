@@ -19,7 +19,8 @@ from .power import (FUPowerModel, MultiplierActivityModel, PowerParameters,
 from .statistics import CaseStatistics, paper_statistics
 from .steering import (EvaluationTotals, FullHammingPolicy, LUTPolicy,
                        OneBitHammingPolicy, OriginalPolicy, PolicyEvaluator,
-                       RoundRobinPolicy, SteeringPolicy, make_policy)
+                       RoundRobinPolicy, SharedEvaluationCoordinator,
+                       SteeringPolicy, make_policy)
 from .swapping import (HardwareSwapper, MultiplierSwapper, SwapMode,
                        choose_swap_case)
 
@@ -41,7 +42,8 @@ __all__ = [
     "CaseStatistics", "paper_statistics",
     "EvaluationTotals", "FullHammingPolicy", "LUTPolicy",
     "OneBitHammingPolicy", "OriginalPolicy", "PolicyEvaluator",
-    "RoundRobinPolicy", "SteeringPolicy", "make_policy",
+    "RoundRobinPolicy", "SharedEvaluationCoordinator",
+    "SteeringPolicy", "make_policy",
     "HardwareSwapper", "MultiplierSwapper", "SwapMode", "choose_swap_case",
     "verilog",
 ]

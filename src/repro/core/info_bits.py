@@ -23,7 +23,7 @@ use a top-bits majority for integers.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
+from typing import Callable, Optional
 
 from ..isa import encoding
 from ..isa.instructions import FUClass
@@ -77,14 +77,26 @@ class InfoBitScheme:
     name: str
     extract: Callable[[int], int]
     value_width: int
+    # optional fused (op1, op2) -> case function; semantically identical
+    # to case_of but avoids two extract calls per operation, which
+    # matters to per-cycle steering policies.  Schemes without one fall
+    # back to the generic composition.
+    pair_case: Optional[Callable[[int, int], int]] = None
 
     def case_of(self, op1: int, op2: int) -> int:
         """Concatenate the two operands' information bits (op1 high)."""
+        pair = self.pair_case
+        if pair is not None:
+            return pair(op1, op2)
         return (self.extract(op1) << 1) | self.extract(op2)
 
 
-PAPER_INT_SCHEME = InfoBitScheme("sign-bit", int_info_bit, encoding.INT_BITS)
-PAPER_FP_SCHEME = InfoBitScheme("or-low-4", fp_info_bit, encoding.MANTISSA_BITS)
+PAPER_INT_SCHEME = InfoBitScheme(
+    "sign-bit", int_info_bit, encoding.INT_BITS,
+    lambda op1, op2: ((op1 >> 30) & 2) | ((op2 >> 31) & 1))
+PAPER_FP_SCHEME = InfoBitScheme(
+    "or-low-4", fp_info_bit, encoding.MANTISSA_BITS,
+    lambda op1, op2: (2 if op1 & 0xF else 0) | (1 if op2 & 0xF else 0))
 
 
 def scheme_for(fu_class: FUClass) -> InfoBitScheme:

@@ -19,9 +19,10 @@ radix-2 Booth recoding activity estimators for the multiplier benches.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from ..isa import encoding
+from ..isa.encoding import bit_count as _bit_count
 from ..isa.instructions import FUClass
 from .info_bits import FLOAT_CLASSES
 
@@ -74,28 +75,89 @@ class FUPowerModel:
         self._inputs: List[Tuple[int, int]] = [(0, 0)] * num_modules
         self.switched_bits = 0
         self.operations = 0
+        # batched accounting is only valid when account() is not
+        # overridden; resolved once here rather than per account_group
+        # call (type(self) is the final subclass by __init__ time)
+        self._batched = type(self).account is _BASE_ACCOUNT
 
     def account(self, module: int, op1: int, op2: int) -> int:
         """Charge one operation issued to ``module``; return its cost."""
         if not (0 <= module < self.num_modules):
             raise ValueError(f"module {module} out of range")
         prev1, prev2 = self._inputs[module]
-        cost = (encoding.popcount((prev1 ^ op1) & self._mask)
-                + encoding.popcount((prev2 ^ op2) & self._mask))
+        # masked XOR images are non-negative: the unchecked primitive
+        # is safe here and this is the hottest accounting loop
+        cost = (_bit_count((prev1 ^ op1) & self._mask)
+                + _bit_count((prev2 ^ op2) & self._mask))
         self._inputs[module] = (op1, op2)
         self.switched_bits += cost
         self.operations += 1
         return cost
 
+    def account_group(self, ops: Sequence, modules: Sequence[int],
+                      swapped: Sequence[bool]) -> int:
+        """Batch :meth:`account` for one cycle's assignment.
+
+        ``ops`` supplies ``op1``/``op2`` bit images (any object with
+        those attributes, e.g. :class:`~repro.cpu.trace.MicroOp`);
+        ``swapped[k]`` exchanges the operand order of ``ops[k]`` before
+        charging.  ``zip`` semantics: extra operations beyond the
+        assignment are ignored.  Module indices must already be in
+        range — callers clamp at the policy layer.
+
+        Subclasses overriding :meth:`account` (guarded or heterogeneous
+        models) are dispatched per operation so their per-module logic
+        still runs; only the plain model takes the batched fast path.
+        """
+        if not self._batched:
+            account = self.account
+            total = 0
+            for op, module, swap in zip(ops, modules, swapped):
+                if swap:
+                    total += account(module, op.op2, op.op1)
+                else:
+                    total += account(module, op.op1, op.op2)
+            return total
+        inputs = self._inputs
+        mask = self._mask
+        bc = _bit_count
+        total = 0
+        count = 0
+        for op, module, swap in zip(ops, modules, swapped):
+            if swap:
+                op1 = op.op2
+                op2 = op.op1
+            else:
+                op1 = op.op1
+                op2 = op.op2
+            if module < 0:
+                raise ValueError(f"module {module} out of range")
+            prev1, prev2 = inputs[module]
+            total += (bc((prev1 ^ op1) & mask)
+                      + bc((prev2 ^ op2) & mask))
+            inputs[module] = (op1, op2)
+            count += 1
+        self.switched_bits += total
+        self.operations += count
+        return total
+
     def peek_cost(self, module: int, op1: int, op2: int) -> int:
         """Cost of issuing to ``module`` without updating any state."""
         prev1, prev2 = self._inputs[module]
-        return (encoding.popcount((prev1 ^ op1) & self._mask)
-                + encoding.popcount((prev2 ^ op2) & self._mask))
+        return (_bit_count((prev1 ^ op1) & self._mask)
+                + _bit_count((prev2 ^ op2) & self._mask))
 
     def module_inputs(self, module: int) -> Tuple[int, int]:
         """The latched previous inputs of one module."""
         return self._inputs[module]
+
+    def all_module_inputs(self) -> List[Tuple[int, int]]:
+        """Latched inputs of every module, in module order.
+
+        Returns the live internal list so per-cycle policies need not
+        rebuild it; callers must treat it as read-only.
+        """
+        return self._inputs
 
     def reset(self) -> None:
         """Return every module to the power-up (all zero) state."""
@@ -109,6 +171,9 @@ class FUPowerModel:
         if not self.operations:
             return 0.0
         return self.switched_bits / self.operations
+
+
+_BASE_ACCOUNT = FUPowerModel.account
 
 
 # --- multiplier activity models (section 4.4) --------------------------------
@@ -165,8 +230,8 @@ class MultiplierActivityModel:
 
     def account(self, op1: int, op2: int) -> float:
         prev1, prev2 = self._inputs
-        switching = (encoding.popcount((prev1 ^ op1) & self._mask)
-                     + encoding.popcount((prev2 ^ op2) & self._mask))
+        switching = (_bit_count((prev1 ^ op1) & self._mask)
+                     + _bit_count((prev2 ^ op2) & self._mask))
         if self.use_booth:
             adds = booth_recode_activity(op2 & self._mask, self._width)
         else:

@@ -25,10 +25,11 @@ can be scored in a single simulation pass.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Protocol, Sequence
+from typing import Dict, List, Optional, Protocol, Sequence, Tuple
 
 from ..cpu.trace import IssueGroup, MicroOp
 from ..isa import encoding
+from ..isa.encoding import bit_count as _bit_count
 from ..isa.instructions import FUClass
 from .assignment import Assignment, optimal_assignment
 from .info_bits import InfoBitScheme, case_of, scheme_for
@@ -39,7 +40,15 @@ from .swapping import HardwareSwapper
 
 
 class SteeringPolicy(Protocol):
-    """Maps one cycle's operations onto distinct modules."""
+    """Maps one cycle's operations onto distinct modules.
+
+    When a cycle's issue group is wider than the module count the
+    policy assigns only the first ``power.num_modules`` operations — a
+    router with M ports physically sees at most M operations — and the
+    returned :class:`~repro.core.assignment.Assignment` is
+    correspondingly shorter than ``ops``.  Consumers pair operations
+    and modules positionally (``zip`` truncates at the assignment).
+    """
 
     name: str
 
@@ -58,10 +67,23 @@ class OriginalPolicy:
     """
 
     name: str = "original"
+    # assignment depends only on the ops, never on latched module state;
+    # SharedEvaluationCoordinator may compute it once per cycle
+    power_independent = True
+
+    def __post_init__(self) -> None:
+        # the assignment depends only on the width, so the (frozen)
+        # Assignment objects can be reused across cycles
+        self._memo: Dict[int, Assignment] = {}
 
     def assign(self, ops: Sequence[MicroOp], power: FUPowerModel) -> Assignment:
-        return Assignment(modules=tuple(range(len(ops))),
-                          swapped=(False,) * len(ops), total_cost=0.0)
+        count = min(len(ops), power.num_modules)
+        cached = self._memo.get(count)
+        if cached is None:
+            cached = Assignment(modules=tuple(range(count)),
+                                swapped=(False,) * count, total_cost=0.0)
+            self._memo[count] = cached
+        return cached
 
 
 @dataclass
@@ -70,12 +92,14 @@ class RoundRobinPolicy:
 
     name: str = "round-robin"
     _next: int = 0
+    power_independent = True
 
     def assign(self, ops: Sequence[MicroOp], power: FUPowerModel) -> Assignment:
         count = power.num_modules
-        modules = tuple((self._next + k) % count for k in range(len(ops)))
-        self._next = (self._next + len(ops)) % count
-        return Assignment(modules=modules, swapped=(False,) * len(ops),
+        take = min(len(ops), count)
+        modules = tuple((self._next + k) % count for k in range(take))
+        self._next = (self._next + take) % count
+        return Assignment(modules=modules, swapped=(False,) * take,
                           total_cost=0.0)
 
 
@@ -85,20 +109,35 @@ class FullHammingPolicy:
 
     allow_swap: bool = False
     name: str = "full-ham"
+    power_independent = False
 
     def __post_init__(self) -> None:
         if self.allow_swap:
             self.name = "full-ham+swap"
+        # the operand mask and cost closure are per-FU-class constants;
+        # build them on first use instead of once per cycle
+        self._cost_fn = None
+        self._cost_class: Optional[FUClass] = None
+
+    def _cost_for(self, fu_class: FUClass):
+        if self._cost_class is not fu_class:
+            mask = (1 << operand_width(fu_class)) - 1
+
+            def cost(op1: int, op2: int, prev1: int, prev2: int,
+                     _bc=_bit_count, _mask=mask) -> int:
+                return (_bc((op1 ^ prev1) & _mask)
+                        + _bc((op2 ^ prev2) & _mask))
+
+            self._cost_fn = cost
+            self._cost_class = fu_class
+        return self._cost_fn
 
     def assign(self, ops: Sequence[MicroOp], power: FUPowerModel) -> Assignment:
-        mask = (1 << operand_width(power.fu_class)) - 1
-
-        def cost(op1: int, op2: int, prev1: int, prev2: int) -> float:
-            return (encoding.popcount((op1 ^ prev1) & mask)
-                    + encoding.popcount((op2 ^ prev2) & mask))
-
-        inputs = [power.module_inputs(m) for m in range(power.num_modules)]
-        return optimal_assignment(ops, inputs, cost, allow_swap=self.allow_swap)
+        if len(ops) > power.num_modules:
+            ops = ops[:power.num_modules]
+        return optimal_assignment(ops, power.all_module_inputs(),
+                                  self._cost_for(power.fu_class),
+                                  allow_swap=self.allow_swap)
 
 
 @dataclass
@@ -108,20 +147,25 @@ class OneBitHammingPolicy:
     scheme: InfoBitScheme
     allow_swap: bool = False
     name: str = "1bit-ham"
+    power_independent = False
 
     def __post_init__(self) -> None:
         if self.allow_swap:
             self.name = "1bit-ham+swap"
-
-    def assign(self, ops: Sequence[MicroOp], power: FUPowerModel) -> Assignment:
         extract = self.scheme.extract
 
-        def cost(op1: int, op2: int, prev1: int, prev2: int) -> float:
+        def cost(op1: int, op2: int, prev1: int, prev2: int) -> int:
             return (abs(extract(op1) - extract(prev1))
                     + abs(extract(op2) - extract(prev2)))
 
-        inputs = [power.module_inputs(m) for m in range(power.num_modules)]
-        return optimal_assignment(ops, inputs, cost, allow_swap=self.allow_swap)
+        self._cost_fn = cost
+
+    def assign(self, ops: Sequence[MicroOp], power: FUPowerModel) -> Assignment:
+        if len(ops) > power.num_modules:
+            ops = ops[:power.num_modules]
+        return optimal_assignment(ops, power.all_module_inputs(),
+                                  self._cost_fn,
+                                  allow_swap=self.allow_swap)
 
 
 @dataclass
@@ -137,19 +181,41 @@ class LUTPolicy:
     lut: SteeringLUT
     scheme: InfoBitScheme
     name: str = ""
+    power_independent = True
 
     def __post_init__(self) -> None:
         if not self.name:
             self.name = f"lut-{self.lut.vector_bits}bit"
+        # the table is stateless: identical (cases, width, module count)
+        # always steers identically, so the frozen Assignment objects
+        # can be memoised — the case alphabet is tiny (4^vector_ops keys)
+        self._memo: Dict[Tuple[Tuple[int, ...], int, int], Assignment] = {}
+        self._case_fn = self.scheme.pair_case or self.scheme.case_of
+        self._vector_ops = self.lut.vector_ops
 
     def assign(self, ops: Sequence[MicroOp], power: FUPowerModel) -> Assignment:
-        visible = ops[:self.lut.vector_ops]
-        cases = [case_of(op, self.scheme) for op in visible]
-        steered = list(self.lut.lookup(cases))
-        free = [m for m in range(power.num_modules) if m not in steered]
-        modules = tuple(steered + free[:len(ops) - len(steered)])
-        return Assignment(modules=modules, swapped=(False,) * len(ops),
-                          total_cost=0.0)
+        count = power.num_modules
+        case = self._case_fn
+        cases = tuple([case(op.op1, op.op2 if op.has_two else 0)
+                       for op in ops[:self._vector_ops]])
+        key = (cases, len(ops), count)
+        cached = self._memo.get(key)
+        if cached is not None:
+            return cached
+        steered = list(self.lut.lookup(cases))[:count]
+        # a table built for a wider machine can emit module indices this
+        # power model does not have; remap those onto unused modules,
+        # exactly like overflow operations
+        valid = {m for m in steered if m < count}
+        spare = iter(m for m in range(count) if m not in valid)
+        steered = [m if m < count else next(spare) for m in steered]
+        free = [m for m in range(count) if m not in steered]
+        modules = tuple((steered + free)[:len(ops)])
+        assignment = Assignment(modules=modules,
+                                swapped=(False,) * len(modules),
+                                total_cost=0.0)
+        self._memo[key] = assignment
+        return assignment
 
 
 @dataclass
@@ -177,7 +243,19 @@ class EvaluationTotals:
 
 
 class PolicyEvaluator:
-    """Issue-stream listener scoring one (policy, swapper) combination."""
+    """Issue-stream listener scoring one (policy, swapper) combination.
+
+    Wrong-path accounting: the simulator marks a ``MicroOp`` as
+    ``speculative`` only retroactively, when the mispredicted branch
+    resolves and the flush squashes it — at issue time every op looks
+    correct-path.  An evaluator with ``include_speculative=False``
+    therefore cannot filter the live stream; it *defers* accounting,
+    buffering groups and charging them once the flags are final (any
+    time after the run completes — :meth:`totals` drains the buffer
+    automatically, or call :meth:`finalize` explicitly).  Inclusive
+    evaluators stay fully streaming, which is also the correct hardware
+    model: the router really drives wrong-path operations.
+    """
 
     def __init__(self, fu_class: FUClass, num_modules: int,
                  policy: SteeringPolicy,
@@ -191,23 +269,45 @@ class PolicyEvaluator:
         self.include_speculative = include_speculative
         self.power = FUPowerModel(fu_class, num_modules)
         self.cycles_seen = 0
+        # deferred groups awaiting final wrong-path flags; None for
+        # inclusive (streaming) evaluators
+        self._deferred: Optional[List[IssueGroup]] = (
+            None if include_speculative else [])
 
     def __call__(self, group: IssueGroup) -> None:
         if group.fu_class is not self.fu_class:
             return
-        ops: List[MicroOp] = group.ops
-        if not self.include_speculative:
-            ops = [op for op in ops if not op.speculative]
+        if self._deferred is not None:
+            self._deferred.append(group)
+            return
+        self._account_ops(group.ops)
+
+    def _account_ops(self, ops: Sequence[MicroOp]) -> None:
+        """Clamp, pre-swap, assign, and charge one cycle's operations."""
         if not ops:
             return
+        if len(ops) > self.power.num_modules:
+            # a router with M ports sees at most M operations per cycle
+            ops = ops[:self.power.num_modules]
         if self.pre_swapper is not None:
             ops = [self.pre_swapper(op) for op in ops]
+        self._apply(ops, self.policy.assign(ops, self.power))
+
+    def _apply(self, ops: Sequence[MicroOp], assignment: Assignment) -> None:
         self.cycles_seen += 1
-        assignment = self.policy.assign(ops, self.power)
-        for op, module, swap in zip(ops, assignment.modules,
-                                    assignment.swapped):
-            op1, op2 = (op.op2, op.op1) if swap else (op.op1, op.op2)
-            self.power.account(module, op1, op2)
+        self.power.account_group(ops, assignment.modules,
+                                 assignment.swapped)
+
+    def finalize(self) -> None:
+        """Account any deferred groups using their final wrong-path
+        flags.  Safe to call more than once; a no-op for inclusive
+        evaluators."""
+        if not self._deferred:
+            return
+        pending, self._deferred = self._deferred, []
+        for group in pending:
+            self._account_ops(
+                [op for op in group.ops if not op.speculative])
 
     @property
     def label(self) -> str:
@@ -215,6 +315,7 @@ class PolicyEvaluator:
         return f"{self.policy.name}{suffix}"
 
     def totals(self) -> EvaluationTotals:
+        self.finalize()
         swaps = (self.pre_swapper.swaps_performed
                  if self.pre_swapper is not None else 0)
         return EvaluationTotals(policy=self.label, fu_class=self.fu_class,
@@ -222,6 +323,118 @@ class PolicyEvaluator:
                                 operations=self.power.operations,
                                 cycles_seen=self.cycles_seen,
                                 hardware_swaps=swaps)
+
+
+class SharedEvaluationCoordinator:
+    """Fan one issue stream into many evaluators of one FU class,
+    computing shared per-cycle work exactly once.
+
+    Scoring N policies in one simulation pass repeats three pieces of
+    work N times when the evaluators subscribe independently: the
+    issue-width clamp, each pre-swapper's swapped operand list, and —
+    for policies whose assignment does not read the power model's
+    latched inputs (``power_independent``: Original, round-robin, LUT)
+    — the module assignment itself.  The coordinator hoists all three
+    into per-cycle caches.  Power-*dependent* policies (the Hamming
+    matchers) still compute their own cost matrices, necessarily: each
+    evaluator's matrix is built against its own module history.
+
+    A pre-swapper or power-independent policy *instance* shared by
+    several evaluators is invoked once per cycle, so its internal state
+    (swap counters, round-robin rotation) advances once — matching one
+    piece of hardware feeding several accounting models.
+    """
+
+    def __init__(self, fu_class: FUClass):
+        self.fu_class = fu_class
+        self.evaluators: List[PolicyEvaluator] = []
+        # dispatch plan, rebuilt on add(): per-evaluator static facts,
+        # plus whether any swapper / power-independent policy *instance*
+        # is shared between evaluators (the only case where per-cycle
+        # memo dicts are needed to keep "invoked once per cycle" true —
+        # distinct instances just compute their own work as usual)
+        self._plan: List[Tuple[PolicyEvaluator, FUPowerModel,
+                               Optional[HardwareSwapper], SteeringPolicy,
+                               bool]] = []
+        self._shared_swappers = False
+        self._shared_policies = False
+
+    def add(self, evaluator: PolicyEvaluator) -> PolicyEvaluator:
+        """Register an evaluator; returns it for chaining."""
+        if evaluator.fu_class is not self.fu_class:
+            raise ValueError(
+                f"evaluator is for {evaluator.fu_class}, coordinator "
+                f"for {self.fu_class}")
+        self.evaluators.append(evaluator)
+        self._plan.append((evaluator, evaluator.power,
+                           evaluator.pre_swapper, evaluator.policy,
+                           getattr(evaluator.policy, "power_independent",
+                                   False)))
+        swappers = [id(ev.pre_swapper) for ev in self.evaluators
+                    if ev.pre_swapper is not None]
+        self._shared_swappers = len(swappers) != len(set(swappers))
+        independents = [id(ev.policy) for ev in self.evaluators
+                        if getattr(ev.policy, "power_independent", False)]
+        self._shared_policies = len(independents) != len(set(independents))
+        return evaluator
+
+    def __call__(self, group: IssueGroup) -> None:
+        if group.fu_class is not self.fu_class:
+            return
+        base_ops = group.ops
+        base_len = len(base_ops)
+        # the clamp is pure, so a one-entry cache (the common case: all
+        # evaluators model the same module count) needs no dict
+        clamp_count = -1
+        clamp_ops: Sequence[MicroOp] = base_ops
+        swap_cache: Optional[Dict[Tuple[int, int], List[MicroOp]]] = (
+            {} if self._shared_swappers else None)
+        assign_cache: Optional[Dict[Tuple[int, int, int], Assignment]] = (
+            {} if self._shared_policies else None)
+        for ev, power, swapper, policy, independent in self._plan:
+            deferred = ev._deferred
+            if deferred is not None:
+                deferred.append(group)
+                continue
+            count = power.num_modules
+            if count != clamp_count:
+                clamp_ops = (base_ops if base_len <= count
+                             else base_ops[:count])
+                clamp_count = count
+            ops = clamp_ops
+            if not ops:
+                continue
+            if swapper is not None:
+                if swap_cache is None:
+                    ops = [swapper(op) for op in ops]
+                else:
+                    key = (id(swapper), count)
+                    swapped = swap_cache.get(key)
+                    if swapped is None:
+                        swapped = [swapper(op) for op in ops]
+                        swap_cache[key] = swapped
+                    ops = swapped
+            if independent and assign_cache is not None:
+                akey = (id(policy), id(ops), count)
+                assignment = assign_cache.get(akey)
+                if assignment is None:
+                    assignment = policy.assign(ops, power)
+                    assign_cache[akey] = assignment
+            else:
+                assignment = policy.assign(ops, power)
+            # _apply, inlined: this is once per evaluator per cycle
+            ev.cycles_seen += 1
+            power.account_group(ops, assignment.modules,
+                                assignment.swapped)
+
+    def finalize(self) -> None:
+        """Drain every deferred (wrong-path-excluding) evaluator."""
+        for ev in self.evaluators:
+            ev.finalize()
+
+    def totals(self) -> List[EvaluationTotals]:
+        """Totals of every registered evaluator, in registration order."""
+        return [ev.totals() for ev in self.evaluators]
 
 
 def make_policy(kind: str, fu_class: FUClass, num_modules: int,

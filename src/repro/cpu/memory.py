@@ -1,14 +1,22 @@
 """Byte-addressed sparse memory for the simulators.
 
-Backed by a dict so multi-megabyte address spaces cost only what is
-touched.  Words are 4 bytes, doubles 8 bytes, little endian, and both
+Backed by a dict of *words* so multi-megabyte address spaces cost only
+what is touched while keeping the hot word/double accessors a single
+dict operation (the previous byte-dict paid four dict accesses per
+word).  Words are 4 bytes, doubles 8 bytes, little endian, and both
 must be naturally aligned — the mini ISA has no unaligned accesses.
+
+Each entry maps ``address >> 2`` to ``(bits, mask)`` where ``mask`` is
+the 4-bit set of bytes actually written, so byte-exact accounting
+(:meth:`touched_bytes`, :meth:`touched_addresses`) survives the word
+representation.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, Iterator, Optional, Tuple
 
+from ..isa.encoding import bit_count as _bit_count
 from ..isa.program import DataImage
 
 
@@ -20,46 +28,53 @@ class Memory:
     """Sparse main memory with word and double accessors."""
 
     def __init__(self, image: Optional[DataImage] = None):
-        self._bytes: Dict[int, int] = dict(image.bytes_) if image else {}
+        self._words: Dict[int, Tuple[int, int]] = {}
+        if image:
+            for address, value in image.bytes_.items():
+                self.store_byte(address, value)
 
     def load_byte(self, address: int) -> int:
-        return self._bytes.get(address, 0)
+        entry = self._words.get(address >> 2)
+        if entry is None:
+            return 0
+        return (entry[0] >> ((address & 3) << 3)) & 0xFF
 
     def store_byte(self, address: int, value: int) -> None:
-        self._bytes[address] = value & 0xFF
+        word = address >> 2
+        shift = (address & 3) << 3
+        bits, mask = self._words.get(word, (0, 0))
+        self._words[word] = (
+            (bits & ~(0xFF << shift)) | ((value & 0xFF) << shift),
+            mask | (1 << (address & 3)))
 
     def load_word(self, address: int) -> int:
-        if address % 4:
+        if address & 3:
             raise MemoryError_(f"unaligned word load at 0x{address:x}")
-        get = self._bytes.get
-        return (get(address, 0)
-                | (get(address + 1, 0) << 8)
-                | (get(address + 2, 0) << 16)
-                | (get(address + 3, 0) << 24))
+        entry = self._words.get(address >> 2)
+        return entry[0] if entry is not None else 0
 
     def store_word(self, address: int, bits: int) -> None:
-        if address % 4:
+        if address & 3:
             raise MemoryError_(f"unaligned word store at 0x{address:x}")
-        store = self._bytes
-        store[address] = bits & 0xFF
-        store[address + 1] = (bits >> 8) & 0xFF
-        store[address + 2] = (bits >> 16) & 0xFF
-        store[address + 3] = (bits >> 24) & 0xFF
+        self._words[address >> 2] = (bits & 0xFFFFFFFF, 0xF)
 
     def load_double(self, address: int) -> int:
-        if address % 8:
+        if address & 7:
             raise MemoryError_(f"unaligned double load at 0x{address:x}")
-        get = self._bytes.get
-        value = 0
-        for i in range(8):
-            value |= get(address + i, 0) << (8 * i)
-        return value
+        words = self._words
+        word = address >> 2
+        low = words.get(word)
+        high = words.get(word + 1)
+        return ((low[0] if low is not None else 0)
+                | ((high[0] if high is not None else 0) << 32))
 
     def store_double(self, address: int, bits: int) -> None:
-        if address % 8:
+        if address & 7:
             raise MemoryError_(f"unaligned double store at 0x{address:x}")
-        for i in range(8):
-            self._bytes[address + i] = (bits >> (8 * i)) & 0xFF
+        words = self._words
+        word = address >> 2
+        words[word] = (bits & 0xFFFFFFFF, 0xF)
+        words[word + 1] = ((bits >> 32) & 0xFFFFFFFF, 0xF)
 
     def load(self, address: int, double: bool) -> int:
         """Width-dispatching load used by the simulators."""
@@ -74,4 +89,16 @@ class Memory:
 
     def touched_bytes(self) -> int:
         """Number of distinct bytes ever written (for tests/diagnostics)."""
-        return len(self._bytes)
+        return sum(_bit_count(mask) for _, mask in self._words.values())
+
+    def touched_addresses(self) -> Iterator[int]:
+        """Byte addresses ever written, in no particular order.
+
+        The public way for equivalence tests to enumerate state without
+        depending on the storage representation.
+        """
+        for word, (_, mask) in self._words.items():
+            base = word << 2
+            for offset in range(4):
+                if mask & (1 << offset):
+                    yield base + offset

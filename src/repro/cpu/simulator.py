@@ -20,10 +20,12 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
 
 from ..isa import semantics
+from ..isa.encoding import INT_MASK as _INT_MASK
+from ..isa.encoding import wrap_int as _wrap_int
 from ..isa.instructions import (ZERO_REG, FUClass, Instruction)
 from ..isa.program import Program
 from .branch import make_predictor
@@ -36,37 +38,72 @@ _DISPATCHED = 0
 _ISSUED = 1
 _DONE = 2
 
+# static execute kinds (decoded once per instruction, see
+# Simulator._decode): ordered so the common ALU case is tested first
+_X_INT = 0
+_X_FP = 1
+_X_LOAD = 2
+_X_STORE = 3
+_X_BRANCH = 4
+_X_CTRL = 5     # j: no computation, no operands
+_X_HALT = 6     # like _X_CTRL, but retiring it stops the machine
 
-@dataclass(slots=True)
+# fetch continuation kinds
+_F_SEQ = 0      # fall through
+_F_HALT = 1
+_F_JUMP = 2
+_F_BRANCH = 3
+
+
 class _RobEntry:
-    seq: int
-    instr: Instruction
-    state: int = _DISPATCHED
+    """One in-flight instruction.
+
+    A deliberately plain class: dispatch creates hundreds of thousands
+    of these per run, so the defaults live on the *class* and ``__init__``
+    stores only the two per-entry facts.  Stages assign the remaining
+    attributes as the entry moves through the pipeline (operand capture
+    at dispatch, address/result at execute, ``squashed`` at flush).
+    """
+
+    state = _DISPATCHED
     dest: Optional[int] = None
-    result: int = 0
+    result = 0
     # source operand capture: value or producer seq (tag)
-    val1: int = 0
-    val2: int = 0
+    val1 = 0
+    val2 = 0
     tag1: Optional[int] = None
     tag2: Optional[int] = None
-    has_two: bool = True
+    has_two = True
     # branches
-    predicted_taken: bool = False
-    actual_taken: bool = False
+    predicted_taken = False
+    actual_taken = False
     # memory
     address: Optional[int] = None
-    store_value: int = 0
-    is_double: bool = False
-    squashed: bool = False
+    store_value = 0
+    is_double = False
+    squashed = False
     # module index held by an issued op on an unpipelined FU class
     held_module: Optional[int] = None
     # the MicroOp emitted when this entry issued, for retroactive
     # wrong-path marking at flush time
     micro: Optional[MicroOp] = None
+    # static (kind, latency, is_double, fu_index, wrapped_imm, int_fn)
+    # of the instruction, attached at dispatch from the simulator's
+    # decode table; int_fn is the direct (a, b) -> result semantic
+    # function for integer opcodes, None otherwise
+    exec_info: tuple = (_X_CTRL, 1, False, 0, 0, None)
+
+    def __init__(self, seq: int, instr: Instruction):
+        self.seq = seq
+        self.instr = instr
 
     @property
     def ready(self) -> bool:
         return self.tag1 is None and self.tag2 is None
+
+    def __repr__(self) -> str:
+        return (f"_RobEntry(seq={self.seq}, {self.instr.op.name}, "
+                f"state={self.state}, squashed={self.squashed})")
 
 
 class CycleLimitExceeded(RuntimeError):
@@ -90,12 +127,47 @@ class Simulator:
             self.config.branch_predictor_entries)
         self._listeners: List[IssueListener] = []
         # pipeline state
-        self._rob: List[_RobEntry] = []  # program order, head at [0]
+        self._rob: Deque[_RobEntry] = deque()  # program order, head at [0]
+        # wakeup index: producer seq -> [(consumer entry, operand slot)];
+        # a completing producer touches exactly its consumers instead of
+        # scanning the whole ROB
+        self._consumers: Dict[int, List[Tuple[_RobEntry, int]]] = {}
+        # in-flight stores in program order (the store queue); loads
+        # disambiguate and forward against this instead of the full ROB
+        self._store_queue: Deque[_RobEntry] = deque()
         self._rename: Dict[int, _RobEntry] = {}
-        self._waiting: Dict[FUClass, List[_RobEntry]] = {
-            fu: [] for fu in FUClass}
-        self._module_free_at: Dict[FUClass, List[int]] = {
-            fu: [0] * self.config.modules(fu) for fu in FUClass}
+        # event-driven scheduling: entries enter a per-class ready heap
+        # (keyed by seq, so oldest-first) when their last operand tag
+        # clears, instead of every waiting entry being rescanned each
+        # cycle; squashed entries are dropped lazily on pop.  All
+        # per-class state is held in lists indexed by FUClass.index —
+        # Enum hashing is a Python-level call and too slow for the
+        # cycle loop.
+        self._ready: List[List[Tuple[int, _RobEntry]]] = [
+            [] for _ in FUClass]
+        # dispatched-but-not-issued count per class (reservation station
+        # occupancy), kept incrementally now that there is no waiting list
+        self._rs_occupancy: List[int] = [0] * len(FUClass)
+        self._module_free_at: List[List[int]] = [
+            [0] * self.config.modules(fu) for fu in FUClass]
+        # per-class issue loop state, prebound to avoid per-cycle
+        # lookups on the hot path.  Pipelined classes accept a new
+        # operation on every module every cycle, so their free list is
+        # the constant full module list; only unpipelined classes
+        # (multipliers) track per-module busy-until times.
+        self._issue_state = [
+            (fu, fu.index, self._ready[fu.index],
+             self._module_free_at[fu.index], fu in UNPIPELINED_CLASSES,
+             list(range(self.config.modules(fu))))
+            for fu in FUClass]
+        # issue counts accumulate in a dense list during the run (dict-
+        # by-Enum hashing is a Python-level call); published to the
+        # result's dict at run() exit
+        self._issue_count_list: List[int] = [0] * len(FUClass)
+        # static decode: per-instruction facts that dispatch and execute
+        # would otherwise re-derive from OpcodeInfo attribute chains on
+        # every dynamic instance
+        self._decoded = [self._decode(i) for i in program.instructions]
         self._events: List[Tuple[int, int, _RobEntry]] = []  # (cycle, seq, entry)
         self._seq = itertools.count()
         self._pc: Optional[int] = 0
@@ -104,6 +176,63 @@ class Simulator:
         self._halt_fetched = False
         self.result = SimulationResult(name=program.name)
         self.result.issue_counts = {fu: 0 for fu in FUClass}
+
+    @staticmethod
+    def _decode(instr: Instruction):
+        """Static per-instruction facts for the dispatch/execute loops.
+
+        Returns ``(instr, fu_index, dest, src1, val2_reg, val2_imm,
+        has_two, is_store, fetch_kind, target, fall, exec_info)`` where
+        ``dest``/``src1``/``val2_reg`` are already filtered for ``None``
+        and the zero register, ``val2_imm`` is the captured immediate for
+        non-memory immediate forms (else ``None``), and ``exec_info``
+        is the ``(kind, latency, is_double, fu_index, wrapped_imm,
+        int_fn)`` tuple attached to ROB entries; ``wrapped_imm`` is the
+        pre-wrapped memory offset so address generation is a plain
+        add-and-mask, and ``int_fn`` resolves the integer semantic
+        function once per static instruction.
+        """
+        op = instr.op
+        dest = (instr.dest if op.writes_dest and instr.dest is not None
+                and instr.dest != ZERO_REG else None)
+        src1 = (instr.src1 if instr.src1 is not None
+                and instr.src1 != ZERO_REG else None)
+        imm_form = op.has_immediate and not op.is_memory
+        val2_imm = instr.imm if imm_form else None
+        val2_reg = (instr.src2 if not imm_form and instr.src2 is not None
+                    and instr.src2 != ZERO_REG else None)
+        has_two = (True if op.is_memory
+                   else bool(imm_form or instr.src2 is not None))
+        if op.name == "halt":
+            fetch_kind = _F_HALT
+        elif op.is_jump:
+            fetch_kind = _F_JUMP
+        elif op.is_branch:
+            fetch_kind = _F_BRANCH
+        else:
+            fetch_kind = _F_SEQ
+        if op.is_load:
+            kind = _X_LOAD
+        elif op.is_store:
+            kind = _X_STORE
+        elif op.is_branch:
+            kind = _X_BRANCH
+        elif op.name == "halt":
+            kind = _X_HALT
+        elif op.name == "j":
+            kind = _X_CTRL
+        elif op.fu_class is FUClass.IALU or op.fu_class is FUClass.IMULT:
+            kind = _X_INT
+        else:
+            kind = _X_FP
+        is_double = op.name in ("ld", "sd")
+        fu_index = op.fu_class.index
+        wimm = _wrap_int(instr.imm or 0) if op.is_memory else 0
+        int_fn = semantics.int_function(op) if kind == _X_INT else None
+        return (instr, fu_index, dest, src1, val2_reg, val2_imm,
+                has_two, op.is_store, fetch_kind, instr.target,
+                instr.address + 1,
+                (kind, op.latency, is_double, fu_index, wimm, int_fn))
 
     # ----- listener management -------------------------------------------------
 
@@ -114,24 +243,273 @@ class Simulator:
     # ----- top level -------------------------------------------------------------
 
     def run(self) -> SimulationResult:
-        """Simulate until the program's ``halt`` retires."""
+        """Simulate until the program's ``halt`` retires.
+
+        The four per-cycle pipeline stages — retire, complete, issue,
+        dispatch — are inlined into the cycle loop rather than split
+        into methods: their whole working set binds to locals once per
+        *run* instead of once per cycle, and at hundreds of thousands
+        of cycles per run the per-call rebinding is a measurable share
+        of total runtime.  The infrequent helpers (flush, load
+        disambiguation, execute) remain methods.
+        """
         cycle = 0
         max_cycles = self.config.max_cycles
+        # loop-invariant bindings: every container below is mutated in
+        # place, never reassigned.  Fetch/flush state (_pc, _halted,
+        # _fetch_stalled_until, _halt_fetched) stays on self because
+        # _flush_after rewrites it mid-cycle.
+        rob = self._rob
+        events = self._events
+        rename = self._rename
+        registers = self.registers
+        store_queue = self._store_queue
+        consumer_map = self._consumers
+        ready_lists = self._ready
+        issue_state = self._issue_state
+        occupancy = self._rs_occupancy
+        issue_counts = self._issue_count_list
+        listeners = self._listeners
+        decoded = self._decoded
+        code_len = len(decoded)
+        result = self.result
+        mem_store = self.memory.store
+        predict = self.predictor.predict
+        predictor_update = self.predictor.update
+        next_seq = self._seq.__next__
+        heappop = heapq.heappop
+        heappush = heapq.heappush
+        config = self.config
+        retire_width = config.retire_width
+        rs_limit = config.rs_entries_per_class
+        rob_limit = config.rob_entries
+        dispatch_width = config.dispatch_width
+        mispredict_penalty = config.mispredict_penalty
+        load_ready = self._load_ready
+        execute = self._execute
+
         while not self._halted:
             if cycle >= max_cycles:
                 raise CycleLimitExceeded(
                     f"{self.program.name}: exceeded {max_cycles} cycles")
-            self._retire(cycle)
-            if self._halted:
-                break
-            self._complete(cycle)
-            self._issue(cycle)
-            self._dispatch(cycle)
-            if not self._rob and self._pc is None and not self._halt_fetched:
+
+            # ---- retire: in order, oldest first ----
+            if rob and rob[0].state == _DONE:
+                retired = 0
+                while rob and retired < retire_width:
+                    entry = rob[0]
+                    if entry.state != _DONE:
+                        break
+                    kind = entry.exec_info[0]
+                    if kind == _X_HALT:
+                        self._halted = True
+                        retired += 1
+                        break
+                    if kind == _X_STORE:
+                        mem_store(entry.address, entry.store_value,
+                                  double=entry.is_double)
+                        store_queue.popleft()  # retiring store is the oldest
+                    else:
+                        dest = entry.dest
+                        if dest is not None:
+                            # dispatch never renames the zero register, so
+                            # a non-None dest is architecturally writable
+                            registers[dest] = entry.result
+                            if rename.get(dest) is entry:
+                                del rename[dest]
+                        elif kind == _X_BRANCH:
+                            instr = entry.instr
+                            predictor_update(instr.address,
+                                             entry.actual_taken,
+                                             entry.predicted_taken)
+                    rob.popleft()
+                    retired += 1
+                result.retired_instructions += retired
+                if self._halted:
+                    break
+
+            # ---- complete: writeback + wakeup broadcast ----
+            while events and events[0][0] <= cycle:
+                entry = heappop(events)[2]
+                if entry.squashed:
+                    continue
+                entry.state = _DONE
+                if entry.dest is not None:
+                    # a completing producer touches exactly its
+                    # registered consumers instead of scanning the ROB
+                    seq = entry.seq
+                    consumers = consumer_map.pop(seq, None)
+                    if consumers:
+                        value = entry.result
+                        for centry, slot in consumers:
+                            if slot == 1 and centry.tag1 == seq:
+                                centry.tag1 = None
+                                centry.val1 = value
+                            elif slot == 2 and centry.tag2 == seq:
+                                centry.tag2 = None
+                                centry.val2 = value
+                            else:
+                                continue
+                            if (centry.tag1 is None
+                                    and centry.tag2 is None
+                                    and centry.state == _DISPATCHED
+                                    and not centry.squashed):
+                                heappush(ready_lists[centry.exec_info[3]],
+                                         (centry.seq, centry))
+                if entry.exec_info[0] == _X_BRANCH \
+                        and entry.actual_taken != entry.predicted_taken:
+                    instr = entry.instr
+                    self._flush_after(entry)
+                    self._pc = (instr.target if entry.actual_taken
+                                else instr.address + 1)
+                    self._fetch_stalled_until = cycle + mispredict_penalty
+
+            # ---- issue: oldest-first, per FU class ----
+            for state in issue_state:
+                # cheap emptiness probe first: most classes are idle
+                # most cycles, and unpacking the whole state tuple for
+                # them is measurable at this scale
+                ready = state[2]
+                if not ready:
+                    continue
+                (fu_class, fu_index, _, free_at, unpipelined,
+                 all_modules) = state
+                if unpipelined:
+                    free_indices = [i for i, when in enumerate(free_at)
+                                    if when <= cycle]
+                    if not free_indices:
+                        continue
+                else:
+                    free_indices = all_modules
+                slots_left = len(free_indices)
+                issued: List[MicroOp] = []
+                blocked: Optional[List[Tuple[int, _RobEntry]]] = None
+                while ready and slots_left:
+                    item = heappop(ready)
+                    entry = item[1]
+                    if entry.squashed:
+                        continue
+                    if (entry.exec_info[0] == _X_LOAD
+                            and not load_ready(entry)):
+                        # data-ready but memory-blocked: retry next cycle
+                        # without holding up younger ready operations
+                        if blocked is None:
+                            blocked = [item]
+                        else:
+                            blocked.append(item)
+                        continue
+                    micro = execute(entry, cycle)
+                    # the oldest ready op of the class is the best guess
+                    # at the critical-path op this cycle (related work [19])
+                    micro.critical = not issued
+                    # occupy a module: pipelined units accept a new op
+                    # next cycle, unpipelined units block the full latency
+                    if unpipelined:
+                        module = free_indices[len(issued)]
+                        free_at[module] = cycle + entry.instr.op.latency
+                        entry.held_module = module
+                    issued.append(micro)
+                    slots_left -= 1
+                if blocked is not None:
+                    for item in blocked:
+                        heappush(ready, item)
+                if issued:
+                    count = len(issued)
+                    occupancy[fu_index] -= count
+                    issue_counts[fu_index] += count
+                    result.executed_ops += count
+                    group = IssueGroup(cycle, fu_class, issued)
+                    for listener in listeners:
+                        listener(group)
+
+            # ---- dispatch: fetch + rename along the predicted path ----
+            if (cycle >= self._fetch_stalled_until
+                    and not self._halt_fetched):
+                pc = self._pc
+                if pc is not None:
+                    dispatched = 0
+                    while (dispatched < dispatch_width
+                           and 0 <= pc < code_len
+                           and len(rob) < rob_limit):
+                        (instr, fu_index, dest, src1, val2_reg, val2_imm,
+                         has_two, is_store, fetch_kind, target, fall,
+                         exec_info) = decoded[pc]
+                        if occupancy[fu_index] >= rs_limit:
+                            break
+
+                        # rename/capture: read the architectural value,
+                        # forward a completed producer's result, or
+                        # subscribe to an in-flight producer's wakeup list
+                        entry = _RobEntry(next_seq(), instr)
+                        entry.exec_info = exec_info
+                        entry.has_two = has_two
+                        if dest is not None:
+                            entry.dest = dest
+                        if src1 is not None:
+                            producer = rename.get(src1)
+                            if producer is None:
+                                entry.val1 = registers[src1]
+                            elif producer.state == _DONE:
+                                entry.val1 = producer.result
+                            else:
+                                entry.tag1 = producer.seq
+                                consumer_map.setdefault(
+                                    producer.seq, []).append((entry, 1))
+                        if val2_imm is not None:
+                            entry.val2 = val2_imm
+                        elif val2_reg is not None:
+                            producer = rename.get(val2_reg)
+                            if producer is None:
+                                entry.val2 = registers[val2_reg]
+                            elif producer.state == _DONE:
+                                entry.val2 = producer.result
+                            else:
+                                entry.tag2 = producer.seq
+                                consumer_map.setdefault(
+                                    producer.seq, []).append((entry, 2))
+                        if dest is not None:
+                            # after capture: an op reading its own
+                            # destination must see the previous producer,
+                            # not itself
+                            rename[dest] = entry
+
+                        rob.append(entry)
+                        if is_store:
+                            store_queue.append(entry)
+                        occupancy[fu_index] += 1
+                        if entry.tag1 is None and entry.tag2 is None:
+                            heappush(ready_lists[fu_index],
+                                     (entry.seq, entry))
+                        dispatched += 1
+
+                        if fetch_kind == _F_SEQ:
+                            pc = fall
+                        elif fetch_kind == _F_BRANCH:
+                            predicted = predict(instr.address)
+                            entry.predicted_taken = predicted
+                            if predicted:
+                                pc = target
+                                break
+                            pc = fall
+                        elif fetch_kind == _F_HALT:
+                            self._halt_fetched = True
+                            pc = None
+                            break
+                        else:  # _F_JUMP
+                            pc = target
+                            break
+                    if pc is not None and not (0 <= pc < code_len):
+                        pc = None
+                    self._pc = pc
+
+            if not rob and self._pc is None and not self._halt_fetched:
                 # ran off the end of code without halt: architecturally done
                 break
             cycle += 1
+
         self.result.cycles = cycle + 1
+        counts = self._issue_count_list
+        self.result.issue_counts = {fu: counts[fu.index] for fu in FUClass}
         self.result.branch_lookups = self.predictor.lookups
         self.result.branch_mispredictions = self.predictor.mispredictions
         if self.dcache is not None:
@@ -139,76 +517,15 @@ class Simulator:
             self.result.cache_misses = self.dcache.misses
         return self.result
 
-    # ----- retire ----------------------------------------------------------------
-
-    def _retire(self, cycle: int) -> None:
-        retired = 0
-        while self._rob and retired < self.config.retire_width:
-            entry = self._rob[0]
-            if entry.state != _DONE:
-                break
-            instr = entry.instr
-            op = instr.op
-            if op.name == "halt":
-                self._halted = True
-                self.result.retired_instructions += 1
-                return
-            if op.is_store:
-                self.memory.store(entry.address, entry.store_value,
-                                  double=entry.is_double)
-            elif entry.dest is not None and entry.dest != ZERO_REG:
-                self.registers[entry.dest] = entry.result
-            if op.is_branch:
-                self.predictor.update(instr.address, entry.actual_taken,
-                                      entry.predicted_taken)
-            if self._rename.get(entry.dest) is entry:
-                del self._rename[entry.dest]
-            self._rob.pop(0)
-            self.result.retired_instructions += 1
-            retired += 1
-
-    # ----- complete --------------------------------------------------------------
-
-    def _complete(self, cycle: int) -> None:
-        while self._events and self._events[0][0] <= cycle:
-            _, _, entry = heapq.heappop(self._events)
-            if entry.squashed:
-                continue
-            entry.state = _DONE
-            if entry.dest is not None:
-                self._broadcast(entry)
-            instr = entry.instr
-            if instr.op.is_branch and entry.actual_taken != entry.predicted_taken:
-                self._flush_after(entry)
-                correct = (instr.target if entry.actual_taken
-                           else instr.address + 1)
-                self._pc = correct
-                self._fetch_stalled_until = cycle + self.config.mispredict_penalty
-
-    def _broadcast(self, producer: _RobEntry) -> None:
-        seq = producer.seq
-        value = producer.result
-        for entry in self._rob:
-            if entry.tag1 == seq:
-                entry.tag1 = None
-                entry.val1 = value
-            if entry.tag2 == seq:
-                entry.tag2 = None
-                entry.val2 = value
-
     def _flush_after(self, branch: _RobEntry) -> None:
-        keep = []
-        flushed = []
-        seen_branch = False
-        for entry in self._rob:
-            if seen_branch:
-                flushed.append(entry)
-            else:
-                keep.append(entry)
-            if entry is branch:
-                seen_branch = True
-        if not flushed:
+        # entries younger than the branch form a suffix of the ROB (and
+        # of the store queue): pop from the tail, O(flushed) not O(ROB)
+        rob = self._rob
+        if not rob or rob[-1] is branch:
             return
+        flushed: List[_RobEntry] = []
+        while rob[-1] is not branch:
+            flushed.append(rob.pop())
         for entry in flushed:
             entry.squashed = True
             if entry.state >= _ISSUED:  # executed (or completed) wrong-path
@@ -219,7 +536,11 @@ class Simulator:
                 # evaluators have already accounted the op, which is the
                 # correct hardware model (the router really drove it)
                 entry.micro.speculative = True
-        self._rob = keep
+            # a flushed producer's consumers are all younger, so they
+            # were flushed with it: drop the whole wakeup list
+            self._consumers.pop(entry.seq, None)
+        while self._store_queue and self._store_queue[-1].squashed:
+            self._store_queue.pop()
         # a wrong-path halt must not stop fetch forever: any halt younger
         # than the mispredicted branch has just been flushed (fetch stops
         # at a halt, so no surviving entry can follow one)
@@ -231,71 +552,34 @@ class Simulator:
         for entry in self._rob:
             if entry.dest is not None:
                 self._rename[entry.dest] = entry
-        # drop squashed entries from reservation stations
-        for fu_class, waiting in self._waiting.items():
-            self._waiting[fu_class] = [e for e in waiting if not e.squashed]
-        # release unpipelined modules held by squashed operations
+        # squashed entries leave the reservation stations lazily (the
+        # ready heaps skip them on pop), but the occupancy accounting
+        # must drop them now, and unpipelined modules held by squashed
+        # operations must be released
         for entry in flushed:
-            if entry.held_module is not None and entry.state == _ISSUED:
-                self._module_free_at[entry.instr.op.fu_class][entry.held_module] = 0
+            if entry.state == _DISPATCHED:
+                self._rs_occupancy[entry.exec_info[3]] -= 1
+            elif entry.held_module is not None and entry.state == _ISSUED:
+                free_at = self._module_free_at[entry.exec_info[3]]
+                free_at[entry.held_module] = 0
 
-    # ----- issue -----------------------------------------------------------------
-
-    def _issue(self, cycle: int) -> None:
-        for fu_class in FUClass:
-            waiting = self._waiting[fu_class]
-            if not waiting:
-                continue
-            free_at = self._module_free_at[fu_class]
-            free_slots = sum(1 for when in free_at if when <= cycle)
-            if not free_slots:
-                continue
-            free_indices = [i for i, when in enumerate(free_at) if when <= cycle]
-            issued: List[MicroOp] = []
-            still_waiting: List[_RobEntry] = []
-            unpipelined = fu_class in UNPIPELINED_CLASSES
-            for entry in waiting:
-                if len(issued) >= free_slots or not self._can_issue(entry):
-                    still_waiting.append(entry)
-                    continue
-                micro = self._execute(entry, cycle)
-                # the oldest ready op of the class is the best guess at
-                # the critical-path op this cycle (related work [19])
-                micro.critical = not issued
-                # occupy a module: pipelined units accept a new op next
-                # cycle, unpipelined units block for the full latency
-                module = free_indices[len(issued)]
-                if unpipelined:
-                    free_at[module] = cycle + entry.instr.op.latency
-                    entry.held_module = module
-                else:
-                    free_at[module] = cycle + 1
-                issued.append(micro)
-            if issued:
-                self._waiting[fu_class] = still_waiting
-                self.result.issue_counts[fu_class] += len(issued)
-                group = IssueGroup(cycle, fu_class, issued)
-                for listener in self._listeners:
-                    listener(group)
-
-    def _can_issue(self, entry: _RobEntry) -> bool:
-        if not entry.ready:
-            return False
-        if entry.instr.op.is_load:
-            return self._load_ready(entry)
-        return True
+    # ----- issue helpers ---------------------------------------------------------
 
     def _load_ready(self, load: _RobEntry) -> bool:
         """Conservative disambiguation: all older stores must have known
         addresses (they compute them at issue), and an overlapping store
-        of a different width blocks the load until it retires."""
-        address = semantics.effective_address(load.instr, load.val1)
-        size = 8 if load.instr.op.name == "ld" else 4
-        for entry in self._rob:
-            if entry is load:
+        of a different width blocks the load until it retires.
+
+        Latches the computed address on the entry — the operands of a
+        ready load are final, so _execute reuses it."""
+        info = load.exec_info
+        address = (load.val1 + info[4]) & _INT_MASK
+        load.address = address
+        size = 8 if info[2] else 4
+        seq = load.seq
+        for entry in self._store_queue:
+            if entry.seq > seq:
                 break
-            if not entry.instr.op.is_store:
-                continue
             if entry.address is None:
                 return False
             store_size = 8 if entry.is_double else 4
@@ -309,14 +593,19 @@ class Simulator:
         instr = entry.instr
         op = instr.op
         entry.state = _ISSUED
-        self.result.executed_ops += 1
-        a, b, has_two = entry.val1, entry.val2, entry.has_two
-        latency = op.latency
+        a = entry.val1
+        b = entry.val2
+        kind, latency, is_double, _fu, wimm, int_fn = entry.exec_info
 
-        if op.is_load:
-            address = semantics.effective_address(instr, a)
-            entry.address = address
-            entry.is_double = op.name == "ld"
+        if kind == _X_INT:
+            entry.result = int_fn(a, b)
+            micro = MicroOp(op, a, b, entry.has_two, instr.address,
+                            False, instr.static_swapped)
+        elif kind == _X_LOAD:
+            # the address was computed (and latched on the entry) by the
+            # _load_ready disambiguation check just before issue
+            address = entry.address
+            entry.is_double = is_double
             try:
                 entry.result = self._load_value(entry, address)
             except MemoryError_:
@@ -325,129 +614,40 @@ class Simulator:
                 # the flush discard the entry
                 entry.result = 0
             if self.dcache is not None:
-                latency = self.dcache.load_latency(address, op.latency)
-            micro = MicroOp(op, a, instr.imm, has_two=True,
-                            static_index=instr.address,
-                            speculative=False)
-        elif op.is_store:
-            address = semantics.effective_address(instr, a)
+                latency = self.dcache.load_latency(address, latency)
+            micro = MicroOp(op, a, instr.imm, True, instr.address)
+        elif kind == _X_STORE:
+            address = (a + wimm) & _INT_MASK
             entry.address = address
-            entry.is_double = op.name == "sd"
+            entry.is_double = is_double
             entry.store_value = b
             if self.dcache is not None:
                 self.dcache.access(address)  # write-allocate fill
-            micro = MicroOp(op, a, instr.imm, has_two=True,
-                            static_index=instr.address)
-        elif op.is_branch:
+            micro = MicroOp(op, a, instr.imm, True, instr.address)
+        elif kind == _X_BRANCH:
             entry.actual_taken = semantics.branch_taken(op, a, b)
-            micro = MicroOp(op, a, b, has_two=True,
-                            static_index=instr.address)
-        elif op.name == "j" or op.name == "halt":
-            micro = MicroOp(op, 0, 0, has_two=False,
-                            static_index=instr.address)
-        else:
-            if op.fu_class in (FUClass.IALU, FUClass.IMULT):
-                entry.result = semantics.evaluate_int(op, a, b)
-            else:
-                entry.result = semantics.evaluate_float(op, a, b)
-            micro = MicroOp(op, a, b, has_two=has_two,
-                            static_index=instr.address,
-                            swapped=instr.static_swapped)
+            micro = MicroOp(op, a, b, True, instr.address)
+        elif kind == _X_FP:
+            entry.result = semantics.evaluate_float(op, a, b)
+            micro = MicroOp(op, a, b, entry.has_two, instr.address,
+                            False, instr.static_swapped)
+        else:  # _X_CTRL: j / halt
+            micro = MicroOp(op, 0, 0, False, instr.address)
         entry.micro = micro
         heapq.heappush(self._events, (cycle + latency, entry.seq, entry))
         return micro
 
     def _load_value(self, load: _RobEntry, address: int) -> int:
         """Read a load's value, forwarding from the youngest older store."""
-        forwarded = None
-        for entry in self._rob:
-            if entry is load:
-                break
-            if (entry.instr.op.is_store and entry.address == address
-                    and entry.is_double == (load.instr.op.name == "ld")
+        seq = load.seq
+        double = load.is_double
+        for entry in reversed(self._store_queue):
+            if entry.seq > seq:
+                continue
+            if (entry.address == address and entry.is_double == double
                     and entry.state != _DISPATCHED):
-                forwarded = entry.store_value
-        if forwarded is not None:
-            return forwarded
-        return self.memory.load(address, double=load.instr.op.name == "ld")
-
-    # ----- dispatch / fetch --------------------------------------------------------
-
-    def _dispatch(self, cycle: int) -> None:
-        if cycle < self._fetch_stalled_until or self._halt_fetched:
-            return
-        code = self.program.instructions
-        dispatched = 0
-        while (dispatched < self.config.dispatch_width
-               and self._pc is not None
-               and 0 <= self._pc < len(code)
-               and len(self._rob) < self.config.rob_entries):
-            instr = code[self._pc]
-            fu_class = instr.op.fu_class
-            if (len(self._waiting[fu_class])
-                    >= self.config.rs_entries_per_class):
-                break
-            entry = self._make_entry(instr)
-            self._rob.append(entry)
-            self._waiting[fu_class].append(entry)
-            dispatched += 1
-
-            op = instr.op
-            if op.name == "halt":
-                self._halt_fetched = True
-                self._pc = None
-                break
-            if op.is_jump:
-                self._pc = instr.target
-                break
-            if op.is_branch:
-                predicted = self.predictor.predict(instr.address)
-                entry.predicted_taken = predicted
-                if predicted:
-                    self._pc = instr.target
-                    break
-                self._pc = instr.address + 1
-            else:
-                self._pc += 1
-        if self._pc is not None and not (0 <= self._pc < len(code)):
-            self._pc = None
-
-    def _make_entry(self, instr: Instruction) -> _RobEntry:
-        op = instr.op
-        entry = _RobEntry(seq=next(self._seq), instr=instr)
-        if op.writes_dest and instr.dest is not None and instr.dest != ZERO_REG:
-            entry.dest = instr.dest
-
-        def capture(reg: Optional[int]) -> Tuple[int, Optional[int]]:
-            if reg is None:
-                return 0, None
-            if reg == ZERO_REG:
-                return 0, None
-            producer = self._rename.get(reg)
-            if producer is None:
-                return self.registers[reg], None
-            if producer.state == _DONE:
-                return producer.result, None
-            return 0, producer.seq
-
-        entry.val1, entry.tag1 = capture(instr.src1)
-        if op.has_immediate and not op.is_memory:
-            entry.val2, entry.tag2 = instr.imm, None
-            entry.has_two = True
-        elif instr.src2 is not None:
-            entry.val2, entry.tag2 = capture(instr.src2)
-            entry.has_two = True
-        else:
-            entry.val2, entry.tag2 = 0, None
-            entry.has_two = False
-        if op.is_memory:
-            # the offset rides in the instruction; only the base (and the
-            # store value, in src2) come from registers
-            entry.has_two = True
-        if entry.dest is not None:
-            self._rename[entry.dest] = entry
-        return entry
-
+                return entry.store_value
+        return self.memory.load(address, double=double)
 
 def simulate(program: Program, config: Optional[MachineConfig] = None,
              listeners: Optional[List[IssueListener]] = None) -> SimulationResult:

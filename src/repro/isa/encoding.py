@@ -121,11 +121,38 @@ def make_double(sign: int, biased_exponent: int, mantissa_bits: int) -> int:
     return (sign << FLOAT_SIGN_SHIFT) | (biased_exponent << EXPONENT_SHIFT) | mantissa_bits
 
 
+try:
+    # Python >= 3.10: CPython's native popcount.  ``int.bit_count`` used
+    # as an unbound descriptor is a plain C call — the fastest popcount
+    # available without dependencies.
+    bit_count = int.bit_count
+except AttributeError:  # pragma: no cover - Python 3.9 fallback
+    def bit_count(bits: int) -> int:
+        """Set-bit count of a non-negative int (pre-3.10 fallback)."""
+        return bin(bits).count("1")
+
+
 def popcount(bits: int) -> int:
-    """Number of set bits in a non-negative integer."""
+    """Number of set bits in a non-negative integer.
+
+    This is the single popcount entry point for the whole code base; it
+    validates its input.  Hot loops that operate on already-masked
+    images may bind :data:`bit_count` directly to skip the check.
+
+    >>> popcount(0b1011)
+    3
+    >>> popcount(0)
+    0
+    >>> popcount(0xFFFFFFFF)
+    32
+    >>> popcount(-1)
+    Traceback (most recent call last):
+        ...
+    repro.isa.encoding.EncodingError: popcount is defined on non-negative images
+    """
     if bits < 0:
         raise EncodingError("popcount is defined on non-negative images")
-    return bin(bits).count("1")
+    return bit_count(bits)
 
 
 def hamming(a: int, b: int) -> int:
@@ -150,15 +177,29 @@ def hamming_mantissa(a: int, b: int) -> int:
 def trailing_zeros(bits: int, width: int) -> int:
     """Count trailing zero bits of a ``width``-bit image.
 
-    A zero image has ``width`` trailing zeros by convention.
+    A zero image has ``width`` trailing zeros by convention.  Negative
+    inputs are rejected, consistently with :func:`popcount` — a negative
+    Python int is not a bit image, and the two's-complement view would
+    silently yield a wrong count.
+
+    >>> trailing_zeros(0b1000, 32)
+    3
+    >>> trailing_zeros(0, 52)
+    52
+    >>> trailing_zeros(20, 32)
+    2
+    >>> trailing_zeros(-2, 32)
+    Traceback (most recent call last):
+        ...
+    repro.isa.encoding.EncodingError: trailing_zeros is defined on non-negative images
     """
+    if bits < 0:
+        raise EncodingError(
+            "trailing_zeros is defined on non-negative images")
     if bits == 0:
         return width
-    count = 0
-    while not (bits & 1):
-        bits >>= 1
-        count += 1
-    return min(count, width)
+    # isolate the lowest set bit; its position is the trailing-zero count
+    return min((bits & -bits).bit_length() - 1, width)
 
 
 def leading_sign_bits(bits: int) -> int:

@@ -45,6 +45,15 @@ class FUClass(enum.Enum):
     LSU = "lsu"
 
 
+# Dense per-member index for array-based lookups on simulator hot paths:
+# Enum.__hash__ is a Python-level call, and dict-by-member lookups show
+# up in cycle-loop profiles.  ``FUClass.IALU.index`` is stable within a
+# process and matches iteration order.
+for _index, _fu in enumerate(FUClass):
+    _fu.index = _index
+del _index, _fu
+
+
 class OperandKind(enum.Enum):
     """Datatype of an instruction's register operands."""
 

@@ -35,62 +35,87 @@ def _fbits(value: float) -> int:
     return encoding.float_to_bits(value)
 
 
+def _int_div(a: int, b: int) -> int:
+    if b == 0:
+        return encoding.INT_MASK  # architectural: division by zero yields all ones
+    quotient = abs(_signed(a)) // abs(_signed(b))
+    if (_signed(a) < 0) != (_signed(b) < 0):
+        quotient = -quotient
+    return encoding.wrap_int(quotient)
+
+
+def _int_rem(a: int, b: int) -> int:
+    if b == 0:
+        return a & encoding.INT_MASK
+    remainder = abs(_signed(a)) % abs(_signed(b))
+    if _signed(a) < 0:
+        remainder = -remainder
+    return encoding.wrap_int(remainder)
+
+
+# direct (a, b) -> result functions per integer opcode name, for callers
+# that dispatch once per *static* instruction (the cycle simulator's
+# decode table) instead of re-comparing names per dynamic instance
+_M = encoding.INT_MASK
+_INT_FUNCS = {
+    "add": lambda a, b: (a + b) & _M,
+    "addi": lambda a, b: (a + b) & _M,
+    "sub": lambda a, b: (a - b) & _M,
+    "subi": lambda a, b: (a - b) & _M,
+    "and": lambda a, b: a & b,
+    "andi": lambda a, b: a & b,
+    "or": lambda a, b: a | b,
+    "ori": lambda a, b: a | b,
+    "xor": lambda a, b: a ^ b,
+    "xori": lambda a, b: a ^ b,
+    "nor": lambda a, b: _M & ~(a | b),
+    "sll": lambda a, b: (a << (b & 31)) & _M,
+    "slli": lambda a, b: (a << (b & 31)) & _M,
+    "srl": lambda a, b: (a & _M) >> (b & 31),
+    "srli": lambda a, b: (a & _M) >> (b & 31),
+    "sra": lambda a, b: (_signed(a) >> (b & 31)) & _M,
+    "srai": lambda a, b: (_signed(a) >> (b & 31)) & _M,
+    "slt": lambda a, b: 1 if _signed(a) < _signed(b) else 0,
+    "slti": lambda a, b: 1 if _signed(a) < _signed(b) else 0,
+    "sgt": lambda a, b: 1 if _signed(a) > _signed(b) else 0,
+    "sgti": lambda a, b: 1 if _signed(a) > _signed(b) else 0,
+    "sle": lambda a, b: 1 if _signed(a) <= _signed(b) else 0,
+    "sge": lambda a, b: 1 if _signed(a) >= _signed(b) else 0,
+    "seq": lambda a, b: 1 if a == b else 0,
+    "seqi": lambda a, b: 1 if a == b else 0,
+    "sne": lambda a, b: 1 if a != b else 0,
+    "snei": lambda a, b: 1 if a != b else 0,
+    "lui": lambda a, b: (b << 16) & _M,
+    "mult": lambda a, b: (_signed(a) * _signed(b)) & _M,
+    "div": _int_div,
+    "rem": _int_rem,
+}
+
+
+def int_function(op: OpcodeInfo):
+    """The direct ``(a, b) -> result`` function for an integer opcode.
+
+    Agrees with :func:`evaluate_int` by construction; raises
+    :class:`SemanticsError` for opcodes with no integer semantics.
+    """
+    try:
+        return _INT_FUNCS[op.name]
+    except KeyError:
+        raise SemanticsError(f"no integer semantics for '{op.name}'") from None
+
+
 def evaluate_int(op: OpcodeInfo, a: int, b: int) -> int:
     """Evaluate an integer ALU/multiplier opcode on 32-bit images.
 
     ``b`` is either the second register image or the (already wrapped)
     immediate image, whichever the instruction form supplies.
     """
-    name = op.name
-    if name in ("add", "addi"):
-        return encoding.wrap_int(a + b)
-    if name in ("sub", "subi"):
-        return encoding.wrap_int(a - b)
-    if name in ("and", "andi"):
-        return a & b
-    if name in ("or", "ori"):
-        return a | b
-    if name in ("xor", "xori"):
-        return a ^ b
-    if name == "nor":
-        return encoding.INT_MASK & ~(a | b)
-    if name in ("sll", "slli"):
-        return encoding.wrap_int(a << (b & 31))
-    if name in ("srl", "srli"):
-        return (a & encoding.INT_MASK) >> (b & 31)
-    if name in ("sra", "srai"):
-        return encoding.wrap_int(_signed(a) >> (b & 31))
-    if name in ("slt", "slti"):
-        return _bool_bits(_signed(a) < _signed(b))
-    if name in ("sgt", "sgti"):
-        return _bool_bits(_signed(a) > _signed(b))
-    if name == "sle":
-        return _bool_bits(_signed(a) <= _signed(b))
-    if name == "sge":
-        return _bool_bits(_signed(a) >= _signed(b))
-    if name in ("seq", "seqi"):
-        return _bool_bits(a == b)
-    if name in ("sne", "snei"):
-        return _bool_bits(a != b)
-    if name == "lui":
-        return encoding.wrap_int(b << 16)
-    if name == "mult":
-        return encoding.wrap_int(_signed(a) * _signed(b))
-    if name == "div":
-        if b == 0:
-            return encoding.INT_MASK  # architectural: division by zero yields all ones
-        quotient = abs(_signed(a)) // abs(_signed(b))
-        if (_signed(a) < 0) != (_signed(b) < 0):
-            quotient = -quotient
-        return encoding.wrap_int(quotient)
-    if name == "rem":
-        if b == 0:
-            return a & encoding.INT_MASK
-        remainder = abs(_signed(a)) % abs(_signed(b))
-        if _signed(a) < 0:
-            remainder = -remainder
-        return encoding.wrap_int(remainder)
-    raise SemanticsError(f"no integer semantics for '{name}'")
+    try:
+        fn = _INT_FUNCS[op.name]
+    except KeyError:
+        raise SemanticsError(
+            f"no integer semantics for '{op.name}'") from None
+    return fn(a, b)
 
 
 def evaluate_float(op: OpcodeInfo, a: int, b: int) -> int:

@@ -11,10 +11,12 @@ from repro.core.statistics import paper_statistics
 from repro.core.steering import (FullHammingPolicy, LUTPolicy,
                                  OneBitHammingPolicy, OriginalPolicy,
                                  PolicyEvaluator, RoundRobinPolicy,
-                                 make_policy)
+                                 SharedEvaluationCoordinator, make_policy)
 from repro.core.swapping import HardwareSwapper
-from repro.cpu.trace import IssueGroup, MicroOp
+from repro.cpu.simulator import Simulator
+from repro.cpu.trace import IssueGroup, MicroOp, TraceCollector
 from repro.isa import encoding
+from repro.isa.assembler import assemble
 from repro.isa.instructions import FUClass, opcode
 from repro.workloads.generators import SyntheticStream
 
@@ -204,3 +206,181 @@ class TestPolicyQualityOrdering:
         bits = {kind: e.totals().switched_bits
                 for kind, e in evaluators.items()}
         assert bits["lut-8"] <= bits["lut-4"] <= bits["lut-2"]
+
+
+class TestModuleClamping:
+    """Policies may see wider issue groups than they have modules, and a
+    LUT built for a wider machine may emit module indices the power
+    model does not have; both must be clamped into range."""
+
+    def test_lut_built_for_wider_machine_is_clamped(self, ialu_stats):
+        lut = build_lut(ialu_stats, 8, 4)  # table thinks it has 8 modules
+        policy = LUTPolicy(lut=lut, scheme=scheme_for(FUClass.IALU))
+        power = FUPowerModel(FUClass.IALU, 2)
+        ops = [add_op(1, 2), add_op(NEG, NEG)]
+        assignment = policy.assign(ops, power)
+        assert all(0 <= m < 2 for m in assignment.modules)
+        assert len(set(assignment.modules)) == len(assignment.modules)
+
+    def test_lut_group_wider_than_modules(self, ialu_stats):
+        lut = build_lut(ialu_stats, 2, 4)
+        policy = LUTPolicy(lut=lut, scheme=scheme_for(FUClass.IALU))
+        power = FUPowerModel(FUClass.IALU, 2)
+        ops = [add_op(k, k + 1) for k in range(5)]  # len(ops) > modules
+        assignment = policy.assign(ops, power)
+        assert len(assignment.modules) == 2
+        assert sorted(assignment.modules) == [0, 1]
+
+    def test_original_policy_group_wider_than_modules(self):
+        power = FUPowerModel(FUClass.IALU, 3)
+        ops = [add_op(k, k) for k in range(7)]
+        assignment = OriginalPolicy().assign(ops, power)
+        assert assignment.modules == (0, 1, 2)
+
+    def test_round_robin_group_wider_than_modules(self):
+        power = FUPowerModel(FUClass.IALU, 2)
+        assignment = RoundRobinPolicy().assign(
+            [add_op(k, k) for k in range(5)], power)
+        assert len(assignment.modules) == 2
+        assert all(0 <= m < 2 for m in assignment.modules)
+
+    def test_evaluator_accounts_at_most_num_modules_ops(self):
+        evaluator = PolicyEvaluator(FUClass.IALU, 2, OriginalPolicy())
+        evaluator(group([add_op(k, k) for k in range(6)]))
+        # a router with 2 ports physically sees 2 operations
+        assert evaluator.power.operations == 2
+
+
+class TestSharedEvaluationCoordinator:
+    def _stream(self, ialu_stats, cycles=500):
+        return list(SyntheticStream(ialu_stats, seed=3).groups(cycles))
+
+    def test_matches_independent_evaluators(self, ialu_stats):
+        def build():
+            return [
+                PolicyEvaluator(FUClass.IALU, 4, OriginalPolicy()),
+                PolicyEvaluator(FUClass.IALU, 4,
+                                make_policy("lut-4", FUClass.IALU, 4,
+                                            stats=ialu_stats)),
+                PolicyEvaluator(FUClass.IALU, 4, FullHammingPolicy()),
+            ]
+
+        independent = build()
+        coordinator = SharedEvaluationCoordinator(FUClass.IALU)
+        shared = [coordinator.add(ev) for ev in build()]
+        for g in self._stream(ialu_stats):
+            for ev in independent:
+                ev(g)
+            coordinator(g)
+        for ind, sh in zip(independent, shared):
+            assert ind.totals() == sh.totals()
+
+    def test_fu_class_mismatch_rejected(self):
+        coordinator = SharedEvaluationCoordinator(FUClass.IALU)
+        with pytest.raises(ValueError, match="coordinator"):
+            coordinator.add(PolicyEvaluator(FUClass.FPAU, 4,
+                                            OriginalPolicy()))
+
+    def test_ignores_other_class_groups(self):
+        coordinator = SharedEvaluationCoordinator(FUClass.IALU)
+        evaluator = coordinator.add(
+            PolicyEvaluator(FUClass.IALU, 4, OriginalPolicy()))
+        coordinator(group([MicroOp(opcode("fadd"), 1, 2)],
+                          fu_class=FUClass.FPAU))
+        assert evaluator.power.operations == 0
+
+    def test_deferred_evaluator_buffers_until_finalize(self):
+        coordinator = SharedEvaluationCoordinator(FUClass.IALU)
+        deferred = coordinator.add(
+            PolicyEvaluator(FUClass.IALU, 4, OriginalPolicy(),
+                            include_speculative=False))
+        coordinator(group([add_op(1, 2)]))
+        assert deferred.power.operations == 0  # buffered, not yet charged
+        coordinator.finalize()
+        assert deferred.power.operations == 1
+
+    def test_shared_policy_instance_advances_once_per_cycle(self):
+        # one round-robin instance feeding two accounting models must
+        # rotate once per cycle, as a single piece of hardware would
+        policy = RoundRobinPolicy()
+        coordinator = SharedEvaluationCoordinator(FUClass.IALU)
+        first = coordinator.add(PolicyEvaluator(FUClass.IALU, 4, policy))
+        second = coordinator.add(PolicyEvaluator(FUClass.IALU, 4, policy))
+        coordinator(group([add_op(1, 2), add_op(3, 4)]))
+        assert policy._next == 2  # advanced once, not twice
+        assert first.power.operations == 2
+        assert second.power.operations == 2
+
+    def test_totals_in_registration_order(self, ialu_stats):
+        coordinator = SharedEvaluationCoordinator(FUClass.IALU)
+        coordinator.add(PolicyEvaluator(FUClass.IALU, 4, OriginalPolicy()))
+        coordinator.add(PolicyEvaluator(FUClass.IALU, 4,
+                                        RoundRobinPolicy()))
+        coordinator(group([add_op(1, 2)]))
+        labels = [t.policy for t in coordinator.totals()]
+        assert labels == ["original", "round-robin"]
+
+
+class TestWrongPathAccounting:
+    """Regression for include_speculative=False: the simulator marks
+    wrong-path micro-ops only retroactively at flush time, so an
+    excluding evaluator must defer accounting until the flags are
+    final rather than filtering the live stream (where every op still
+    looks correct-path)."""
+
+    # the exit branch trains not-taken, so the final taken execution
+    # mispredicts and the adds behind it issue on the wrong path; the
+    # slow div keeps the branch unresolved long enough for them to issue
+    SOURCE = """
+.text
+    li r1, 6
+    li r2, 7
+loop:
+    addi r1, r1, -1
+    div r3, r2, r2
+    beq r1, r0, done
+    add r4, r2, r1
+    add r5, r4, r2
+    add r6, r5, r1
+    j loop
+done:
+    add r7, r2, r2
+    halt
+"""
+
+    def _run(self):
+        program = assemble(self.SOURCE)
+        sim = Simulator(program)
+        inclusive = PolicyEvaluator(FUClass.IALU, 4, OriginalPolicy())
+        exclusive = PolicyEvaluator(FUClass.IALU, 4, OriginalPolicy(),
+                                    include_speculative=False)
+        trace = TraceCollector([FUClass.IALU])
+        for listener in (inclusive, exclusive, trace):
+            sim.add_listener(listener)
+        result = sim.run()
+        return result, inclusive, exclusive, trace
+
+    def test_exclusive_skips_wrong_path_ops(self):
+        result, inclusive, exclusive, _ = self._run()
+        assert result.squashed_ops > 0, "workload must mispredict"
+        inc = inclusive.totals()
+        exc = exclusive.totals()
+        assert exc.operations < inc.operations
+
+    def test_exclusive_matches_trace_replay(self):
+        _, _, exclusive, trace = self._run()
+        replay = FUPowerModel(FUClass.IALU, 4)
+        policy = OriginalPolicy()
+        cycles = 0
+        for g in trace.groups:
+            ops = [op for op in g.ops if not op.speculative][:4]
+            if not ops:
+                continue
+            assignment = policy.assign(ops, replay)
+            replay.account_group(ops, assignment.modules,
+                                 assignment.swapped)
+            cycles += 1
+        totals = exclusive.totals()
+        assert totals.switched_bits == replay.switched_bits
+        assert totals.operations == replay.operations
+        assert totals.cycles_seen == cycles

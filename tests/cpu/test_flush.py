@@ -1,0 +1,161 @@
+"""Misprediction flush paths: halt recovery, unpipelined module
+release, and rename-table rebuild.
+
+Every scenario exploits the cold bimodal predictor (counters start at
+weak-taken) to get a deterministic mispredict: a never-taken ``beq`` is
+predicted taken on first sight, so the taken target is fetched as the
+wrong path.  A ``div`` feeding the branch delays resolution long enough
+for wrong-path work to dispatch and issue before the flush.
+"""
+
+from repro.cpu.golden import run_program
+from repro.cpu.simulator import Simulator
+from repro.isa.assembler import assemble
+
+
+def ooo_matches_golden(program, config=None):
+    golden = run_program(program)
+    sim = Simulator(program, config)
+    sim.run()
+    assert sim.registers == golden.registers, "register state diverged"
+    addresses = (set(golden.memory.touched_addresses())
+                 | set(sim.memory.touched_addresses()))
+    for address in addresses:
+        assert sim.memory.load_byte(address) \
+            == golden.memory.load_byte(address), f"memory at 0x{address:x}"
+    return sim
+
+
+class TestWrongPathHalt:
+    def test_halt_fetched_on_wrong_path_is_recovered(self):
+        # the wrong path is nothing but a halt: fetch stops the moment
+        # it is seen, and only the flush can restart it — if the halt
+        # latch survived the flush the run would hit the cycle limit
+        program = assemble("""
+.text
+    li r1, 1
+    li r2, 9
+    div r3, r2, r1
+    beq r3, r0, trap
+    addi r4, r0, 7
+    addi r5, r4, 1
+    halt
+trap:
+    halt
+""")
+        sim = ooo_matches_golden(program)
+        assert sim.result.branch_mispredictions >= 1
+        assert sim.registers[4] == 7
+        assert sim.registers[5] == 8
+
+    def test_wrong_path_halt_never_retires(self):
+        # the halt reaches the ROB well before the slow branch resolves;
+        # retirement must stop at the unresolved branch, not commit it
+        program = assemble("""
+.text
+    li r1, 3
+    div r2, r1, r1
+    div r3, r2, r1
+    beq r3, r0, trap
+    addi r4, r3, 10
+    halt
+trap:
+    halt
+""")
+        golden = run_program(program)
+        sim = ooo_matches_golden(program)
+        assert sim.result.retired_instructions == golden.instructions
+
+
+class TestUnpipelinedModuleRelease:
+    def test_squashed_div_releases_module(self):
+        # wrong-path divides occupy the unpipelined divider when they
+        # issue; the flush must free it or the correct-path divide
+        # below would wait on a phantom busy module
+        program = assemble("""
+.text
+    li r1, 8
+    li r2, 2
+    div r3, r1, r2
+    beq r3, r0, trap
+    div r4, r1, r2
+    mult r5, r4, r2
+    halt
+trap:
+    div r6, r2, r2
+    div r7, r2, r2
+    div r8, r2, r2
+    halt
+""")
+        sim = ooo_matches_golden(program)
+        assert sim.result.branch_mispredictions >= 1
+        assert sim.result.squashed_ops > 0
+        assert sim.registers[4] == 4
+        assert sim.registers[5] == 8
+
+    def test_back_to_back_flushes_with_unpipelined_ops(self):
+        # two independent never-taken branches, each with wrong-path
+        # divides: the module bookkeeping must survive repeated flushes
+        program = assemble("""
+.text
+    li r1, 6
+    li r2, 3
+    div r3, r1, r2
+    beq r3, r0, trap1
+    div r4, r1, r3
+    beq r4, r0, trap2
+    mult r5, r4, r3
+    halt
+trap1:
+    div r6, r2, r2
+    halt
+trap2:
+    div r7, r2, r2
+    halt
+""")
+        sim = ooo_matches_golden(program)
+        assert sim.result.branch_mispredictions >= 2
+        assert sim.registers[5] == 6
+
+
+class TestRenameRebuild:
+    def test_flush_restores_committed_mapping(self):
+        # the wrong path renames r5 twice; after the flush the correct
+        # path must read the committed value, not a squashed producer
+        program = assemble("""
+.text
+    li r5, 11
+    li r1, 3
+    div r2, r1, r1
+    beq r2, r0, trap
+    addi r7, r5, 1
+    halt
+trap:
+    addi r5, r0, 99
+    addi r5, r5, 99
+    addi r6, r5, 0
+    halt
+""")
+        sim = ooo_matches_golden(program)
+        assert sim.result.branch_mispredictions >= 1
+        assert sim.registers[7] == 12
+        assert sim.registers[6] == 0  # wrong-path write never committed
+
+    def test_flush_keeps_inflight_older_producer(self):
+        # an *older* in-flight producer (the slow div writing r2) must
+        # stay in the rebuilt rename table so the correct-path consumer
+        # still reads it through the ROB after the flush
+        program = assemble("""
+.text
+    li r1, 5
+    div r2, r1, r1
+    beq r2, r0, trap
+    addi r3, r2, 100
+    halt
+trap:
+    addi r2, r0, 77
+    halt
+""")
+        sim = ooo_matches_golden(program)
+        assert sim.result.branch_mispredictions >= 1
+        assert sim.registers[3] == 101

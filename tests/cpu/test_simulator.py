@@ -20,7 +20,8 @@ def ooo_matches_golden(program, config=None):
     sim.run()
     assert sim.registers == golden.registers, "register state diverged"
     # compare every byte either side ever touched
-    addresses = set(golden.memory._bytes) | set(sim.memory._bytes)
+    addresses = (set(golden.memory.touched_addresses())
+                 | set(sim.memory.touched_addresses()))
     for address in addresses:
         assert sim.memory.load_byte(address) \
             == golden.memory.load_byte(address), f"memory at 0x{address:x}"

@@ -154,3 +154,25 @@ class TestMisc:
     def test_popcount_negative_rejected(self):
         with pytest.raises(encoding.EncodingError):
             encoding.popcount(-1)
+
+    def test_trailing_zeros_negative_rejected(self):
+        # -2 has infinitely many high ones in two's complement; the
+        # primitive is only defined on non-negative images
+        with pytest.raises(encoding.EncodingError):
+            encoding.trailing_zeros(-2, 32)
+
+    def test_trailing_zeros_width_clamp(self):
+        assert encoding.trailing_zeros(1 << 8, 32) == 8
+        assert encoding.trailing_zeros(0, 32) == 32
+
+
+class TestDoctests:
+    def test_module_doctests_pass(self):
+        # pytest does not collect doctests (no --doctest-modules in the
+        # project config), so the examples in encoding's docstrings are
+        # executed here to keep them honest
+        import doctest
+
+        results = doctest.testmod(encoding)
+        assert results.attempted > 0
+        assert results.failed == 0
