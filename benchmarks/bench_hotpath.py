@@ -19,7 +19,6 @@ linear store scan shows up as wall-clock.
 from __future__ import annotations
 
 import argparse
-import json
 import os
 import sys
 import time
@@ -28,6 +27,7 @@ sys.path.insert(
     0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src"))
 
 from repro.core.statistics import paper_statistics          # noqa: E402
+from repro.runner.atomic import atomic_write_json           # noqa: E402
 from repro.core.steering import (OriginalPolicy, PolicyEvaluator,  # noqa: E402
                                  SharedEvaluationCoordinator, make_policy)
 from repro.cpu.config import MachineConfig                  # noqa: E402
@@ -210,8 +210,9 @@ def main(argv=None) -> int:
           f"{summary['total']['cycles_per_sec']:>12.0f} cyc/s "
           f"{summary['total']['ops_per_sec']:>12.0f} ops/s")
     if args.output:
-        with open(args.output, "w") as handle:
-            json.dump(summary, handle, indent=2)
+        # write-temp-then-rename: a benchmark killed mid-write must not
+        # clobber the previous BENCH_hotpath.json with a torn file
+        atomic_write_json(args.output, summary)
         print(f"wrote {args.output}")
     return 0
 

@@ -32,7 +32,7 @@ Quick start::
     print(evaluator.totals().bits_per_operation)
 """
 
-from . import analysis, compiler, core, cpu, isa, workloads
+from . import analysis, compiler, core, cpu, isa, runner, workloads
 from .analysis import (chip_level_estimate, run_figure4,
                        run_multiplier_experiment)
 from .core import (FUPowerModel, HardwareSwapper, LUTPolicy,
@@ -41,12 +41,16 @@ from .core import (FUPowerModel, HardwareSwapper, LUTPolicy,
 from .cpu import (MachineConfig, Simulator, TraceCollector, default_config,
                   run_program, simulate)
 from .isa import Program, assemble
+from .runner import (CampaignRunner, CampaignSpec, FaultInjector,
+                     fault_sweep, run_campaign)
 from .workloads import SyntheticStream, all_workloads, workload
 
 __version__ = "1.0.0"
 
 __all__ = [
-    "analysis", "compiler", "core", "cpu", "isa", "workloads",
+    "analysis", "compiler", "core", "cpu", "isa", "runner", "workloads",
+    "CampaignRunner", "CampaignSpec", "FaultInjector", "fault_sweep",
+    "run_campaign",
     "chip_level_estimate", "run_figure4", "run_multiplier_experiment",
     "FUPowerModel", "HardwareSwapper", "LUTPolicy", "MultiplierSwapper",
     "PolicyEvaluator", "SteeringLUT", "build_lut", "make_policy",

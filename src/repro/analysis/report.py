@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Any, Dict, Iterable, List, Optional, Sequence
 
 from ..core.info_bits import CASE_NAMES, CASES
 from ..isa.instructions import FUClass
@@ -127,6 +127,66 @@ def render_figure4_per_workload(result: Figure4Result,
     tag = "IALU" if result.fu_class is FUClass.IALU else "FPAU"
     return _format_table(header, rows,
                          f"Per-workload energy reduction ({tag})")
+
+
+def render_campaign(policies: Sequence[str],
+                    tasks: Dict[str, Dict[str, Any]],
+                    pending: Sequence[str] = (),
+                    title: str = "Campaign results") -> str:
+    """Render a campaign's per-task grid, degrading gracefully.
+
+    ``tasks`` is the manifest's task map (id -> record).  Completed
+    cells show each policy's saving vs that task's ``original``
+    baseline; failed tasks are rendered as explicit gaps carrying the
+    failure reason, and tasks never attempted (``pending``) are marked
+    as such — the report never aborts on missing cells.
+    """
+    header = (["task", "status", "att", "cycles"]
+              + [f"{kind} (%)" for kind in policies] + ["detail"])
+    rows: List[List[str]] = []
+    failed = 0
+    for task_id in sorted(set(tasks) | set(pending)):
+        record = tasks.get(task_id)
+        if record is None:
+            rows.append([task_id, "pending", "-", "-"]
+                        + ["-"] * len(policies) + ["not yet run"])
+            continue
+        attempts = str(record.get("attempts", "-"))
+        if record.get("status") == "done":
+            result = record.get("result", {})
+            cells = []
+            per_policy = result.get("policies", {})
+            for kind in policies:
+                saving = per_policy.get(kind, {}).get("saving")
+                cells.append(f"{100 * saving:.1f}" if saving is not None
+                             else "-")
+            detail = (f"faults={result['fault_flips']}"
+                      if result.get("fault_flips") else "")
+            rows.append([task_id, "done", attempts,
+                         str(result.get("cycles", "-"))] + cells + [detail])
+        else:
+            failed += 1
+            error = record.get("error", {})
+            reason = error.get("type", "unknown")
+            message = (error.get("message") or "").splitlines()
+            detail = f"{reason}: {message[0][:48]}" if message else reason
+            rows.append([task_id, "FAILED", attempts, "-"]
+                        + ["-"] * len(policies) + [detail])
+    table = _format_table(header, rows, title)
+    summary = (f"{len(tasks)} recorded ({failed} failed),"
+               f" {len(pending)} pending")
+    return f"{table}\n{summary}"
+
+
+def render_fault_sweep(curve: Dict[float, float],
+                       policy: str = "lut-4",
+                       title: Optional[str] = None) -> str:
+    """Render a fault-injection sweep as rate -> saving rows."""
+    header = ["flip rate", f"{policy} saving (%)"]
+    rows = [[f"{rate:g}", f"{100 * saving:.2f}"]
+            for rate, saving in sorted(curve.items())]
+    return _format_table(header, rows,
+                         title or "Steering savings vs info-bit fault rate")
 
 
 def render_multiplier_swapping(

@@ -17,13 +17,22 @@ utilities:
 ``trace``             capture a workload's issue trace to a file
 ``replay``            evaluate steering policies on a stored trace
 ``asm``               assemble and run a .s file, dump results
+``campaign``          fault-tolerant experiment grid with checkpoint/resume
+``faultsweep``        steering savings vs info-bit fault rate
 ====================  ====================================================
+
+Robustness contract: ``KeyboardInterrupt`` exits with code 130 after
+the campaign manifest has been flushed (the runner journals every task
+atomically as it completes), and every JSON/report file any command
+writes goes through the shared atomic write-temp-then-rename helper.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from .analysis.bit_patterns import BitPatternCollector
@@ -31,7 +40,8 @@ from .analysis.energy import run_figure4, run_figure4_synthetic
 from .analysis.figure1 import evaluate_figure1
 from .analysis.module_usage import ModuleUsageCollector
 from .analysis.multiplier import run_multiplier_experiment
-from .analysis.report import (render_figure4, render_figure4_per_workload,
+from .analysis.report import (render_campaign, render_fault_sweep,
+                              render_figure4, render_figure4_per_workload,
                               render_multiplier_swapping, render_table1,
                               render_table2, render_table3)
 from .analysis.sensitivity import run_sensitivity_suite
@@ -45,6 +55,8 @@ from .cpu.tracefile import TraceWriter, read_trace_header, replay
 from .isa import encoding
 from .isa.assembler import assemble
 from .isa.instructions import FUClass
+from .runner import (CampaignError, CampaignSpec, atomic_write_json,
+                     atomic_write_text, fault_sweep, run_campaign)
 from .workloads import all_workloads, workload
 
 
@@ -216,8 +228,7 @@ def cmd_verilog(args) -> int:
     lut = build_lut(stats, args.modules, args.vector_bits)
     text = export_router(lut)
     if args.output:
-        with open(args.output, "w", encoding="utf-8") as handle:
-            handle.write(text)
+        atomic_write_text(args.output, text)
         print(f"wrote {len(text.splitlines())} lines to {args.output}")
     else:
         print(text, end="")
@@ -279,6 +290,79 @@ def cmd_asm(args) -> int:
         value = sim.registers[index]
         if value:
             print(f"  f{index - 32:<2d} = {encoding.bits_to_float(value)!r}")
+    return 0
+
+
+def cmd_campaign(args) -> int:
+    if args.workloads:
+        names = args.workloads
+    else:
+        kind = "int" if args.fu in ("ialu", "imult") else "fp"
+        names = [load.name for load in all_workloads(kind)]
+    configs = {"default": {}}
+    if args.configs_json:
+        with open(args.configs_json, "r", encoding="utf-8") as handle:
+            configs = json.load(handle)
+    if args.watchdog is not None:
+        for overrides in configs.values():
+            overrides.setdefault("watchdog_cycles", args.watchdog)
+    if args.max_cycles is not None:
+        for overrides in configs.values():
+            overrides.setdefault("max_cycles", args.max_cycles)
+    try:
+        spec = CampaignSpec(workloads=tuple(names),
+                            policies=tuple(args.policies),
+                            scales=(args.scale,),
+                            configs=configs,
+                            fault_rates=tuple(args.fault_rates),
+                            fault_mode=args.fault_mode,
+                            fu=args.fu,
+                            seed=args.seed)
+        result = run_campaign(
+            spec, args.dir,
+            max_workers=args.max_workers,
+            task_timeout=args.timeout,
+            retries=args.retries,
+            backoff=args.backoff,
+            executor="inline" if args.inline else "process",
+            resume=args.resume,
+            retry_failed=args.retry_failed,
+            limit=args.limit)
+    except CampaignError as exc:
+        print(f"campaign error: {exc}", file=sys.stderr)
+        return 2
+    pending = [t.task_id for t in spec.tasks()
+               if t.task_id not in result.tasks]
+    report = render_campaign(spec.policies, result.tasks, pending)
+    out_dir = Path(args.dir)
+    atomic_write_text(out_dir / "report.txt", report + "\n")
+    atomic_write_json(out_dir / "results.json",
+                      {"spec": spec.to_dict(), "tasks": result.tasks})
+    print(report)
+    print(f"campaign: {result.done} done, {result.failed} failed,"
+          f" {result.skipped} already journaled,"
+          f" {result.remaining} remaining"
+          f" (manifest: {result.manifest_path})")
+    if result.remaining:
+        print("resume with: python -m repro campaign ... --resume")
+    return 1 if result.failed else 0
+
+
+def cmd_faultsweep(args) -> int:
+    curve = fault_sweep(args.workload, args.rates,
+                        fu_class=_fu_class(args.fu),
+                        policy_kind=args.policy,
+                        scale=args.scale,
+                        mode=args.fault_mode,
+                        seed=args.seed)
+    print(render_fault_sweep(curve, policy=args.policy))
+    if args.output:
+        atomic_write_json(args.output,
+                          {"workload": args.workload, "policy": args.policy,
+                           "mode": args.fault_mode,
+                           "curve": {str(rate): saving
+                                     for rate, saving in curve.items()}})
+        print(f"wrote {args.output}")
     return 0
 
 
@@ -386,6 +470,60 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("source")
     p.set_defaults(func=cmd_asm)
 
+    p = sub.add_parser("campaign",
+                       help="fault-tolerant experiment grid with resume")
+    p.add_argument("--dir", required=True,
+                   help="campaign directory (manifest, report, results)")
+    p.add_argument("--workloads", nargs="*",
+                   help="workload names (default: suite matching --fu)")
+    p.add_argument("--policies", nargs="*",
+                   default=["original", "lut-4", "full-ham"])
+    p.add_argument("--fu", default="ialu",
+                   choices=[fu.value for fu in FUClass])
+    add_scale(p)
+    p.add_argument("--fault-rates", nargs="*", type=float, default=[0.0],
+                   help="info-bit flip rates to sweep (default: 0.0)")
+    p.add_argument("--fault-mode", choices=["info", "operand"],
+                   default="info")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--configs-json",
+                   help="JSON file mapping config name -> MachineConfig"
+                        " overrides")
+    p.add_argument("--watchdog", type=int, default=None,
+                   help="watchdog_cycles applied to every config")
+    p.add_argument("--max-cycles", type=int, default=None,
+                   help="max_cycles applied to every config")
+    p.add_argument("--max-workers", type=int, default=2)
+    p.add_argument("--timeout", type=float, default=600.0,
+                   help="per-task timeout in seconds")
+    p.add_argument("--retries", type=int, default=1,
+                   help="extra attempts per task (exponential backoff)")
+    p.add_argument("--backoff", type=float, default=0.5,
+                   help="base backoff delay in seconds")
+    p.add_argument("--limit", type=int, default=0,
+                   help="stop after N newly finished tasks (0 = no limit)")
+    p.add_argument("--resume", action="store_true",
+                   help="continue an existing manifest")
+    p.add_argument("--retry-failed", action="store_true",
+                   help="on resume, re-run tasks recorded as failed")
+    p.add_argument("--inline", action="store_true",
+                   help="run tasks in-process (no isolation; tests/sweeps)")
+    p.set_defaults(func=cmd_campaign)
+
+    p = sub.add_parser("faultsweep",
+                       help="steering savings vs info-bit fault rate")
+    p.add_argument("workload")
+    p.add_argument("--fu", default="ialu", choices=["ialu", "fpau"])
+    p.add_argument("--policy", default="lut-4")
+    p.add_argument("--rates", nargs="*", type=float,
+                   default=[0.0, 0.01, 0.02, 0.05, 0.1])
+    p.add_argument("--fault-mode", choices=["info", "operand"],
+                   default="info")
+    p.add_argument("--seed", type=int, default=0)
+    add_scale(p)
+    p.add_argument("-o", "--output", help="also write the curve as JSON")
+    p.set_defaults(func=cmd_faultsweep)
+
     return parser
 
 
@@ -394,6 +532,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.func(args)
+    except KeyboardInterrupt:
+        # the campaign runner flushes its manifest before re-raising,
+        # so ^C always leaves a resumable journal; 130 = 128 + SIGINT
+        print("interrupted", file=sys.stderr)
+        return 130
     except BrokenPipeError:
         # output piped into a pager/head that closed early — not an error
         try:

@@ -261,12 +261,18 @@ class PolicyEvaluator:
                  policy: SteeringPolicy,
                  scheme: Optional[InfoBitScheme] = None,
                  pre_swapper: Optional[HardwareSwapper] = None,
-                 include_speculative: bool = True):
+                 include_speculative: bool = True,
+                 fault_injector=None):
         self.fu_class = fu_class
         self.policy = policy
         self.scheme = scheme or scheme_for(fu_class)
         self.pre_swapper = pre_swapper
         self.include_speculative = include_speculative
+        # optional transient-upset model (repro.runner.faults): corrupts
+        # only the *policy's view* of the operands; the power model
+        # still charges the true bit images, so what degrades is the
+        # steering decision, not the accounting
+        self.fault_injector = fault_injector
         self.power = FUPowerModel(fu_class, num_modules)
         self.cycles_seen = 0
         # deferred groups awaiting final wrong-path flags; None for
@@ -291,7 +297,10 @@ class PolicyEvaluator:
             ops = ops[:self.power.num_modules]
         if self.pre_swapper is not None:
             ops = [self.pre_swapper(op) for op in ops]
-        self._apply(ops, self.policy.assign(ops, self.power))
+        view = ops
+        if self.fault_injector is not None:
+            view = self.fault_injector.corrupt_view(ops, self.fu_class)
+        self._apply(ops, self.policy.assign(view, self.power))
 
     def _apply(self, ops: Sequence[MicroOp], assignment: Assignment) -> None:
         self.cycles_seen += 1
@@ -355,7 +364,7 @@ class SharedEvaluationCoordinator:
         # distinct instances just compute their own work as usual)
         self._plan: List[Tuple[PolicyEvaluator, FUPowerModel,
                                Optional[HardwareSwapper], SteeringPolicy,
-                               bool]] = []
+                               bool, object]] = []
         self._shared_swappers = False
         self._shared_policies = False
 
@@ -369,7 +378,8 @@ class SharedEvaluationCoordinator:
         self._plan.append((evaluator, evaluator.power,
                            evaluator.pre_swapper, evaluator.policy,
                            getattr(evaluator.policy, "power_independent",
-                                   False)))
+                                   False),
+                           evaluator.fault_injector))
         swappers = [id(ev.pre_swapper) for ev in self.evaluators
                     if ev.pre_swapper is not None]
         self._shared_swappers = len(swappers) != len(set(swappers))
@@ -391,7 +401,7 @@ class SharedEvaluationCoordinator:
             {} if self._shared_swappers else None)
         assign_cache: Optional[Dict[Tuple[int, int, int], Assignment]] = (
             {} if self._shared_policies else None)
-        for ev, power, swapper, policy, independent in self._plan:
+        for ev, power, swapper, policy, independent, injector in self._plan:
             deferred = ev._deferred
             if deferred is not None:
                 deferred.append(group)
@@ -414,14 +424,19 @@ class SharedEvaluationCoordinator:
                         swapped = [swapper(op) for op in ops]
                         swap_cache[key] = swapped
                     ops = swapped
-            if independent and assign_cache is not None:
+            view = ops
+            if injector is not None:
+                # faulted evaluators never share assignments: each
+                # injector corrupts its own view of the cycle
+                view = injector.corrupt_view(ops, self.fu_class)
+            if independent and assign_cache is not None and injector is None:
                 akey = (id(policy), id(ops), count)
                 assignment = assign_cache.get(akey)
                 if assignment is None:
                     assignment = policy.assign(ops, power)
                     assign_cache[akey] = assignment
             else:
-                assignment = policy.assign(ops, power)
+                assignment = policy.assign(view, power)
             # _apply, inlined: this is once per evaluator per cycle
             ev.cycles_seen += 1
             power.account_group(ops, assignment.modules,

@@ -5,11 +5,12 @@ from .cache import CacheConfig, DataCache
 from .config import DEFAULT_FU_COUNTS, MachineConfig, default_config
 from .golden import ExecutionLimitExceeded, GoldenResult, run_program
 from .memory import Memory, MemoryError_
-from .simulator import CycleLimitExceeded, Simulator, simulate
+from .simulator import (CycleLimitExceeded, DeadlockDetected,
+                        DiagnosticSnapshot, Simulator, simulate)
 from .trace import (IssueGroup, IssueListener, ListenerFanout, MicroOp,
                     SimulationResult, TraceCollector)
-from .tracefile import (TraceWriter, load_trace, read_trace_header, replay,
-                        save_trace)
+from .tracefile import (TraceFormatError, TraceWriter, load_trace,
+                        read_trace_header, replay, save_trace)
 
 __all__ = [
     "BimodalPredictor",
@@ -17,9 +18,10 @@ __all__ = [
     "DEFAULT_FU_COUNTS", "MachineConfig", "default_config",
     "ExecutionLimitExceeded", "GoldenResult", "run_program",
     "Memory", "MemoryError_",
-    "CycleLimitExceeded", "Simulator", "simulate",
+    "CycleLimitExceeded", "DeadlockDetected", "DiagnosticSnapshot",
+    "Simulator", "simulate",
     "IssueGroup", "IssueListener", "ListenerFanout", "MicroOp",
     "SimulationResult", "TraceCollector",
-    "TraceWriter", "load_trace", "read_trace_header", "replay",
-    "save_trace",
+    "TraceFormatError", "TraceWriter", "load_trace", "read_trace_header",
+    "replay", "save_trace",
 ]

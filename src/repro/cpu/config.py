@@ -42,6 +42,12 @@ class MachineConfig:
     branch_predictor: str = "bimodal"  # or "gshare"
     mispredict_penalty: int = 2
     max_cycles: int = 50_000_000
+    # retirement-progress watchdog: if no instruction retires for this
+    # many cycles while the ROB is non-empty, the simulator raises
+    # DeadlockDetected with a diagnostic snapshot instead of spinning
+    # until max_cycles.  Must comfortably exceed the longest completion
+    # latency (unpipelined chains + cache misses); 0 disables.
+    watchdog_cycles: int = 100_000
     # L1 data cache; None models an ideal (always-hit) memory
     cache: Optional[CacheConfig] = field(default_factory=CacheConfig)
 
@@ -57,6 +63,8 @@ class MachineConfig:
             raise ValueError("branch predictor size must be a power of two")
         if self.branch_predictor not in ("bimodal", "gshare"):
             raise ValueError("branch predictor must be 'bimodal' or 'gshare'")
+        if self.watchdog_cycles < 0:
+            raise ValueError("watchdog_cycles must be >= 0 (0 disables)")
 
     def modules(self, fu_class: FUClass) -> int:
         """Number of modules of the given FU class."""

@@ -21,7 +21,8 @@ from __future__ import annotations
 import heapq
 import itertools
 from collections import deque
-from typing import Deque, Dict, List, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
 
 from ..isa import semantics
 from ..isa.encoding import INT_MASK as _INT_MASK
@@ -106,18 +107,128 @@ class _RobEntry:
                 f"state={self.state}, squashed={self.squashed})")
 
 
+_STATE_NAMES = {_DISPATCHED: "dispatched", _ISSUED: "issued", _DONE: "done"}
+
+
+@dataclass
+class DiagnosticSnapshot:
+    """Pipeline state captured when the simulator aborts a run.
+
+    Attached to :class:`DeadlockDetected` and :class:`CycleLimitExceeded`
+    so post-mortems don't require a re-run.  Everything is plain data
+    (ints, strings, lists) so the snapshot can be journaled as JSON by
+    the campaign runner.
+    """
+
+    cycle: int
+    retired_instructions: int
+    cycles_since_retire: int
+    rob_occupancy: int
+    rob_limit: int
+    # oldest un-retired operation, the usual culprit
+    oldest_seq: Optional[int] = None
+    oldest_op: Optional[str] = None
+    oldest_state: Optional[str] = None
+    oldest_address: Optional[int] = None
+    oldest_waiting_tags: List[int] = field(default_factory=list)
+    store_queue_depth: int = 0
+    # per-FU-class reservation-station occupancy and module busy-until
+    rs_occupancy: Dict[str, int] = field(default_factory=dict)
+    module_busy_until: Dict[str, List[int]] = field(default_factory=dict)
+    events_pending: int = 0
+    pc: Optional[int] = None
+    fetch_stalled_until: int = 0
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serialisable form for manifests and logs."""
+        return {
+            "cycle": self.cycle,
+            "retired_instructions": self.retired_instructions,
+            "cycles_since_retire": self.cycles_since_retire,
+            "rob_occupancy": self.rob_occupancy,
+            "rob_limit": self.rob_limit,
+            "oldest_seq": self.oldest_seq,
+            "oldest_op": self.oldest_op,
+            "oldest_state": self.oldest_state,
+            "oldest_address": self.oldest_address,
+            "oldest_waiting_tags": list(self.oldest_waiting_tags),
+            "store_queue_depth": self.store_queue_depth,
+            "rs_occupancy": dict(self.rs_occupancy),
+            "module_busy_until": {k: list(v) for k, v
+                                  in self.module_busy_until.items()},
+            "events_pending": self.events_pending,
+            "pc": self.pc,
+            "fetch_stalled_until": self.fetch_stalled_until,
+        }
+
+    def format(self) -> str:
+        """Human-readable multi-line summary."""
+        lines = [
+            f"cycle {self.cycle}, {self.retired_instructions} retired,"
+            f" {self.cycles_since_retire} cycles since last retirement",
+            f"ROB {self.rob_occupancy}/{self.rob_limit} occupied,"
+            f" store queue {self.store_queue_depth},"
+            f" {self.events_pending} completion events pending",
+        ]
+        if self.oldest_op is not None:
+            waits = (f", waiting on {self.oldest_waiting_tags}"
+                     if self.oldest_waiting_tags else "")
+            where = (f" @pc={self.oldest_address}"
+                     if self.oldest_address is not None else "")
+            lines.append(f"oldest un-retired: seq {self.oldest_seq}"
+                         f" {self.oldest_op}{where}"
+                         f" [{self.oldest_state}]{waits}")
+        busy = ", ".join(f"{name}={occ}" for name, occ
+                         in self.rs_occupancy.items() if occ)
+        lines.append(f"RS occupancy: {busy or 'all idle'}")
+        lines.append(f"fetch: pc={self.pc},"
+                     f" stalled until cycle {self.fetch_stalled_until}")
+        return "\n".join(lines)
+
+
 class CycleLimitExceeded(RuntimeError):
-    """The simulation ran longer than ``MachineConfig.max_cycles``."""
+    """The simulation ran longer than ``MachineConfig.max_cycles``.
+
+    Carries a :class:`DiagnosticSnapshot` of the pipeline at the moment
+    the limit tripped, in ``snapshot``.
+    """
+
+    def __init__(self, message: str,
+                 snapshot: Optional[DiagnosticSnapshot] = None):
+        super().__init__(message)
+        self.snapshot = snapshot
+
+
+class DeadlockDetected(RuntimeError):
+    """No instruction retired for ``MachineConfig.watchdog_cycles``.
+
+    Raised by the retirement-progress watchdog with a
+    :class:`DiagnosticSnapshot` in ``snapshot`` describing ROB
+    occupancy, the oldest un-retired operation, and FU busy state —
+    instead of spinning until ``max_cycles``.
+    """
+
+    def __init__(self, message: str,
+                 snapshot: Optional[DiagnosticSnapshot] = None):
+        super().__init__(message)
+        self.snapshot = snapshot
 
 
 class Simulator:
     """Out-of-order execution engine for one program."""
 
     def __init__(self, program: Program,
-                 config: Optional[MachineConfig] = None):
+                 config: Optional[MachineConfig] = None,
+                 fault_injector: Optional[Callable[[MicroOp, FUClass],
+                                                   None]] = None):
         program.validate()
         self.program = program
         self.config = config or default_config()
+        # optional transient-upset hook: called with each MicroOp just
+        # before it is published to listeners, may flip operand bits in
+        # place.  Architectural state is untouched — this models upsets
+        # on the routing/steering path, not in the datapath.
+        self.fault_injector = fault_injector
         self.memory = Memory(program.data)
         self.registers: List[int] = [0] * 64
         self.dcache = (DataCache(self.config.cache)
@@ -287,11 +398,23 @@ class Simulator:
         mispredict_penalty = config.mispredict_penalty
         load_ready = self._load_ready
         execute = self._execute
+        inject = self.fault_injector
+        watchdog = config.watchdog_cycles
+        last_retire_cycle = 0
 
         while not self._halted:
             if cycle >= max_cycles:
                 raise CycleLimitExceeded(
-                    f"{self.program.name}: exceeded {max_cycles} cycles")
+                    f"{self.program.name}: exceeded {max_cycles} cycles",
+                    snapshot=self._snapshot(cycle, last_retire_cycle))
+            if (watchdog and rob
+                    and cycle - last_retire_cycle >= watchdog):
+                snapshot = self._snapshot(cycle, last_retire_cycle)
+                raise DeadlockDetected(
+                    f"{self.program.name}: no instruction retired for"
+                    f" {cycle - last_retire_cycle} cycles"
+                    f" (watchdog_cycles={watchdog})\n{snapshot.format()}",
+                    snapshot=snapshot)
 
             # ---- retire: in order, oldest first ----
             if rob and rob[0].state == _DONE:
@@ -325,6 +448,8 @@ class Simulator:
                     rob.popleft()
                     retired += 1
                 result.retired_instructions += retired
+                if retired:
+                    last_retire_cycle = cycle
                 if self._halted:
                     break
 
@@ -399,6 +524,11 @@ class Simulator:
                             blocked.append(item)
                         continue
                     micro = execute(entry, cycle)
+                    if inject is not None:
+                        # transient upset on the routing path: listeners
+                        # (steering, power accounting) see flipped bits;
+                        # the architectural result is already computed
+                        inject(micro, fu_class)
                     # the oldest ready op of the class is the best guess
                     # at the critical-path op this cycle (related work [19])
                     micro.critical = not issued
@@ -516,6 +646,35 @@ class Simulator:
             self.result.cache_hits = self.dcache.hits
             self.result.cache_misses = self.dcache.misses
         return self.result
+
+    def _snapshot(self, cycle: int,
+                  last_retire_cycle: int = 0) -> DiagnosticSnapshot:
+        """Capture the pipeline state for an abort diagnostic."""
+        snapshot = DiagnosticSnapshot(
+            cycle=cycle,
+            retired_instructions=self.result.retired_instructions,
+            cycles_since_retire=cycle - last_retire_cycle,
+            rob_occupancy=len(self._rob),
+            rob_limit=self.config.rob_entries,
+            store_queue_depth=len(self._store_queue),
+            rs_occupancy={fu.value: self._rs_occupancy[fu.index]
+                          for fu in FUClass},
+            module_busy_until={fu.value: list(self._module_free_at[fu.index])
+                               for fu in FUClass},
+            events_pending=len(self._events),
+            pc=self._pc,
+            fetch_stalled_until=self._fetch_stalled_until,
+        )
+        if self._rob:
+            oldest = self._rob[0]
+            snapshot.oldest_seq = oldest.seq
+            snapshot.oldest_op = oldest.instr.op.name
+            snapshot.oldest_state = _STATE_NAMES.get(oldest.state,
+                                                     str(oldest.state))
+            snapshot.oldest_address = oldest.instr.address
+            snapshot.oldest_waiting_tags = [
+                tag for tag in (oldest.tag1, oldest.tag2) if tag is not None]
+        return snapshot
 
     def _flush_after(self, branch: _RobEntry) -> None:
         # entries younger than the branch form a suffix of the ROB (and

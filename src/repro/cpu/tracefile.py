@@ -12,6 +12,12 @@ issue group:
 Operand images are serialised as hex strings to stay compact and
 byte-exact.  ``TraceWriter`` doubles as a simulator listener so capture
 happens inline with simulation.
+
+Reading is hardened against the failure modes long campaigns actually
+hit — truncated gzip streams (a killed writer), corrupt JSON lines,
+and missing or malformed headers — all of which raise
+:class:`TraceFormatError` naming the file and line instead of a raw
+``EOFError`` / ``json.JSONDecodeError`` deep in the stack.
 """
 
 from __future__ import annotations
@@ -27,6 +33,20 @@ from .trace import IssueGroup, MicroOp
 FORMAT_VERSION = 1
 
 PathLike = Union[str, Path]
+
+
+class TraceFormatError(ValueError):
+    """A trace file is truncated, corrupt, or not a trace at all.
+
+    ``path`` and ``line`` (1-based; 0 when the failure is not tied to a
+    specific line, e.g. a bad gzip container) locate the damage.
+    """
+
+    def __init__(self, path: PathLike, line: int, reason: str):
+        self.path = str(path)
+        self.line = line
+        where = f"{self.path}, line {line}" if line else self.path
+        super().__init__(f"bad trace file ({where}): {reason}")
 
 
 def _encode_group(group: IssueGroup) -> str:
@@ -88,26 +108,71 @@ def save_trace(path: PathLike, groups: Iterable[IssueGroup],
         return writer.groups_written
 
 
-def read_trace_header(path: PathLike) -> dict:
-    """Read a trace file's metadata line."""
-    with gzip.open(Path(path), "rt", encoding="utf-8") as handle:
-        header = json.loads(handle.readline())
+def _parse_header(path: PathLike, line: str) -> dict:
+    """Decode and validate the metadata line."""
+    if not line:
+        raise TraceFormatError(path, 1, "empty file, expected a JSON header")
+    try:
+        header = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise TraceFormatError(path, 1, f"corrupt header: {exc}") from exc
+    if not isinstance(header, dict) or "version" not in header:
+        raise TraceFormatError(
+            path, 1, "missing header (first line must be a JSON object"
+            " with a 'version' key)")
     if header.get("version") != FORMAT_VERSION:
-        raise ValueError(f"unsupported trace version {header.get('version')}")
+        raise TraceFormatError(
+            path, 1, f"unsupported trace version {header.get('version')!r}"
+            f" (expected {FORMAT_VERSION})")
     return header
 
 
-def load_trace(path: PathLike) -> Iterator[IssueGroup]:
-    """Stream issue groups back from a trace file."""
+def read_trace_header(path: PathLike) -> dict:
+    """Read a trace file's metadata line."""
     with gzip.open(Path(path), "rt", encoding="utf-8") as handle:
-        header = json.loads(handle.readline())
-        if header.get("version") != FORMAT_VERSION:
-            raise ValueError(
-                f"unsupported trace version {header.get('version')}")
-        for line in handle:
+        try:
+            line = handle.readline()
+        except (EOFError, OSError, gzip.BadGzipFile) as exc:
+            raise TraceFormatError(path, 0, str(exc)) from exc
+    return _parse_header(path, line)
+
+
+def load_trace(path: PathLike) -> Iterator[IssueGroup]:
+    """Stream issue groups back from a trace file.
+
+    Raises :class:`TraceFormatError` for a truncated gzip stream, a
+    corrupt JSON line, or a bad/missing header, identifying the file
+    and the (1-based) line the damage starts at.
+    """
+    with gzip.open(Path(path), "rt", encoding="utf-8") as handle:
+        try:
+            first = handle.readline()
+        except (EOFError, OSError, gzip.BadGzipFile) as exc:
+            raise TraceFormatError(path, 0, str(exc)) from exc
+        _parse_header(path, first)
+        lineno = 1
+        while True:
+            lineno += 1
+            try:
+                line = handle.readline()
+            except (EOFError, OSError, gzip.BadGzipFile) as exc:
+                # a killed TraceWriter leaves a truncated gzip member;
+                # everything up to here replayed fine, but the tail is
+                # unrecoverable and silently dropping it would corrupt
+                # statistics
+                raise TraceFormatError(
+                    path, lineno, f"truncated gzip stream: {exc}") from exc
+            if not line:
+                return
             line = line.strip()
-            if line:
+            if not line:
+                continue
+            try:
                 yield _decode_group(line)
+            except (json.JSONDecodeError, ValueError, KeyError, TypeError,
+                    IndexError) as exc:
+                raise TraceFormatError(
+                    path, lineno, f"corrupt issue group: {exc}") from exc
 
 
 def replay(path: PathLike, listeners: Iterable) -> int:

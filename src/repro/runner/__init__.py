@@ -1,0 +1,34 @@
+"""Fault-tolerant experiment-campaign subsystem.
+
+``repro.runner`` turns the repository's long serial sweeps into
+resumable, crash-isolated campaigns:
+
+* :class:`CampaignSpec` / :class:`CampaignRunner` / :func:`run_campaign`
+  — declarative (workload × config × fault-rate) grids executed over a
+  process pool with per-task timeouts, bounded retries with exponential
+  backoff, and crash isolation;
+* :class:`CampaignManifest` — the crash-safe JSONL journal that makes
+  ``campaign --resume`` pick up exactly the pending task set;
+* :class:`FaultInjector` / :func:`fault_sweep` — transient-upset
+  modelling on the steering path (info-bit / operand-bit flips);
+* :func:`atomic_write_text` / :func:`atomic_write_json` — the shared
+  write-temp-then-rename helpers every report/JSON artifact uses.
+
+See ``docs/runner.md`` for the manifest format, resume semantics, and
+watchdog tuning.
+"""
+
+from .atomic import atomic_append_jsonl, atomic_write_json, atomic_write_text
+from .campaign import (CONFIG_FIELDS, CampaignError, CampaignResult,
+                       CampaignRunner, CampaignSpec, TaskSpec, execute_task,
+                       run_campaign)
+from .faults import FAULT_MODES, FaultInjector, fault_sweep
+from .manifest import CampaignManifest, ManifestError
+
+__all__ = [
+    "atomic_append_jsonl", "atomic_write_json", "atomic_write_text",
+    "CONFIG_FIELDS", "CampaignError", "CampaignResult", "CampaignRunner",
+    "CampaignSpec", "TaskSpec", "execute_task", "run_campaign",
+    "FAULT_MODES", "FaultInjector", "fault_sweep",
+    "CampaignManifest", "ManifestError",
+]

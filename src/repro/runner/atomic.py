@@ -1,0 +1,65 @@
+"""Atomic file writes: write-temp-then-rename with durability.
+
+Every JSON/report artifact the repository produces (campaign manifests,
+``BENCH_*.json``, CLI report files) goes through these helpers so a
+crash or SIGKILL mid-write can never leave a half-written file — the
+reader sees either the previous complete version or the new one.
+
+``os.replace`` is atomic on POSIX and Windows when source and target
+are on the same filesystem, which is guaranteed here by creating the
+temporary file in the target's directory.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Union
+
+PathLike = Union[str, Path]
+
+
+def atomic_write_text(path: PathLike, text: str,
+                      encoding: str = "utf-8") -> None:
+    """Write ``text`` to ``path`` atomically (temp file + rename).
+
+    The data is flushed and fsynced before the rename so the journal
+    survives power loss as well as process death.
+    """
+    target = Path(path)
+    fd, tmp_name = tempfile.mkstemp(
+        prefix=f".{target.name}.", suffix=".tmp", dir=str(target.parent))
+    try:
+        with os.fdopen(fd, "w", encoding=encoding) as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, target)
+    except BaseException:
+        # never leave temp droppings behind, even on KeyboardInterrupt
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
+def atomic_write_json(path: PathLike, payload: Any, indent: int = 2) -> None:
+    """Serialise ``payload`` as JSON and write it atomically."""
+    atomic_write_text(path, json.dumps(payload, indent=indent,
+                                       sort_keys=False) + "\n")
+
+
+def atomic_append_jsonl(path: PathLike, records: list) -> None:
+    """Atomically rewrite a JSONL file from a full record list.
+
+    JSONL journals here are small (one record per campaign task), so
+    the whole file is rewritten on every update rather than appended —
+    an append interrupted mid-line corrupts the journal, a rename never
+    does.
+    """
+    text = "".join(json.dumps(record, sort_keys=False) + "\n"
+                   for record in records)
+    atomic_write_text(path, text)

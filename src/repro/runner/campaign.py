@@ -1,0 +1,584 @@
+"""Fault-tolerant experiment-campaign runner.
+
+Expands a declarative grid of (workload × machine config × fault rate)
+tasks — each task scores every requested steering policy in one
+simulation pass — and executes it across a pool of worker *processes*
+with:
+
+* **crash isolation** — a worker segfault, OOM kill, or exception
+  marks that one task failed (with the captured traceback or exit
+  code), never the campaign;
+* **per-task timeouts** — an overdue worker is SIGKILLed and the task
+  retried;
+* **bounded retries with exponential backoff** — transient failures
+  get ``retries`` extra attempts, each delayed ``backoff * 2**(n-1)``
+  seconds;
+* **journaled progress** — every outcome is recorded in a JSONL
+  manifest rewritten atomically (write-temp-then-rename), so a
+  campaign killed at any instant resumes from the last completed task;
+* **graceful degradation** — the final report renders failed cells as
+  explicit gaps carrying the failure reason instead of aborting.
+
+The unit of work is deliberately one whole simulation: simulating is
+the expensive part, and all policies share the pass via
+:class:`~repro.core.steering.SharedEvaluationCoordinator`, exactly as
+the interactive experiment drivers do.
+
+Chaos hooks (for the failure-path tests and CI smoke): workers honour
+``REPRO_CAMPAIGN_TEST_DELAY`` (sleep that many seconds before
+simulating), ``REPRO_CAMPAIGN_TEST_CRASH`` and
+``REPRO_CAMPAIGN_TEST_HANG`` (task-id substrings; matching workers
+SIGKILL themselves / sleep forever).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import multiprocessing
+import os
+import signal
+import time
+import traceback
+from dataclasses import dataclass, field
+from multiprocessing.connection import wait as _conn_wait
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from .manifest import CampaignManifest, ManifestError
+
+PathLike = Union[str, Path]
+
+# MachineConfig fields a campaign grid may override per config cell;
+# everything here is a scalar, so specs stay trivially JSON-able
+CONFIG_FIELDS = frozenset({
+    "fetch_width", "dispatch_width", "retire_width", "rob_entries",
+    "rs_entries_per_class", "branch_predictor_entries", "branch_predictor",
+    "mispredict_penalty", "max_cycles", "watchdog_cycles",
+})
+
+DELAY_ENV = "REPRO_CAMPAIGN_TEST_DELAY"
+CRASH_ENV = "REPRO_CAMPAIGN_TEST_CRASH"
+HANG_ENV = "REPRO_CAMPAIGN_TEST_HANG"
+
+
+class CampaignError(RuntimeError):
+    """The campaign cannot run (bad spec, unresumable manifest, ...)."""
+
+
+@dataclass(frozen=True)
+class TaskSpec:
+    """One cell of the campaign grid — picklable, self-contained."""
+
+    task_id: str
+    workload: str
+    scale: int
+    config_name: str
+    config: Dict[str, Any]
+    policies: Tuple[str, ...]
+    fault_rate: float = 0.0
+    fault_mode: str = "info"
+    fu: str = "ialu"
+    seed: int = 0
+
+
+@dataclass
+class CampaignSpec:
+    """Declarative description of the experiment grid.
+
+    ``configs`` maps a config name to a dict of
+    :class:`~repro.cpu.config.MachineConfig` overrides (scalar fields
+    only, see ``CONFIG_FIELDS``).  The grid is the cross product
+    workloads × scales × configs × fault_rates; each task evaluates all
+    ``policies`` in a single simulation pass.
+    """
+
+    workloads: Tuple[str, ...]
+    policies: Tuple[str, ...] = ("original", "lut-4")
+    scales: Tuple[int, ...] = (1,)
+    configs: Dict[str, Dict[str, Any]] = field(
+        default_factory=lambda: {"default": {}})
+    fault_rates: Tuple[float, ...] = (0.0,)
+    fault_mode: str = "info"
+    fu: str = "ialu"
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        self.workloads = tuple(self.workloads)
+        self.policies = tuple(self.policies)
+        self.scales = tuple(int(s) for s in self.scales)
+        self.fault_rates = tuple(float(r) for r in self.fault_rates)
+        if not self.workloads:
+            raise CampaignError("campaign needs at least one workload")
+        if not self.policies:
+            raise CampaignError("campaign needs at least one policy")
+        for name, overrides in self.configs.items():
+            unknown = set(overrides) - CONFIG_FIELDS
+            if unknown:
+                raise CampaignError(
+                    f"config '{name}' overrides unknown MachineConfig"
+                    f" fields: {sorted(unknown)}")
+
+    def tasks(self) -> List[TaskSpec]:
+        """Expand the grid into concrete tasks, in deterministic order."""
+        out = []
+        for workload in self.workloads:
+            for scale in self.scales:
+                for config_name, overrides in sorted(self.configs.items()):
+                    for rate in self.fault_rates:
+                        task_id = (f"{workload}@s{scale}/{config_name}"
+                                   f"/r{rate:g}")
+                        out.append(TaskSpec(
+                            task_id=task_id, workload=workload, scale=scale,
+                            config_name=config_name, config=dict(overrides),
+                            policies=self.policies, fault_rate=rate,
+                            fault_mode=self.fault_mode, fu=self.fu,
+                            seed=self.seed))
+        return out
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"workloads": list(self.workloads),
+                "policies": list(self.policies),
+                "scales": list(self.scales),
+                "configs": {k: dict(v) for k, v in self.configs.items()},
+                "fault_rates": list(self.fault_rates),
+                "fault_mode": self.fault_mode,
+                "fu": self.fu,
+                "seed": self.seed}
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "CampaignSpec":
+        return cls(workloads=tuple(payload["workloads"]),
+                   policies=tuple(payload["policies"]),
+                   scales=tuple(payload.get("scales", (1,))),
+                   configs=payload.get("configs", {"default": {}}),
+                   fault_rates=tuple(payload.get("fault_rates", (0.0,))),
+                   fault_mode=payload.get("fault_mode", "info"),
+                   fu=payload.get("fu", "ialu"),
+                   seed=payload.get("seed", 0))
+
+    def fingerprint(self) -> str:
+        """Stable hash of the expanded grid, for resume validation."""
+        canon = json.dumps(self.to_dict(), sort_keys=True)
+        return hashlib.sha256(canon.encode("utf-8")).hexdigest()[:16]
+
+
+# ----- the worker side --------------------------------------------------------
+
+
+def execute_task(task: TaskSpec) -> Dict[str, Any]:
+    """Run one task in the current process and return its result dict.
+
+    Importable so the inline executor and unit tests can call it
+    directly; the process pool runs it inside ``_child_main``.
+    """
+    from ..core.statistics import paper_statistics
+    from ..core.steering import (PolicyEvaluator,
+                                 SharedEvaluationCoordinator, make_policy)
+    from ..cpu.config import MachineConfig
+    from ..isa.instructions import FUClass
+    from ..cpu.simulator import Simulator
+    from ..workloads import workload as get_workload
+    from .faults import FaultInjector
+
+    fu_class = FUClass(task.fu)
+    config = MachineConfig(**task.config) if task.config else MachineConfig()
+    load = get_workload(task.workload)
+    program = load.build(task.scale)
+    stats = paper_statistics(fu_class)
+    num_modules = config.modules(fu_class)
+
+    coordinator = SharedEvaluationCoordinator(fu_class)
+    injectors: Dict[str, FaultInjector] = {}
+    for kind in task.policies:
+        policy = make_policy(kind, fu_class, num_modules, stats=stats)
+        injector = None
+        if task.fault_rate:
+            # one injector per evaluator, same seed: every policy sees
+            # the identical upset sequence on the identical stream
+            injector = FaultInjector(task.fault_rate, mode=task.fault_mode,
+                                     seed=task.seed)
+            injectors[kind] = injector
+        coordinator.add(PolicyEvaluator(fu_class, num_modules, policy,
+                                        fault_injector=injector))
+
+    sim = Simulator(program, config)
+    sim.add_listener(coordinator)
+    sim_result = sim.run()
+
+    policies: Dict[str, Dict[str, Any]] = {}
+    baseline_bits: Optional[int] = None
+    for kind, totals in zip(task.policies, coordinator.totals()):
+        policies[kind] = {"switched_bits": totals.switched_bits,
+                          "operations": totals.operations}
+        if kind == "original" and baseline_bits is None:
+            baseline_bits = totals.switched_bits
+    if baseline_bits:
+        for kind, cell in policies.items():
+            cell["saving"] = 1.0 - cell["switched_bits"] / baseline_bits
+    return {
+        "workload": task.workload,
+        "scale": task.scale,
+        "config": task.config_name,
+        "fault_rate": task.fault_rate,
+        "cycles": sim_result.cycles,
+        "retired": sim_result.retired_instructions,
+        "ipc": round(sim_result.ipc, 4),
+        "fault_flips": sum(i.flips for i in injectors.values()),
+        "policies": policies,
+    }
+
+
+def _error_payload(exc: BaseException) -> Dict[str, Any]:
+    """Serialise an exception (plus any diagnostic snapshot) for the
+    manifest."""
+    payload = {"type": type(exc).__name__, "message": str(exc),
+               "traceback": traceback.format_exc()}
+    snapshot = getattr(exc, "snapshot", None)
+    if snapshot is not None and hasattr(snapshot, "to_dict"):
+        payload["snapshot"] = snapshot.to_dict()
+    return payload
+
+
+def _child_main(task: TaskSpec, conn) -> None:
+    """Worker process entry: run one task, ship the outcome back."""
+    try:
+        delay = float(os.environ.get(DELAY_ENV, "0") or 0)
+        if delay > 0:
+            time.sleep(delay)
+        crash = os.environ.get(CRASH_ENV)
+        if crash and crash in task.task_id:
+            os.kill(os.getpid(), signal.SIGKILL)
+        hang = os.environ.get(HANG_ENV)
+        if hang and hang in task.task_id:
+            while True:
+                time.sleep(3600)
+        result = execute_task(task)
+        conn.send(("ok", result))
+    except BaseException as exc:  # the campaign must never inherit this
+        try:
+            conn.send(("error", _error_payload(exc)))
+        except (BrokenPipeError, OSError):
+            pass
+    finally:
+        try:
+            conn.close()
+        except OSError:
+            pass
+
+
+# ----- the scheduler side -----------------------------------------------------
+
+
+@dataclass
+class _PendingTask:
+    task: TaskSpec
+    attempt: int = 1
+    not_before: float = 0.0
+
+
+@dataclass
+class _RunningTask:
+    pending: _PendingTask
+    process: Any
+    conn: Any
+    started: float
+    deadline: float
+    message: Optional[Tuple[str, Any]] = None
+
+
+@dataclass
+class CampaignResult:
+    """Outcome of one ``CampaignRunner.run`` invocation."""
+
+    total_tasks: int
+    done: int = 0
+    failed: int = 0
+    skipped: int = 0       # satisfied by a previous run's manifest
+    remaining: int = 0     # left pending (hit --limit or interrupt)
+    interrupted: bool = False
+    manifest_path: Optional[Path] = None
+    tasks: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+
+    @property
+    def complete(self) -> bool:
+        return self.remaining == 0 and not self.interrupted
+
+
+class CampaignRunner:
+    """Executes a :class:`CampaignSpec` grid with fault tolerance.
+
+    ``executor`` is ``"process"`` (default: full isolation, timeouts,
+    crash containment) or ``"inline"`` (tasks run in this process —
+    fast and deterministic for tests/sweeps, but a hang or crash is
+    *not* contained).
+    """
+
+    def __init__(self, spec: CampaignSpec, out_dir: PathLike,
+                 max_workers: int = 2,
+                 task_timeout: float = 600.0,
+                 retries: int = 1,
+                 backoff: float = 0.5,
+                 executor: str = "process",
+                 resume: bool = False,
+                 retry_failed: bool = False,
+                 limit: int = 0):
+        if executor not in ("process", "inline"):
+            raise CampaignError("executor must be 'process' or 'inline'")
+        self.spec = spec
+        self.out_dir = Path(out_dir)
+        self.max_workers = max(1, max_workers)
+        self.task_timeout = task_timeout
+        self.retries = max(0, retries)
+        self.backoff = backoff
+        self.executor = executor
+        self.resume = resume
+        self.retry_failed = retry_failed
+        self.limit = max(0, limit)
+        self.manifest_path = self.out_dir / "manifest.jsonl"
+        self.manifest: Optional[CampaignManifest] = None
+        if "fork" in multiprocessing.get_all_start_methods():
+            self._ctx = multiprocessing.get_context("fork")
+        else:  # pragma: no cover - non-POSIX fallback
+            self._ctx = multiprocessing.get_context("spawn")
+
+    # ----- manifest lifecycle --------------------------------------------
+
+    def _open_manifest(self) -> CampaignManifest:
+        self.out_dir.mkdir(parents=True, exist_ok=True)
+        fingerprint = self.spec.fingerprint()
+        if self.manifest_path.exists():
+            if not self.resume:
+                raise CampaignError(
+                    f"{self.manifest_path} already exists; pass"
+                    " resume=True (CLI: --resume) to continue it, or"
+                    " choose a fresh --dir")
+            manifest = CampaignManifest.load(self.manifest_path)
+            if manifest.fingerprint != fingerprint:
+                raise CampaignError(
+                    f"{self.manifest_path} was written by a different"
+                    f" campaign grid (fingerprint {manifest.fingerprint}"
+                    f" != {fingerprint}); refusing to mix results")
+            return manifest
+        if self.resume:
+            # resuming onto an empty directory is just a fresh start
+            pass
+        return CampaignManifest.create(self.manifest_path, fingerprint,
+                                       self.spec.to_dict())
+
+    # ----- main loop ------------------------------------------------------
+
+    def run(self) -> CampaignResult:
+        """Execute (or resume) the grid; returns the campaign outcome.
+
+        On ``KeyboardInterrupt`` the manifest is flushed, in-flight
+        workers are killed, and the interrupt is re-raised for the CLI
+        to translate into exit code 130.
+        """
+        manifest = self.manifest = self._open_manifest()
+        all_tasks = self.spec.tasks()
+        result = CampaignResult(total_tasks=len(all_tasks),
+                                manifest_path=self.manifest_path)
+
+        pending: List[_PendingTask] = []
+        for task in all_tasks:
+            status = manifest.status_of(task.task_id)
+            if status == "done":
+                result.skipped += 1
+            elif status == "failed" and not self.retry_failed:
+                result.skipped += 1
+            else:
+                if status == "failed":
+                    manifest.forget(task.task_id)
+                pending.append(_PendingTask(task))
+
+        try:
+            if self.executor == "inline":
+                self._run_inline(pending, manifest, result)
+            else:
+                self._run_pool(pending, manifest, result)
+        except KeyboardInterrupt:
+            result.interrupted = True
+            manifest.flush()
+            raise
+        finally:
+            result.tasks = dict(manifest.tasks)
+            result.remaining = sum(
+                1 for task in all_tasks
+                if manifest.status_of(task.task_id) is None)
+        return result
+
+    # ----- inline executor ------------------------------------------------
+
+    def _run_inline(self, pending: List[_PendingTask],
+                    manifest: CampaignManifest,
+                    result: CampaignResult) -> None:
+        finished = 0
+        queue = list(pending)
+        while queue:
+            if self.limit and finished >= self.limit:
+                return
+            item = queue.pop(0)
+            started = time.monotonic()
+            try:
+                outcome = execute_task(item.task)
+            except KeyboardInterrupt:
+                raise
+            except BaseException as exc:
+                elapsed = time.monotonic() - started
+                if item.attempt <= self.retries:
+                    item.attempt += 1
+                    queue.append(item)
+                    continue
+                manifest.record_failed(item.task.task_id, item.attempt,
+                                       elapsed, _error_payload(exc))
+                result.failed += 1
+                finished += 1
+                continue
+            manifest.record_done(item.task.task_id, item.attempt,
+                                 time.monotonic() - started, outcome)
+            result.done += 1
+            finished += 1
+
+    # ----- process-pool executor -----------------------------------------
+
+    def _launch(self, item: _PendingTask) -> _RunningTask:
+        parent_conn, child_conn = self._ctx.Pipe(duplex=False)
+        process = self._ctx.Process(target=_child_main,
+                                    args=(item.task, child_conn),
+                                    daemon=True)
+        process.start()
+        child_conn.close()
+        now = time.monotonic()
+        return _RunningTask(pending=item, process=process, conn=parent_conn,
+                            started=now, deadline=now + self.task_timeout)
+
+    @staticmethod
+    def _reap(running: _RunningTask) -> None:
+        """Close the pipe and collect the process, forcefully if needed."""
+        try:
+            running.conn.close()
+        except OSError:
+            pass
+        running.process.join(timeout=5)
+        if running.process.is_alive():  # pragma: no cover - defensive
+            running.process.kill()
+            running.process.join(timeout=5)
+
+    def _requeue_or_fail(self, item: _PendingTask, elapsed: float,
+                         error: Dict[str, Any],
+                         pending: List[_PendingTask],
+                         manifest: CampaignManifest,
+                         result: CampaignResult) -> bool:
+        """Apply the retry policy; returns True when the task finished
+        (failed for good)."""
+        if item.attempt <= self.retries:
+            delay = self.backoff * (2 ** (item.attempt - 1))
+            item.attempt += 1
+            item.not_before = time.monotonic() + delay
+            pending.append(item)
+            return False
+        manifest.record_failed(item.task.task_id, item.attempt, elapsed,
+                               error)
+        result.failed += 1
+        return True
+
+    def _run_pool(self, pending: List[_PendingTask],
+                  manifest: CampaignManifest,
+                  result: CampaignResult) -> None:
+        running: List[_RunningTask] = []
+        finished = 0
+        try:
+            while pending or running:
+                if self.limit and finished >= self.limit and not running:
+                    return
+                now = time.monotonic()
+
+                # launch ready tasks up to capacity (unless limited out)
+                if not self.limit or finished < self.limit:
+                    ready = [p for p in pending if p.not_before <= now]
+                    while ready and len(running) < self.max_workers:
+                        item = ready.pop(0)
+                        pending.remove(item)
+                        running.append(self._launch(item))
+
+                if not running:
+                    # everything pending is backing off; sleep to the
+                    # earliest wake-up
+                    wake = min(p.not_before for p in pending)
+                    time.sleep(min(max(wake - now, 0.01), 1.0))
+                    continue
+
+                # wait for output, a death, or the nearest deadline
+                budget = min(r.deadline for r in running) - now
+                timeout = min(max(budget, 0.01), 0.25)
+                ready_conns = _conn_wait([r.conn for r in running],
+                                         timeout=timeout)
+                for run_item in running:
+                    if run_item.conn in ready_conns:
+                        try:
+                            run_item.message = run_item.conn.recv()
+                        except (EOFError, OSError):
+                            run_item.message = None  # died silently
+
+                now = time.monotonic()
+                still_running: List[_RunningTask] = []
+                for run_item in running:
+                    item = run_item.pending
+                    elapsed = now - run_item.started
+                    if run_item.message is not None:
+                        kind, payload = run_item.message
+                        self._reap(run_item)
+                        if kind == "ok":
+                            manifest.record_done(item.task.task_id,
+                                                 item.attempt, elapsed,
+                                                 payload)
+                            result.done += 1
+                            finished += 1
+                        else:
+                            if self._requeue_or_fail(item, elapsed, payload,
+                                                     pending, manifest,
+                                                     result):
+                                finished += 1
+                    elif run_item.conn in ready_conns:
+                        # EOF without a message: the worker died before
+                        # reporting (segfault, OOM kill, os._exit)
+                        self._reap(run_item)
+                        error = {"type": "WorkerCrashed",
+                                 "message": "worker died without reporting"
+                                 f" (exit code"
+                                 f" {run_item.process.exitcode})"}
+                        if self._requeue_or_fail(item, elapsed, error,
+                                                 pending, manifest, result):
+                            finished += 1
+                    elif now >= run_item.deadline:
+                        run_item.process.kill()
+                        self._reap(run_item)
+                        error = {"type": "TaskTimeout",
+                                 "message": f"exceeded {self.task_timeout}s"
+                                 f" task timeout (attempt {item.attempt})"}
+                        if self._requeue_or_fail(item, elapsed, error,
+                                                 pending, manifest, result):
+                            finished += 1
+                    elif not run_item.process.is_alive():
+                        self._reap(run_item)
+                        error = {"type": "WorkerCrashed",
+                                 "message": "worker died without reporting"
+                                 f" (exit code"
+                                 f" {run_item.process.exitcode})"}
+                        if self._requeue_or_fail(item, elapsed, error,
+                                                 pending, manifest, result):
+                            finished += 1
+                    else:
+                        still_running.append(run_item)
+                running = still_running
+        finally:
+            for run_item in running:
+                run_item.process.kill()
+                self._reap(run_item)
+
+
+def run_campaign(spec: CampaignSpec, out_dir: PathLike,
+                 **runner_kwargs) -> CampaignResult:
+    """Convenience wrapper: build a runner and execute the grid."""
+    return CampaignRunner(spec, out_dir, **runner_kwargs).run()

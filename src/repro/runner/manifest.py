@@ -1,0 +1,144 @@
+"""Campaign manifest: a crash-safe JSONL journal of task outcomes.
+
+The manifest is the campaign's source of truth.  Its first record
+describes the campaign (format version, a fingerprint of the expanded
+task grid, the spec itself); each subsequent record is one finished
+task — ``done`` with its measured result, or ``failed`` with the
+captured error (exception type, message, traceback, and, for simulator
+aborts, the diagnostic snapshot).
+
+Durability model: the file is rewritten through the atomic
+write-temp-then-rename helper after every task, so a campaign killed at
+*any* instant leaves either the previous complete journal or the new
+one — never a torn line.  ``CampaignManifest.load`` is nevertheless
+lenient about trailing garbage (a manifest copied off a dying machine,
+say): corrupt trailing lines are dropped and reported, not fatal.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from .atomic import atomic_append_jsonl
+
+MANIFEST_VERSION = 1
+
+PathLike = Union[str, Path]
+
+
+class ManifestError(RuntimeError):
+    """The manifest is unusable (bad header, fingerprint mismatch)."""
+
+
+class CampaignManifest:
+    """In-memory view of the journal, flushed atomically on update."""
+
+    def __init__(self, path: PathLike):
+        self.path = Path(path)
+        self.header: Optional[Dict[str, Any]] = None
+        # task id -> latest record for that task
+        self.tasks: Dict[str, Dict[str, Any]] = {}
+        self.dropped_lines = 0
+
+    # ----- construction ---------------------------------------------------
+
+    @classmethod
+    def create(cls, path: PathLike, fingerprint: str,
+               spec: Dict[str, Any]) -> "CampaignManifest":
+        """Start a fresh journal for a campaign."""
+        manifest = cls(path)
+        manifest.header = {"event": "campaign",
+                           "version": MANIFEST_VERSION,
+                           "fingerprint": fingerprint,
+                           "spec": spec}
+        manifest.flush()
+        return manifest
+
+    @classmethod
+    def load(cls, path: PathLike) -> "CampaignManifest":
+        """Read an existing journal, tolerating trailing corruption."""
+        manifest = cls(path)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                lines = handle.readlines()
+        except OSError as exc:
+            raise ManifestError(f"cannot read manifest {path}: {exc}") \
+                from exc
+        for lineno, line in enumerate(lines, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                manifest.dropped_lines += 1
+                continue
+            if not isinstance(record, dict):
+                manifest.dropped_lines += 1
+                continue
+            event = record.get("event")
+            if event == "campaign":
+                if record.get("version") != MANIFEST_VERSION:
+                    raise ManifestError(
+                        f"{path}: unsupported manifest version"
+                        f" {record.get('version')!r}")
+                manifest.header = record
+            elif event == "task" and "id" in record:
+                manifest.tasks[record["id"]] = record
+            else:
+                manifest.dropped_lines += 1
+        if manifest.header is None:
+            raise ManifestError(
+                f"{path}: no campaign header record — not a manifest, or"
+                " corrupted beyond resume")
+        return manifest
+
+    # ----- queries --------------------------------------------------------
+
+    @property
+    def fingerprint(self) -> str:
+        return self.header.get("fingerprint", "") if self.header else ""
+
+    def completed_ids(self) -> List[str]:
+        return [tid for tid, rec in self.tasks.items()
+                if rec.get("status") == "done"]
+
+    def failed_ids(self) -> List[str]:
+        return [tid for tid, rec in self.tasks.items()
+                if rec.get("status") == "failed"]
+
+    def status_of(self, task_id: str) -> Optional[str]:
+        record = self.tasks.get(task_id)
+        return record.get("status") if record else None
+
+    # ----- updates --------------------------------------------------------
+
+    def record_done(self, task_id: str, attempts: int, elapsed: float,
+                    result: Dict[str, Any]) -> None:
+        self.tasks[task_id] = {"event": "task", "id": task_id,
+                               "status": "done", "attempts": attempts,
+                               "elapsed": round(elapsed, 3),
+                               "result": result}
+        self.flush()
+
+    def record_failed(self, task_id: str, attempts: int, elapsed: float,
+                      error: Dict[str, Any]) -> None:
+        self.tasks[task_id] = {"event": "task", "id": task_id,
+                               "status": "failed", "attempts": attempts,
+                               "elapsed": round(elapsed, 3),
+                               "error": error}
+        self.flush()
+
+    def forget(self, task_id: str) -> None:
+        """Drop a task record (used when retrying failed tasks)."""
+        self.tasks.pop(task_id, None)
+
+    def flush(self) -> None:
+        """Atomically rewrite the journal from the in-memory state."""
+        if self.header is None:
+            raise ManifestError("manifest has no header; nothing to flush")
+        records = [self.header] + [self.tasks[tid]
+                                   for tid in sorted(self.tasks)]
+        atomic_append_jsonl(self.path, records)

@@ -7,8 +7,8 @@ import pytest
 
 from repro.cpu.simulator import simulate
 from repro.cpu.trace import TraceCollector
-from repro.cpu.tracefile import (TraceWriter, load_trace, read_trace_header,
-                                 replay, save_trace)
+from repro.cpu.tracefile import (TraceFormatError, TraceWriter, load_trace,
+                                 read_trace_header, replay, save_trace)
 from repro.core.steering import OriginalPolicy, PolicyEvaluator
 from repro.isa.instructions import FUClass
 
@@ -100,3 +100,93 @@ class TestVersioning:
             read_trace_header(path)
         with pytest.raises(ValueError, match="version"):
             list(load_trace(path))
+
+
+class TestCorruption:
+    """Hardening against the damage long campaigns actually hit: every
+    failure mode raises TraceFormatError naming the file and line."""
+
+    def write_good_trace(self, tmp_path):
+        from repro.workloads import workload
+        collector = TraceCollector()
+        simulate(workload("go").build(1), listeners=[collector])
+        path = tmp_path / "good.jsonl.gz"
+        save_trace(path, collector.groups)
+        return path
+
+    def test_error_is_a_value_error(self):
+        # callers that caught ValueError before the hardening still work
+        assert issubclass(TraceFormatError, ValueError)
+
+    def test_truncated_gzip_stream(self, tmp_path):
+        path = self.write_good_trace(tmp_path)
+        data = path.read_bytes()
+        assert len(data) > 200
+        path.write_bytes(data[:len(data) // 2])  # a killed writer
+        with pytest.raises(TraceFormatError) as exc_info:
+            list(load_trace(path))
+        assert str(path) in str(exc_info.value)
+        assert exc_info.value.path == str(path)
+
+    def test_not_gzip_at_all(self, tmp_path):
+        path = tmp_path / "plain.jsonl.gz"
+        path.write_bytes(b"this is not a gzip container\n")
+        with pytest.raises(TraceFormatError) as exc_info:
+            read_trace_header(path)
+        assert str(path) in str(exc_info.value)
+        assert exc_info.value.line == 0  # not tied to a specific line
+        with pytest.raises(TraceFormatError):
+            list(load_trace(path))
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.jsonl.gz"
+        with gzip.open(path, "wt"):
+            pass
+        with pytest.raises(TraceFormatError, match="empty file"):
+            read_trace_header(path)
+
+    def test_header_not_json(self, tmp_path):
+        path = tmp_path / "garbled.jsonl.gz"
+        with gzip.open(path, "wt") as handle:
+            handle.write("{{{ not json\n")
+        with pytest.raises(TraceFormatError, match="line 1"):
+            read_trace_header(path)
+
+    def test_missing_header(self, tmp_path):
+        path = tmp_path / "headerless.jsonl.gz"
+        with gzip.open(path, "wt") as handle:
+            handle.write('[1, "ialu", []]\n')  # a group where the
+            handle.write('[2, "ialu", []]\n')  # header should be
+        with pytest.raises(TraceFormatError, match="missing header"):
+            list(load_trace(path))
+
+    def test_corrupt_json_line_reports_line_number(self, tmp_path):
+        path = tmp_path / "corrupt.jsonl.gz"
+        with gzip.open(path, "wt") as handle:
+            handle.write(json.dumps({"version": 1, "name": "t",
+                                     "fu_classes": None}) + "\n")
+            handle.write('[1, "ialu", [["add", "5", "9", 1, 0, 0, 0, 0]]]\n')
+            handle.write('[2, "ialu", [["add", "5"\n')  # torn mid-group
+        with pytest.raises(TraceFormatError, match="line 3") as exc_info:
+            list(load_trace(path))
+        assert exc_info.value.line == 3
+
+    def test_structurally_wrong_group(self, tmp_path):
+        path = tmp_path / "shape.jsonl.gz"
+        with gzip.open(path, "wt") as handle:
+            handle.write(json.dumps({"version": 1}) + "\n")
+            handle.write('{"cycle": 1}\n')  # valid JSON, wrong shape
+        with pytest.raises(TraceFormatError, match="corrupt issue group"):
+            list(load_trace(path))
+
+    def test_groups_before_the_damage_are_yielded(self, tmp_path):
+        path = tmp_path / "partial.jsonl.gz"
+        with gzip.open(path, "wt") as handle:
+            handle.write(json.dumps({"version": 1}) + "\n")
+            handle.write('[1, "ialu", [["add", "5", "9", 1, 0, 0, 0, 0]]]\n')
+            handle.write("garbage\n")
+        reader = load_trace(path)
+        first = next(reader)
+        assert first.cycle == 1 and len(first.ops) == 1
+        with pytest.raises(TraceFormatError):
+            next(reader)

@@ -1,0 +1,83 @@
+"""Retirement-progress watchdog and abort diagnostic snapshots."""
+
+import json
+
+import pytest
+
+from repro.cpu.config import MachineConfig
+from repro.cpu.simulator import (CycleLimitExceeded, DeadlockDetected,
+                                 Simulator)
+from repro.workloads import workload
+
+
+def run_ijpeg(**config_overrides):
+    sim = Simulator(workload("ijpeg").build(1),
+                    MachineConfig(**config_overrides))
+    return sim.run()
+
+
+class TestWatchdog:
+    def test_tight_watchdog_trips(self):
+        """Long-latency dependence chains retire slower than a tiny
+        threshold — the watchdog aborts instead of spinning to
+        max_cycles."""
+        with pytest.raises(DeadlockDetected) as exc_info:
+            run_ijpeg(watchdog_cycles=6)
+        error = exc_info.value
+        assert "watchdog_cycles=6" in str(error)
+        assert "ijpeg" in str(error)
+        assert error.snapshot is not None
+        assert error.snapshot.cycles_since_retire >= 6
+
+    def test_default_config_never_trips(self, sum_program):
+        """The 100k default dwarfs the worst real retire gap (max FU
+        latency 18 + a cache miss), so normal runs are unaffected."""
+        result = Simulator(sum_program, MachineConfig()).run()
+        assert result.retired_instructions > 0
+        result = run_ijpeg()  # the same workload that trips at 6
+        assert result.retired_instructions > 0
+
+    def test_zero_disables_the_watchdog(self):
+        # with the watchdog off the run spins on to the cycle cap instead
+        with pytest.raises(CycleLimitExceeded):
+            run_ijpeg(watchdog_cycles=0, max_cycles=60)
+
+    def test_negative_watchdog_rejected(self):
+        with pytest.raises(ValueError, match="watchdog_cycles"):
+            MachineConfig(watchdog_cycles=-1)
+
+
+class TestDiagnosticSnapshot:
+    def trip(self):
+        with pytest.raises(DeadlockDetected) as exc_info:
+            run_ijpeg(watchdog_cycles=6)
+        return exc_info.value.snapshot
+
+    def test_snapshot_describes_the_stall(self):
+        snapshot = self.trip()
+        assert snapshot.rob_occupancy > 0
+        assert snapshot.rob_limit == MachineConfig().rob_entries
+        assert snapshot.oldest_seq is not None
+        assert snapshot.oldest_op  # the op name at the ROB head
+        assert snapshot.oldest_state in ("dispatched", "issued", "done")
+        assert set(snapshot.rs_occupancy) \
+            == {"ialu", "imult", "fpau", "fpmult", "lsu"}
+
+    def test_snapshot_is_json_able(self):
+        payload = json.dumps(self.trip().to_dict())
+        restored = json.loads(payload)
+        assert restored["rob_occupancy"] > 0
+        assert restored["cycles_since_retire"] >= 6
+
+    def test_format_is_human_readable(self):
+        text = self.trip().format()
+        assert "ROB" in text
+        assert "oldest" in text
+
+    def test_cycle_limit_carries_snapshot_too(self):
+        with pytest.raises(CycleLimitExceeded) as exc_info:
+            run_ijpeg(max_cycles=100)
+        snapshot = exc_info.value.snapshot
+        assert snapshot is not None
+        assert snapshot.cycle == 100
+        assert snapshot.retired_instructions >= 0

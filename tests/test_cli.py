@@ -1,5 +1,7 @@
 """CLI smoke tests: every subcommand runs and prints what it promises."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -120,3 +122,52 @@ class TestCli:
         assert code == 0
         assert "Per-workload energy reduction" in output
         assert "compress" in output
+
+    def test_campaign_inline(self, capsys, tmp_path):
+        out_dir = tmp_path / "camp"
+        code, output = run_cli(capsys, "campaign", "--dir", str(out_dir),
+                               "--workloads", "compress", "li",
+                               "--policies", "original", "lut-4",
+                               "--inline")
+        assert code == 0
+        assert "2 done, 0 failed" in output
+        assert "compress@s1/default/r0" in output
+        # every artifact is journaled next to the manifest
+        assert (out_dir / "manifest.jsonl").exists()
+        assert "Campaign results" in (out_dir / "report.txt").read_text()
+        results = json.loads((out_dir / "results.json").read_text())
+        assert set(results["tasks"]) == {"compress@s1/default/r0",
+                                         "li@s1/default/r0"}
+
+    def test_campaign_resume_skips_journaled_tasks(self, capsys, tmp_path):
+        out_dir = tmp_path / "camp"
+        argv = ["campaign", "--dir", str(out_dir), "--workloads", "li",
+                "--policies", "original", "lut-4", "--inline"]
+        code, _ = run_cli(capsys, *argv)
+        assert code == 0
+        # same grid without --resume refuses to clobber the manifest
+        code, _ = run_cli(capsys, *argv)
+        assert code == 2
+        code, output = run_cli(capsys, *argv, "--resume")
+        assert code == 0
+        assert "1 already journaled" in output
+
+    def test_campaign_failed_task_sets_exit_code(self, capsys, tmp_path):
+        out_dir = tmp_path / "camp"
+        code, output = run_cli(capsys, "campaign", "--dir", str(out_dir),
+                               "--workloads", "ijpeg",
+                               "--policies", "original",
+                               "--watchdog", "6", "--retries", "0",
+                               "--inline")
+        assert code == 1
+        assert "FAILED" in output and "DeadlockDetected" in output
+
+    def test_faultsweep(self, capsys, tmp_path):
+        out = tmp_path / "curve.json"
+        code, output = run_cli(capsys, "faultsweep", "li",
+                               "--rates", "0.0", "0.1",
+                               "-o", str(out))
+        assert code == 0
+        assert "fault rate" in output.lower()
+        curve = json.loads(out.read_text())["curve"]
+        assert set(curve) == {"0.0", "0.1"}

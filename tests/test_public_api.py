@@ -6,7 +6,8 @@ import importlib
 import pytest
 
 PACKAGES = ["repro", "repro.isa", "repro.cpu", "repro.core",
-            "repro.compiler", "repro.workloads", "repro.analysis"]
+            "repro.compiler", "repro.workloads", "repro.analysis",
+            "repro.runner"]
 
 
 class TestAllLists:
@@ -74,6 +75,6 @@ class TestDocumentationFiles:
         root = Path(__file__).resolve().parent.parent
         for name in ("README.md", "DESIGN.md", "EXPERIMENTS.md",
                      "docs/isa.md", "docs/internals.md",
-                     "docs/paper_mapping.md"):
+                     "docs/paper_mapping.md", "docs/runner.md"):
             path = root / name
             assert path.exists() and path.stat().st_size > 500, name
