@@ -34,6 +34,7 @@ from repro.cpu.config import MachineConfig                  # noqa: E402
 from repro.cpu.simulator import Simulator                   # noqa: E402
 from repro.isa.assembler import assemble                    # noqa: E402
 from repro.isa.instructions import FUClass                  # noqa: E402
+from repro.telemetry import TelemetryConfig, TelemetrySession  # noqa: E402
 
 
 def store_load_loop(iterations: int) -> str:
@@ -137,18 +138,24 @@ def scenarios(quick: bool):
 
 
 def run_scenario(name: str, source: str, config: MachineConfig,
-                 with_evaluators: bool) -> dict:
+                 with_evaluators: bool, telemetry: bool = False) -> dict:
     program = assemble(source)
-    sim = Simulator(program, config)
+    # the campaign runner's production telemetry shape: metrics only,
+    # no sampling, no trace ring — the cheapest "on" configuration
+    session = (TelemetrySession(TelemetryConfig(metrics=True))
+               if telemetry else None)
+    sim = Simulator(program, config, telemetry=session)
     if with_evaluators:
         stats = paper_statistics(FUClass.IALU)
         modules = config.modules(FUClass.IALU)
         coordinator = SharedEvaluationCoordinator(FUClass.IALU)
         coordinator.add(PolicyEvaluator(FUClass.IALU, modules,
-                                        OriginalPolicy()))
+                                        OriginalPolicy(),
+                                        telemetry=session))
         coordinator.add(PolicyEvaluator(
             FUClass.IALU, modules,
-            make_policy("lut-4", FUClass.IALU, modules, stats=stats)))
+            make_policy("lut-4", FUClass.IALU, modules, stats=stats),
+            telemetry=session))
         sim.add_listener(coordinator)
     start = time.perf_counter()
     result = sim.run()
@@ -163,36 +170,70 @@ def run_scenario(name: str, source: str, config: MachineConfig,
     }
 
 
+def best_of(repeats: int, *args, **kwargs) -> dict:
+    best = None
+    for _ in range(repeats):
+        run = run_scenario(*args, **kwargs)
+        if best is None or run["wall_seconds"] < best["wall_seconds"]:
+            best = run
+    return best
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true",
                         help="small workloads (CI smoke run)")
-    parser.add_argument("--repeats", type=int, default=3,
-                        help="runs per scenario; the fastest is reported")
+    parser.add_argument("--repeats", type=int, default=None,
+                        help="runs per scenario; the fastest is reported "
+                             "(default 3, or 1 with --quick)")
     parser.add_argument("--no-evaluators", action="store_true",
                         help="simulate without steering evaluators attached")
+    parser.add_argument("--assert-telemetry-overhead", type=float,
+                        default=None, metavar="PCT",
+                        help="exit 1 if telemetry-on costs more than PCT%% "
+                             "over telemetry-off (within-run comparison, so "
+                             "machine speed cancels out)")
+    parser.add_argument("--baseline", default=None, metavar="PATH",
+                        help="previous BENCH_hotpath.json to compare the "
+                             "telemetry-off numbers against")
+    parser.add_argument("--assert-baseline-within", type=float,
+                        default=None, metavar="PCT",
+                        help="with --baseline: exit 1 if telemetry-off "
+                             "total cycles/sec dropped more than PCT%%")
     parser.add_argument("--output", default=None, metavar="PATH",
                         help="write results as JSON (e.g. BENCH_hotpath.json)")
     args = parser.parse_args(argv)
 
-    repeats = max(1, args.repeats if not args.quick else 1)
+    if args.repeats is not None:
+        repeats = max(1, args.repeats)
+    else:
+        repeats = 1 if args.quick else 3
     rows = []
     for name, source, config in scenarios(args.quick):
-        best = None
-        for _ in range(repeats):
-            run = run_scenario(name, source, config,
-                               with_evaluators=not args.no_evaluators)
-            if best is None or run["wall_seconds"] < best["wall_seconds"]:
-                best = run
-        rows.append(best)
-        print(f"{best['name']:<24} {best['cycles']:>10} cycles "
-              f"{best['wall_seconds']:>9.3f}s "
-              f"{best['cycles_per_sec']:>12.0f} cyc/s "
-              f"{best['ops_per_sec']:>12.0f} ops/s")
+        off = best_of(repeats, name, source, config,
+                      with_evaluators=not args.no_evaluators)
+        on = best_of(repeats, name, source, config,
+                     with_evaluators=not args.no_evaluators, telemetry=True)
+        overhead = 100.0 * (on["wall_seconds"] / off["wall_seconds"] - 1.0)
+        row = dict(off)
+        row["telemetry_on"] = {
+            "wall_seconds": on["wall_seconds"],
+            "cycles_per_sec": on["cycles_per_sec"],
+            "ops_per_sec": on["ops_per_sec"],
+        }
+        row["telemetry_overhead_pct"] = round(overhead, 2)
+        rows.append(row)
+        print(f"{row['name']:<24} {row['cycles']:>10} cycles "
+              f"{row['wall_seconds']:>9.3f}s "
+              f"{row['cycles_per_sec']:>12.0f} cyc/s "
+              f"{row['ops_per_sec']:>12.0f} ops/s "
+              f"telemetry {overhead:+6.1f}%")
 
     total_cycles = sum(r["cycles"] for r in rows)
     total_ops = sum(r["executed_ops"] for r in rows)
     total_wall = sum(r["wall_seconds"] for r in rows)
+    total_wall_on = sum(r["telemetry_on"]["wall_seconds"] for r in rows)
+    total_overhead = 100.0 * (total_wall_on / total_wall - 1.0)
     summary = {
         "quick": args.quick,
         "with_evaluators": not args.no_evaluators,
@@ -203,18 +244,50 @@ def main(argv=None) -> int:
             "wall_seconds": round(total_wall, 6),
             "cycles_per_sec": round(total_cycles / total_wall, 1),
             "ops_per_sec": round(total_ops / total_wall, 1),
+            "telemetry_on": {
+                "wall_seconds": round(total_wall_on, 6),
+                "cycles_per_sec": round(total_cycles / total_wall_on, 1),
+                "ops_per_sec": round(total_ops / total_wall_on, 1),
+            },
+            "telemetry_overhead_pct": round(total_overhead, 2),
         },
     }
     print(f"{'TOTAL':<24} {total_cycles:>10} cycles "
           f"{total_wall:>9.3f}s "
           f"{summary['total']['cycles_per_sec']:>12.0f} cyc/s "
-          f"{summary['total']['ops_per_sec']:>12.0f} ops/s")
+          f"{summary['total']['ops_per_sec']:>12.0f} ops/s "
+          f"telemetry {total_overhead:+6.1f}%")
+    baseline = None
+    if args.baseline:
+        # read before --output in case both name the same file
+        import json
+        with open(args.baseline) as handle:
+            baseline = json.load(handle)["total"]["cycles_per_sec"]
     if args.output:
         # write-temp-then-rename: a benchmark killed mid-write must not
         # clobber the previous BENCH_hotpath.json with a torn file
         atomic_write_json(args.output, summary)
         print(f"wrote {args.output}")
-    return 0
+    failed = False
+    if (args.assert_telemetry_overhead is not None
+            and total_overhead > args.assert_telemetry_overhead):
+        print(f"FAIL: telemetry overhead {total_overhead:.1f}% exceeds "
+              f"{args.assert_telemetry_overhead:.1f}% budget",
+              file=sys.stderr)
+        failed = True
+    if baseline is not None:
+        # the telemetry-OFF trajectory: dormant hooks must stay free
+        current = summary["total"]["cycles_per_sec"]
+        drop = 100.0 * (1.0 - current / baseline)
+        print(f"baseline {baseline:.0f} cyc/s -> {current:.0f} cyc/s "
+              f"({-drop:+.1f}%)")
+        if (args.assert_baseline_within is not None
+                and drop > args.assert_baseline_within):
+            print(f"FAIL: telemetry-off throughput dropped {drop:.1f}% "
+                  f"(budget {args.assert_baseline_within:.1f}%)",
+                  file=sys.stderr)
+            failed = True
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

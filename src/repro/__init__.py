@@ -14,7 +14,10 @@ The package is layered bottom-up:
 * :mod:`repro.workloads` — SPEC95-analogue kernels and calibrated
   statistical stream generators;
 * :mod:`repro.analysis` — Table 1/2/3 collectors, the Figure 4 energy
-  experiment driver, and report rendering.
+  experiment driver, and report rendering;
+* :mod:`repro.telemetry` — metrics registry, time-series sampling, and
+  Chrome-trace pipeline event export (stdlib-only, importable from
+  every other layer).
 
 Quick start::
 
@@ -32,7 +35,7 @@ Quick start::
     print(evaluator.totals().bits_per_operation)
 """
 
-from . import analysis, compiler, core, cpu, isa, runner, workloads
+from . import analysis, compiler, core, cpu, isa, runner, telemetry, workloads
 from .analysis import (chip_level_estimate, run_figure4,
                        run_multiplier_experiment)
 from .core import (FUPowerModel, HardwareSwapper, LUTPolicy,
@@ -43,14 +46,19 @@ from .cpu import (MachineConfig, Simulator, TraceCollector, default_config,
 from .isa import Program, assemble
 from .runner import (CampaignRunner, CampaignSpec, FaultInjector,
                      fault_sweep, run_campaign)
+from .telemetry import (MetricsRegistry, PipelineTracer, TelemetryConfig,
+                        TelemetrySession, validate_chrome_trace)
 from .workloads import SyntheticStream, all_workloads, workload
 
 __version__ = "1.0.0"
 
 __all__ = [
-    "analysis", "compiler", "core", "cpu", "isa", "runner", "workloads",
+    "analysis", "compiler", "core", "cpu", "isa", "runner", "telemetry",
+    "workloads",
     "CampaignRunner", "CampaignSpec", "FaultInjector", "fault_sweep",
     "run_campaign",
+    "MetricsRegistry", "PipelineTracer", "TelemetryConfig",
+    "TelemetrySession", "validate_chrome_trace",
     "chip_level_estimate", "run_figure4", "run_multiplier_experiment",
     "FUPowerModel", "HardwareSwapper", "LUTPolicy", "MultiplierSwapper",
     "PolicyEvaluator", "SteeringLUT", "build_lut", "make_policy",

@@ -160,8 +160,13 @@ def render_campaign(policies: Sequence[str],
                 saving = per_policy.get(kind, {}).get("saving")
                 cells.append(f"{100 * saving:.1f}" if saving is not None
                              else "-")
-            detail = (f"faults={result['fault_flips']}"
-                      if result.get("fault_flips") else "")
+            parts = []
+            if result.get("fault_flips"):
+                parts.append(f"faults={result['fault_flips']}")
+            wrong_path = result.get("wrong_path_frac")
+            if wrong_path:
+                parts.append(f"wp={100 * wrong_path:.1f}%")
+            detail = " ".join(parts)
             rows.append([task_id, "done", attempts,
                          str(result.get("cycles", "-"))] + cells + [detail])
         else:

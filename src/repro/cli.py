@@ -19,6 +19,8 @@ utilities:
 ``asm``               assemble and run a .s file, dump results
 ``campaign``          fault-tolerant experiment grid with checkpoint/resume
 ``faultsweep``        steering savings vs info-bit fault rate
+``stats``             run with telemetry, print the metrics table
+``trace-export``      export a pipeline trace as Chrome trace-event JSON
 ====================  ====================================================
 
 Robustness contract: ``KeyboardInterrupt`` exits with code 130 after
@@ -49,8 +51,10 @@ from .analysis.value_stats import ValueStatsCollector, render_value_stats
 from .core import build_lut, make_policy, paper_statistics
 from .core.logic import estimate_router_cost, synthesize_lut_logic
 from .core.verilog import export_router
-from .core.steering import PolicyEvaluator
+from .core.steering import PolicyEvaluator, SharedEvaluationCoordinator
 from .cpu.simulator import Simulator
+from .telemetry import (TelemetryConfig, TelemetrySession,
+                        validate_chrome_trace)
 from .cpu.tracefile import TraceWriter, read_trace_header, replay
 from .isa import encoding
 from .isa.assembler import assemble
@@ -366,6 +370,69 @@ def cmd_faultsweep(args) -> int:
     return 0
 
 
+def _telemetry_policies(sim: Simulator, session: TelemetrySession,
+                        fu_class: FUClass,
+                        kinds: List[str]) -> None:
+    """Attach telemetry-reporting policy evaluators to a simulator."""
+    if not kinds:
+        return
+    stats = paper_statistics(fu_class)
+    num_modules = sim.config.modules(fu_class)
+    coordinator = SharedEvaluationCoordinator(fu_class)
+    for kind in kinds:
+        policy = make_policy(kind, fu_class, num_modules, stats=stats)
+        coordinator.add(PolicyEvaluator(fu_class, num_modules, policy,
+                                        telemetry=session))
+    sim.add_listener(coordinator)
+
+
+def cmd_stats(args) -> int:
+    load = workload(args.workload)
+    program = load.build(args.scale)
+    stream = sys.stdout if args.live else None
+    session = TelemetrySession(
+        TelemetryConfig(metrics=True, sample_interval=args.interval),
+        stream=stream)
+    sim = Simulator(program, telemetry=session)
+    _telemetry_policies(sim, session, _fu_class(args.fu), args.policies)
+    result = sim.run()
+    print(session.format_metrics(
+        title=f"telemetry: {load.name} (scale {args.scale},"
+              f" {result.cycles} cycles, IPC {result.ipc:.2f})"))
+    print(f"samples: {len(session.samples)}"
+          f" (every {args.interval} cycles)")
+    if args.jsonl:
+        count = session.sampler.write_jsonl(args.jsonl)
+        print(f"wrote {count} time-series rows to {args.jsonl}")
+    return 0
+
+
+def cmd_trace_export(args) -> int:
+    load = workload(args.workload)
+    program = load.build(args.scale)
+    session = TelemetrySession(
+        TelemetryConfig(metrics=True, sample_interval=args.interval,
+                        trace_events=True, trace_buffer=args.buffer))
+    sim = Simulator(program, telemetry=session)
+    _telemetry_policies(sim, session, _fu_class(args.fu), args.policies)
+    sim.run()
+    payload = session.chrome_trace(load.name)
+    problems = validate_chrome_trace(payload)
+    if problems:
+        print("trace failed schema validation:", file=sys.stderr)
+        for problem in problems[:10]:
+            print(f"  {problem}", file=sys.stderr)
+        return 1
+    atomic_write_json(args.output, payload)
+    tracer = session.tracer
+    print(f"wrote {len(payload['traceEvents'])} trace events"
+          f" ({len(tracer.spans)} spans, {tracer.dropped_spans} dropped)"
+          f" to {args.output}")
+    print("view: https://ui.perfetto.dev  (Open trace file)"
+          " or chrome://tracing")
+    return 0
+
+
 # --- parser --------------------------------------------------------------------
 
 def build_parser() -> argparse.ArgumentParser:
@@ -523,6 +590,40 @@ def build_parser() -> argparse.ArgumentParser:
     add_scale(p)
     p.add_argument("-o", "--output", help="also write the curve as JSON")
     p.set_defaults(func=cmd_faultsweep)
+
+    p = sub.add_parser("stats",
+                       help="run one workload with telemetry and print"
+                            " the metrics table")
+    p.add_argument("--workload", required=True)
+    add_scale(p)
+    p.add_argument("--interval", type=int, default=1000,
+                   help="time-series sampling interval in cycles")
+    p.add_argument("--fu", default="ialu",
+                   choices=[fu.value for fu in FUClass])
+    p.add_argument("--policies", nargs="*",
+                   default=["original", "lut-4"],
+                   help="steering policies to score (empty for none)")
+    p.add_argument("--jsonl",
+                   help="write the sampled time series to this JSONL file")
+    p.add_argument("--live", action="store_true",
+                   help="stream each sample row to stdout as it is taken")
+    p.set_defaults(func=cmd_stats)
+
+    p = sub.add_parser("trace-export",
+                       help="export a pipeline event trace as Chrome"
+                            " trace-event JSON (Perfetto-loadable)")
+    p.add_argument("--workload", required=True)
+    p.add_argument("-o", "--output", required=True)
+    add_scale(p)
+    p.add_argument("--interval", type=int, default=200,
+                   help="counter-track sampling interval in cycles")
+    p.add_argument("--buffer", type=int, default=65_536,
+                   help="ring-buffer capacity in spans (oldest evicted)")
+    p.add_argument("--fu", default="ialu",
+                   choices=[fu.value for fu in FUClass])
+    p.add_argument("--policies", nargs="*", default=["lut-4"],
+                   help="policies emitting module-assignment events")
+    p.set_defaults(func=cmd_trace_export)
 
     return parser
 

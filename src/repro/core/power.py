@@ -75,10 +75,21 @@ class FUPowerModel:
         self._inputs: List[Tuple[int, int]] = [(0, 0)] * num_modules
         self.switched_bits = 0
         self.operations = 0
+        # per-module breakdown, allocated only when telemetry asks for
+        # it (enable_module_tracking) so the default accounting loops
+        # pay nothing beyond one is-None test per operation
+        self.module_switched_bits: Optional[List[int]] = None
+        self.module_operations: Optional[List[int]] = None
         # batched accounting is only valid when account() is not
         # overridden; resolved once here rather than per account_group
         # call (type(self) is the final subclass by __init__ time)
         self._batched = type(self).account is _BASE_ACCOUNT
+
+    def enable_module_tracking(self) -> None:
+        """Additionally accumulate switched bits and ops per module."""
+        if self.module_switched_bits is None:
+            self.module_switched_bits = [0] * self.num_modules
+            self.module_operations = [0] * self.num_modules
 
     def account(self, module: int, op1: int, op2: int) -> int:
         """Charge one operation issued to ``module``; return its cost."""
@@ -92,6 +103,9 @@ class FUPowerModel:
         self._inputs[module] = (op1, op2)
         self.switched_bits += cost
         self.operations += 1
+        if self.module_switched_bits is not None:
+            self.module_switched_bits[module] += cost
+            self.module_operations[module] += 1
         return cost
 
     def account_group(self, ops: Sequence, modules: Sequence[int],
@@ -121,6 +135,8 @@ class FUPowerModel:
         inputs = self._inputs
         mask = self._mask
         bc = _bit_count
+        track = self.module_switched_bits
+        track_ops = self.module_operations
         total = 0
         count = 0
         for op, module, swap in zip(ops, modules, swapped):
@@ -133,10 +149,14 @@ class FUPowerModel:
             if module < 0:
                 raise ValueError(f"module {module} out of range")
             prev1, prev2 = inputs[module]
-            total += (bc((prev1 ^ op1) & mask)
-                      + bc((prev2 ^ op2) & mask))
+            cost = (bc((prev1 ^ op1) & mask)
+                    + bc((prev2 ^ op2) & mask))
+            total += cost
             inputs[module] = (op1, op2)
             count += 1
+            if track is not None:
+                track[module] += cost
+                track_ops[module] += 1
         self.switched_bits += total
         self.operations += count
         return total
@@ -164,6 +184,9 @@ class FUPowerModel:
         self._inputs = [(0, 0)] * self.num_modules
         self.switched_bits = 0
         self.operations = 0
+        if self.module_switched_bits is not None:
+            self.module_switched_bits = [0] * self.num_modules
+            self.module_operations = [0] * self.num_modules
 
     @property
     def bits_per_operation(self) -> float:

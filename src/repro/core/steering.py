@@ -31,6 +31,7 @@ from ..cpu.trace import IssueGroup, MicroOp
 from ..isa import encoding
 from ..isa.encoding import bit_count as _bit_count
 from ..isa.instructions import FUClass
+from ..telemetry.session import TelemetrySession
 from .assignment import Assignment, optimal_assignment
 from .info_bits import InfoBitScheme, case_of, scheme_for
 from .lut import SteeringLUT, build_lut
@@ -262,7 +263,8 @@ class PolicyEvaluator:
                  scheme: Optional[InfoBitScheme] = None,
                  pre_swapper: Optional[HardwareSwapper] = None,
                  include_speculative: bool = True,
-                 fault_injector=None):
+                 fault_injector=None,
+                 telemetry: Optional[TelemetrySession] = None):
         self.fu_class = fu_class
         self.policy = policy
         self.scheme = scheme or scheme_for(fu_class)
@@ -279,6 +281,67 @@ class PolicyEvaluator:
         # inclusive (streaming) evaluators
         self._deferred: Optional[List[IssueGroup]] = (
             None if include_speculative else [])
+        self.telemetry: Optional[TelemetrySession] = None
+        if telemetry is not None and telemetry.enabled:
+            self._init_telemetry(telemetry)
+
+    def _init_telemetry(self, telemetry: TelemetrySession) -> None:
+        """Prebind the per-evaluator tallies and the session collector.
+
+        The hot per-cycle path touches only plain ints and one flat
+        list (``_case_counts``) — no registry objects, no method
+        dispatch per operation.  Everything the registry or sampler
+        wants (case mix, swaps, per-module switched-bit breakdown) is
+        *read* lazily through a session collector at sample points and
+        at summary time.
+        """
+        self.telemetry = telemetry
+        prefix = f"steer.{self.fu_class.value}.{self.label}"
+        self._case_fn = self.scheme.pair_case or self.scheme.case_of
+        self._case_counts = [0, 0, 0, 0]
+        self._ops_seen = 0
+        self._swaps_seen = 0
+        self._trace = telemetry.tracer
+        power = self.power
+        power.enable_module_tracking()
+
+        def collect(prefix=prefix, power=power) -> Dict[str, int]:
+            counts = self._case_counts
+            counters = {
+                f"{prefix}.ops": self._ops_seen,
+                f"{prefix}.swaps": self._swaps_seen,
+                f"{prefix}.case00": counts[0],
+                f"{prefix}.case01": counts[1],
+                f"{prefix}.case10": counts[2],
+                f"{prefix}.case11": counts[3],
+                f"{prefix}.bits": power.switched_bits,
+            }
+            for index, bits in enumerate(power.module_switched_bits):
+                counters[f"{prefix}.module.{index}.bits"] = bits
+                counters[f"{prefix}.module.{index}.ops"] = \
+                    power.module_operations[index]
+            return counters
+
+        telemetry.add_collector(collect)
+
+    def _telemetry_record(self, ops: Sequence[MicroOp],
+                          assignment: Assignment, cycle: int) -> None:
+        """Per-cycle steering telemetry: case mix, swaps, trace event."""
+        modules = assignment.modules
+        if len(ops) > len(modules):
+            ops = ops[:len(modules)]
+        case = self._case_fn
+        counts = self._case_counts
+        for op in ops:
+            counts[case(op.op1, op.op2 if op.has_two else 0)] += 1
+        self._ops_seen += len(ops)
+        swapped = assignment.swapped
+        if True in swapped:
+            self._swaps_seen += swapped.count(True)
+        if self._trace is not None:
+            self._trace.module_assigned(cycle, self.fu_class.value,
+                                        self.label, modules,
+                                        assignment.swapped)
 
     def __call__(self, group: IssueGroup) -> None:
         if group.fu_class is not self.fu_class:
@@ -286,9 +349,10 @@ class PolicyEvaluator:
         if self._deferred is not None:
             self._deferred.append(group)
             return
-        self._account_ops(group.ops)
+        self._account_ops(group.ops, group.cycle)
 
-    def _account_ops(self, ops: Sequence[MicroOp]) -> None:
+    def _account_ops(self, ops: Sequence[MicroOp],
+                     cycle: int = 0) -> None:
         """Clamp, pre-swap, assign, and charge one cycle's operations."""
         if not ops:
             return
@@ -300,12 +364,15 @@ class PolicyEvaluator:
         view = ops
         if self.fault_injector is not None:
             view = self.fault_injector.corrupt_view(ops, self.fu_class)
-        self._apply(ops, self.policy.assign(view, self.power))
+        self._apply(ops, self.policy.assign(view, self.power), cycle)
 
-    def _apply(self, ops: Sequence[MicroOp], assignment: Assignment) -> None:
+    def _apply(self, ops: Sequence[MicroOp], assignment: Assignment,
+               cycle: int = 0) -> None:
         self.cycles_seen += 1
         self.power.account_group(ops, assignment.modules,
                                  assignment.swapped)
+        if self.telemetry is not None:
+            self._telemetry_record(ops, assignment, cycle)
 
     def finalize(self) -> None:
         """Account any deferred groups using their final wrong-path
@@ -316,7 +383,8 @@ class PolicyEvaluator:
         pending, self._deferred = self._deferred, []
         for group in pending:
             self._account_ops(
-                [op for op in group.ops if not op.speculative])
+                [op for op in group.ops if not op.speculative],
+                group.cycle)
 
     @property
     def label(self) -> str:
@@ -441,6 +509,8 @@ class SharedEvaluationCoordinator:
             ev.cycles_seen += 1
             power.account_group(ops, assignment.modules,
                                 assignment.swapped)
+            if ev.telemetry is not None:
+                ev._telemetry_record(ops, assignment, group.cycle)
 
     def finalize(self) -> None:
         """Drain every deferred (wrong-path-excluding) evaluator."""

@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional
 
 from ..isa.instructions import FUClass
+from ..telemetry.config import TelemetryConfig
 from .cache import CacheConfig
 
 DEFAULT_FU_COUNTS: Dict[FUClass, int] = {
@@ -50,6 +51,9 @@ class MachineConfig:
     watchdog_cycles: int = 100_000
     # L1 data cache; None models an ideal (always-hit) memory
     cache: Optional[CacheConfig] = field(default_factory=CacheConfig)
+    # what to record while running; None disables telemetry entirely
+    # (the simulator then skips every hook — the near-zero-cost path)
+    telemetry: Optional[TelemetryConfig] = None
 
     def __post_init__(self) -> None:
         if self.fetch_width < 1 or self.dispatch_width < 1 or self.retire_width < 1:

@@ -29,6 +29,7 @@ from ..isa.encoding import INT_MASK as _INT_MASK
 from ..isa.encoding import wrap_int as _wrap_int
 from ..isa.instructions import (ZERO_REG, FUClass, Instruction)
 from ..isa.program import Program
+from ..telemetry.session import TelemetrySession
 from .branch import make_predictor
 from .cache import DataCache
 from .config import UNPIPELINED_CLASSES, MachineConfig, default_config
@@ -139,6 +140,34 @@ class DiagnosticSnapshot:
     pc: Optional[int] = None
     fetch_stalled_until: int = 0
 
+    @classmethod
+    def from_gauges(cls, gauges: Dict[str, Any]) -> "DiagnosticSnapshot":
+        """Build from :meth:`Simulator.pipeline_gauges` output.
+
+        The snapshot and the telemetry time-series sampler read the
+        same live gauge dict, so the two views of pipeline occupancy
+        cannot drift apart.
+        """
+        return cls(
+            cycle=gauges["cycle"],
+            retired_instructions=gauges["retired_instructions"],
+            cycles_since_retire=gauges["cycles_since_retire"],
+            rob_occupancy=gauges["rob_occupancy"],
+            rob_limit=gauges["rob_limit"],
+            oldest_seq=gauges.get("oldest_seq"),
+            oldest_op=gauges.get("oldest_op"),
+            oldest_state=gauges.get("oldest_state"),
+            oldest_address=gauges.get("oldest_address"),
+            oldest_waiting_tags=list(gauges.get("oldest_waiting_tags", [])),
+            store_queue_depth=gauges["store_queue_depth"],
+            rs_occupancy=dict(gauges["rs_occupancy"]),
+            module_busy_until={k: list(v) for k, v
+                               in gauges["module_busy_until"].items()},
+            events_pending=gauges["events_pending"],
+            pc=gauges["pc"],
+            fetch_stalled_until=gauges["fetch_stalled_until"],
+        )
+
     def to_dict(self) -> Dict[str, Any]:
         """JSON-serialisable form for manifests and logs."""
         return {
@@ -220,7 +249,8 @@ class Simulator:
     def __init__(self, program: Program,
                  config: Optional[MachineConfig] = None,
                  fault_injector: Optional[Callable[[MicroOp, FUClass],
-                                                   None]] = None):
+                                                   None]] = None,
+                 telemetry: Optional[TelemetrySession] = None):
         program.validate()
         self.program = program
         self.config = config or default_config()
@@ -287,6 +317,20 @@ class Simulator:
         self._halt_fetched = False
         self.result = SimulationResult(name=program.name)
         self.result.issue_counts = {fu: 0 for fu in FUClass}
+        # telemetry: an explicit session wins; otherwise build one from
+        # the config knob.  ``None`` when disabled — the run loop then
+        # skips every hook, which is the verifiably-near-zero-cost path.
+        if telemetry is None and self.config.telemetry is not None \
+                and self.config.telemetry.enabled:
+            telemetry = TelemetrySession(self.config.telemetry)
+        if telemetry is not None and not telemetry.enabled:
+            telemetry = None
+        self.telemetry = telemetry
+        self._tracer = telemetry.tracer if telemetry is not None else None
+        if self._tracer is not None:
+            self._tracer.fu_names = tuple(fu.value for fu in FUClass)
+        if telemetry is not None:
+            telemetry.add_collector(self._telemetry_counters)
 
     @staticmethod
     def _decode(instr: Instruction):
@@ -401,6 +445,22 @@ class Simulator:
         inject = self.fault_injector
         watchdog = config.watchdog_cycles
         last_retire_cycle = 0
+        # telemetry bindings: when disabled every guard below is a dead
+        # local-bool test (tens of ns against the multi-µs cycle body)
+        telemetry = self.telemetry
+        tracer = self._tracer
+        trace_on = tracer is not None
+        sample_interval = (telemetry.sampler.interval
+                           if telemetry is not None
+                           and telemetry.sampler is not None else 0)
+        next_sample = sample_interval if sample_interval else max_cycles + 1
+        if telemetry is not None and telemetry.registry.enabled:
+            issue_width_hists: Optional[List[Any]] = [
+                telemetry.registry.histogram(
+                    f"issue.{fu.value}.width", (1, 2, 3, 4, 6, 8))
+                for fu in FUClass]
+        else:
+            issue_width_hists = None
 
         while not self._halted:
             if cycle >= max_cycles:
@@ -415,6 +475,9 @@ class Simulator:
                     f" {cycle - last_retire_cycle} cycles"
                     f" (watchdog_cycles={watchdog})\n{snapshot.format()}",
                     snapshot=snapshot)
+            if cycle >= next_sample:
+                self._telemetry_sample(cycle, last_retire_cycle)
+                next_sample = cycle + sample_interval
 
             # ---- retire: in order, oldest first ----
             if rob and rob[0].state == _DONE:
@@ -425,6 +488,8 @@ class Simulator:
                         break
                     kind = entry.exec_info[0]
                     if kind == _X_HALT:
+                        if trace_on:
+                            tracer.retired(entry.seq, cycle)
                         self._halted = True
                         retired += 1
                         break
@@ -445,6 +510,8 @@ class Simulator:
                             predictor_update(instr.address,
                                              entry.actual_taken,
                                              entry.predicted_taken)
+                    if trace_on:
+                        tracer.retired(entry.seq, cycle)
                     rob.popleft()
                     retired += 1
                 result.retired_instructions += retired
@@ -459,6 +526,8 @@ class Simulator:
                 if entry.squashed:
                     continue
                 entry.state = _DONE
+                if trace_on:
+                    tracer.completed(entry.seq, cycle)
                 if entry.dest is not None:
                     # a completing producer touches exactly its
                     # registered consumers instead of scanning the ROB
@@ -484,7 +553,7 @@ class Simulator:
                 if entry.exec_info[0] == _X_BRANCH \
                         and entry.actual_taken != entry.predicted_taken:
                     instr = entry.instr
-                    self._flush_after(entry)
+                    self._flush_after(entry, cycle)
                     self._pc = (instr.target if entry.actual_taken
                                 else instr.address + 1)
                     self._fetch_stalled_until = cycle + mispredict_penalty
@@ -524,6 +593,8 @@ class Simulator:
                             blocked.append(item)
                         continue
                     micro = execute(entry, cycle)
+                    if trace_on:
+                        tracer.issued(entry.seq, cycle)
                     if inject is not None:
                         # transient upset on the routing path: listeners
                         # (steering, power accounting) see flipped bits;
@@ -548,6 +619,8 @@ class Simulator:
                     occupancy[fu_index] -= count
                     issue_counts[fu_index] += count
                     result.executed_ops += count
+                    if issue_width_hists is not None:
+                        issue_width_hists[fu_index].observe(count)
                     group = IssueGroup(cycle, fu_class, issued)
                     for listener in listeners:
                         listener(group)
@@ -604,6 +677,10 @@ class Simulator:
                             rename[dest] = entry
 
                         rob.append(entry)
+                        if trace_on:
+                            tracer.dispatched(entry.seq, instr.op.name,
+                                              instr.address, fu_index,
+                                              cycle)
                         if is_store:
                             store_queue.append(entry)
                         occupancy[fu_index] += 1
@@ -645,38 +722,100 @@ class Simulator:
         if self.dcache is not None:
             self.result.cache_hits = self.dcache.hits
             self.result.cache_misses = self.dcache.misses
+        if telemetry is not None:
+            self._finalize_telemetry(cycle, last_retire_cycle)
         return self.result
+
+    def pipeline_gauges(self, cycle: int,
+                        last_retire_cycle: int = 0) -> Dict[str, Any]:
+        """Live pipeline-occupancy gauges as plain data.
+
+        The single source of truth for point-in-time pipeline state:
+        :meth:`_snapshot` (abort diagnostics) and the telemetry sampler
+        both read this dict rather than walking the ROB independently.
+        """
+        gauges: Dict[str, Any] = {
+            "cycle": cycle,
+            "retired_instructions": self.result.retired_instructions,
+            "cycles_since_retire": cycle - last_retire_cycle,
+            "rob_occupancy": len(self._rob),
+            "rob_limit": self.config.rob_entries,
+            "store_queue_depth": len(self._store_queue),
+            "rs_occupancy": {fu.value: self._rs_occupancy[fu.index]
+                             for fu in FUClass},
+            "module_busy_until": {fu.value:
+                                  list(self._module_free_at[fu.index])
+                                  for fu in FUClass},
+            "events_pending": len(self._events),
+            "pc": self._pc,
+            "fetch_stalled_until": self._fetch_stalled_until,
+        }
+        if self._rob:
+            oldest = self._rob[0]
+            gauges["oldest_seq"] = oldest.seq
+            gauges["oldest_op"] = oldest.instr.op.name
+            gauges["oldest_state"] = _STATE_NAMES.get(oldest.state,
+                                                      str(oldest.state))
+            gauges["oldest_address"] = oldest.instr.address
+            gauges["oldest_waiting_tags"] = [
+                tag for tag in (oldest.tag1, oldest.tag2)
+                if tag is not None]
+        return gauges
 
     def _snapshot(self, cycle: int,
                   last_retire_cycle: int = 0) -> DiagnosticSnapshot:
         """Capture the pipeline state for an abort diagnostic."""
-        snapshot = DiagnosticSnapshot(
-            cycle=cycle,
-            retired_instructions=self.result.retired_instructions,
-            cycles_since_retire=cycle - last_retire_cycle,
-            rob_occupancy=len(self._rob),
-            rob_limit=self.config.rob_entries,
-            store_queue_depth=len(self._store_queue),
-            rs_occupancy={fu.value: self._rs_occupancy[fu.index]
-                          for fu in FUClass},
-            module_busy_until={fu.value: list(self._module_free_at[fu.index])
-                               for fu in FUClass},
-            events_pending=len(self._events),
-            pc=self._pc,
-            fetch_stalled_until=self._fetch_stalled_until,
-        )
-        if self._rob:
-            oldest = self._rob[0]
-            snapshot.oldest_seq = oldest.seq
-            snapshot.oldest_op = oldest.instr.op.name
-            snapshot.oldest_state = _STATE_NAMES.get(oldest.state,
-                                                     str(oldest.state))
-            snapshot.oldest_address = oldest.instr.address
-            snapshot.oldest_waiting_tags = [
-                tag for tag in (oldest.tag1, oldest.tag2) if tag is not None]
-        return snapshot
+        return DiagnosticSnapshot.from_gauges(
+            self.pipeline_gauges(cycle, last_retire_cycle))
 
-    def _flush_after(self, branch: _RobEntry) -> None:
+    # ----- telemetry -------------------------------------------------------
+
+    def _telemetry_counters(self) -> Dict[str, int]:
+        """Cumulative run counters, pulled by the telemetry session at
+        sample points and when building the final summary."""
+        result = self.result
+        counters = {
+            "retired": result.retired_instructions,
+            "executed": result.executed_ops,
+            "squashed": result.squashed_ops,
+            "branch.lookups": self.predictor.lookups,
+            "branch.mispredictions": self.predictor.mispredictions,
+        }
+        counts = self._issue_count_list
+        for fu in FUClass:
+            counters[f"issue.{fu.value}"] = counts[fu.index]
+        return counters
+
+    def _telemetry_sample(self, cycle: int, last_retire_cycle: int) -> None:
+        """Take one time-series row (run loop, every sample_interval)."""
+        telemetry = self.telemetry
+        gauges = self.pipeline_gauges(cycle, last_retire_cycle)
+        registry = telemetry.registry
+        if registry.enabled:
+            registry.gauge("sim.rob.high_water").high_water(
+                gauges["rob_occupancy"])
+            registry.gauge("sim.store_queue.high_water").high_water(
+                gauges["store_queue_depth"])
+            registry.histogram("sim.rob.occupancy",
+                               (4, 8, 16, 32, 64, 128, 256)).observe(
+                gauges["rob_occupancy"])
+        flat = {"rob": gauges["rob_occupancy"],
+                "store_queue": gauges["store_queue_depth"]}
+        for name, occ in gauges["rs_occupancy"].items():
+            flat["rs." + name] = occ
+        telemetry.take_sample(cycle, flat)
+
+    def _finalize_telemetry(self, cycle: int,
+                            last_retire_cycle: int) -> None:
+        telemetry = self.telemetry
+        if telemetry.sampler is not None:
+            self._telemetry_sample(cycle, last_retire_cycle)
+        if telemetry.registry.enabled:
+            telemetry.registry.counter("sim.cycles").inc(self.result.cycles)
+        if self._tracer is not None:
+            self._tracer.finish(cycle + 1)
+
+    def _flush_after(self, branch: _RobEntry, cycle: int = 0) -> None:
         # entries younger than the branch form a suffix of the ROB (and
         # of the store queue): pop from the tail, O(flushed) not O(ROB)
         rob = self._rob
@@ -685,8 +824,11 @@ class Simulator:
         flushed: List[_RobEntry] = []
         while rob[-1] is not branch:
             flushed.append(rob.pop())
+        tracer = self._tracer
         for entry in flushed:
             entry.squashed = True
+            if tracer is not None:
+                tracer.flushed(entry.seq, cycle)
             if entry.state >= _ISSUED:  # executed (or completed) wrong-path
                 self.result.squashed_ops += 1
             if entry.micro is not None:
@@ -809,9 +951,11 @@ class Simulator:
         return self.memory.load(address, double=double)
 
 def simulate(program: Program, config: Optional[MachineConfig] = None,
-             listeners: Optional[List[IssueListener]] = None) -> SimulationResult:
+             listeners: Optional[List[IssueListener]] = None,
+             telemetry: Optional[TelemetrySession] = None
+             ) -> SimulationResult:
     """Convenience wrapper: build a simulator, attach listeners, run."""
-    sim = Simulator(program, config)
+    sim = Simulator(program, config, telemetry=telemetry)
     for listener in listeners or []:
         sim.add_listener(listener)
     return sim.run()

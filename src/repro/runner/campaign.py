@@ -178,11 +178,16 @@ def execute_task(task: TaskSpec) -> Dict[str, Any]:
     from ..cpu.config import MachineConfig
     from ..isa.instructions import FUClass
     from ..cpu.simulator import Simulator
+    from ..telemetry import TelemetryConfig, TelemetrySession
     from ..workloads import workload as get_workload
     from .faults import FaultInjector
 
     fu_class = FUClass(task.fu)
     config = MachineConfig(**task.config) if task.config else MachineConfig()
+    # metrics-only session: counters merge across worker processes via
+    # the summary dict in the manifest; sampling/tracing stay off so a
+    # big grid does not bloat the JSONL or slow the sweep
+    session = TelemetrySession(TelemetryConfig(metrics=True))
     load = get_workload(task.workload)
     program = load.build(task.scale)
     stats = paper_statistics(fu_class)
@@ -200,9 +205,10 @@ def execute_task(task: TaskSpec) -> Dict[str, Any]:
                                      seed=task.seed)
             injectors[kind] = injector
         coordinator.add(PolicyEvaluator(fu_class, num_modules, policy,
-                                        fault_injector=injector))
+                                        fault_injector=injector,
+                                        telemetry=session))
 
-    sim = Simulator(program, config)
+    sim = Simulator(program, config, telemetry=session)
     sim.add_listener(coordinator)
     sim_result = sim.run()
 
@@ -216,6 +222,8 @@ def execute_task(task: TaskSpec) -> Dict[str, Any]:
     if baseline_bits:
         for kind, cell in policies.items():
             cell["saving"] = 1.0 - cell["switched_bits"] / baseline_bits
+    wrong_path_frac = (sim_result.squashed_ops / sim_result.executed_ops
+                       if sim_result.executed_ops else 0.0)
     return {
         "workload": task.workload,
         "scale": task.scale,
@@ -224,8 +232,10 @@ def execute_task(task: TaskSpec) -> Dict[str, Any]:
         "cycles": sim_result.cycles,
         "retired": sim_result.retired_instructions,
         "ipc": round(sim_result.ipc, 4),
+        "wrong_path_frac": round(wrong_path_frac, 4),
         "fault_flips": sum(i.flips for i in injectors.values()),
         "policies": policies,
+        "telemetry": session.summary(),
     }
 
 

@@ -1,0 +1,38 @@
+"""Telemetry: metrics registry, time-series sampling, pipeline tracing.
+
+Stdlib-only by design — every other layer of the package (``cpu``,
+``core``, ``runner``) may import from here without creating cycles.
+See ``docs/telemetry.md`` for the metric catalogue and usage recipes.
+"""
+
+from .chrome import (chrome_trace, ensure_valid_chrome_trace,
+                     validate_chrome_trace)
+from .config import DEFAULT_TRACE_BUFFER, TelemetryConfig
+from .metrics import (Counter, DEFAULT_BUCKETS, Gauge, Histogram,
+                      MetricsRegistry, NULL_REGISTRY, NullRegistry,
+                      format_metrics)
+from .pipeline import FLUSHED, INFLIGHT, PipelineTracer, RETIRED
+from .sampler import TimeSeriesSampler
+from .session import TelemetrySession
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "DEFAULT_TRACE_BUFFER",
+    "FLUSHED",
+    "Gauge",
+    "Histogram",
+    "INFLIGHT",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "NullRegistry",
+    "PipelineTracer",
+    "RETIRED",
+    "TelemetryConfig",
+    "TelemetrySession",
+    "TimeSeriesSampler",
+    "chrome_trace",
+    "ensure_valid_chrome_trace",
+    "format_metrics",
+    "validate_chrome_trace",
+]

@@ -1,0 +1,174 @@
+"""Chrome trace-event export (viewable in Perfetto / chrome://tracing).
+
+Converts a :class:`~repro.telemetry.pipeline.PipelineTracer`'s spans
+into the Trace Event Format's *JSON object* flavour::
+
+    {"traceEvents": [...], "displayTimeUnit": "ms", "otherData": {...}}
+
+Mapping: one simulated cycle = 1 trace microsecond.  Each FU class is a
+*process* (pid = fu_index + 1) and every dynamic operation is one
+complete ("X") event from dispatch to retirement/flush, with the issue
+and writeback cycles in ``args``.  Overlapping operations of one FU
+class are laid out onto *lanes* (tids) by a greedy interval scheduler,
+so Perfetto never has to nest partially-overlapping slices.  Steering
+module-assignment decisions become instant ("i") events and sampler
+rows become counter ("C") tracks (IPC, ROB occupancy).
+
+:func:`validate_chrome_trace` is the schema check the test suite and
+the CI smoke job run against exported files.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+from .pipeline import FLUSHED, PipelineTracer
+
+METRICS_PID = 1_000  # counter tracks live in their own process group
+STEER_PID = 1_001
+
+
+def _fu_name(tracer: PipelineTracer, fu_index: int) -> str:
+    if 0 <= fu_index < len(tracer.fu_names):
+        return str(tracer.fu_names[fu_index])
+    return f"fu{fu_index}"
+
+
+def chrome_trace(tracer: PipelineTracer,
+                 name: str = "repro",
+                 samples: Optional[Sequence[Dict[str, Any]]] = None
+                 ) -> Dict[str, Any]:
+    """Build the Chrome trace-event JSON object for one traced run."""
+    events: List[Dict[str, Any]] = []
+    seen_pids: Dict[int, str] = {}
+
+    # spans, oldest dispatch first so lane allocation is a forward scan
+    spans = sorted(tracer.spans, key=lambda span: (span[4], span[0]))
+    lanes: Dict[int, List[int]] = {}  # pid -> per-lane last end cycle
+    for seq, op_name, address, fu_index, dispatch, issue, complete, \
+            end, state in spans:
+        pid = fu_index + 1
+        seen_pids.setdefault(pid, f"FU {_fu_name(tracer, fu_index)}")
+        ends = lanes.setdefault(pid, [])
+        for tid, lane_end in enumerate(ends):
+            if lane_end <= dispatch:
+                break
+        else:
+            tid = len(ends)
+            ends.append(0)
+        ends[tid] = max(end, dispatch + 1)
+        args: Dict[str, Any] = {"seq": seq, "state": state}
+        if address is not None:
+            args["pc"] = address
+        if issue >= 0:
+            args["issue"] = issue
+        if complete >= 0:
+            args["writeback"] = complete
+        events.append({"name": op_name,
+                       "cat": state,
+                       "ph": "X",
+                       "ts": dispatch,
+                       "dur": max(end - dispatch, 1),
+                       "pid": pid, "tid": tid,
+                       "args": args})
+        if state == FLUSHED:
+            events.append({"name": "flush", "cat": "flush", "ph": "i",
+                           "s": "t", "ts": end, "pid": pid, "tid": tid,
+                           "args": {"seq": seq}})
+
+    for event in tracer.events:
+        seen_pids.setdefault(STEER_PID, "steering")
+        events.append({"name": f"{event['label']}@{event['fu']}",
+                       "cat": "steer", "ph": "i", "s": "p",
+                       "ts": event["cycle"], "pid": STEER_PID, "tid": 0,
+                       "args": {"modules": event["modules"],
+                                "swapped": event["swapped"]}})
+
+    for row in samples or ():
+        seen_pids.setdefault(METRICS_PID, "metrics")
+        ts = row.get("cycle", 0)
+        counters = {}
+        if "ipc" in row:
+            counters["ipc"] = row["ipc"]
+        if "rob" in row:
+            counters["rob"] = row["rob"]
+        if "wrong_path_frac" in row:
+            counters["wrong_path"] = row["wrong_path_frac"]
+        for counter_name, value in counters.items():
+            events.append({"name": counter_name, "ph": "C", "ts": ts,
+                           "pid": METRICS_PID, "tid": 0,
+                           "args": {counter_name: value}})
+
+    metadata: List[Dict[str, Any]] = []
+    for pid, process_name in sorted(seen_pids.items()):
+        metadata.append({"name": "process_name", "ph": "M", "pid": pid,
+                         "tid": 0, "args": {"name": process_name}})
+    return {
+        "traceEvents": metadata + events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "source": "repro.telemetry",
+            "workload": name,
+            "cycles_per_us": 1,
+            "spans": len(tracer.spans),
+            "dropped_spans": tracer.dropped_spans,
+        },
+    }
+
+
+def validate_chrome_trace(payload: Any) -> List[str]:
+    """Schema-check a Chrome trace-event JSON object.
+
+    Returns a list of human-readable problems (empty = valid).  This is
+    deliberately strict about the fields Perfetto's importer requires —
+    phase, numeric timestamps, pid/tid, and a duration on complete
+    events — and lenient about everything else.
+    """
+    problems: List[str] = []
+    if not isinstance(payload, dict):
+        return ["top level must be a JSON object"]
+    events = payload.get("traceEvents")
+    if not isinstance(events, list):
+        return ["'traceEvents' must be a list"]
+    if not events:
+        problems.append("'traceEvents' is empty")
+    for index, event in enumerate(events):
+        where = f"traceEvents[{index}]"
+        if not isinstance(event, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        phase = event.get("ph")
+        if not isinstance(phase, str) or not phase:
+            problems.append(f"{where}: missing phase 'ph'")
+            continue
+        if phase not in ("X", "B", "E", "i", "I", "C", "M", "s", "t",
+                        "f", "b", "e", "n"):
+            problems.append(f"{where}: unknown phase {phase!r}")
+        if not isinstance(event.get("name"), str):
+            problems.append(f"{where}: missing 'name'")
+        for key in ("pid", "tid"):
+            if not isinstance(event.get(key), int):
+                problems.append(f"{where}: '{key}' must be an integer")
+        if phase != "M":
+            ts = event.get("ts")
+            if not isinstance(ts, (int, float)) or ts < 0:
+                problems.append(f"{where}: 'ts' must be a number >= 0")
+        if phase == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(f"{where}: 'X' event needs numeric 'dur'")
+        if phase == "C":
+            args = event.get("args")
+            if not isinstance(args, dict) or not args or any(
+                    not isinstance(v, (int, float))
+                    for v in args.values()):
+                problems.append(
+                    f"{where}: 'C' event needs numeric 'args'")
+    return problems
+
+
+def ensure_valid_chrome_trace(payload: Any) -> None:
+    """Raise ``ValueError`` listing every schema problem, if any."""
+    problems = validate_chrome_trace(payload)
+    if problems:
+        raise ValueError("invalid Chrome trace: " + "; ".join(problems))

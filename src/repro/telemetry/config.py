@@ -1,0 +1,59 @@
+"""Telemetry configuration knobs.
+
+Kept dependency-free (plain dataclass, JSON-able) so it can sit inside
+:class:`~repro.cpu.config.MachineConfig` without dragging the telemetry
+runtime into the config layer, and travel through campaign manifests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict
+
+DEFAULT_TRACE_BUFFER = 65_536
+
+
+@dataclass(frozen=True)
+class TelemetryConfig:
+    """What to record during a simulation run.
+
+    ``metrics`` enables the counter/gauge/histogram registry (cheap:
+    counters are published at run end, histograms are one guarded
+    observe per issuing FU class per cycle).  ``sample_interval`` > 0
+    samples the pipeline time series every that many cycles (0
+    disables).  ``trace_events`` records per-operation pipeline spans
+    into a ring buffer of ``trace_buffer`` spans for Chrome-trace
+    export — the costliest mode, intended for short diagnostic runs.
+    """
+
+    metrics: bool = True
+    sample_interval: int = 0
+    trace_events: bool = False
+    trace_buffer: int = DEFAULT_TRACE_BUFFER
+
+    def __post_init__(self) -> None:
+        if self.sample_interval < 0:
+            raise ValueError("sample_interval must be >= 0 (0 disables)")
+        if self.trace_buffer < 1:
+            raise ValueError("trace_buffer must be at least 1 span")
+
+    @property
+    def enabled(self) -> bool:
+        """True when any recording mode is on."""
+        return bool(self.metrics or self.sample_interval
+                    or self.trace_events)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"metrics": self.metrics,
+                "sample_interval": self.sample_interval,
+                "trace_events": self.trace_events,
+                "trace_buffer": self.trace_buffer}
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "TelemetryConfig":
+        return cls(
+            metrics=bool(payload.get("metrics", True)),
+            sample_interval=int(payload.get("sample_interval", 0)),
+            trace_events=bool(payload.get("trace_events", False)),
+            trace_buffer=int(payload.get("trace_buffer",
+                                         DEFAULT_TRACE_BUFFER)))

@@ -1,0 +1,288 @@
+"""Hierarchical metrics: counters, gauges, bucketed histograms.
+
+The registry is the always-on half of the telemetry subsystem: cheap
+monotonic counters and point-in-time gauges keyed by dot-separated
+hierarchical names (``sim.cycles``, ``steer.ialu.lut-4bit.case01``).
+Design constraints, in order:
+
+* **cheap increments** — a counter is one attribute add on a plain
+  object; hot paths prebind the metric objects once and never touch
+  the registry dict again;
+* **mergeable** — campaign workers run in separate processes, so every
+  metric defines an associative, commutative merge (counters and
+  histograms add, gauges take the maximum) and the registry round-trips
+  through plain JSON dicts for pickling across the pool;
+* **null sink** — :data:`NULL_REGISTRY` satisfies the same interface
+  with no-op metrics, so library code can hold an unconditional
+  reference; the simulator additionally skips its hooks entirely when
+  telemetry is disabled, which is the verifiably-near-zero path.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+DEFAULT_BUCKETS: Tuple[float, ...] = (1, 2, 4, 8, 16, 32, 64)
+
+
+class Counter:
+    """A monotonically increasing count.  Merge: addition."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time level (occupancy, depth).  Merge: maximum —
+    the only associative choice that is meaningful when two processes
+    report the same gauge, giving the campaign the high-water mark."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def set(self, value) -> None:
+        self.value = value
+
+    def high_water(self, value) -> None:
+        if value > self.value:
+            self.value = value
+
+
+class Histogram:
+    """A bucketed distribution with fixed upper-bound edges.
+
+    ``edges`` are sorted inclusive upper bounds: bucket ``i`` counts
+    observations ``x`` with ``edges[i-1] < x <= edges[i]``; one final
+    overflow bucket counts ``x > edges[-1]``, so ``counts`` has
+    ``len(edges) + 1`` entries.  Merge: bucket-wise addition (edges
+    must match exactly).
+    """
+
+    __slots__ = ("name", "edges", "counts", "total", "sum")
+
+    def __init__(self, name: str,
+                 edges: Sequence[float] = DEFAULT_BUCKETS):
+        if not edges:
+            raise ValueError("histogram needs at least one bucket edge")
+        ordered = tuple(edges)
+        if any(b <= a for a, b in zip(ordered, ordered[1:])):
+            raise ValueError("histogram edges must be strictly increasing")
+        self.name = name
+        self.edges = ordered
+        self.counts = [0] * (len(ordered) + 1)
+        self.total = 0
+        self.sum = 0
+
+    def observe(self, value) -> None:
+        self.counts[bisect_left(self.edges, value)] += 1
+        self.total += 1
+        self.sum += value
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.total if self.total else 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"edges": list(self.edges), "counts": list(self.counts),
+                "total": self.total, "sum": self.sum}
+
+
+class MetricsRegistry:
+    """Name -> metric map with JSON round-trip and merge semantics."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # ----- registration ---------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        metric = self._counters.get(name)
+        if metric is None:
+            self._check_free(name, self._counters)
+            metric = self._counters[name] = Counter(name)
+        return metric
+
+    def gauge(self, name: str) -> Gauge:
+        metric = self._gauges.get(name)
+        if metric is None:
+            self._check_free(name, self._gauges)
+            metric = self._gauges[name] = Gauge(name)
+        return metric
+
+    def histogram(self, name: str,
+                  edges: Sequence[float] = DEFAULT_BUCKETS) -> Histogram:
+        metric = self._histograms.get(name)
+        if metric is None:
+            self._check_free(name, self._histograms)
+            metric = self._histograms[name] = Histogram(name, edges)
+        elif tuple(edges) != metric.edges:
+            raise ValueError(
+                f"histogram '{name}' already registered with edges"
+                f" {metric.edges}, not {tuple(edges)}")
+        return metric
+
+    def _check_free(self, name: str, own: Dict[str, Any]) -> None:
+        for kind in (self._counters, self._gauges, self._histograms):
+            if kind is not own and name in kind:
+                raise ValueError(
+                    f"metric '{name}' already registered as another kind")
+
+    # ----- convenience ----------------------------------------------------
+
+    def inc(self, name: str, amount: int = 1) -> None:
+        self.counter(name).inc(amount)
+
+    def set_gauge(self, name: str, value) -> None:
+        self.gauge(name).set(value)
+
+    def counter_values(self) -> Dict[str, int]:
+        return {name: c.value for name, c in self._counters.items()}
+
+    def gauge_values(self) -> Dict[str, Any]:
+        return {name: g.value for name, g in self._gauges.items()}
+
+    # ----- serialisation and merge ----------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-data form: JSON-able and picklable across processes."""
+        return {
+            "counters": self.counter_values(),
+            "gauges": self.gauge_values(),
+            "histograms": {name: h.to_dict()
+                           for name, h in self._histograms.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "MetricsRegistry":
+        registry = cls()
+        registry.merge(payload)
+        return registry
+
+    def merge(self, other: Union["MetricsRegistry", Dict[str, Any]]
+              ) -> "MetricsRegistry":
+        """Fold another registry (or its ``to_dict`` form) into this one.
+
+        Counters and histogram buckets add, gauges keep the maximum —
+        all associative and commutative, so campaign aggregation may
+        fold worker results in any grouping or order.
+        """
+        payload = other.to_dict() if isinstance(other, MetricsRegistry) \
+            else other
+        for name, value in payload.get("counters", {}).items():
+            self.counter(name).inc(value)
+        for name, value in payload.get("gauges", {}).items():
+            self.gauge(name).high_water(value)
+        for name, data in payload.get("histograms", {}).items():
+            hist = self.histogram(name, tuple(data["edges"]))
+            if hist.edges != tuple(data["edges"]):  # pragma: no cover
+                raise ValueError(f"histogram '{name}' edge mismatch")
+            for index, count in enumerate(data["counts"]):
+                hist.counts[index] += count
+            hist.total += data["total"]
+            hist.sum += data["sum"]
+        return self
+
+    @classmethod
+    def merge_all(cls, payloads: Iterable[Union["MetricsRegistry",
+                                                Dict[str, Any]]]
+                  ) -> "MetricsRegistry":
+        merged = cls()
+        for payload in payloads:
+            merged.merge(payload)
+        return merged
+
+
+class _NullCounter(Counter):
+    __slots__ = ()
+
+    def inc(self, amount: int = 1) -> None:
+        pass
+
+
+class _NullGauge(Gauge):
+    __slots__ = ()
+
+    def set(self, value) -> None:
+        pass
+
+    def high_water(self, value) -> None:
+        pass
+
+
+class _NullHistogram(Histogram):
+    __slots__ = ()
+
+    def observe(self, value) -> None:
+        pass
+
+
+class NullRegistry(MetricsRegistry):
+    """The null sink: same interface, no state, no-op metrics.
+
+    Handing this to library code keeps every telemetry call site
+    unconditional while recording nothing; hot loops should still
+    prefer skipping their hooks outright when telemetry is off.
+    """
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._null_counter = _NullCounter("null")
+        self._null_gauge = _NullGauge("null")
+        self._null_histogram = _NullHistogram("null", (1,))
+
+    def counter(self, name: str) -> Counter:
+        return self._null_counter
+
+    def gauge(self, name: str) -> Gauge:
+        return self._null_gauge
+
+    def histogram(self, name: str,
+                  edges: Sequence[float] = DEFAULT_BUCKETS) -> Histogram:
+        return self._null_histogram
+
+    def merge(self, other) -> "NullRegistry":
+        return self
+
+
+NULL_REGISTRY = NullRegistry()
+
+
+def format_metrics(registry: MetricsRegistry,
+                   extra_counters: Optional[Dict[str, int]] = None,
+                   title: str = "metrics") -> str:
+    """Render a registry (plus collector-provided counters) as a table."""
+    counters = dict(registry.counter_values())
+    if extra_counters:
+        counters.update(extra_counters)
+    gauges = registry.gauge_values()
+    lines: List[str] = [title, "-" * max(len(title), 40)]
+    width = max([len(n) for n in (*counters, *gauges)] + [24])
+    for name in sorted(counters):
+        lines.append(f"{name:<{width}} {counters[name]:>14}")
+    for name in sorted(gauges):
+        lines.append(f"{name:<{width}} {gauges[name]:>14}")
+    for name in sorted(registry._histograms):
+        hist = registry._histograms[name]
+        buckets = " ".join(
+            f"(<={edge:g})={count}"
+            for edge, count in zip(hist.edges, hist.counts))
+        buckets += f" (>{hist.edges[-1]:g})={hist.counts[-1]}"
+        lines.append(f"{name:<{width}} n={hist.total} mean={hist.mean:.2f}"
+                     f" {buckets}")
+    return "\n".join(lines)

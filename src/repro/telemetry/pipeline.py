@@ -1,0 +1,105 @@
+"""Structured pipeline event tracing with a bounded ring buffer.
+
+The tracer records one *span* per dynamic operation — the cycles at
+which it was dispatched (fetched/renamed), issued to a functional unit,
+completed (writeback), and left the machine (retired, squashed by a
+flush, or still in flight at halt) — plus *module-assignment* instant
+events emitted by steering evaluators.  Closed spans live in a ring
+buffer (``collections.deque(maxlen=capacity)``), so arbitrarily long
+runs keep the most recent ``capacity`` operations and count the rest in
+``dropped_spans`` instead of exhausting memory.
+
+Spans are plain tuples; export to Chrome trace-event JSON lives in
+:mod:`repro.telemetry.chrome`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional, Sequence, Tuple
+
+# span end states
+RETIRED = "retired"
+FLUSHED = "flushed"
+INFLIGHT = "inflight"
+
+# Span: (seq, op_name, address, fu_index,
+#        dispatch_cycle, issue_cycle, complete_cycle, end_cycle, state)
+Span = Tuple[int, str, Optional[int], int, int, int, int, int, str]
+
+
+class PipelineTracer:
+    """Collects per-operation pipeline spans and steering events."""
+
+    def __init__(self, capacity: int = 65_536):
+        if capacity < 1:
+            raise ValueError("trace capacity must be at least 1 span")
+        self.capacity = capacity
+        self.spans: Deque[Span] = deque(maxlen=capacity)
+        self.events: Deque[Dict[str, Any]] = deque(maxlen=capacity)
+        self.dropped_spans = 0
+        self.dropped_events = 0
+        # FU-class index -> display name; the simulator sets this when
+        # it attaches the tracer (telemetry itself never imports the ISA)
+        self.fu_names: Sequence[str] = ()
+        # open spans of in-flight operations, keyed by sequence number;
+        # bounded by the ROB size, not the run length
+        self._open: Dict[int, List[Any]] = {}
+
+    # ----- simulator hooks (hot only when tracing is enabled) -------------
+
+    def dispatched(self, seq: int, name: str, address: Optional[int],
+                   fu_index: int, cycle: int) -> None:
+        self._open[seq] = [name, address, fu_index, cycle, -1, -1]
+
+    def issued(self, seq: int, cycle: int) -> None:
+        record = self._open.get(seq)
+        if record is not None:
+            record[4] = cycle
+
+    def completed(self, seq: int, cycle: int) -> None:
+        record = self._open.get(seq)
+        if record is not None:
+            record[5] = cycle
+
+    def retired(self, seq: int, cycle: int) -> None:
+        self._close(seq, cycle, RETIRED)
+
+    def flushed(self, seq: int, cycle: int) -> None:
+        self._close(seq, cycle, FLUSHED)
+
+    def finish(self, cycle: int) -> None:
+        """Close every still-open span at end of run."""
+        for seq in sorted(self._open):
+            self._close(seq, cycle, INFLIGHT)
+
+    def _close(self, seq: int, cycle: int, state: str) -> None:
+        record = self._open.pop(seq, None)
+        if record is None:
+            return
+        name, address, fu_index, dispatch, issue, complete = record
+        if len(self.spans) == self.capacity:
+            self.dropped_spans += 1  # deque evicts the oldest span
+        self.spans.append((seq, name, address, fu_index,
+                           dispatch, issue, complete, cycle, state))
+
+    # ----- steering hooks -------------------------------------------------
+
+    def module_assigned(self, cycle: int, fu_name: str, label: str,
+                        modules: Sequence[int],
+                        swapped: Sequence[bool]) -> None:
+        """One steering decision: which modules this cycle's ops drive."""
+        if len(self.events) == self.events.maxlen:
+            self.dropped_events += 1
+        self.events.append({"cycle": cycle, "fu": fu_name, "label": label,
+                            "modules": list(modules),
+                            "swapped": [bool(s) for s in swapped]})
+
+    # ----- queries --------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+    def span_seqs(self) -> List[int]:
+        """Sequence numbers of retained spans, oldest first."""
+        return [span[0] for span in self.spans]

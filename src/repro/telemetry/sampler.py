@@ -1,0 +1,106 @@
+"""Interval time-series sampling of a running simulation.
+
+Every ``interval`` cycles the simulator hands the sampler the current
+cumulative counters (retired/executed/squashed instructions, per-class
+issue counts, the steering evaluators' case/swap/per-module counters)
+and the live pipeline gauges (ROB/RS occupancy, store-queue depth).
+The sampler stores one flat row per sample and derives the interval
+rates the paper's analysis cares about:
+
+* ``ipc`` — instructions retired per cycle over the interval;
+* ``wrong_path_frac`` — share of issued operations later squashed;
+* ``<policy>.caseXX_share`` — steering case mix 00/01/10/11;
+* ``<policy>.swap_rate`` — router swaps per steered operation;
+* ``<policy>.module.<i>.bits_share`` — per-module switched-bit shares.
+
+Rows are plain dicts, so the series is trivially JSONL: pass ``stream``
+to have each row written (and flushed) the moment it is taken — that is
+what ``repro stats --jsonl`` uses for watching a run live.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, IO, List, Optional
+
+CASE_NAMES = ("00", "01", "10", "11")
+
+
+class TimeSeriesSampler:
+    """Accumulates per-interval rows of counter deltas and gauges."""
+
+    def __init__(self, interval: int, stream: Optional[IO[str]] = None):
+        if interval < 1:
+            raise ValueError("sampling interval must be at least 1 cycle")
+        self.interval = interval
+        self.samples: List[Dict[str, Any]] = []
+        self._stream = stream
+        self._prev: Dict[str, int] = {}
+        self._prev_cycle = 0
+
+    def sample(self, cycle: int, counters: Dict[str, int],
+               gauges: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+        """Record one row; ``counters`` are cumulative, deltas derived."""
+        row: Dict[str, Any] = {"cycle": cycle}
+        dcycle = cycle - self._prev_cycle
+        prev = self._prev
+        deltas: Dict[str, int] = {}
+        for key, value in counters.items():
+            row[key] = value
+            deltas[key] = delta = value - prev.get(key, 0)
+            row["d_" + key] = delta
+        if gauges:
+            row.update(gauges)
+        self._derive(row, deltas, dcycle)
+        self._prev = dict(counters)
+        self._prev_cycle = cycle
+        self.samples.append(row)
+        if self._stream is not None:
+            self._stream.write(json.dumps(row, sort_keys=False) + "\n")
+            self._stream.flush()
+        return row
+
+    @staticmethod
+    def _derive(row: Dict[str, Any], deltas: Dict[str, int],
+                dcycle: int) -> None:
+        retired = deltas.get("retired")
+        if retired is not None and dcycle > 0:
+            row["ipc"] = round(retired / dcycle, 4)
+        executed = deltas.get("executed")
+        if executed:
+            row["wrong_path_frac"] = round(
+                deltas.get("squashed", 0) / executed, 4)
+        # steering shares: every "<prefix>.ops" counter names one
+        # evaluator; normalise its case/swap/module siblings by it
+        for key, ops in deltas.items():
+            if not key.endswith(".ops") or ".module." in key or not ops:
+                continue
+            prefix = key[:-len(".ops")]
+            for name in CASE_NAMES:
+                case_key = f"{prefix}.case{name}"
+                if case_key in deltas:
+                    row[f"{case_key}_share"] = round(
+                        deltas[case_key] / ops, 4)
+            swap_key = f"{prefix}.swaps"
+            if swap_key in deltas:
+                row[f"{prefix}.swap_rate"] = round(
+                    deltas[swap_key] / ops, 4)
+            module_bits = {k: d for k, d in deltas.items()
+                          if k.startswith(f"{prefix}.module.")
+                          and k.endswith(".bits")}
+            total_bits = sum(module_bits.values())
+            if total_bits:
+                for bits_key, bits in module_bits.items():
+                    row[f"{bits_key}_share"] = round(bits / total_bits, 4)
+
+    def write_jsonl(self, path) -> int:
+        """Write the collected series as JSONL; returns the row count.
+
+        Unlike the live ``stream``, this rewrites the whole file through
+        the caller's responsibility — used by ``repro stats`` when the
+        run has already finished.
+        """
+        with open(path, "w", encoding="utf-8") as handle:
+            for row in self.samples:
+                handle.write(json.dumps(row, sort_keys=False) + "\n")
+        return len(self.samples)

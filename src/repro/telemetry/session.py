@@ -1,0 +1,122 @@
+"""One run's telemetry bundle: registry + sampler + tracer.
+
+A :class:`TelemetrySession` is what the simulator, the steering
+evaluators, and the campaign runner actually share.  It owns
+
+* the :class:`~repro.telemetry.metrics.MetricsRegistry` (or the null
+  sink when metrics are off),
+* an optional :class:`~repro.telemetry.sampler.TimeSeriesSampler`
+  (``sample_interval`` > 0),
+* an optional :class:`~repro.telemetry.pipeline.PipelineTracer`
+  (``trace_events``),
+
+plus a list of *collectors* — callables returning ``{name: value}``
+cumulative counters pulled on demand (at sample points and in the final
+summary).  Collectors are how cheap state that already exists elsewhere
+(the power model's per-module switched-bit totals, the evaluators'
+case counters) joins the time series without the hot loops writing to
+the registry every cycle.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, IO, List, Optional
+
+from .chrome import chrome_trace
+from .config import TelemetryConfig
+from .metrics import (MetricsRegistry, NULL_REGISTRY, format_metrics)
+from .pipeline import PipelineTracer
+from .sampler import TimeSeriesSampler
+
+Collector = Callable[[], Dict[str, Any]]
+
+
+class TelemetrySession:
+    """Aggregates everything recorded during one simulation run."""
+
+    def __init__(self, config: Optional[TelemetryConfig] = None,
+                 registry: Optional[MetricsRegistry] = None,
+                 stream: Optional[IO[str]] = None):
+        self.config = config if config is not None else TelemetryConfig()
+        if registry is not None:
+            self.registry = registry
+        elif self.config.metrics:
+            self.registry = MetricsRegistry()
+        else:
+            self.registry = NULL_REGISTRY
+        self.sampler: Optional[TimeSeriesSampler] = None
+        if self.config.sample_interval > 0:
+            self.sampler = TimeSeriesSampler(self.config.sample_interval,
+                                             stream=stream)
+        self.tracer: Optional[PipelineTracer] = None
+        if self.config.trace_events:
+            self.tracer = PipelineTracer(self.config.trace_buffer)
+        self._collectors: List[Collector] = []
+
+    @property
+    def enabled(self) -> bool:
+        return self.config.enabled
+
+    # ----- collectors -----------------------------------------------------
+
+    def add_collector(self, collector: Collector) -> None:
+        """Register a ``() -> {name: cumulative_value}`` provider."""
+        self._collectors.append(collector)
+
+    def collect_counters(self) -> Dict[str, Any]:
+        """Registry counters plus every collector's current values."""
+        counters: Dict[str, Any] = dict(self.registry.counter_values())
+        for collector in self._collectors:
+            counters.update(collector())
+        return counters
+
+    # ----- sampling -------------------------------------------------------
+
+    def take_sample(self, cycle: int,
+                    gauges: Optional[Dict[str, Any]] = None
+                    ) -> Optional[Dict[str, Any]]:
+        if self.sampler is None:
+            return None
+        return self.sampler.sample(cycle, self.collect_counters(), gauges)
+
+    @property
+    def samples(self) -> List[Dict[str, Any]]:
+        return self.sampler.samples if self.sampler is not None else []
+
+    # ----- export ---------------------------------------------------------
+
+    def chrome_trace(self, name: str = "repro") -> Dict[str, Any]:
+        if self.tracer is None:
+            raise ValueError(
+                "trace_events was not enabled for this session")
+        return chrome_trace(self.tracer, name=name, samples=self.samples)
+
+    def format_metrics(self, title: str = "metrics") -> str:
+        extra = {}
+        for collector in self._collectors:
+            extra.update(collector())
+        return format_metrics(self.registry, extra_counters=extra,
+                              title=title)
+
+    def summary(self) -> Dict[str, Any]:
+        """JSON-able digest for manifests and multi-process merging.
+
+        The ``metrics`` entry folds collector counters into the
+        registry's ``to_dict`` form, so two summaries merge with
+        :meth:`MetricsRegistry.merge` / :meth:`MetricsRegistry.merge_all`.
+        """
+        metrics = self.registry.to_dict()
+        counters = metrics["counters"]
+        for collector in self._collectors:
+            for name, value in collector().items():
+                counters[name] = counters.get(name, 0) + value
+        digest: Dict[str, Any] = {
+            "config": self.config.to_dict(),
+            "metrics": metrics,
+            "sample_count": len(self.samples),
+        }
+        if self.tracer is not None:
+            digest["trace"] = {"spans": len(self.tracer.spans),
+                               "dropped_spans": self.tracer.dropped_spans,
+                               "dropped_events": self.tracer.dropped_events}
+        return digest

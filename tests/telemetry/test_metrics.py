@@ -1,0 +1,192 @@
+"""Metrics registry: counters, gauges, histograms, merge semantics."""
+
+import itertools
+import json
+
+import pytest
+
+from repro.telemetry import (DEFAULT_BUCKETS, MetricsRegistry, NULL_REGISTRY,
+                             NullRegistry, format_metrics)
+
+
+def make_registry(counter_values, gauge_values=(), hist_values=()):
+    registry = MetricsRegistry()
+    for name, value in counter_values:
+        registry.counter(name).inc(value)
+    for name, value in gauge_values:
+        registry.gauge(name).high_water(value)
+    for value in hist_values:
+        registry.histogram("h", (1, 2, 4)).observe(value)
+    return registry
+
+
+class TestCountersAndGauges:
+    def test_counter_increments(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("a.b")
+        counter.inc()
+        counter.inc(5)
+        assert registry.counter_values() == {"a.b": 6}
+
+    def test_counter_identity_is_stable(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x") is registry.counter("x")
+
+    def test_gauge_set_and_high_water(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("depth")
+        gauge.set(7)
+        gauge.high_water(3)   # lower: ignored
+        assert gauge.value == 7
+        gauge.high_water(11)
+        assert gauge.value == 11
+
+    def test_cross_kind_name_collision_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("n")
+        with pytest.raises(ValueError):
+            registry.gauge("n")
+        with pytest.raises(ValueError):
+            registry.histogram("n")
+
+
+class TestHistogramBuckets:
+    def test_edges_are_inclusive_upper_bounds(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h", (1, 2, 4))
+        # bucket 0: x <= 1; bucket 1: 1 < x <= 2; bucket 2: 2 < x <= 4;
+        # bucket 3 (overflow): x > 4
+        for value in (0, 1):
+            hist.observe(value)
+        hist.observe(2)
+        for value in (3, 4):
+            hist.observe(value)
+        for value in (5, 100):
+            hist.observe(value)
+        assert hist.counts == [2, 1, 2, 2]
+        assert hist.total == 7
+        assert hist.sum == 115
+        assert hist.mean == pytest.approx(115 / 7)
+
+    def test_exact_edge_values_land_in_their_bucket(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h", (1, 2, 4))
+        for edge in (1, 2, 4):
+            hist.observe(edge)
+        assert hist.counts == [1, 1, 1, 0]
+
+    def test_edges_must_increase(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.histogram("bad", (1, 1, 2))
+        with pytest.raises(ValueError):
+            registry.histogram("bad2", (4, 2))
+        with pytest.raises(ValueError):
+            registry.histogram("bad3", ())
+
+    def test_reregistration_with_other_edges_rejected(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", (1, 2))
+        with pytest.raises(ValueError):
+            registry.histogram("h", (1, 2, 3))
+        assert registry.histogram("h", (1, 2)).edges == (1, 2)
+
+    def test_default_buckets(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h")
+        assert hist.edges == DEFAULT_BUCKETS
+        assert len(hist.counts) == len(DEFAULT_BUCKETS) + 1
+
+
+class TestMergeSemantics:
+    def payloads(self):
+        a = make_registry([("c", 1), ("only_a", 5)], [("g", 3)],
+                          [0, 2]).to_dict()
+        b = make_registry([("c", 10)], [("g", 9)], [1, 5]).to_dict()
+        c = make_registry([("c", 100), ("only_c", 7)], [("g", 6)],
+                          [4]).to_dict()
+        return a, b, c
+
+    def test_merge_adds_counters_max_gauges_adds_buckets(self):
+        a, b, _ = self.payloads()
+        merged = MetricsRegistry.merge_all([a, b]).to_dict()
+        assert merged["counters"] == {"c": 11, "only_a": 5}
+        assert merged["gauges"] == {"g": 9}
+        assert merged["histograms"]["h"]["counts"] == [2, 1, 0, 1]
+        assert merged["histograms"]["h"]["total"] == 4
+        assert merged["histograms"]["h"]["sum"] == 8
+
+    def test_merge_associative_and_commutative_any_order(self):
+        """Campaign aggregation may fold worker payloads in any grouping
+        and order; every permutation and grouping must agree."""
+        payloads = self.payloads()
+        reference = MetricsRegistry.merge_all(payloads).to_dict()
+        for perm in itertools.permutations(payloads):
+            # left fold
+            left = MetricsRegistry()
+            for payload in perm:
+                left.merge(payload)
+            assert left.to_dict() == reference
+            # right-heavy grouping: a + (b + c)
+            right_inner = MetricsRegistry.merge_all(perm[1:])
+            right = MetricsRegistry.merge_all([perm[0],
+                                               right_inner.to_dict()])
+            assert right.to_dict() == reference
+
+    def test_merge_across_json_round_trip(self):
+        """Exactly what multi-process campaigns do: summaries travel
+        as JSON text through the manifest, then merge."""
+        payloads = [json.loads(json.dumps(p)) for p in self.payloads()]
+        merged = MetricsRegistry.merge_all(payloads).to_dict()
+        assert merged["counters"]["c"] == 111
+        assert merged["gauges"]["g"] == 9
+
+    def test_merge_registry_objects_directly(self):
+        a = make_registry([("c", 2)])
+        b = make_registry([("c", 3)])
+        assert a.merge(b).counter_values() == {"c": 5}
+
+    def test_merge_mismatched_histogram_edges_rejected(self):
+        a = make_registry([], hist_values=[1])
+        bad = {"histograms": {"h": {"edges": [10, 20], "counts": [0, 0, 0],
+                                    "total": 0, "sum": 0}}}
+        with pytest.raises(ValueError):
+            a.merge(bad)
+
+    def test_from_dict_round_trip(self):
+        original = make_registry([("c", 4)], [("g", 2)], [1, 3])
+        clone = MetricsRegistry.from_dict(original.to_dict())
+        assert clone.to_dict() == original.to_dict()
+
+
+class TestNullRegistry:
+    def test_null_sink_records_nothing(self):
+        null = NullRegistry()
+        null.counter("c").inc(100)
+        null.gauge("g").set(5)
+        null.gauge("g").high_water(5)
+        null.histogram("h").observe(3)
+        null.inc("c2", 7)
+        payload = null.to_dict()
+        assert payload == {"counters": {}, "gauges": {}, "histograms": {}}
+        assert null.enabled is False
+
+    def test_shared_null_registry_disabled(self):
+        assert NULL_REGISTRY.enabled is False
+        assert MetricsRegistry.enabled is True
+
+    def test_null_merge_is_noop(self):
+        null = NullRegistry()
+        null.merge({"counters": {"c": 5}})
+        assert null.counter_values() == {}
+
+
+class TestFormatting:
+    def test_format_metrics_renders_every_kind(self):
+        registry = make_registry([("ops", 12)], [("rob", 30)], [1, 5])
+        text = format_metrics(registry, extra_counters={"extra": 9},
+                              title="t")
+        assert "ops" in text and "12" in text
+        assert "rob" in text and "30" in text
+        assert "extra" in text
+        assert "n=2" in text

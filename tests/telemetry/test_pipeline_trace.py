@@ -1,0 +1,141 @@
+"""Pipeline tracer ring buffer and Chrome trace-event export."""
+
+import json
+
+import pytest
+
+from repro.telemetry import (FLUSHED, INFLIGHT, PipelineTracer, RETIRED,
+                             chrome_trace, ensure_valid_chrome_trace,
+                             validate_chrome_trace)
+
+
+def record_op(tracer, seq, fu_index=0, dispatch=0):
+    tracer.dispatched(seq, "add", 100 + seq, fu_index, dispatch)
+    tracer.issued(seq, dispatch + 1)
+    tracer.completed(seq, dispatch + 2)
+    tracer.retired(seq, dispatch + 3)
+
+
+class TestRingBuffer:
+    def test_eviction_keeps_newest_in_order(self):
+        """Capacity 4, six spans: the two oldest are evicted, retained
+        spans stay in close order, and the drop counter is exact."""
+        tracer = PipelineTracer(capacity=4)
+        for seq in range(6):
+            record_op(tracer, seq, dispatch=seq)
+        assert tracer.span_seqs() == [2, 3, 4, 5]
+        assert tracer.dropped_spans == 2
+        assert len(tracer) == 4
+
+    def test_capacity_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            PipelineTracer(capacity=0)
+
+    def test_span_records_all_stage_cycles(self):
+        tracer = PipelineTracer(capacity=8)
+        tracer.dispatched(7, "mult", 42, 1, 10)
+        tracer.issued(7, 12)
+        tracer.completed(7, 15)
+        tracer.retired(7, 16)
+        (seq, name, address, fu_index, dispatch, issue, complete, end,
+         state) = tracer.spans[0]
+        assert (seq, name, address, fu_index) == (7, "mult", 42, 1)
+        assert (dispatch, issue, complete, end) == (10, 12, 15, 16)
+        assert state == RETIRED
+
+    def test_flushed_and_inflight_states(self):
+        tracer = PipelineTracer(capacity=8)
+        tracer.dispatched(0, "add", 1, 0, 0)
+        tracer.flushed(0, 4)
+        tracer.dispatched(1, "sub", 2, 0, 2)
+        tracer.finish(9)
+        states = {span[0]: span[8] for span in tracer.spans}
+        assert states == {0: FLUSHED, 1: INFLIGHT}
+
+    def test_finish_closes_in_seq_order(self):
+        tracer = PipelineTracer(capacity=8)
+        for seq in (5, 1, 3):
+            tracer.dispatched(seq, "op", None, 0, 0)
+        tracer.finish(10)
+        assert tracer.span_seqs() == [1, 3, 5]
+
+    def test_unknown_seq_hooks_ignored(self):
+        tracer = PipelineTracer(capacity=4)
+        tracer.issued(99, 1)
+        tracer.completed(99, 2)
+        tracer.retired(99, 3)
+        assert len(tracer) == 0
+
+    def test_module_assignment_events_ring(self):
+        tracer = PipelineTracer(capacity=2)
+        for cycle in range(3):
+            tracer.module_assigned(cycle, "ialu", "lut-4bit",
+                                   (0, 1), (False, True))
+        assert tracer.dropped_events == 1
+        assert [e["cycle"] for e in tracer.events] == [1, 2]
+        assert tracer.events[0]["swapped"] == [False, True]
+
+
+class TestChromeExport:
+    def build(self):
+        tracer = PipelineTracer(capacity=16)
+        tracer.fu_names = ("ialu", "imult")
+        record_op(tracer, 0, fu_index=0, dispatch=0)
+        record_op(tracer, 1, fu_index=0, dispatch=1)  # overlaps seq 0
+        record_op(tracer, 2, fu_index=1, dispatch=5)
+        tracer.dispatched(3, "beq", 200, 0, 6)
+        tracer.flushed(3, 8)
+        tracer.module_assigned(1, "ialu", "lut-4bit", (2, 0), (False, False))
+        return tracer
+
+    def test_export_is_schema_valid_and_json_serialisable(self):
+        payload = chrome_trace(self.build(), "unit",
+                               samples=[{"cycle": 4, "ipc": 1.5, "rob": 9}])
+        assert validate_chrome_trace(payload) == []
+        ensure_valid_chrome_trace(payload)
+        json.dumps(payload)  # must be pure JSON data
+
+    def test_overlapping_spans_get_distinct_lanes(self):
+        payload = chrome_trace(self.build())
+        slices = [e for e in payload["traceEvents"]
+                  if e["ph"] == "X" and e["pid"] == 1]
+        by_seq = {e["args"]["seq"]: e for e in slices}
+        assert by_seq[0]["tid"] != by_seq[1]["tid"]
+
+    def test_flushed_span_has_instant_marker(self):
+        payload = chrome_trace(self.build())
+        instants = [e for e in payload["traceEvents"]
+                    if e["ph"] == "i" and e["name"] == "flush"]
+        assert len(instants) == 1
+        assert instants[0]["args"]["seq"] == 3
+
+    def test_steering_and_counter_tracks_present(self):
+        payload = chrome_trace(self.build(),
+                               samples=[{"cycle": 4, "ipc": 1.5, "rob": 9}])
+        phases = {e["ph"] for e in payload["traceEvents"]}
+        assert {"X", "M", "i", "C"} <= phases
+        steer = [e for e in payload["traceEvents"]
+                 if e.get("cat") == "steer"]
+        assert steer and steer[0]["args"]["modules"] == [2, 0]
+
+    def test_metadata_names_processes(self):
+        payload = chrome_trace(self.build())
+        names = {e["pid"]: e["args"]["name"]
+                 for e in payload["traceEvents"] if e["ph"] == "M"}
+        assert names[1] == "FU ialu"
+        assert names[2] == "FU imult"
+
+    def test_validator_rejects_malformed_events(self):
+        assert validate_chrome_trace([]) == ["top level must be a JSON object"]
+        assert validate_chrome_trace({}) == ["'traceEvents' must be a list"]
+        bad = {"traceEvents": [
+            {"name": "x", "ph": "X", "ts": 1, "pid": 1, "tid": 0},  # no dur
+            {"name": "x", "ph": "Q", "ts": 1, "pid": 1, "tid": 0},  # phase
+            {"name": "x", "ph": "i", "ts": -4, "pid": 1, "tid": 0},  # ts
+            {"name": "x", "ph": "C", "ts": 1, "pid": 1, "tid": 0},  # args
+            {"ph": "i", "ts": 1, "pid": "p", "tid": 0},  # name + pid
+        ]}
+        problems = validate_chrome_trace(bad)
+        assert len(problems) == 6
+        with pytest.raises(ValueError):
+            ensure_valid_chrome_trace(bad)

@@ -1,0 +1,116 @@
+"""Time-series sampler: deltas, derived rates, JSONL output."""
+
+import io
+import json
+
+import pytest
+
+from repro.telemetry import TimeSeriesSampler
+from repro.telemetry.config import TelemetryConfig
+from repro.telemetry.session import TelemetrySession
+
+
+class TestSampling:
+    def test_rows_carry_cumulative_and_delta(self):
+        sampler = TimeSeriesSampler(10)
+        sampler.sample(10, {"retired": 25})
+        row = sampler.sample(20, {"retired": 40})
+        assert row["retired"] == 40
+        assert row["d_retired"] == 15
+        assert row["ipc"] == pytest.approx(1.5)
+
+    def test_wrong_path_fraction(self):
+        sampler = TimeSeriesSampler(10)
+        sampler.sample(10, {"executed": 100, "squashed": 0})
+        row = sampler.sample(20, {"executed": 300, "squashed": 50})
+        assert row["wrong_path_frac"] == pytest.approx(0.25)
+
+    def test_case_share_swap_rate_and_module_shares(self):
+        sampler = TimeSeriesSampler(5)
+        counters = {
+            "steer.ialu.lut.ops": 80,
+            "steer.ialu.lut.case00": 40,
+            "steer.ialu.lut.case11": 8,
+            "steer.ialu.lut.swaps": 16,
+            "steer.ialu.lut.module.0.bits": 300,
+            "steer.ialu.lut.module.1.bits": 100,
+        }
+        row = sampler.sample(5, counters)
+        assert row["steer.ialu.lut.case00_share"] == pytest.approx(0.5)
+        assert row["steer.ialu.lut.case11_share"] == pytest.approx(0.1)
+        assert row["steer.ialu.lut.swap_rate"] == pytest.approx(0.2)
+        assert row["steer.ialu.lut.module.0.bits_share"] == \
+            pytest.approx(0.75)
+        assert row["steer.ialu.lut.module.1.bits_share"] == \
+            pytest.approx(0.25)
+
+    def test_shares_use_interval_deltas_not_cumulatives(self):
+        sampler = TimeSeriesSampler(5)
+        sampler.sample(5, {"p.ops": 100, "p.case00": 100})
+        row = sampler.sample(10, {"p.ops": 200, "p.case00": 120})
+        # over the second interval only 20 of 100 ops were case 00
+        assert row["p.case00_share"] == pytest.approx(0.2)
+
+    def test_zero_interval_rejected(self):
+        with pytest.raises(ValueError):
+            TimeSeriesSampler(0)
+
+    def test_gauges_pass_through(self):
+        sampler = TimeSeriesSampler(5)
+        row = sampler.sample(5, {}, {"rob": 42, "rs.ialu": 3})
+        assert row["rob"] == 42
+        assert row["rs.ialu"] == 3
+
+
+class TestJsonl:
+    def test_live_stream_writes_one_json_line_per_row(self):
+        stream = io.StringIO()
+        sampler = TimeSeriesSampler(10, stream=stream)
+        sampler.sample(10, {"retired": 5})
+        sampler.sample(20, {"retired": 9})
+        lines = stream.getvalue().strip().splitlines()
+        assert len(lines) == 2
+        assert json.loads(lines[1])["d_retired"] == 4
+
+    def test_write_jsonl_file(self, tmp_path):
+        sampler = TimeSeriesSampler(10)
+        sampler.sample(10, {"retired": 5})
+        sampler.sample(20, {"retired": 9})
+        path = tmp_path / "series.jsonl"
+        assert sampler.write_jsonl(path) == 2
+        rows = [json.loads(line) for line in
+                path.read_text().strip().splitlines()]
+        assert [row["cycle"] for row in rows] == [10, 20]
+
+
+class TestSessionPlumbing:
+    def test_collectors_feed_samples_and_summary(self):
+        session = TelemetrySession(TelemetryConfig(sample_interval=10))
+        session.registry.inc("own", 3)
+        session.add_collector(lambda: {"pulled": 7})
+        row = session.take_sample(10)
+        assert row["own"] == 3 and row["pulled"] == 7
+        summary = session.summary()
+        assert summary["metrics"]["counters"] == {"own": 3, "pulled": 7}
+        assert summary["sample_count"] == 1
+
+    def test_disabled_session_has_null_registry_and_no_sampler(self):
+        session = TelemetrySession(TelemetryConfig(metrics=False))
+        assert session.enabled is False
+        assert session.take_sample(10) is None
+        assert session.registry.enabled is False
+
+    def test_chrome_trace_requires_trace_events(self):
+        session = TelemetrySession(TelemetryConfig())
+        with pytest.raises(ValueError):
+            session.chrome_trace()
+
+    def test_config_validation_and_round_trip(self):
+        with pytest.raises(ValueError):
+            TelemetryConfig(sample_interval=-1)
+        with pytest.raises(ValueError):
+            TelemetryConfig(trace_buffer=0)
+        config = TelemetryConfig(sample_interval=50, trace_events=True)
+        assert TelemetryConfig.from_dict(config.to_dict()) == config
+        assert config.enabled
+        assert not TelemetryConfig(metrics=False).enabled

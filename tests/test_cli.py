@@ -162,6 +162,38 @@ class TestCli:
         assert code == 1
         assert "FAILED" in output and "DeadlockDetected" in output
 
+    def test_stats(self, capsys):
+        code, output = run_cli(capsys, "stats", "--workload", "li",
+                               "--interval", "200",
+                               "--policies", "original", "lut-4")
+        assert code == 0
+        assert "retired" in output and "steer.ialu.original.ops" in output
+        assert "samples" in output
+
+    def test_stats_jsonl(self, capsys, tmp_path):
+        series = tmp_path / "series.jsonl"
+        code, output = run_cli(capsys, "stats", "--workload", "li",
+                               "--interval", "100",
+                               "--jsonl", str(series))
+        assert code == 0
+        rows = [json.loads(line) for line in
+                series.read_text().strip().splitlines()]
+        assert len(rows) >= 2
+        assert rows[0]["cycle"] == 100
+        assert all("ipc" in row for row in rows[1:])
+
+    def test_trace_export(self, capsys, tmp_path):
+        out = tmp_path / "trace.json"
+        code, output = run_cli(capsys, "trace-export", "--workload", "li",
+                               "-o", str(out), "--interval", "100")
+        assert code == 0
+        assert "perfetto" in output.lower()
+        from repro.telemetry import validate_chrome_trace
+        payload = json.loads(out.read_text())
+        assert validate_chrome_trace(payload) == []
+        phases = {e["ph"] for e in payload["traceEvents"]}
+        assert {"X", "M", "C"} <= phases
+
     def test_faultsweep(self, capsys, tmp_path):
         out = tmp_path / "curve.json"
         code, output = run_cli(capsys, "faultsweep", "li",

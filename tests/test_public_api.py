@@ -7,7 +7,7 @@ import pytest
 
 PACKAGES = ["repro", "repro.isa", "repro.cpu", "repro.core",
             "repro.compiler", "repro.workloads", "repro.analysis",
-            "repro.runner"]
+            "repro.runner", "repro.telemetry"]
 
 
 class TestAllLists:
@@ -75,6 +75,7 @@ class TestDocumentationFiles:
         root = Path(__file__).resolve().parent.parent
         for name in ("README.md", "DESIGN.md", "EXPERIMENTS.md",
                      "docs/isa.md", "docs/internals.md",
-                     "docs/paper_mapping.md", "docs/runner.md"):
+                     "docs/paper_mapping.md", "docs/runner.md",
+                     "docs/telemetry.md"):
             path = root / name
             assert path.exists() and path.stat().st_size > 500, name
