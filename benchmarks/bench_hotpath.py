@@ -179,6 +179,100 @@ def best_of(repeats: int, *args, **kwargs) -> dict:
     return best
 
 
+def bench_figure4_replay(quick: bool) -> dict:
+    """Wall-clock of a figure-4 panel: all-live legacy loop vs replay.
+
+    The simulate-once/replay-many refactor claims that replaying a
+    recorded issue stream through evaluator sets is much cheaper than
+    re-simulating the program for each of them.  The *all-live
+    baseline* here reproduces the pre-refactor architecture: one
+    simulation for the statistics pass plus one fresh simulation per
+    swap mode per program version.  The *replay* side is today's
+    ``run_figure4`` against a warm trace cache: zero simulations, every
+    pass driven from the recorded streams.  Both sides build identical
+    evaluators and must land on bit-identical panel cells.
+    """
+    import shutil
+    import tempfile
+
+    from repro.analysis.energy import (_build_evaluators, run_figure4,
+                                       statistics_from_sources)
+    from repro.compiler import swap_optimize
+    from repro.compiler.swap_pass import denser_first_from_swap_case
+    from repro.core.info_bits import scheme_for
+    from repro.core.swapping import choose_swap_case
+    from repro.cpu.config import default_config
+    from repro.streams import LiveSource, drive
+    from repro.workloads import workload
+
+    names = ["compress", "li"] if quick else ["compress", "li", "go", "cc1"]
+    schemes = ("original", "lut-4")
+    modes = ("none", "hw", "compiler", "hw+compiler")
+    loads = [workload(name) for name in names]
+    config = default_config()
+    fu = FUClass.IALU
+    scheme = scheme_for(fu)
+    num_modules = config.modules(fu)
+
+    cache_dir = tempfile.mkdtemp(prefix="bench-trace-cache-")
+    try:
+        # warm: simulates each program version once, records it, and
+        # primes the memoised LUT synthesis both timed sides reuse
+        run_figure4(fu, workloads=loads, schemes=schemes, swap_modes=modes,
+                    trace_cache_dir=cache_dir)
+
+        # --- all-live baseline: the pre-refactor pass structure -------
+        start = time.perf_counter()
+        programs = [load.build(None) for load in loads]
+        stats, _, _ = statistics_from_sources(
+            [LiveSource(program, config) for program in programs],
+            fu, config, scheme)
+        direction = {fu: denser_first_from_swap_case(choose_swap_case(stats))}
+        live_cells: dict = {}
+        live_sims = len(programs)  # the statistics pass
+        for program in programs:
+            versions = {"none": program, "hw": program}
+            swapped, _report = swap_optimize(program, denser_first=direction)
+            versions["compiler"] = versions["hw+compiler"] = swapped
+            for mode in modes:
+                evaluators = _build_evaluators(
+                    fu, num_modules, stats, scheme, schemes,
+                    with_hw_swap=mode in ("hw", "hw+compiler"))
+                drive(LiveSource(versions[mode], config),
+                      list(evaluators.values()))
+                live_sims += 1
+                for kind, evaluator in evaluators.items():
+                    cell = (kind, mode)
+                    live_cells[cell] = live_cells.get(cell, 0) \
+                        + evaluator.totals().switched_bits
+        live_wall = time.perf_counter() - start
+
+        # --- replay: run_figure4 against the warm cache ---------------
+        start = time.perf_counter()
+        replayed = run_figure4(fu, workloads=loads, schemes=schemes,
+                               swap_modes=modes, trace_cache_dir=cache_dir)
+        replay_wall = time.perf_counter() - start
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+
+    replay_cells = {cell: result.switched_bits
+                    for cell, result in replayed.cells.items()}
+    if live_cells != replay_cells:
+        raise AssertionError(
+            "replayed figure-4 cells differ from the all-live baseline")
+    return {
+        "workloads": names,
+        "schemes": list(schemes),
+        "swap_modes": list(modes),
+        "live_wall_seconds": round(live_wall, 6),
+        "live_simulations": live_sims,
+        "replay_wall_seconds": round(replay_wall, 6),
+        "replay_cache_hits": replayed.cache_hits,
+        "replay_simulations": replayed.simulations,
+        "speedup": round(live_wall / replay_wall, 2),
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true",
@@ -202,6 +296,12 @@ def main(argv=None) -> int:
                              "total cycles/sec dropped more than PCT%%")
     parser.add_argument("--output", default=None, metavar="PATH",
                         help="write results as JSON (e.g. BENCH_hotpath.json)")
+    parser.add_argument("--no-figure4", action="store_true",
+                        help="skip the figure-4 replay-vs-simulate section")
+    parser.add_argument("--assert-replay-speedup", type=float,
+                        default=None, metavar="X",
+                        help="exit 1 if the warm-cache figure-4 run is not "
+                             "at least X times faster than the all-live run")
     args = parser.parse_args(argv)
 
     if args.repeats is not None:
@@ -257,6 +357,16 @@ def main(argv=None) -> int:
           f"{summary['total']['cycles_per_sec']:>12.0f} cyc/s "
           f"{summary['total']['ops_per_sec']:>12.0f} ops/s "
           f"telemetry {total_overhead:+6.1f}%")
+    if not args.no_figure4:
+        replay = bench_figure4_replay(args.quick)
+        summary["figure4_replay"] = replay
+        print(f"{'figure4-replay':<24} all-live"
+              f" {replay['live_wall_seconds']:.3f}s"
+              f" ({replay['live_simulations']} sims)"
+              f"  replay {replay['replay_wall_seconds']:.3f}s"
+              f" ({replay['replay_cache_hits']} hits,"
+              f" {replay['replay_simulations']} sims)"
+              f"  speedup {replay['speedup']:.2f}x")
     baseline = None
     if args.baseline:
         # read before --output in case both name the same file
@@ -269,6 +379,17 @@ def main(argv=None) -> int:
         atomic_write_json(args.output, summary)
         print(f"wrote {args.output}")
     failed = False
+    if args.assert_replay_speedup is not None:
+        replay = summary.get("figure4_replay")
+        if replay is None:
+            print("FAIL: --assert-replay-speedup needs the figure-4 "
+                  "section (drop --no-figure4)", file=sys.stderr)
+            failed = True
+        elif replay["speedup"] < args.assert_replay_speedup:
+            print(f"FAIL: warm-cache figure-4 speedup {replay['speedup']:.2f}x"
+                  f" below the {args.assert_replay_speedup:.1f}x floor",
+                  file=sys.stderr)
+            failed = True
     if (args.assert_telemetry_overhead is not None
             and total_overhead > args.assert_telemetry_overhead):
         print(f"FAIL: telemetry overhead {total_overhead:.1f}% exceeds "

@@ -35,7 +35,8 @@ Quick start::
     print(evaluator.totals().bits_per_operation)
 """
 
-from . import analysis, compiler, core, cpu, isa, runner, telemetry, workloads
+from . import (analysis, compiler, core, cpu, isa, runner, streams, telemetry,
+               workloads)
 from .analysis import (chip_level_estimate, run_figure4,
                        run_multiplier_experiment)
 from .core import (FUPowerModel, HardwareSwapper, LUTPolicy,
@@ -46,15 +47,28 @@ from .cpu import (MachineConfig, Simulator, TraceCollector, default_config,
 from .isa import Program, assemble
 from .runner import (CampaignRunner, CampaignSpec, FaultInjector,
                      fault_sweep, run_campaign)
+from .streams import (IssueSource, LiveSource, MemorySource, ReplaySource,
+                      SyntheticSource, capture, drive, record)
 from .telemetry import (MetricsRegistry, PipelineTracer, TelemetryConfig,
                         TelemetrySession, validate_chrome_trace)
 from .workloads import SyntheticStream, all_workloads, workload
 
-__version__ = "1.0.0"
+# single source of truth is the installed distribution metadata
+# (pyproject.toml); the literal fallback covers PYTHONPATH=src runs of
+# an uninstalled checkout and must match pyproject's version field
+try:
+    from importlib.metadata import PackageNotFoundError as _PkgNotFound
+    from importlib.metadata import version as _dist_version
+    __version__ = _dist_version("repro")
+except _PkgNotFound:
+    __version__ = "1.0.0"
+del _PkgNotFound, _dist_version
 
 __all__ = [
-    "analysis", "compiler", "core", "cpu", "isa", "runner", "telemetry",
-    "workloads",
+    "analysis", "compiler", "core", "cpu", "isa", "runner", "streams",
+    "telemetry", "workloads",
+    "IssueSource", "LiveSource", "MemorySource", "ReplaySource",
+    "SyntheticSource", "capture", "drive", "record",
     "CampaignRunner", "CampaignSpec", "FaultInjector", "fault_sweep",
     "run_campaign",
     "MetricsRegistry", "PipelineTracer", "TelemetryConfig",

@@ -2,7 +2,8 @@
 
 from .bit_patterns import BitPatternCollector, RowStats
 from .energy import (SCHEMES, SWAP_MODES, CellResult, Figure4Result,
-                     chip_level_estimate, measure_statistics, run_figure4)
+                     chip_level_estimate, measure_statistics, run_figure4,
+                     statistics_from_sources)
 from .figure1 import Figure1Result, evaluate_figure1
 from .module_load import (LoadTrackingPowerModel, ModuleLoad,
                           attach_load_tracking, module_load,
@@ -25,6 +26,7 @@ __all__ = [
     "BitPatternCollector", "RowStats",
     "SCHEMES", "SWAP_MODES", "CellResult", "Figure4Result",
     "chip_level_estimate", "measure_statistics", "run_figure4",
+    "statistics_from_sources",
     "Figure1Result", "evaluate_figure1",
     "LoadTrackingPowerModel", "ModuleLoad", "attach_load_tracking",
     "module_load", "render_module_load",

@@ -11,10 +11,16 @@ three swapping regimes against the same workload suite:
   profile-guided static swap pass, then evaluated (optionally with the
   hardware swapper on top).
 
-All policies for a given program version are scored in a single
-simulation pass by subscribing one :class:`PolicyEvaluator` per (scheme,
-swap) cell.  Reductions are reported against the paper's baseline:
-``original`` steering, no swapping, unmodified programs.
+Each *program version* (a workload, or its compiler-swapped rewrite) is
+simulated exactly once: the issue stream is captured through
+:mod:`repro.streams` and then *replayed* — for the statistics pass and
+for every (scheme, swap) evaluator cell — because evaluation is far
+cheaper than simulation and a captured stream is bit-identical to live
+listening.  With ``trace_cache_dir`` set, captures are persisted under
+content-addressed keys (program + machine-config fingerprints) so later
+runs skip simulation entirely.  Reductions are reported against the
+paper's baseline: ``original`` steering, no swapping, unmodified
+programs.
 """
 
 from __future__ import annotations
@@ -24,13 +30,14 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..compiler import swap_optimize
 from ..cpu.config import MachineConfig, default_config
-from ..cpu.simulator import Simulator
 from ..core.info_bits import InfoBitScheme, scheme_for
 from ..core.statistics import CaseStatistics, paper_statistics
 from ..core.steering import PolicyEvaluator, make_policy
 from ..core.swapping import HardwareSwapper, choose_swap_case
 from ..isa.instructions import FUClass
 from ..isa.program import Program
+from ..streams import (IssueSource, LiveSource, MemorySource, SyntheticSource,
+                       cached_source, capture, drive, record_cached)
 from ..workloads.base import Workload, float_suite, integer_suite
 from .bit_patterns import BitPatternCollector
 from .module_usage import ModuleUsageCollector
@@ -62,6 +69,12 @@ class Figure4Result:
     cells: Dict[CellKey, CellResult] = field(default_factory=dict)
     # per-workload switched bits: workload -> cell -> bits
     per_workload: Dict[str, Dict[CellKey, int]] = field(default_factory=dict)
+    # provenance of the issue streams this panel was evaluated on:
+    # simulations actually run, plus trace-cache hits/misses when a
+    # cache directory was in play (hits + misses = program versions)
+    simulations: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
 
     @property
     def baseline_bits(self) -> int:
@@ -101,17 +114,49 @@ def measure_statistics(programs: Sequence[Program],
                                   ModuleUsageCollector]:
     """Simulate the suite once to measure Table 1/2 style statistics."""
     config = config or default_config()
+    sources = [LiveSource(program, config) for program in programs]
+    return statistics_from_sources(sources, fu_class, config, scheme)
+
+
+def statistics_from_sources(sources: Sequence[IssueSource],
+                            fu_class: FUClass,
+                            config: Optional[MachineConfig] = None,
+                            scheme: Optional[InfoBitScheme] = None
+                            ) -> Tuple[CaseStatistics, BitPatternCollector,
+                                       ModuleUsageCollector]:
+    """Measure Table 1/2 statistics from any issue sources — live,
+    captured, replayed, or synthetic."""
+    config = config or default_config()
     patterns = BitPatternCollector(fu_class, scheme=scheme)
     usage = ModuleUsageCollector([fu_class])
-    for program in programs:
-        sim = Simulator(program, config)
-        sim.add_listener(patterns)
-        sim.add_listener(usage)
-        sim.run()
+    for source in sources:
+        drive(source, [patterns, usage])
     distribution = usage.distribution(fu_class,
                                       max_width=config.modules(fu_class))
     stats = patterns.to_statistics(distribution)
     return stats, patterns, usage
+
+
+def _captured_stream(program: Program, config: MachineConfig,
+                     fu_class: FUClass, cache_dir
+                     ) -> Tuple[MemorySource, bool]:
+    """One issue stream per program version, simulated at most once.
+
+    Without a cache directory this is a plain in-memory capture (one
+    simulation).  With one, a recorded trace under the content-addressed
+    key is replayed instead, and a miss both simulates and populates the
+    cache.  Returns ``(stream, cache_hit)``.
+    """
+    fu_classes = (fu_class,)
+    if cache_dir is not None:
+        found = cached_source(program, config, cache_dir, fu_classes)
+        if found is not None:
+            # decode once up front: the stream is replayed several times
+            # (statistics pass + every evaluator set)
+            return MemorySource(found.groups(), name=program.name,
+                                result=found.result), True
+        return record_cached(program, config, cache_dir, fu_classes), False
+    return capture(LiveSource(program, config), fu_classes), False
 
 
 def _build_evaluators(fu_class: FUClass, num_modules: int,
@@ -144,12 +189,21 @@ def run_figure4(fu_class: FUClass,
                 stats_source: str = "measured",
                 schemes: Sequence[str] = SCHEMES,
                 swap_modes: Sequence[str] = ("none", "hw", "hw+compiler"),
-                scheme: Optional[InfoBitScheme] = None) -> Figure4Result:
+                scheme: Optional[InfoBitScheme] = None,
+                trace_cache_dir=None) -> Figure4Result:
     """Reproduce one panel of Figure 4.
 
     ``stats_source`` selects where the LUT-synthesis statistics come
     from: ``"measured"`` (a profiling pass over the suite, the
     self-consistent default) or ``"paper"`` (the published Table 1/2).
+
+    Each program version is simulated exactly once; the captured stream
+    is replayed for the statistics pass and every evaluator set.  With
+    ``trace_cache_dir`` the captures are persisted content-addressed,
+    so a rerun with unchanged programs and machine config simulates
+    nothing at all (``result.cache_hits`` / ``cache_misses`` report
+    what happened; ``result.simulations`` counts actual simulator
+    runs).
     """
     config = config or default_config()
     if workloads is None:
@@ -159,25 +213,37 @@ def run_figure4(fu_class: FUClass,
     scheme = scheme or scheme_for(fu_class)
     programs = [w.build(scale) for w in workloads]
     num_modules = config.modules(fu_class)
+    if stats_source not in ("measured", "paper"):
+        raise ValueError("stats_source must be 'measured' or 'paper'")
+
+    # one simulation (or cache hit) per unmodified program version; the
+    # captured streams feed the statistics pass *and* the evaluator sets
+    captured: List[MemorySource] = []
+    hits = misses = 0
+    for program in programs:
+        stream, hit = _captured_stream(program, config, fu_class,
+                                       trace_cache_dir)
+        captured.append(stream)
+        hits += hit
+        misses += not hit
 
     if stats_source == "paper":
         stats = paper_statistics(fu_class)
-    elif stats_source == "measured":
-        stats, _, _ = measure_statistics(programs, fu_class, config, scheme)
     else:
-        raise ValueError("stats_source must be 'measured' or 'paper'")
+        stats, _, _ = statistics_from_sources(captured, fu_class, config,
+                                              scheme)
 
     result = Figure4Result(fu_class=fu_class,
                            workload_names=[w.name for w in workloads],
                            statistics=stats)
     needs_compiler = any("compiler" in m for m in swap_modes)
 
-    for program in programs:
+    for program, stream in zip(programs, captured):
         plain_modes = [m for m in ("none", "hw") if m in swap_modes]
         if "none" not in plain_modes:
             plain_modes.append("none")  # the baseline cell is always needed
-        _run_pass(program, config, fu_class, num_modules, stats, scheme,
-                  schemes, plain_modes, result, compiler=False)
+        _evaluate_modes(stream, program.name, fu_class, num_modules, stats,
+                        scheme, schemes, plain_modes, result)
         if needs_compiler:
             # the compiler must canonicalise in the same direction the
             # hardware swap rule implies, or the two mechanisms fight
@@ -187,28 +253,37 @@ def run_figure4(fu_class: FUClass,
             swapped, _report = swap_optimize(program, denser_first=direction)
             compiler_modes = [m for m in ("compiler", "hw+compiler")
                               if m in swap_modes]
-            _run_pass(swapped, config, fu_class, num_modules, stats, scheme,
-                      schemes, compiler_modes, result, compiler=True)
+            # the rewritten program is a distinct version (different
+            # instruction content, so a different cache key)
+            sw_stream, hit = _captured_stream(swapped, config, fu_class,
+                                              trace_cache_dir)
+            hits += hit
+            misses += not hit
+            _evaluate_modes(sw_stream, swapped.name, fu_class, num_modules,
+                            stats, scheme, schemes, compiler_modes, result)
+    result.cache_hits = hits if trace_cache_dir is not None else 0
+    result.cache_misses = misses if trace_cache_dir is not None else 0
+    result.simulations = misses
     return result
 
 
-def _run_pass(program: Program, config: MachineConfig, fu_class: FUClass,
-              num_modules: int, stats: CaseStatistics,
-              scheme: InfoBitScheme, schemes: Sequence[str],
-              modes: Sequence[str], result: Figure4Result,
-              compiler: bool) -> None:
-    """Simulate one program version with evaluators for ``modes``."""
-    sim = Simulator(program, config)
+def _evaluate_modes(stream: IssueSource, program_name: str,
+                    fu_class: FUClass, num_modules: int,
+                    stats: CaseStatistics, scheme: InfoBitScheme,
+                    schemes: Sequence[str], modes: Sequence[str],
+                    result: Figure4Result) -> None:
+    """Replay one program version's stream through evaluators for
+    ``modes`` — no simulation happens here."""
     per_mode: Dict[str, Dict[str, PolicyEvaluator]] = {}
+    consumers: List[PolicyEvaluator] = []
     for mode in modes:
         hw = mode in ("hw", "hw+compiler")
         evaluators = _build_evaluators(fu_class, num_modules, stats, scheme,
                                        schemes, with_hw_swap=hw)
         per_mode[mode] = evaluators
-        for evaluator in evaluators.values():
-            sim.add_listener(evaluator)
-    sim.run()
-    workload_name = program.name.removesuffix("+cswap")
+        consumers.extend(evaluators.values())
+    drive(stream, consumers)
+    workload_name = program_name.removesuffix("+cswap")
     breakdown = result.per_workload.setdefault(workload_name, {})
     for mode, evaluators in per_mode.items():
         for kind, evaluator in evaluators.items():
@@ -241,8 +316,6 @@ def run_figure4_synthetic(fu_class: FUClass,
     Compiler swapping needs a program to rewrite, so only ``none`` and
     ``hw`` regimes apply here.
     """
-    from ..workloads.generators import OperandModel, SyntheticStream
-
     if any("compiler" in mode for mode in swap_modes):
         raise ValueError("compiler swapping needs real programs; use"
                          " run_figure4 for compiler regimes")
@@ -259,13 +332,10 @@ def run_figure4_synthetic(fu_class: FUClass,
         evaluator_sets[mode] = _build_evaluators(
             fu_class, num_modules, stats, scheme, schemes,
             with_hw_swap=(mode == "hw"))
-    model = OperandModel(fu_class, mode=operand_mode)
-    stream = SyntheticStream(stats, num_modules=num_modules,
-                             operand_model=model, seed=seed)
-    for group in stream.groups(cycles):
-        for evaluators in evaluator_sets.values():
-            for evaluator in evaluators.values():
-                evaluator(group)
+    source = SyntheticSource(stats, cycles, num_modules=num_modules,
+                             operand_mode=operand_mode, seed=seed)
+    drive(source, [evaluator for evaluators in evaluator_sets.values()
+                   for evaluator in evaluators.values()])
     for mode, evaluators in evaluator_sets.items():
         for kind, evaluator in evaluators.items():
             totals = evaluator.totals()

@@ -15,6 +15,8 @@ utilities:
 ``sensitivity``       profile-input transfer study (compiler swapping)
 ``verilog``           export the synthesised router as Verilog
 ``trace``             capture a workload's issue trace to a file
+``record``            record a complete post-run trace (final wrong-path
+                      flags, config fingerprint, run summary in header)
 ``replay``            evaluate steering policies on a stored trace
 ``asm``               assemble and run a .s file, dump results
 ``campaign``          fault-tolerant experiment grid with checkpoint/resume
@@ -57,6 +59,7 @@ from .telemetry import (TelemetryConfig, TelemetrySession,
                         validate_chrome_trace)
 from .cpu.tracefile import TraceWriter, read_trace_header, replay
 from .isa import encoding
+from .streams import LiveSource, record
 from .isa.assembler import assemble
 from .isa.instructions import FUClass
 from .runner import (CampaignError, CampaignSpec, atomic_write_json,
@@ -163,12 +166,34 @@ def cmd_figure4(args) -> int:
     else:
         modes = ("none", "hw", "compiler", "hw+compiler") \
             if args.compiler else ("none", "hw")
-        panel = run_figure4(fu_class, scale=args.scale,
-                            stats_source=args.stats, swap_modes=modes)
+        loads = ([workload(name) for name in args.workloads]
+                 if args.workloads else None)
+        panel = run_figure4(fu_class, workloads=loads, scale=args.scale,
+                            stats_source=args.stats, swap_modes=modes,
+                            trace_cache_dir=args.cache_dir)
         print(render_figure4(panel))
         if args.per_workload:
             print()
             print(render_figure4_per_workload(panel))
+        if args.cache_dir:
+            # stderr, so two cached runs stay byte-identical on stdout
+            print(f"trace cache: {panel.cache_hits} hits,"
+                  f" {panel.cache_misses} misses,"
+                  f" {panel.simulations} simulations", file=sys.stderr)
+    return 0
+
+
+def cmd_record(args) -> int:
+    load = workload(args.workload)
+    program = load.build(args.scale)
+    fu_classes = [_fu_class(name) for name in args.fu] if args.fu else None
+    memory = record(LiveSource(program), args.output, fu_classes=fu_classes)
+    result = memory.result
+    header = read_trace_header(args.output)
+    print(f"simulated {result.retired_instructions} instructions,"
+          f" recorded {len(memory)} issue groups to {args.output}")
+    print(f"trace v{header['version']}: source {header['source']},"
+          f" config {header['config']}")
     return 0
 
 
@@ -331,7 +356,8 @@ def cmd_campaign(args) -> int:
             executor="inline" if args.inline else "process",
             resume=args.resume,
             retry_failed=args.retry_failed,
-            limit=args.limit)
+            limit=args.limit,
+            trace_cache=not args.no_trace_cache)
     except CampaignError as exc:
         print(f"campaign error: {exc}", file=sys.stderr)
         return 2
@@ -436,10 +462,13 @@ def cmd_trace_export(args) -> int:
 # --- parser --------------------------------------------------------------------
 
 def build_parser() -> argparse.ArgumentParser:
+    from . import __version__
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Reproduction of 'Dynamic Functional Unit Assignment"
                     " for Low Power' (DATE 2003)")
+    parser.add_argument("--version", action="version",
+                        version=f"%(prog)s {__version__}")
     sub = parser.add_subparsers(dest="command", required=True)
 
     def add_scale(p):
@@ -483,6 +512,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="include compiler-swapping regimes")
     p.add_argument("--per-workload", action="store_true",
                    help="also print the per-workload breakdown")
+    p.add_argument("--workloads", nargs="*",
+                   help="workload names (default: suite for the FU class)")
+    p.add_argument("--cache-dir",
+                   help="content-addressed trace cache: record streams on"
+                        " miss, replay instead of simulating on hit")
     p.set_defaults(func=cmd_figure4)
 
     p = sub.add_parser("multiplier", help="section 4.4 experiments")
@@ -523,6 +557,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--fu", nargs="*",
                    help="FU classes to capture (default: all)")
     p.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser("record",
+                       help="record a complete post-run trace (v2: final"
+                            " wrong-path flags + run summary)")
+    p.add_argument("workload")
+    p.add_argument("-o", "--output", required=True)
+    add_scale(p)
+    p.add_argument("--fu", nargs="*",
+                   help="FU classes to record (default: all)")
+    p.set_defaults(func=cmd_record)
 
     p = sub.add_parser("replay", help="evaluate policies on a trace")
     p.add_argument("trace")
@@ -575,6 +619,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="on resume, re-run tasks recorded as failed")
     p.add_argument("--inline", action="store_true",
                    help="run tasks in-process (no isolation; tests/sweeps)")
+    p.add_argument("--no-trace-cache", action="store_true",
+                   help="simulate every task instead of replaying"
+                        " content-addressed recorded streams")
     p.set_defaults(func=cmd_campaign)
 
     p = sub.add_parser("faultsweep",

@@ -74,6 +74,19 @@ def _scenario_matching(cases: Sequence[int],
     return modules
 
 
+# Home allocation is a pure function of the statistics content, yet a
+# figure-4 panel synthesises the same LUTs once per swap mode per
+# program version — memoise on the (hashable) distribution content so
+# the exhaustive allocation search runs once per distinct input.
+_HOMES_CACHE: Dict[tuple, Tuple[int, ...]] = {}
+
+
+def _stats_key(stats: CaseStatistics) -> tuple:
+    return (stats.fu_class,
+            tuple(sorted(stats.case_comm_freq.items())),
+            tuple(sorted(stats.usage.items())))
+
+
 def allocate_homes(stats: CaseStatistics, num_modules: int) -> Tuple[int, ...]:
     """Reserve a home case for each module (synthesis step 1).
 
@@ -90,6 +103,10 @@ def allocate_homes(stats: CaseStatistics, num_modules: int) -> Tuple[int, ...]:
     """
     if num_modules < 1:
         raise ValueError("need at least one module")
+    cache_key = (_stats_key(stats), num_modules)
+    cached = _HOMES_CACHE.get(cache_key)
+    if cached is not None:
+        return cached
     case_probs = stats.case_distribution()
     usage = stats.usage_distribution(num_modules)
 
@@ -127,6 +144,7 @@ def allocate_homes(stats: CaseStatistics, num_modules: int) -> Tuple[int, ...]:
         if best_cost is None or expected < best_cost - 1e-12:
             best_cost = expected
             best_homes = homes
+    _HOMES_CACHE[cache_key] = best_homes
     return best_homes
 
 

@@ -237,9 +237,21 @@ class EvaluationTotals:
         return self.switched_bits / self.operations
 
     def reduction_vs(self, baseline: "EvaluationTotals") -> float:
-        """Fractional energy reduction relative to a baseline run."""
+        """Fractional energy reduction relative to a baseline run.
+
+        A zero-bit baseline is only meaningful when this run also saw
+        zero switched bits (an empty stream: 0% reduction).  A baseline
+        that switched nothing while this policy switched something means
+        the two totals do not describe the same stream — silently
+        returning 0.0 here used to mask exactly that mistake.
+        """
         if not baseline.switched_bits:
-            return 0.0
+            if not self.switched_bits:
+                return 0.0
+            raise ValueError(
+                f"baseline '{baseline.policy}' saw zero switched bits but"
+                f" '{self.policy}' saw {self.switched_bits}; the totals"
+                " were not accumulated over the same stream")
         return 1.0 - self.switched_bits / baseline.switched_bits
 
 

@@ -9,8 +9,9 @@ from .simulator import (CycleLimitExceeded, DeadlockDetected,
                         DiagnosticSnapshot, Simulator, simulate)
 from .trace import (IssueGroup, IssueListener, ListenerFanout, MicroOp,
                     SimulationResult, TraceCollector)
-from .tracefile import (TraceFormatError, TraceWriter, load_trace,
-                        read_trace_header, replay, save_trace)
+from .tracefile import (FORMAT_VERSION, SUPPORTED_VERSIONS, TraceFormatError,
+                        TraceWriter, header_result, load_trace,
+                        read_trace_header, replay, save_trace, write_trace)
 
 __all__ = [
     "BimodalPredictor",
@@ -22,6 +23,7 @@ __all__ = [
     "Simulator", "simulate",
     "IssueGroup", "IssueListener", "ListenerFanout", "MicroOp",
     "SimulationResult", "TraceCollector",
-    "TraceFormatError", "TraceWriter", "load_trace", "read_trace_header",
-    "replay", "save_trace",
+    "FORMAT_VERSION", "SUPPORTED_VERSIONS", "TraceFormatError",
+    "TraceWriter", "header_result", "load_trace", "read_trace_header",
+    "replay", "save_trace", "write_trace",
 ]

@@ -8,6 +8,8 @@ multiplier/divider and one floating point multiplier/divider.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
@@ -73,6 +75,36 @@ class MachineConfig:
     def modules(self, fu_class: FUClass) -> int:
         """Number of modules of the given FU class."""
         return self.fu_counts[fu_class]
+
+    def fingerprint(self) -> str:
+        """Stable hash of every field that shapes the run's outcome.
+
+        This keys the trace cache, so it covers the parameters that can
+        change what a simulation *publishes* — pipeline widths and
+        capacities, FU counts, the branch predictor, the cache
+        geometry/timing — plus the abort limits ``max_cycles`` and
+        ``watchdog_cycles``.  The limits never alter a completed
+        stream, but they decide whether a run completes at all: a
+        config that would abort (and surface its diagnostic snapshot)
+        must not silently replay a more permissive config's trace.
+        ``telemetry`` only observes and is deliberately excluded —
+        turning sampling on must not invalidate a cache.
+        """
+        cache = None
+        if self.cache is not None:
+            cache = [self.cache.size_bytes, self.cache.line_bytes,
+                     self.cache.associativity, self.cache.miss_penalty]
+        payload = [
+            self.fetch_width, self.dispatch_width, self.retire_width,
+            self.rob_entries, self.rs_entries_per_class,
+            {fu.value: count for fu, count in sorted(
+                self.fu_counts.items(), key=lambda kv: kv[0].value)},
+            self.branch_predictor, self.branch_predictor_entries,
+            self.mispredict_penalty, cache,
+            self.max_cycles, self.watchdog_cycles,
+        ]
+        canon = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canon.encode("utf-8")).hexdigest()[:16]
 
 
 def default_config() -> MachineConfig:

@@ -86,6 +86,50 @@ class SimulationResult:
     def ipc(self) -> float:
         return self.retired_instructions / self.cycles if self.cycles else 0.0
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-able form, stored in trace headers so a replayed stream
+        still knows the run it came from."""
+        return {
+            "name": self.name,
+            "cycles": self.cycles,
+            "retired_instructions": self.retired_instructions,
+            "executed_ops": self.executed_ops,
+            "squashed_ops": self.squashed_ops,
+            "branch_lookups": self.branch_lookups,
+            "branch_mispredictions": self.branch_mispredictions,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "issue_counts": {fu.value: count
+                             for fu, count in self.issue_counts.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "SimulationResult":
+        result = cls(name=payload.get("name", "trace"))
+        for attr in ("cycles", "retired_instructions", "executed_ops",
+                     "squashed_ops", "branch_lookups",
+                     "branch_mispredictions", "cache_hits", "cache_misses"):
+            setattr(result, attr, int(payload.get(attr, 0)))
+        result.issue_counts = {FUClass(name): int(count) for name, count
+                               in payload.get("issue_counts", {}).items()}
+        return result
+
+    def telemetry_counters(self) -> Dict[str, int]:
+        """The cumulative counters a live :class:`Simulator` exposes to
+        telemetry, reconstructed from the stored totals — a replayed
+        cell reports the same metric names as a simulated one."""
+        counters = {
+            "sim.cycles": self.cycles,
+            "retired": self.retired_instructions,
+            "executed": self.executed_ops,
+            "squashed": self.squashed_ops,
+            "branch.lookups": self.branch_lookups,
+            "branch.mispredictions": self.branch_mispredictions,
+        }
+        for fu in FUClass:
+            counters[f"issue.{fu.value}"] = self.issue_counts.get(fu, 0)
+        return counters
+
 
 class TraceCollector:
     """Issue listener that stores the full trace in memory.

@@ -24,13 +24,21 @@ from __future__ import annotations
 
 import gzip
 import json
+import os
+import tempfile
 from pathlib import Path
-from typing import Iterable, Iterator, Optional, Union
+from typing import Any, Dict, Iterable, Iterator, Optional, Union
 
 from ..isa.instructions import FUClass, opcode
-from .trace import IssueGroup, MicroOp
+from .trace import IssueGroup, MicroOp, SimulationResult
 
-FORMAT_VERSION = 1
+# Version 2 headers carry the machine-config fingerprint and source
+# kind used by the content-addressed trace cache, plus (for complete
+# post-run writes) the run's SimulationResult summary.  Version 1
+# traces lack those keys but the group lines are identical, so they
+# still replay; unknown *future* versions are refused.
+FORMAT_VERSION = 2
+SUPPORTED_VERSIONS = (1, 2)
 
 PathLike = Union[str, Path]
 
@@ -74,13 +82,17 @@ class TraceWriter:
 
     def __init__(self, path: PathLike,
                  fu_classes: Optional[Iterable[FUClass]] = None,
-                 name: str = "trace"):
+                 name: str = "trace",
+                 config_fingerprint: Optional[str] = None,
+                 source_kind: str = "live"):
         self._filter = set(fu_classes) if fu_classes is not None else None
         self._file = gzip.open(Path(path), "wt", encoding="utf-8")
         self.groups_written = 0
         header = {"version": FORMAT_VERSION, "name": name,
                   "fu_classes": sorted(fu.value for fu in self._filter)
-                  if self._filter is not None else None}
+                  if self._filter is not None else None,
+                  "config": config_fingerprint,
+                  "source": source_kind}
         self._file.write(json.dumps(header) + "\n")
 
     def __call__(self, group: IssueGroup) -> None:
@@ -108,6 +120,63 @@ def save_trace(path: PathLike, groups: Iterable[IssueGroup],
         return writer.groups_written
 
 
+def write_trace(path: PathLike, groups: Iterable[IssueGroup],
+                name: str = "trace",
+                fu_classes: Optional[Iterable[FUClass]] = None,
+                config_fingerprint: Optional[str] = None,
+                source_kind: str = "live",
+                result: Optional[SimulationResult] = None) -> int:
+    """Write a *complete* trace atomically; returns the group count.
+
+    Unlike the streaming :class:`TraceWriter` (which emits each group
+    as it is published, before retroactive wrong-path marking), this
+    takes an already-final group list — speculative flags included —
+    and writes temp-then-rename, so a killed writer can never leave a
+    truncated file under a cache key.  ``result`` (the run's
+    :class:`~repro.cpu.trace.SimulationResult`) is stored in the header
+    so replay can report cycles/IPC without re-simulating.
+    """
+    target = Path(path)
+    wanted = set(fu_classes) if fu_classes is not None else None
+    header: Dict[str, Any] = {
+        "version": FORMAT_VERSION, "name": name,
+        "fu_classes": sorted(fu.value for fu in wanted)
+        if wanted is not None else None,
+        "config": config_fingerprint,
+        "source": source_kind,
+    }
+    if result is not None:
+        header["result"] = result.to_dict()
+    fd, tmp_name = tempfile.mkstemp(
+        prefix=f".{target.name}.", suffix=".tmp", dir=str(target.parent))
+    count = 0
+    try:
+        with gzip.open(os.fdopen(fd, "wb"), "wt",
+                       encoding="utf-8") as handle:
+            handle.write(json.dumps(header) + "\n")
+            for group in groups:
+                if wanted is not None and group.fu_class not in wanted:
+                    continue
+                handle.write(_encode_group(group) + "\n")
+                count += 1
+        os.replace(tmp_name, target)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return count
+
+
+def header_result(header: Dict[str, Any]) -> Optional[SimulationResult]:
+    """Reconstruct the stored run summary from a v2 header, if any."""
+    payload = header.get("result")
+    if payload is None:
+        return None
+    return SimulationResult.from_dict(payload)
+
+
 def _parse_header(path: PathLike, line: str) -> dict:
     """Decode and validate the metadata line."""
     if not line:
@@ -120,10 +189,10 @@ def _parse_header(path: PathLike, line: str) -> dict:
         raise TraceFormatError(
             path, 1, "missing header (first line must be a JSON object"
             " with a 'version' key)")
-    if header.get("version") != FORMAT_VERSION:
+    if header.get("version") not in SUPPORTED_VERSIONS:
         raise TraceFormatError(
             path, 1, f"unsupported trace version {header.get('version')!r}"
-            f" (expected {FORMAT_VERSION})")
+            f" (supported: {', '.join(map(str, SUPPORTED_VERSIONS))})")
     return header
 
 

@@ -9,6 +9,7 @@ accessors used when building initial memory contents.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, List
 
@@ -98,6 +99,24 @@ class Program:
             return self.symbols[symbol]
         except KeyError:
             raise ProgramError(f"undefined data symbol '{symbol}'") from None
+
+    def fingerprint(self) -> str:
+        """Content hash of the code and initial data image.
+
+        Deliberately excludes ``name``: two identically assembled
+        programs are the same cache entry regardless of labelling,
+        while a compiler-swapped variant differs in instruction content
+        (operand order / ``static_swapped``) and therefore hashes — and
+        caches — separately.
+        """
+        hasher = hashlib.sha256()
+        for instr in self.instructions:
+            hasher.update(repr((instr.op.name, instr.dest, instr.src1,
+                                instr.src2, instr.imm, instr.target,
+                                instr.static_swapped)).encode("ascii"))
+        for address in sorted(self.data.bytes_):
+            hasher.update(b"%d:%d;" % (address, self.data.bytes_[address]))
+        return hasher.hexdigest()[:16]
 
     def validate(self) -> None:
         """Check referential integrity of control-flow targets."""

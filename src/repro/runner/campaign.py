@@ -33,6 +33,7 @@ SIGKILL themselves / sleep forever).
 
 from __future__ import annotations
 
+import dataclasses
 import hashlib
 import json
 import multiprocessing
@@ -80,6 +81,11 @@ class TaskSpec:
     fault_mode: str = "info"
     fu: str = "ialu"
     seed: int = 0
+    # execution detail injected by the runner, not part of the grid
+    # identity: directory of content-addressed recorded issue streams.
+    # Deliberately absent from CampaignSpec.to_dict()/fingerprint(), so
+    # toggling the cache never invalidates a resumable manifest.
+    trace_cache_dir: Optional[str] = None
 
 
 @dataclass
@@ -177,9 +183,9 @@ def execute_task(task: TaskSpec) -> Dict[str, Any]:
                                  SharedEvaluationCoordinator, make_policy)
     from ..cpu.config import MachineConfig
     from ..isa.instructions import FUClass
-    from ..cpu.simulator import Simulator
     from ..telemetry import TelemetryConfig, TelemetrySession
     from ..workloads import workload as get_workload
+    from .. import streams
     from .faults import FaultInjector
 
     fu_class = FUClass(task.fu)
@@ -208,9 +214,32 @@ def execute_task(task: TaskSpec) -> Dict[str, Any]:
                                         fault_injector=injector,
                                         telemetry=session))
 
-    sim = Simulator(program, config, telemetry=session)
-    sim.add_listener(coordinator)
-    sim_result = sim.run()
+    # fault injectors here corrupt only each policy's *view*, never the
+    # published stream, so every cell that shares (workload, scale,
+    # machine config) shares one recorded stream regardless of policy
+    # set or fault rate — exactly what the content-addressed cache keys
+    # on.  A hit replays the trace instead of simulating; its header
+    # carries the original run's summary and counters.
+    sim_result = None
+    cache_state = "off"
+    if task.trace_cache_dir:
+        found = streams.cached_source(program, config, task.trace_cache_dir,
+                                      (fu_class,))
+        if found is not None and found.result is not None:
+            streams.drive(found, [coordinator])
+            sim_result = found.result
+            session.add_collector(sim_result.telemetry_counters)
+            cache_state = "hit"
+        else:
+            memory = streams.record_cached(program, config,
+                                           task.trace_cache_dir, (fu_class,),
+                                           telemetry=session,
+                                           extra_consumers=[coordinator])
+            sim_result = memory.result
+            cache_state = "miss"
+    else:
+        live = streams.LiveSource(program, config, telemetry=session)
+        sim_result = streams.drive(live, [coordinator])
 
     policies: Dict[str, Dict[str, Any]] = {}
     baseline_bits: Optional[int] = None
@@ -235,6 +264,7 @@ def execute_task(task: TaskSpec) -> Dict[str, Any]:
         "wrong_path_frac": round(wrong_path_frac, 4),
         "fault_flips": sum(i.flips for i in injectors.values()),
         "policies": policies,
+        "trace_cache": cache_state,
         "telemetry": session.summary(),
     }
 
@@ -332,11 +362,17 @@ class CampaignRunner:
                  executor: str = "process",
                  resume: bool = False,
                  retry_failed: bool = False,
-                 limit: int = 0):
+                 limit: int = 0,
+                 trace_cache: bool = True):
         if executor not in ("process", "inline"):
             raise CampaignError("executor must be 'process' or 'inline'")
         self.spec = spec
         self.out_dir = Path(out_dir)
+        # content-addressed recorded issue streams under out_dir; cells
+        # sharing (workload, scale, machine config) simulate once and
+        # replay thereafter.  Off: every task simulates, as before.
+        self.trace_cache = trace_cache
+        self.trace_cache_dir = self.out_dir / "trace-cache"
         self.max_workers = max(1, max_workers)
         self.task_timeout = task_timeout
         self.retries = max(0, retries)
@@ -387,6 +423,11 @@ class CampaignRunner:
         """
         manifest = self.manifest = self._open_manifest()
         all_tasks = self.spec.tasks()
+        if self.trace_cache:
+            cache_dir = str(self.trace_cache_dir)
+            all_tasks = [dataclasses.replace(task,
+                                             trace_cache_dir=cache_dir)
+                         for task in all_tasks]
         result = CampaignResult(total_tasks=len(all_tasks),
                                 manifest_path=self.manifest_path)
 

@@ -110,6 +110,27 @@ class FaultInjector:
                 micro.op2 = self._corrupt_image(micro.op2, is_float)
                 self.flips += 1
 
+    def stream_consumer(self):
+        """The simulator-stream hook as an issue-source consumer.
+
+        Returns a ``(IssueGroup) -> None`` callable for
+        :func:`repro.streams.drive` that corrupts each group's MicroOps
+        *in place* — put it **first** in the consumer list so every
+        later consumer sees the upset, exactly as all listeners of a
+        live run see ops the simulator hook corrupted before
+        publication.  Note that it therefore also mutates a
+        MemorySource's stored groups; replay a fresh capture per fault
+        configuration.
+        """
+        call = self.__call__
+
+        def consume(group) -> None:
+            fu_class = group.fu_class
+            for op in group.ops:
+                call(op, fu_class)
+
+        return consume
+
     def corrupt_view(self, ops: Sequence[MicroOp],
                      fu_class: FUClass) -> Sequence[MicroOp]:
         """Evaluator hook: return the ops as the faulted policy sees them.
@@ -169,18 +190,15 @@ def fault_sweep(workload_name: str, rates: Sequence[float],
     """
     from ..core.statistics import paper_statistics
     from ..core.steering import PolicyEvaluator, make_policy
-    from ..cpu.simulator import Simulator
-    from ..cpu.trace import TraceCollector
+    from ..streams import LiveSource, capture, drive
     from ..workloads import workload
 
     load = workload(workload_name)
-    collector = TraceCollector([fu_class])
-    sim = Simulator(load.build(scale), config)
-    sim.add_listener(collector)
-    sim.run()
+    live = LiveSource(load.build(scale), config)
+    stream = capture(live, (fu_class,))
 
     stats = paper_statistics(fu_class)
-    num_modules = sim.config.modules(fu_class)
+    num_modules = live.config.modules(fu_class)
     baseline = PolicyEvaluator(fu_class, num_modules,
                                make_policy("original", fu_class,
                                            num_modules, stats=stats))
@@ -191,10 +209,7 @@ def fault_sweep(workload_name: str, rates: Sequence[float],
                              stats=stats)
         evaluators[rate] = PolicyEvaluator(fu_class, num_modules, policy,
                                            fault_injector=injector)
-    for group in collector.groups:
-        baseline(group)
-        for evaluator in evaluators.values():
-            evaluator(group)
+    drive(stream, [baseline, *evaluators.values()])
     base_bits = baseline.totals().switched_bits
     curve = {}
     for rate, evaluator in evaluators.items():

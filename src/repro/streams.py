@@ -1,0 +1,379 @@
+"""Issue-stream sources: one architecture for live, recorded, and
+synthetic streams.
+
+The paper's entire method (sections 4.1–4.3) is defined over the *issue
+stream* — the per-cycle sequence of :class:`~repro.cpu.trace.IssueGroup`
+objects a machine publishes.  Historically every consumer (policy
+evaluators, statistics collectors, fault hooks, telemetry samplers)
+subscribed directly to a live :class:`~repro.cpu.simulator.Simulator`,
+which forced each new evaluator *set* to pay a full simulation pass.
+This module makes the stream a first-class seam:
+
+* an :class:`IssueSource` is anything that can push an issue stream at
+  a set of consumers — a live simulation (:class:`LiveSource`), a
+  recorded trace (:class:`ReplaySource` on disk, :class:`MemorySource`
+  in process), or a statistics-calibrated generator
+  (:class:`SyntheticSource`);
+* a *consumer* is any ``(IssueGroup) -> None`` callable — exactly the
+  existing listener contract — optionally carrying a ``finalize()``
+  method for deferred accounting (wrong-path-excluding evaluators);
+* :func:`drive` runs one source into many consumers and finalizes them.
+
+Simulation is far more expensive than evaluation, so the winning shape
+for experiments is *simulate once, replay many*: :func:`capture` runs a
+source once into an in-process :class:`MemorySource` (with final
+wrong-path flags, since the collector holds references to the MicroOps
+the flush retroactively marks), and :func:`record` additionally
+persists it as a version-2 trace file whose header carries the
+program/config fingerprints the content-addressed cache is keyed by.
+
+Bit-identity is the load-bearing invariant: any consumer driven by a
+captured or replayed stream must accumulate exactly the totals it would
+have accumulated as a live listener.  The round-trip tests in
+``tests/streams`` enforce this for every steering scheme, including
+deferred (``include_speculative=False``) accounting.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import (Any, Callable, Dict, Iterable, Iterator, List, Optional,
+                    Sequence, Union)
+
+from .cpu.config import MachineConfig
+from .cpu.simulator import Simulator
+from .cpu.trace import IssueGroup, SimulationResult, TraceCollector
+from .cpu.tracefile import (header_result, load_trace, read_trace_header,
+                            write_trace)
+from .isa.instructions import FUClass
+from .isa.program import Program
+
+PathLike = Union[str, Path]
+
+#: A stream consumer: the classic listener contract.  Consumers may
+#: additionally define ``finalize()`` (drained by :func:`drive`).
+IssueConsumer = Callable[[IssueGroup], None]
+
+SOURCE_KINDS = ("live", "replay", "memory", "synthetic")
+
+
+class IssueSource:
+    """Base class for issue-stream producers.
+
+    Subclasses either yield groups from :meth:`groups` (pull model —
+    replay, memory, synthetic) and inherit the generic :meth:`drive`
+    loop, or override :meth:`drive` outright (the live simulator, a
+    push producer).  ``kind`` identifies the producer family and is
+    recorded in trace headers so a cache never replays a stream of the
+    wrong provenance.
+    """
+
+    kind: str = "abstract"
+    name: str = "source"
+
+    def groups(self) -> Iterator[IssueGroup]:
+        """Yield the stream's issue groups in cycle order."""
+        raise NotImplementedError
+
+    def drive(self, consumers: Sequence[IssueConsumer]
+              ) -> Optional[SimulationResult]:
+        """Push the whole stream at ``consumers``; returns the run
+        summary when the source knows it (live runs, v2 replays)."""
+        consumers = list(consumers)
+        for group in self.groups():
+            for consumer in consumers:
+                consumer(group)
+        return self.result
+
+    @property
+    def result(self) -> Optional[SimulationResult]:
+        """Summary of the run that produced the stream, if known."""
+        return None
+
+
+class LiveSource(IssueSource):
+    """The cycle simulator as an issue source.
+
+    Each :meth:`drive` builds a fresh :class:`Simulator` (they are
+    single-use) with the consumers attached as listeners and runs it to
+    completion — so one ``drive`` is exactly one simulation pass, which
+    the simulate-once drivers count on.
+    """
+
+    kind = "live"
+
+    def __init__(self, program: Program,
+                 config: Optional[MachineConfig] = None,
+                 fault_injector=None,
+                 telemetry=None):
+        self.program = program
+        self.config = config if config is not None else MachineConfig()
+        self.fault_injector = fault_injector
+        self.telemetry = telemetry
+        self.name = program.name
+        self.simulator: Optional[Simulator] = None
+        self._result: Optional[SimulationResult] = None
+
+    def drive(self, consumers: Sequence[IssueConsumer]
+              ) -> SimulationResult:
+        # module-global lookup kept late so tests can substitute a
+        # counting Simulator double via monkeypatching repro.streams
+        sim = Simulator(self.program, self.config,
+                        fault_injector=self.fault_injector,
+                        telemetry=self.telemetry)
+        for consumer in consumers:
+            sim.add_listener(consumer)
+        self.simulator = sim
+        self._result = sim.run()
+        return self._result
+
+    def groups(self) -> Iterator[IssueGroup]:
+        """Simulate now and yield the recorded stream (final flags)."""
+        collector = TraceCollector()
+        self.drive([collector])
+        return iter(collector.groups)
+
+    @property
+    def result(self) -> Optional[SimulationResult]:
+        return self._result
+
+
+class MemorySource(IssueSource):
+    """An in-process recorded stream: replay without touching disk."""
+
+    kind = "memory"
+
+    def __init__(self, groups: Iterable[IssueGroup], name: str = "memory",
+                 result: Optional[SimulationResult] = None):
+        self._groups: List[IssueGroup] = list(groups)
+        self.name = name
+        self._result = result
+
+    def groups(self) -> Iterator[IssueGroup]:
+        return iter(self._groups)
+
+    def __len__(self) -> int:
+        return len(self._groups)
+
+    @property
+    def result(self) -> Optional[SimulationResult]:
+        return self._result
+
+
+class ReplaySource(IssueSource):
+    """A trace file as an issue source (re-drivable; streams from disk).
+
+    The header is validated on construction, so a truncated or
+    future-version file fails fast with
+    :class:`~repro.cpu.tracefile.TraceFormatError` instead of half-way
+    through an experiment.
+    """
+
+    kind = "replay"
+
+    def __init__(self, path: PathLike):
+        self.path = Path(path)
+        self.header: Dict[str, Any] = read_trace_header(self.path)
+        self.name = self.header.get("name", self.path.stem)
+        self._result = header_result(self.header)
+
+    def groups(self) -> Iterator[IssueGroup]:
+        return load_trace(self.path)
+
+    @property
+    def config_fingerprint(self) -> Optional[str]:
+        return self.header.get("config")
+
+    @property
+    def result(self) -> Optional[SimulationResult]:
+        return self._result
+
+
+class SyntheticSource(IssueSource):
+    """Statistics-calibrated generated stream (no simulation at all).
+
+    Wraps :class:`~repro.workloads.generators.SyntheticStream`; each
+    :meth:`groups` call restarts the generator from ``seed``, so the
+    source is re-drivable and deterministic — driving it twice yields
+    bit-identical streams.
+    """
+
+    kind = "synthetic"
+
+    def __init__(self, stats, cycles: int, num_modules: int = 4,
+                 operand_mode: str = "iid", seed: int = 0):
+        from .workloads.generators import OperandModel, SyntheticStream
+        self.stats = stats
+        self.cycles = cycles
+        self.num_modules = num_modules
+        self.operand_mode = operand_mode
+        self.seed = seed
+        self.name = f"synthetic-{operand_mode}"
+        self._stream_cls = SyntheticStream
+        self._model_cls = OperandModel
+
+    def groups(self) -> Iterator[IssueGroup]:
+        model = self._model_cls(self.stats.fu_class, mode=self.operand_mode)
+        stream = self._stream_cls(self.stats, num_modules=self.num_modules,
+                                  operand_model=model, seed=self.seed)
+        return stream.groups(self.cycles)
+
+
+def drive(source: IssueSource, consumers: Sequence[IssueConsumer],
+          finalize: bool = True) -> Optional[SimulationResult]:
+    """Run one source into many consumers: the single evaluation loop.
+
+    Every experiment driver funnels through here, whatever the stream's
+    provenance.  After the stream ends, each consumer exposing a
+    ``finalize()`` method is drained — that is how deferred
+    (wrong-path-excluding) evaluators settle their accounts once the
+    speculative flags are final.
+    """
+    consumers = list(consumers)
+    result = source.drive(consumers)
+    if finalize:
+        for consumer in consumers:
+            hook = getattr(consumer, "finalize", None)
+            if hook is not None:
+                hook()
+    return result
+
+
+def capture(source: IssueSource,
+            fu_classes: Optional[Iterable[FUClass]] = None,
+            extra_consumers: Sequence[IssueConsumer] = ()
+            ) -> MemorySource:
+    """Drive ``source`` once, returning its stream as a MemorySource.
+
+    The collector stores *references* to the published MicroOps, so
+    wrong-path operations squashed later in the run carry their final
+    ``speculative`` flags — which is what makes captured streams
+    bit-identical to live listening even for deferred accounting.
+    ``extra_consumers`` ride along on the same (single) pass, for
+    drivers that want one evaluator set scored live while recording.
+    """
+    collector = TraceCollector(fu_classes)
+    result = drive(source, [collector, *extra_consumers])
+    return MemorySource(collector.groups, name=source.name, result=result)
+
+
+def record(source: IssueSource, path: PathLike,
+           fu_classes: Optional[Iterable[FUClass]] = None,
+           config_fingerprint: Optional[str] = None,
+           extra_consumers: Sequence[IssueConsumer] = ()) -> MemorySource:
+    """Capture ``source`` and persist it as a version-2 trace file.
+
+    The write is atomic (temp-then-rename) and happens *after* the run,
+    so the file always holds final wrong-path flags and the header
+    carries the run summary.  Returns the in-process capture so callers
+    can replay immediately without re-reading the file.
+    """
+    if config_fingerprint is None:
+        config = getattr(source, "config", None)
+        if config is not None:
+            config_fingerprint = config.fingerprint()
+    memory = capture(source, fu_classes, extra_consumers)
+    write_trace(path, memory.groups(), name=source.name,
+                fu_classes=fu_classes,
+                config_fingerprint=config_fingerprint,
+                source_kind=source.kind, result=memory.result)
+    return memory
+
+
+def trace_cache_key(program: Program, config: MachineConfig,
+                    fu_classes: Optional[Iterable[FUClass]] = None) -> str:
+    """Content-addressed cache key for a (program, machine) stream.
+
+    Two grid cells that differ only in steering policy, LUT shape, swap
+    mode, policy-view fault rate, or telemetry knobs share a key — the
+    published stream is identical — while a compiler-swapped program or
+    any stream-shaping config change (widths, predictor, cache
+    geometry) gets its own entry.
+    """
+    scope = ("all" if fu_classes is None else
+             "+".join(sorted(fu.value for fu in fu_classes)))
+    return f"{program.fingerprint()}-{config.fingerprint()}-{scope}"
+
+
+def cached_source(program: Program, config: MachineConfig,
+                  cache_dir: PathLike,
+                  fu_classes: Optional[Iterable[FUClass]] = None
+                  ) -> "ReplaySource | None":
+    """Look up a recorded stream for (program, config) in a cache dir.
+
+    Returns a :class:`ReplaySource` on a hit, ``None`` on a miss (or on
+    a corrupt/foreign file — a damaged cache entry is treated as a miss
+    rather than sinking the experiment).  Pair with
+    :func:`record_cached` to populate.
+    """
+    from .cpu.tracefile import TraceFormatError
+    path = Path(cache_dir) / (
+        trace_cache_key(program, config, fu_classes) + ".trace.gz")
+    if not path.exists():
+        return None
+    try:
+        source = ReplaySource(path)
+    except (TraceFormatError, OSError):
+        return None
+    if source.config_fingerprint != config.fingerprint():
+        return None  # hash-collision paranoia: never replay a mismatch
+    return source
+
+
+def record_cached(program: Program, config: MachineConfig,
+                  cache_dir: PathLike,
+                  fu_classes: Optional[Iterable[FUClass]] = None,
+                  telemetry=None,
+                  extra_consumers: Sequence[IssueConsumer] = ()
+                  ) -> MemorySource:
+    """Simulate once and write the stream under its cache key."""
+    directory = Path(cache_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / (
+        trace_cache_key(program, config, fu_classes) + ".trace.gz")
+    return record(LiveSource(program, config, telemetry=telemetry), path,
+                  fu_classes=fu_classes,
+                  config_fingerprint=config.fingerprint(),
+                  extra_consumers=extra_consumers)
+
+
+class TelemetryStreamSampler:
+    """Drive a :class:`~repro.telemetry.session.TelemetrySession`'s
+    time-series sampling from a stream's cycle numbers.
+
+    The replay/synthetic stand-in for the live simulator's in-run
+    sampling: a row is taken every ``interval`` stream cycles and once
+    more at :meth:`finalize`, mirroring the run loop's cadence.
+    Pipeline gauges (ROB/RS occupancy) do not exist outside a live run,
+    so replayed rows carry counters and derived rates only.
+    """
+
+    def __init__(self, session, interval: Optional[int] = None):
+        self.session = session
+        if interval is None:
+            sampler = session.sampler
+            interval = sampler.interval if sampler is not None else 0
+        self.interval = interval
+        self._next = interval if interval > 0 else None
+        self._last_cycle = -1
+
+    def __call__(self, group: IssueGroup) -> None:
+        cycle = group.cycle
+        if cycle > self._last_cycle:
+            self._last_cycle = cycle
+        if self._next is not None and cycle >= self._next:
+            self.session.take_sample(cycle)
+            self._next = cycle + self.interval
+
+    def finalize(self) -> None:
+        if self._next is not None and self._last_cycle >= 0:
+            self.session.take_sample(self._last_cycle)
+
+
+__all__ = [
+    "IssueConsumer", "IssueSource", "LiveSource", "MemorySource",
+    "ReplaySource", "SyntheticSource", "SOURCE_KINDS",
+    "TelemetryStreamSampler",
+    "capture", "cached_source", "drive", "record", "record_cached",
+    "trace_cache_key",
+]

@@ -52,6 +52,79 @@ class TestRunFigure4:
                         stats_source="vibes")
 
 
+class TestSimulateOnce:
+    """The tentpole invariant: exactly one ``Simulator.run()`` per
+    program version, however many evaluator sets the panel needs."""
+
+    @pytest.fixture
+    def counting(self, monkeypatch):
+        import repro.streams as streams_module
+        from repro.cpu.simulator import Simulator
+
+        runs = []
+
+        class CountingSimulator(Simulator):
+            def run(self):
+                runs.append(self.program.name)
+                return super().run()
+
+        monkeypatch.setattr(streams_module, "Simulator", CountingSimulator)
+        return runs
+
+    def test_one_simulation_per_program_version(self, counting):
+        loads = [workload("compress"), workload("li")]
+        panel = run_figure4(FUClass.IALU, workloads=loads, scale=1,
+                            schemes=("original", "lut-4"),
+                            swap_modes=("none", "hw"))
+        assert sorted(counting) == ["compress", "li"]
+        assert panel.simulations == 2
+
+    def test_compiler_swapped_versions_are_distinct(self, counting):
+        loads = [workload("compress")]
+        panel = run_figure4(
+            FUClass.IALU, workloads=loads, scale=1,
+            schemes=("original", "lut-4"),
+            swap_modes=("none", "hw", "compiler", "hw+compiler"))
+        # the rewritten program is its own version: two sims, not four
+        assert len(counting) == 2
+        assert sorted(counting) == ["compress", "compress+cswap"]
+        assert panel.simulations == 2
+
+
+class TestTraceCache:
+    def test_second_run_simulates_nothing(self, tmp_path, monkeypatch):
+        import repro.streams as streams_module
+        from repro.cpu.simulator import Simulator
+
+        loads = [workload("compress")]
+        kwargs = dict(workloads=loads, scale=1,
+                      schemes=("original", "lut-4"),
+                      swap_modes=("none", "hw"),
+                      trace_cache_dir=str(tmp_path))
+        cold = run_figure4(FUClass.IALU, **kwargs)
+        assert (cold.cache_hits, cold.cache_misses) == (0, 1)
+        assert cold.simulations == 1
+
+        class ExplodingSimulator(Simulator):
+            def run(self):
+                raise AssertionError("cache hit must not simulate")
+
+        monkeypatch.setattr(streams_module, "Simulator", ExplodingSimulator)
+        warm = run_figure4(FUClass.IALU, **kwargs)
+        assert (warm.cache_hits, warm.cache_misses) == (1, 0)
+        assert warm.simulations == 0
+        assert warm.cells == cold.cells
+        assert warm.per_workload == cold.per_workload
+
+    def test_cache_off_by_default(self, monkeypatch):
+        panel = run_figure4(FUClass.IALU, workloads=[workload("compress")],
+                            scale=1, schemes=("original",),
+                            swap_modes=("none",))
+        assert panel.cache_hits == 0
+        assert panel.cache_misses == 0
+        assert panel.simulations == 1
+
+
 class TestMeasureStatistics:
     def test_measured_statistics_well_formed(self):
         program = workload("compress").build(1)

@@ -171,6 +171,22 @@ class TestPolicyEvaluator:
         b(group([add_op(0x3, 0)]))
         assert b.totals().reduction_vs(a.totals()) == pytest.approx(0.5)
 
+    def test_reduction_vs_both_zero_is_zero(self):
+        # an empty stream is legitimately 0% reduction
+        a = PolicyEvaluator(FUClass.IALU, 4, OriginalPolicy())
+        b = PolicyEvaluator(FUClass.IALU, 4, OriginalPolicy())
+        assert b.totals().reduction_vs(a.totals()) == 0.0
+
+    def test_reduction_vs_degenerate_baseline_raises(self):
+        # a baseline that switched nothing while this policy switched
+        # something cannot describe the same stream — refuse loudly
+        # instead of reporting "no reduction"
+        baseline = PolicyEvaluator(FUClass.IALU, 4, OriginalPolicy())
+        other = PolicyEvaluator(FUClass.IALU, 4, OriginalPolicy())
+        other(group([add_op(0xF, 0)]))
+        with pytest.raises(ValueError, match="original"):
+            other.totals().reduction_vs(baseline.totals())
+
 
 class TestPolicyQualityOrdering:
     """The qualitative Figure 4 ordering must hold on calibrated streams."""

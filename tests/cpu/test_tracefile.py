@@ -73,7 +73,7 @@ class TestRoundTrip:
         save_trace(path, collector.groups, name="sum-loop")
         header = read_trace_header(path)
         assert header["name"] == "sum-loop"
-        assert header["version"] == 1
+        assert header["version"] == 2
 
 
 class TestReplay:
@@ -100,6 +100,55 @@ class TestVersioning:
             read_trace_header(path)
         with pytest.raises(ValueError, match="version"):
             list(load_trace(path))
+
+    def test_rejects_next_version_specifically(self, tmp_path):
+        from repro.cpu.tracefile import (FORMAT_VERSION, SUPPORTED_VERSIONS,
+                                         TraceFormatError)
+        future = FORMAT_VERSION + 1
+        assert future not in SUPPORTED_VERSIONS
+        path = tmp_path / "future.jsonl.gz"
+        with gzip.open(path, "wt") as handle:
+            handle.write(json.dumps({"version": future}) + "\n")
+        with pytest.raises(TraceFormatError, match=str(future)):
+            read_trace_header(path)
+
+    def _write_v1_trace(self, path, sum_program):
+        """A byte-faithful version-1 trace: header without the v2
+        config/source/result keys, identical group lines."""
+        collector = TraceCollector()
+        simulate(sum_program, listeners=[collector])
+        from repro.cpu.tracefile import _encode_group
+        with gzip.open(path, "wt") as handle:
+            handle.write(json.dumps({"version": 1, "name": "legacy",
+                                     "fu_classes": None}) + "\n")
+            for group in collector.groups:
+                handle.write(_encode_group(group) + "\n")
+        return collector.groups
+
+    def test_v1_trace_still_replays(self, sum_program, tmp_path):
+        path = tmp_path / "v1.jsonl.gz"
+        groups = self._write_v1_trace(path, sum_program)
+        header = read_trace_header(path)
+        assert header["version"] == 1
+        loaded = list(load_trace(path))
+        assert len(loaded) == len(groups)
+        live = PolicyEvaluator(FUClass.IALU, 4, OriginalPolicy())
+        for group in groups:
+            live(group)
+        replayed = PolicyEvaluator(FUClass.IALU, 4, OriginalPolicy())
+        replay(path, [replayed])
+        assert replayed.totals() == live.totals()
+
+    def test_v1_trace_as_replay_source(self, sum_program, tmp_path):
+        from repro.streams import ReplaySource
+        path = tmp_path / "v1.jsonl.gz"
+        self._write_v1_trace(path, sum_program)
+        source = ReplaySource(path)
+        # pre-cache headers carry no fingerprint or run summary
+        assert source.config_fingerprint is None
+        assert source.result is None
+        assert source.name == "legacy"
+        assert len(list(source.groups())) > 0
 
 
 class TestCorruption:

@@ -88,6 +88,67 @@ class TestExecuteTask:
         result = execute_task(spec.tasks()[0])
         assert result["fault_flips"] > 0
 
+    def test_cache_off_without_directory(self):
+        result = execute_task(small_spec().tasks()[0])
+        assert result["trace_cache"] == "off"
+
+
+class TestCampaignTraceCache:
+    def test_cells_sharing_a_stream_hit_the_cache(self, tmp_path):
+        # two fault rates over one (workload, config): policy-view
+        # faults never alter the published stream, so the second task
+        # replays the first task's recording
+        spec = small_spec(workloads=("li",), fault_rates=(0.0, 0.2))
+        run_campaign(spec, tmp_path, executor="inline")
+        manifest = CampaignManifest.load(tmp_path / "manifest.jsonl")
+        states = {entry["id"]: entry["result"]["trace_cache"]
+                  for entry in manifest.tasks.values()}
+        assert states == {"li@s1/default/r0": "miss",
+                          "li@s1/default/r0.2": "hit"}
+        assert list((tmp_path / "trace-cache").glob("*.trace.gz"))
+
+    def test_hit_and_miss_cells_report_identical_results(self, tmp_path):
+        spec = small_spec(workloads=("compress",), fault_rates=(0.0, 0.0001))
+        run_campaign(spec, tmp_path, executor="inline")
+        cached = CampaignManifest.load(tmp_path / "manifest.jsonl")
+
+        fresh_dir = tmp_path / "fresh"
+        run_campaign(spec, fresh_dir, executor="inline", trace_cache=False)
+        fresh = CampaignManifest.load(fresh_dir / "manifest.jsonl")
+
+        for task_id, entry in fresh.tasks.items():
+            want = dict(entry["result"])
+            got = dict(cached.tasks[task_id]["result"])
+            state = got.pop("trace_cache")
+            want.pop("trace_cache")
+            assert state in ("hit", "miss")
+            # telemetry carries wall-clock-ish sampling metadata; the
+            # physics (cycles, savings, counters) must be identical
+            want_tel = want.pop("telemetry", None)
+            got_tel = got.pop("telemetry", None)
+            assert got == want
+            if want_tel is not None:
+                assert got_tel["metrics"]["counters"] \
+                    == want_tel["metrics"]["counters"]
+
+    def test_trace_cache_disabled_leaves_no_directory(self, tmp_path):
+        spec = small_spec(workloads=("li",))
+        run_campaign(spec, tmp_path, executor="inline", trace_cache=False)
+        manifest = CampaignManifest.load(tmp_path / "manifest.jsonl")
+        for entry in manifest.tasks.values():
+            assert entry["result"]["trace_cache"] == "off"
+        assert not (tmp_path / "trace-cache").exists()
+
+    def test_cache_toggle_does_not_change_spec_fingerprint(self, tmp_path):
+        # the cache is an execution detail: disabling it on resume must
+        # not invalidate the manifest
+        spec = small_spec(workloads=("compress", "li"))
+        run_campaign(spec, tmp_path, executor="inline", limit=1)
+        result = run_campaign(spec, tmp_path, executor="inline",
+                              resume=True, trace_cache=False)
+        assert result.complete
+        assert result.skipped == 1
+
 
 class TestInlineRunner:
     def test_full_run_completes(self, tmp_path):

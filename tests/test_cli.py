@@ -162,6 +162,53 @@ class TestCli:
         assert code == 1
         assert "FAILED" in output and "DeadlockDetected" in output
 
+    def test_version(self, capsys):
+        from repro import __version__
+        with pytest.raises(SystemExit) as exc_info:
+            main(["--version"])
+        assert exc_info.value.code == 0
+        assert __version__ in capsys.readouterr().out
+
+    def test_record_and_replay(self, capsys, tmp_path):
+        trace = str(tmp_path / "compress.trace.gz")
+        code, output = run_cli(capsys, "record", "compress", "-o", trace,
+                               "--fu", "ialu")
+        assert code == 0
+        assert "issue groups" in output
+        assert "trace v2" in output and "config" in output
+        code, output = run_cli(capsys, "replay", trace,
+                               "--policies", "original", "lut-4")
+        assert code == 0
+        assert "original" in output and "lut-4" in output
+
+    def test_figure4_cache_dir_second_run_hits(self, capsys, tmp_path):
+        cache = str(tmp_path / "cache")
+        argv = ("figure4", "ialu", "--scale", "1",
+                "--workloads", "compress", "--cache-dir", cache)
+        code = main(list(argv))
+        first = capsys.readouterr()
+        assert code == 0
+        assert "misses" in first.err and "0 hits" in first.err
+
+        code = main(list(argv))
+        second = capsys.readouterr()
+        assert code == 0
+        # cache stats live on stderr; stdout is byte-identical
+        assert "0 misses" in second.err and "0 simulations" in second.err
+        assert second.out == first.out
+
+    def test_campaign_no_trace_cache(self, capsys, tmp_path):
+        out_dir = tmp_path / "camp"
+        code, output = run_cli(capsys, "campaign", "--dir", str(out_dir),
+                               "--workloads", "li",
+                               "--policies", "original",
+                               "--inline", "--no-trace-cache")
+        assert code == 0
+        assert not (out_dir / "trace-cache").exists()
+        results = json.loads((out_dir / "results.json").read_text())
+        record = results["tasks"]["li@s1/default/r0"]
+        assert record["result"]["trace_cache"] == "off"
+
     def test_stats(self, capsys):
         code, output = run_cli(capsys, "stats", "--workload", "li",
                                "--interval", "200",
