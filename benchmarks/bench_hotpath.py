@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import argparse
 import os
+import resource
 import sys
 import time
 
@@ -273,6 +274,87 @@ def bench_figure4_replay(quick: bool) -> dict:
     }
 
 
+def bench_batch_replay(quick: bool, repeats: int = 1) -> dict:
+    """Warm-cache figure-4 replay: object path vs columnar batch engine.
+
+    Both sides start from the same fully warm trace cache, so neither
+    simulates anything — the comparison isolates the evaluation layer.
+    The *object* side re-decodes the recorded stream into IssueGroup
+    objects and walks them through evaluator method calls; the *batch*
+    side memory-maps the packed sidecar and runs the fused per-policy
+    kernels over flat arrays.  The object path is the reference oracle:
+    every cell and every statistics row must be bit-identical or this
+    benchmark raises.
+    """
+    import shutil
+    import tempfile
+
+    from repro.analysis.energy import run_figure4
+    from repro.workloads import workload
+
+    names = ["compress", "li"] if quick else ["compress", "li", "go", "cc1"]
+    schemes = ("original", "lut-4")
+    modes = ("none", "hw", "compiler", "hw+compiler")
+    loads = [workload(name) for name in names]
+    fu = FUClass.IALU
+
+    cache_dir = tempfile.mkdtemp(prefix="bench-batch-cache-")
+    try:
+        # warm: simulates each program version once, records the trace,
+        # and writes the packed sidecar the batch side memory-maps
+        run_figure4(fu, workloads=loads, schemes=schemes, swap_modes=modes,
+                    trace_cache_dir=cache_dir, engine="batch")
+
+        object_wall = batch_wall = None
+        obj = bat = None
+        for _ in range(max(1, repeats)):
+            start = time.perf_counter()
+            obj = run_figure4(fu, workloads=loads, schemes=schemes,
+                              swap_modes=modes, trace_cache_dir=cache_dir,
+                              engine="object")
+            elapsed = time.perf_counter() - start
+            if object_wall is None or elapsed < object_wall:
+                object_wall = elapsed
+            start = time.perf_counter()
+            bat = run_figure4(fu, workloads=loads, schemes=schemes,
+                              swap_modes=modes, trace_cache_dir=cache_dir,
+                              engine="batch")
+            elapsed = time.perf_counter() - start
+            if batch_wall is None or elapsed < batch_wall:
+                batch_wall = elapsed
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+
+    def _cells(result):
+        return {key: (cell.switched_bits, cell.operations,
+                      cell.hardware_swaps)
+                for key, cell in result.cells.items()}
+
+    if _cells(obj) != _cells(bat) \
+            or repr(obj.statistics) != repr(bat.statistics) \
+            or obj.per_workload != bat.per_workload:
+        raise AssertionError(
+            "batch engine diverged from the object-path reference oracle")
+    return {
+        "workloads": names,
+        "schemes": list(schemes),
+        "swap_modes": list(modes),
+        "object_wall_seconds": round(object_wall, 6),
+        "batch_wall_seconds": round(batch_wall, 6),
+        "object_simulations": obj.simulations,
+        "batch_simulations": bat.simulations,
+        "batch_speedup": round(object_wall / batch_wall, 2),
+    }
+
+
+def peak_rss_mb() -> float:
+    """Process high-water RSS in MiB (ru_maxrss: KiB on Linux)."""
+    rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - reported in bytes
+        rss /= 1024
+    return rss / 1024.0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true",
@@ -302,6 +384,16 @@ def main(argv=None) -> int:
                         default=None, metavar="X",
                         help="exit 1 if the warm-cache figure-4 run is not "
                              "at least X times faster than the all-live run")
+    parser.add_argument("--assert-batch-speedup", type=float,
+                        default=None, metavar="X",
+                        help="exit 1 if the batch engine is not at least X "
+                             "times faster than the object path on the same "
+                             "warm cache")
+    parser.add_argument("--assert-peak-rss-mb", type=float,
+                        default=None, metavar="MB",
+                        help="exit 1 if the benchmark process's peak RSS "
+                             "exceeds MB MiB (guards the lazy replay path "
+                             "against re-materialising whole streams)")
     args = parser.parse_args(argv)
 
     if args.repeats is not None:
@@ -367,6 +459,14 @@ def main(argv=None) -> int:
               f" ({replay['replay_cache_hits']} hits,"
               f" {replay['replay_simulations']} sims)"
               f"  speedup {replay['speedup']:.2f}x")
+        batch = bench_batch_replay(args.quick, repeats=repeats)
+        summary["figure4_batch"] = batch
+        print(f"{'figure4-batch':<24} object"
+              f" {batch['object_wall_seconds']:.3f}s"
+              f"  batch {batch['batch_wall_seconds']:.3f}s"
+              f"  speedup {batch['batch_speedup']:.2f}x")
+    summary["peak_rss_mb"] = round(peak_rss_mb(), 1)
+    print(f"{'peak-rss':<24} {summary['peak_rss_mb']:.1f} MiB")
     baseline = None
     if args.baseline:
         # read before --output in case both name the same file
@@ -390,6 +490,23 @@ def main(argv=None) -> int:
                   f" below the {args.assert_replay_speedup:.1f}x floor",
                   file=sys.stderr)
             failed = True
+    if args.assert_batch_speedup is not None:
+        batch = summary.get("figure4_batch")
+        if batch is None:
+            print("FAIL: --assert-batch-speedup needs the figure-4 "
+                  "section (drop --no-figure4)", file=sys.stderr)
+            failed = True
+        elif batch["batch_speedup"] < args.assert_batch_speedup:
+            print(f"FAIL: batch-engine speedup {batch['batch_speedup']:.2f}x"
+                  f" below the {args.assert_batch_speedup:.1f}x floor",
+                  file=sys.stderr)
+            failed = True
+    if (args.assert_peak_rss_mb is not None
+            and summary["peak_rss_mb"] > args.assert_peak_rss_mb):
+        print(f"FAIL: peak RSS {summary['peak_rss_mb']:.1f} MiB exceeds "
+              f"the {args.assert_peak_rss_mb:.1f} MiB budget",
+              file=sys.stderr)
+        failed = True
     if (args.assert_telemetry_overhead is not None
             and total_overhead > args.assert_telemetry_overhead):
         print(f"FAIL: telemetry overhead {total_overhead:.1f}% exceeds "

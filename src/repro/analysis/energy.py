@@ -26,8 +26,10 @@ programs.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from ..batch import ENGINES, drive_stream, packed_cached
 from ..compiler import swap_optimize
 from ..cpu.config import MachineConfig, default_config
 from ..core.info_bits import InfoBitScheme, scheme_for
@@ -37,7 +39,8 @@ from ..core.swapping import HardwareSwapper, choose_swap_case
 from ..isa.instructions import FUClass
 from ..isa.program import Program
 from ..streams import (IssueSource, LiveSource, MemorySource, SyntheticSource,
-                       cached_source, capture, drive, record_cached)
+                       cached_source, capture, drive, prune_trace_cache,
+                       record_cached, trace_cache_key)
 from ..workloads.base import Workload, float_suite, integer_suite
 from .bit_patterns import BitPatternCollector
 from .module_usage import ModuleUsageCollector
@@ -130,7 +133,10 @@ def statistics_from_sources(sources: Sequence[IssueSource],
     patterns = BitPatternCollector(fu_class, scheme=scheme)
     usage = ModuleUsageCollector([fu_class])
     for source in sources:
-        drive(source, [patterns, usage])
+        # packed streams go through the fused statistics kernels,
+        # object streams through the classic loop — same totals either
+        # way (tests/batch/test_parity.py)
+        drive_stream(source, [patterns, usage])
     distribution = usage.distribution(fu_class,
                                       max_width=config.modules(fu_class))
     stats = patterns.to_statistics(distribution)
@@ -138,23 +144,31 @@ def statistics_from_sources(sources: Sequence[IssueSource],
 
 
 def _captured_stream(program: Program, config: MachineConfig,
-                     fu_class: FUClass, cache_dir
-                     ) -> Tuple[MemorySource, bool]:
+                     fu_class: FUClass, cache_dir, engine: str = "object"
+                     ) -> Tuple[IssueSource, bool]:
     """One issue stream per program version, simulated at most once.
 
     Without a cache directory this is a plain in-memory capture (one
     simulation).  With one, a recorded trace under the content-addressed
     key is replayed instead, and a miss both simulates and populates the
     cache.  Returns ``(stream, cache_hit)``.
+
+    With ``engine="batch"`` the stream comes back as a
+    :class:`~repro.batch.columns.PackedTrace` (mmapped from the cache
+    sidecar on a warm hit — the gzip JSON trace is not parsed at all);
+    ``"object"`` keeps the classic decoded stream as the reference path.
     """
     fu_classes = (fu_class,)
+    if engine == "batch":
+        return packed_cached(program, config, cache_dir, fu_classes)
     if cache_dir is not None:
         found = cached_source(program, config, cache_dir, fu_classes)
         if found is not None:
-            # decode once up front: the stream is replayed several times
-            # (statistics pass + every evaluator set)
-            return MemorySource(found.groups(), name=program.name,
-                                result=found.result), True
+            # the replay is re-drivable and streams from disk, so each
+            # pass holds one group at a time — never the whole decoded
+            # stream (compiler-swapped versions need only one pass, and
+            # peak RSS stays flat however long the trace is)
+            return found, True
         return record_cached(program, config, cache_dir, fu_classes), False
     return capture(LiveSource(program, config), fu_classes), False
 
@@ -190,7 +204,11 @@ def run_figure4(fu_class: FUClass,
                 schemes: Sequence[str] = SCHEMES,
                 swap_modes: Sequence[str] = ("none", "hw", "hw+compiler"),
                 scheme: Optional[InfoBitScheme] = None,
-                trace_cache_dir=None) -> Figure4Result:
+                trace_cache_dir=None,
+                engine: str = "batch",
+                jobs: int = 1,
+                trace_cache_limit_mb: Optional[float] = None
+                ) -> Figure4Result:
     """Reproduce one panel of Figure 4.
 
     ``stats_source`` selects where the LUT-synthesis statistics come
@@ -203,8 +221,27 @@ def run_figure4(fu_class: FUClass,
     so a rerun with unchanged programs and machine config simulates
     nothing at all (``result.cache_hits`` / ``cache_misses`` report
     what happened; ``result.simulations`` counts actual simulator
-    runs).
+    runs).  ``trace_cache_limit_mb`` prunes the cache LRU-style after
+    the run, never evicting an entry this run just used.
+
+    ``engine`` picks the evaluation path: ``"batch"`` (default) runs the
+    fused columnar kernels over packed streams — bit-identical totals,
+    several times faster; ``"object"`` is the classic decoded-stream
+    loop, kept as the reference oracle the parity tests compare
+    against.  ``jobs`` > 1 fans the per-workload replay work across a
+    process pool (results merge deterministically, so the output is
+    byte-stable regardless of the job count).
     """
+    if engine not in ENGINES:
+        raise ValueError(f"engine must be one of {ENGINES}")
+    if jobs > 1:
+        from .parallel import ParallelFigureRunner
+        return ParallelFigureRunner(jobs=jobs).run_figure4(
+            fu_class, workloads=workloads, scale=scale, config=config,
+            stats_source=stats_source, schemes=schemes,
+            swap_modes=swap_modes, scheme=scheme,
+            trace_cache_dir=trace_cache_dir, engine=engine,
+            trace_cache_limit_mb=trace_cache_limit_mb)
     config = config or default_config()
     if workloads is None:
         workloads = (integer_suite() if fu_class is FUClass.IALU
@@ -218,11 +255,11 @@ def run_figure4(fu_class: FUClass,
 
     # one simulation (or cache hit) per unmodified program version; the
     # captured streams feed the statistics pass *and* the evaluator sets
-    captured: List[MemorySource] = []
+    captured: List[IssueSource] = []
     hits = misses = 0
     for program in programs:
         stream, hit = _captured_stream(program, config, fu_class,
-                                       trace_cache_dir)
+                                       trace_cache_dir, engine)
         captured.append(stream)
         hits += hit
         misses += not hit
@@ -237,6 +274,7 @@ def run_figure4(fu_class: FUClass,
                            workload_names=[w.name for w in workloads],
                            statistics=stats)
     needs_compiler = any("compiler" in m for m in swap_modes)
+    used_programs: List[Program] = list(programs)
 
     for program, stream in zip(programs, captured):
         plain_modes = [m for m in ("none", "hw") if m in swap_modes]
@@ -256,14 +294,21 @@ def run_figure4(fu_class: FUClass,
             # the rewritten program is a distinct version (different
             # instruction content, so a different cache key)
             sw_stream, hit = _captured_stream(swapped, config, fu_class,
-                                              trace_cache_dir)
+                                              trace_cache_dir, engine)
             hits += hit
             misses += not hit
             _evaluate_modes(sw_stream, swapped.name, fu_class, num_modules,
                             stats, scheme, schemes, compiler_modes, result)
+            used_programs.append(swapped)
     result.cache_hits = hits if trace_cache_dir is not None else 0
     result.cache_misses = misses if trace_cache_dir is not None else 0
     result.simulations = misses
+    if trace_cache_dir is not None and trace_cache_limit_mb is not None:
+        protect = [Path(trace_cache_dir)
+                   / (trace_cache_key(p, config, (fu_class,)) + ".trace.gz")
+                   for p in used_programs]
+        prune_trace_cache(trace_cache_dir, trace_cache_limit_mb,
+                          protect=protect)
     return result
 
 
@@ -282,7 +327,7 @@ def _evaluate_modes(stream: IssueSource, program_name: str,
                                        schemes, with_hw_swap=hw)
         per_mode[mode] = evaluators
         consumers.extend(evaluators.values())
-    drive(stream, consumers)
+    drive_stream(stream, consumers)
     workload_name = program_name.removesuffix("+cswap")
     breakdown = result.per_workload.setdefault(workload_name, {})
     for mode, evaluators in per_mode.items():

@@ -170,7 +170,9 @@ def cmd_figure4(args) -> int:
                  if args.workloads else None)
         panel = run_figure4(fu_class, workloads=loads, scale=args.scale,
                             stats_source=args.stats, swap_modes=modes,
-                            trace_cache_dir=args.cache_dir)
+                            trace_cache_dir=args.cache_dir,
+                            engine=args.engine, jobs=args.jobs,
+                            trace_cache_limit_mb=args.cache_limit_mb)
         print(render_figure4(panel))
         if args.per_workload:
             print()
@@ -517,6 +519,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cache-dir",
                    help="content-addressed trace cache: record streams on"
                         " miss, replay instead of simulating on hit")
+    p.add_argument("--cache-limit-mb", type=float, default=None,
+                   help="prune the trace cache LRU-style past this size"
+                        " after the run (entries this run used are never"
+                        " evicted)")
+    p.add_argument("--engine", choices=["batch", "object"], default="batch",
+                   help="evaluation engine: fused columnar kernels"
+                        " (batch, default) or the reference object loop")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="fan per-workload evaluation across N worker"
+                        " processes (output is byte-stable for any N)")
     p.set_defaults(func=cmd_figure4)
 
     p = sub.add_parser("multiplier", help="section 4.4 experiments")

@@ -195,11 +195,16 @@ class LUTPolicy:
         self._vector_ops = self.lut.vector_ops
 
     def assign(self, ops: Sequence[MicroOp], power: FUPowerModel) -> Assignment:
-        count = power.num_modules
         case = self._case_fn
         cases = tuple([case(op.op1, op.op2 if op.has_two else 0)
                        for op in ops[:self._vector_ops]])
-        key = (cases, len(ops), count)
+        return self._assign_cases(cases, len(ops), power.num_modules)
+
+    def _assign_cases(self, cases: Tuple[int, ...], length: int,
+                      count: int) -> Assignment:
+        """Steer from precomputed cases (the columnar kernels call this
+        directly, so table semantics live in exactly one place)."""
+        key = (cases, length, count)
         cached = self._memo.get(key)
         if cached is not None:
             return cached
@@ -211,7 +216,7 @@ class LUTPolicy:
         spare = iter(m for m in range(count) if m not in valid)
         steered = [m if m < count else next(spare) for m in steered]
         free = [m for m in range(count) if m not in steered]
-        modules = tuple((steered + free)[:len(ops)])
+        modules = tuple((steered + free)[:length])
         assignment = Assignment(modules=modules,
                                 swapped=(False,) * len(modules),
                                 total_cost=0.0)

@@ -450,9 +450,8 @@ class Simulator:
         telemetry = self.telemetry
         tracer = self._tracer
         trace_on = tracer is not None
-        sample_interval = (telemetry.sampler.interval
-                           if telemetry is not None
-                           and telemetry.sampler is not None else 0)
+        sample_interval = (telemetry.sample_interval
+                           if telemetry is not None else 0)
         next_sample = sample_interval if sample_interval else max_cycles + 1
         if telemetry is not None and telemetry.registry.enabled:
             issue_width_hists: Optional[List[Any]] = [
@@ -808,7 +807,7 @@ class Simulator:
     def _finalize_telemetry(self, cycle: int,
                             last_retire_cycle: int) -> None:
         telemetry = self.telemetry
-        if telemetry.sampler is not None:
+        if telemetry.sample_interval > 0:
             self._telemetry_sample(cycle, last_retire_cycle)
         if telemetry.registry.enabled:
             telemetry.registry.counter("sim.cycles").inc(self.result.cycles)

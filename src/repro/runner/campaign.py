@@ -36,17 +36,14 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
-import multiprocessing
-import os
-import signal
 import time
-import traceback
 from dataclasses import dataclass, field
-from multiprocessing.connection import wait as _conn_wait
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from .manifest import CampaignManifest, ManifestError
+from .pool import (CRASH_ENV, DELAY_ENV, HANG_ENV, PoolItem, ProcessTaskPool,
+                   error_payload as _error_payload)
 
 PathLike = Union[str, Path]
 
@@ -57,11 +54,6 @@ CONFIG_FIELDS = frozenset({
     "rs_entries_per_class", "branch_predictor_entries", "branch_predictor",
     "mispredict_penalty", "max_cycles", "watchdog_cycles",
 })
-
-DELAY_ENV = "REPRO_CAMPAIGN_TEST_DELAY"
-CRASH_ENV = "REPRO_CAMPAIGN_TEST_CRASH"
-HANG_ENV = "REPRO_CAMPAIGN_TEST_HANG"
-
 
 class CampaignError(RuntimeError):
     """The campaign cannot run (bad spec, unresumable manifest, ...)."""
@@ -226,7 +218,24 @@ def execute_task(task: TaskSpec) -> Dict[str, Any]:
         found = streams.cached_source(program, config, task.trace_cache_dir,
                                       (fu_class,))
         if found is not None and found.result is not None:
-            streams.drive(found, [coordinator])
+            if injectors:
+                # fault views are injected per evaluator inside the
+                # shared pass; keep the object path
+                streams.drive(found, [coordinator])
+            else:
+                # warm hit with no fault injection: score every
+                # evaluator through the fused columnar kernels straight
+                # off the packed sidecar (bit-identical to the shared
+                # object pass; tests/batch/test_parity.py).  Any pack
+                # problem degrades to the reference path.
+                from ..batch import batch_drive, packed_cached
+                try:
+                    packed, _ = packed_cached(program, config,
+                                              task.trace_cache_dir,
+                                              (fu_class,))
+                    batch_drive(packed, coordinator.evaluators)
+                except Exception:
+                    streams.drive(found, [coordinator])
             sim_result = found.result
             session.add_collector(sim_result.telemetry_counters)
             cache_state = "hit"
@@ -269,44 +278,6 @@ def execute_task(task: TaskSpec) -> Dict[str, Any]:
     }
 
 
-def _error_payload(exc: BaseException) -> Dict[str, Any]:
-    """Serialise an exception (plus any diagnostic snapshot) for the
-    manifest."""
-    payload = {"type": type(exc).__name__, "message": str(exc),
-               "traceback": traceback.format_exc()}
-    snapshot = getattr(exc, "snapshot", None)
-    if snapshot is not None and hasattr(snapshot, "to_dict"):
-        payload["snapshot"] = snapshot.to_dict()
-    return payload
-
-
-def _child_main(task: TaskSpec, conn) -> None:
-    """Worker process entry: run one task, ship the outcome back."""
-    try:
-        delay = float(os.environ.get(DELAY_ENV, "0") or 0)
-        if delay > 0:
-            time.sleep(delay)
-        crash = os.environ.get(CRASH_ENV)
-        if crash and crash in task.task_id:
-            os.kill(os.getpid(), signal.SIGKILL)
-        hang = os.environ.get(HANG_ENV)
-        if hang and hang in task.task_id:
-            while True:
-                time.sleep(3600)
-        result = execute_task(task)
-        conn.send(("ok", result))
-    except BaseException as exc:  # the campaign must never inherit this
-        try:
-            conn.send(("error", _error_payload(exc)))
-        except (BrokenPipeError, OSError):
-            pass
-    finally:
-        try:
-            conn.close()
-        except OSError:
-            pass
-
-
 # ----- the scheduler side -----------------------------------------------------
 
 
@@ -315,16 +286,6 @@ class _PendingTask:
     task: TaskSpec
     attempt: int = 1
     not_before: float = 0.0
-
-
-@dataclass
-class _RunningTask:
-    pending: _PendingTask
-    process: Any
-    conn: Any
-    started: float
-    deadline: float
-    message: Optional[Tuple[str, Any]] = None
 
 
 @dataclass
@@ -383,10 +344,6 @@ class CampaignRunner:
         self.limit = max(0, limit)
         self.manifest_path = self.out_dir / "manifest.jsonl"
         self.manifest: Optional[CampaignManifest] = None
-        if "fork" in multiprocessing.get_all_start_methods():
-            self._ctx = multiprocessing.get_context("fork")
-        else:  # pragma: no cover - non-POSIX fallback
-            self._ctx = multiprocessing.get_context("spawn")
 
     # ----- manifest lifecycle --------------------------------------------
 
@@ -493,140 +450,28 @@ class CampaignRunner:
 
     # ----- process-pool executor -----------------------------------------
 
-    def _launch(self, item: _PendingTask) -> _RunningTask:
-        parent_conn, child_conn = self._ctx.Pipe(duplex=False)
-        process = self._ctx.Process(target=_child_main,
-                                    args=(item.task, child_conn),
-                                    daemon=True)
-        process.start()
-        child_conn.close()
-        now = time.monotonic()
-        return _RunningTask(pending=item, process=process, conn=parent_conn,
-                            started=now, deadline=now + self.task_timeout)
-
-    @staticmethod
-    def _reap(running: _RunningTask) -> None:
-        """Close the pipe and collect the process, forcefully if needed."""
-        try:
-            running.conn.close()
-        except OSError:
-            pass
-        running.process.join(timeout=5)
-        if running.process.is_alive():  # pragma: no cover - defensive
-            running.process.kill()
-            running.process.join(timeout=5)
-
-    def _requeue_or_fail(self, item: _PendingTask, elapsed: float,
-                         error: Dict[str, Any],
-                         pending: List[_PendingTask],
-                         manifest: CampaignManifest,
-                         result: CampaignResult) -> bool:
-        """Apply the retry policy; returns True when the task finished
-        (failed for good)."""
-        if item.attempt <= self.retries:
-            delay = self.backoff * (2 ** (item.attempt - 1))
-            item.attempt += 1
-            item.not_before = time.monotonic() + delay
-            pending.append(item)
-            return False
-        manifest.record_failed(item.task.task_id, item.attempt, elapsed,
-                               error)
-        result.failed += 1
-        return True
-
     def _run_pool(self, pending: List[_PendingTask],
                   manifest: CampaignManifest,
                   result: CampaignResult) -> None:
-        running: List[_RunningTask] = []
-        finished = 0
-        try:
-            while pending or running:
-                if self.limit and finished >= self.limit and not running:
-                    return
-                now = time.monotonic()
+        pool = ProcessTaskPool(execute_task,
+                               max_workers=self.max_workers,
+                               task_timeout=self.task_timeout,
+                               retries=self.retries,
+                               backoff=self.backoff)
+        items = [PoolItem(key=p.task.task_id, payload=p.task,
+                          attempt=p.attempt, not_before=p.not_before)
+                 for p in pending]
 
-                # launch ready tasks up to capacity (unless limited out)
-                if not self.limit or finished < self.limit:
-                    ready = [p for p in pending if p.not_before <= now]
-                    while ready and len(running) < self.max_workers:
-                        item = ready.pop(0)
-                        pending.remove(item)
-                        running.append(self._launch(item))
+        def on_done(item: PoolItem, elapsed: float, payload: Any) -> None:
+            manifest.record_done(item.key, item.attempt, elapsed, payload)
+            result.done += 1
 
-                if not running:
-                    # everything pending is backing off; sleep to the
-                    # earliest wake-up
-                    wake = min(p.not_before for p in pending)
-                    time.sleep(min(max(wake - now, 0.01), 1.0))
-                    continue
+        def on_failed(item: PoolItem, elapsed: float,
+                      error: Dict[str, Any]) -> None:
+            manifest.record_failed(item.key, item.attempt, elapsed, error)
+            result.failed += 1
 
-                # wait for output, a death, or the nearest deadline
-                budget = min(r.deadline for r in running) - now
-                timeout = min(max(budget, 0.01), 0.25)
-                ready_conns = _conn_wait([r.conn for r in running],
-                                         timeout=timeout)
-                for run_item in running:
-                    if run_item.conn in ready_conns:
-                        try:
-                            run_item.message = run_item.conn.recv()
-                        except (EOFError, OSError):
-                            run_item.message = None  # died silently
-
-                now = time.monotonic()
-                still_running: List[_RunningTask] = []
-                for run_item in running:
-                    item = run_item.pending
-                    elapsed = now - run_item.started
-                    if run_item.message is not None:
-                        kind, payload = run_item.message
-                        self._reap(run_item)
-                        if kind == "ok":
-                            manifest.record_done(item.task.task_id,
-                                                 item.attempt, elapsed,
-                                                 payload)
-                            result.done += 1
-                            finished += 1
-                        else:
-                            if self._requeue_or_fail(item, elapsed, payload,
-                                                     pending, manifest,
-                                                     result):
-                                finished += 1
-                    elif run_item.conn in ready_conns:
-                        # EOF without a message: the worker died before
-                        # reporting (segfault, OOM kill, os._exit)
-                        self._reap(run_item)
-                        error = {"type": "WorkerCrashed",
-                                 "message": "worker died without reporting"
-                                 f" (exit code"
-                                 f" {run_item.process.exitcode})"}
-                        if self._requeue_or_fail(item, elapsed, error,
-                                                 pending, manifest, result):
-                            finished += 1
-                    elif now >= run_item.deadline:
-                        run_item.process.kill()
-                        self._reap(run_item)
-                        error = {"type": "TaskTimeout",
-                                 "message": f"exceeded {self.task_timeout}s"
-                                 f" task timeout (attempt {item.attempt})"}
-                        if self._requeue_or_fail(item, elapsed, error,
-                                                 pending, manifest, result):
-                            finished += 1
-                    elif not run_item.process.is_alive():
-                        self._reap(run_item)
-                        error = {"type": "WorkerCrashed",
-                                 "message": "worker died without reporting"
-                                 f" (exit code"
-                                 f" {run_item.process.exitcode})"}
-                        if self._requeue_or_fail(item, elapsed, error,
-                                                 pending, manifest, result):
-                            finished += 1
-                    else:
-                        still_running.append(run_item)
-                running = still_running
-        finally:
-            for run_item in running:
-                run_item.process.kill()
-                self._reap(run_item)
+        pool.run(items, on_done, on_failed, limit=self.limit)
 
 
 def run_campaign(spec: CampaignSpec, out_dir: PathLike,

@@ -1,0 +1,268 @@
+"""Generic fault-tolerant worker-process pool.
+
+The scheduling core extracted from the campaign runner so other drivers
+(the parallel Figure 4 runner, future sweeps) get the same guarantees
+without re-implementing them:
+
+* **crash isolation** — a worker segfault, OOM kill, or exception fails
+  that one task (with the captured traceback or exit code), never the
+  run;
+* **per-task timeouts** — an overdue worker is SIGKILLed and the task
+  retried;
+* **bounded retries with exponential backoff** — transient failures get
+  ``retries`` extra attempts, each delayed ``backoff * 2**(n-1)``
+  seconds;
+* **graceful shutdown** — on any exit (including ``KeyboardInterrupt``)
+  every in-flight worker is killed and collected.
+
+A task is a :class:`PoolItem` — a string ``key`` plus an arbitrary
+picklable ``payload`` — and the pool runs ``worker(payload)`` in a
+child process for each.  Outcomes are delivered through the caller's
+``on_done(item, elapsed, payload)`` / ``on_failed(item, elapsed,
+error)`` callbacks, invoked in the parent as results land.
+
+Chaos hooks (for the failure-path tests and CI smoke): workers honour
+``REPRO_CAMPAIGN_TEST_DELAY`` (sleep that many seconds before working),
+``REPRO_CAMPAIGN_TEST_CRASH`` and ``REPRO_CAMPAIGN_TEST_HANG`` (key
+substrings; matching workers SIGKILL themselves / sleep forever).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import signal
+import time
+import traceback
+from dataclasses import dataclass
+from multiprocessing.connection import wait as _conn_wait
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+DELAY_ENV = "REPRO_CAMPAIGN_TEST_DELAY"
+CRASH_ENV = "REPRO_CAMPAIGN_TEST_CRASH"
+HANG_ENV = "REPRO_CAMPAIGN_TEST_HANG"
+
+
+def error_payload(exc: BaseException) -> Dict[str, Any]:
+    """Serialise an exception (plus any diagnostic snapshot)."""
+    payload = {"type": type(exc).__name__, "message": str(exc),
+               "traceback": traceback.format_exc()}
+    snapshot = getattr(exc, "snapshot", None)
+    if snapshot is not None and hasattr(snapshot, "to_dict"):
+        payload["snapshot"] = snapshot.to_dict()
+    return payload
+
+
+@dataclass
+class PoolItem:
+    """One schedulable unit: an identifying key plus worker input."""
+
+    key: str
+    payload: Any
+    attempt: int = 1
+    not_before: float = 0.0
+
+
+@dataclass
+class _Running:
+    item: PoolItem
+    process: Any
+    conn: Any
+    started: float
+    deadline: float
+    message: Optional[Tuple[str, Any]] = None
+
+
+def _child_main(worker: Callable[[Any], Any], key: str, payload: Any,
+                conn) -> None:
+    """Worker process entry: run one task, ship the outcome back."""
+    try:
+        delay = float(os.environ.get(DELAY_ENV, "0") or 0)
+        if delay > 0:
+            time.sleep(delay)
+        crash = os.environ.get(CRASH_ENV)
+        if crash and crash in key:
+            os.kill(os.getpid(), signal.SIGKILL)
+        hang = os.environ.get(HANG_ENV)
+        if hang and hang in key:
+            while True:
+                time.sleep(3600)
+        result = worker(payload)
+        conn.send(("ok", result))
+    except BaseException as exc:  # the parent must never inherit this
+        try:
+            conn.send(("error", error_payload(exc)))
+        except (BrokenPipeError, OSError):
+            pass
+    finally:
+        try:
+            conn.close()
+        except OSError:
+            pass
+
+
+class ProcessTaskPool:
+    """Runs ``worker(payload)`` per task across isolated processes.
+
+    ``worker`` must be picklable under the spawn start method (a module
+    top-level function); with fork any callable works.  Callbacks run
+    in the parent, so they may touch non-picklable state (manifests,
+    result aggregates) freely.
+    """
+
+    def __init__(self, worker: Callable[[Any], Any],
+                 max_workers: int = 2,
+                 task_timeout: float = 600.0,
+                 retries: int = 1,
+                 backoff: float = 0.5):
+        self.worker = worker
+        self.max_workers = max(1, max_workers)
+        self.task_timeout = task_timeout
+        self.retries = max(0, retries)
+        self.backoff = backoff
+        if "fork" in multiprocessing.get_all_start_methods():
+            self._ctx = multiprocessing.get_context("fork")
+        else:  # pragma: no cover - non-POSIX fallback
+            self._ctx = multiprocessing.get_context("spawn")
+
+    # ----- lifecycle of one worker ----------------------------------------
+
+    def _launch(self, item: PoolItem) -> _Running:
+        parent_conn, child_conn = self._ctx.Pipe(duplex=False)
+        process = self._ctx.Process(
+            target=_child_main,
+            args=(self.worker, item.key, item.payload, child_conn),
+            daemon=True)
+        process.start()
+        child_conn.close()
+        now = time.monotonic()
+        return _Running(item=item, process=process, conn=parent_conn,
+                        started=now, deadline=now + self.task_timeout)
+
+    @staticmethod
+    def _reap(running: _Running) -> None:
+        """Close the pipe and collect the process, forcefully if needed."""
+        try:
+            running.conn.close()
+        except OSError:
+            pass
+        running.process.join(timeout=5)
+        if running.process.is_alive():  # pragma: no cover - defensive
+            running.process.kill()
+            running.process.join(timeout=5)
+
+    def _requeue_or_fail(self, item: PoolItem, elapsed: float,
+                         error: Dict[str, Any],
+                         pending: List[PoolItem],
+                         on_failed: Callable[[PoolItem, float,
+                                              Dict[str, Any]], None]) -> bool:
+        """Apply the retry policy; returns True when the task finished
+        (failed for good)."""
+        if item.attempt <= self.retries:
+            delay = self.backoff * (2 ** (item.attempt - 1))
+            item.attempt += 1
+            item.not_before = time.monotonic() + delay
+            pending.append(item)
+            return False
+        on_failed(item, elapsed, error)
+        return True
+
+    # ----- the scheduler loop ---------------------------------------------
+
+    def run(self, items: List[PoolItem],
+            on_done: Callable[[PoolItem, float, Any], None],
+            on_failed: Callable[[PoolItem, float, Dict[str, Any]], None],
+            limit: int = 0) -> None:
+        """Drain ``items`` through the pool; ``limit`` > 0 stops after
+        that many tasks finish (done or failed for good)."""
+        pending = list(items)
+        running: List[_Running] = []
+        finished = 0
+        try:
+            while pending or running:
+                if limit and finished >= limit and not running:
+                    return
+                now = time.monotonic()
+
+                # launch ready tasks up to capacity (unless limited out)
+                if not limit or finished < limit:
+                    ready = [p for p in pending if p.not_before <= now]
+                    while ready and len(running) < self.max_workers:
+                        item = ready.pop(0)
+                        pending.remove(item)
+                        running.append(self._launch(item))
+
+                if not running:
+                    # everything pending is backing off; sleep to the
+                    # earliest wake-up
+                    wake = min(p.not_before for p in pending)
+                    time.sleep(min(max(wake - now, 0.01), 1.0))
+                    continue
+
+                # wait for output, a death, or the nearest deadline
+                budget = min(r.deadline for r in running) - now
+                timeout = min(max(budget, 0.01), 0.25)
+                ready_conns = _conn_wait([r.conn for r in running],
+                                         timeout=timeout)
+                for run_item in running:
+                    if run_item.conn in ready_conns:
+                        try:
+                            run_item.message = run_item.conn.recv()
+                        except (EOFError, OSError):
+                            run_item.message = None  # died silently
+
+                now = time.monotonic()
+                still_running: List[_Running] = []
+                for run_item in running:
+                    item = run_item.item
+                    elapsed = now - run_item.started
+                    if run_item.message is not None:
+                        kind, payload = run_item.message
+                        self._reap(run_item)
+                        if kind == "ok":
+                            on_done(item, elapsed, payload)
+                            finished += 1
+                        else:
+                            if self._requeue_or_fail(item, elapsed, payload,
+                                                     pending, on_failed):
+                                finished += 1
+                    elif run_item.conn in ready_conns:
+                        # EOF without a message: the worker died before
+                        # reporting (segfault, OOM kill, os._exit)
+                        self._reap(run_item)
+                        error = {"type": "WorkerCrashed",
+                                 "message": "worker died without reporting"
+                                 f" (exit code"
+                                 f" {run_item.process.exitcode})"}
+                        if self._requeue_or_fail(item, elapsed, error,
+                                                 pending, on_failed):
+                            finished += 1
+                    elif now >= run_item.deadline:
+                        run_item.process.kill()
+                        self._reap(run_item)
+                        error = {"type": "TaskTimeout",
+                                 "message": f"exceeded {self.task_timeout}s"
+                                 f" task timeout (attempt {item.attempt})"}
+                        if self._requeue_or_fail(item, elapsed, error,
+                                                 pending, on_failed):
+                            finished += 1
+                    elif not run_item.process.is_alive():
+                        self._reap(run_item)
+                        error = {"type": "WorkerCrashed",
+                                 "message": "worker died without reporting"
+                                 f" (exit code"
+                                 f" {run_item.process.exitcode})"}
+                        if self._requeue_or_fail(item, elapsed, error,
+                                                 pending, on_failed):
+                            finished += 1
+                    else:
+                        still_running.append(run_item)
+                running = still_running
+        finally:
+            for run_item in running:
+                run_item.process.kill()
+                self._reap(run_item)
+
+
+__all__ = ["CRASH_ENV", "DELAY_ENV", "HANG_ENV", "PoolItem",
+           "ProcessTaskPool", "error_payload"]

@@ -337,6 +337,68 @@ def record_cached(program: Program, config: MachineConfig,
                   extra_consumers=extra_consumers)
 
 
+def prune_trace_cache(cache_dir: PathLike, limit_mb: float,
+                      protect: Iterable[PathLike] = ()) -> List[Path]:
+    """Evict least-recently-used trace-cache entries past ``limit_mb``.
+
+    An *entry* is a ``.trace.gz`` file plus its packed ``.pack`` sidecar
+    (when present); the pair lives and dies together.  Recency is the
+    trace file's mtime — replay paths touch it on every hit — so the
+    oldest entries go first.  Entries named in ``protect`` (trace paths;
+    sidecars are implied) are never evicted, even when that leaves the
+    cache over the limit: evicting the stream an in-flight figure run
+    is replaying would turn its next pass into a cache miss mid-run.
+
+    Orphaned ``.pack`` files (their trace already gone) count toward the
+    budget and are pruned first.  Every unlink is individually guarded:
+    a concurrently-removed or unreadable file is skipped, never fatal.
+    Returns the list of deleted paths.
+    """
+    directory = Path(cache_dir)
+    if not directory.is_dir():
+        return []
+    protected = {Path(p).resolve() for p in protect}
+    limit_bytes = int(limit_mb * 1024 * 1024)
+    deleted: List[Path] = []
+
+    def _unlink(path: Path) -> int:
+        try:
+            size = path.stat().st_size
+            path.unlink()
+        except OSError:
+            return 0
+        deleted.append(path)
+        return size
+
+    entries = []  # (mtime, trace, [files...], total_size)
+    total = 0
+    for trace in directory.glob("*.trace.gz"):
+        files = [trace]
+        side = trace.with_name(trace.name + ".pack")
+        if side.exists():
+            files.append(side)
+        try:
+            stat = trace.stat()
+            size = sum(f.stat().st_size for f in files)
+        except OSError:
+            continue  # raced with another pruner; entry is going away
+        total += size
+        entries.append((stat.st_mtime, trace, files, size))
+    for orphan in directory.glob("*.pack"):
+        if not orphan.with_name(orphan.name[:-len(".pack")]).exists():
+            total -= _unlink(orphan)
+    entries.sort(key=lambda entry: entry[0])
+    for _, trace, files, size in entries:
+        if total <= limit_bytes:
+            break
+        if trace.resolve() in protected:
+            continue
+        for path in files:
+            _unlink(path)
+        total -= size
+    return deleted
+
+
 class TelemetryStreamSampler:
     """Drive a :class:`~repro.telemetry.session.TelemetrySession`'s
     time-series sampling from a stream's cycle numbers.
@@ -351,8 +413,7 @@ class TelemetryStreamSampler:
     def __init__(self, session, interval: Optional[int] = None):
         self.session = session
         if interval is None:
-            sampler = session.sampler
-            interval = sampler.interval if sampler is not None else 0
+            interval = session.sample_interval
         self.interval = interval
         self._next = interval if interval > 0 else None
         self._last_cycle = -1
@@ -374,6 +435,6 @@ __all__ = [
     "IssueConsumer", "IssueSource", "LiveSource", "MemorySource",
     "ReplaySource", "SyntheticSource", "SOURCE_KINDS",
     "TelemetryStreamSampler",
-    "capture", "cached_source", "drive", "record", "record_cached",
-    "trace_cache_key",
+    "capture", "cached_source", "drive", "prune_trace_cache", "record",
+    "record_cached", "trace_cache_key",
 ]

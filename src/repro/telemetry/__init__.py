@@ -12,7 +12,7 @@ from .metrics import (Counter, DEFAULT_BUCKETS, Gauge, Histogram,
                       MetricsRegistry, NULL_REGISTRY, NullRegistry,
                       format_metrics)
 from .pipeline import FLUSHED, INFLIGHT, PipelineTracer, RETIRED
-from .sampler import TimeSeriesSampler
+from .sampler import NULL_SAMPLER, NullSampler, TimeSeriesSampler
 from .session import TelemetrySession
 
 __all__ = [
@@ -25,7 +25,9 @@ __all__ = [
     "INFLIGHT",
     "MetricsRegistry",
     "NULL_REGISTRY",
+    "NULL_SAMPLER",
     "NullRegistry",
+    "NullSampler",
     "PipelineTracer",
     "RETIRED",
     "TelemetryConfig",

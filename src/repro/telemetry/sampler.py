@@ -38,6 +38,16 @@ class TimeSeriesSampler:
         self._prev: Dict[str, int] = {}
         self._prev_cycle = 0
 
+    def take(self, session, cycle: int,
+             gauges: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+        """Pull a session's counters and record one row.
+
+        The polymorphic sampling entry point: sessions bind either this
+        or :meth:`NullSampler.take` exactly once, so the hot path never
+        re-tests whether sampling is enabled.
+        """
+        return self.sample(cycle, session.collect_counters(), gauges)
+
     def sample(self, cycle: int, counters: Dict[str, int],
                gauges: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
         """Record one row; ``counters`` are cumulative, deltas derived."""
@@ -104,3 +114,34 @@ class TimeSeriesSampler:
             for row in self.samples:
                 handle.write(json.dumps(row, sort_keys=False) + "\n")
         return len(self.samples)
+
+
+class NullSampler:
+    """Sampling disabled: every operation is an unconditional no-op.
+
+    Sessions without a sampler bind this once, so producers never pay a
+    per-call ``if sampler is None`` on the hot path; ``interval == 0``
+    lets run loops skip scheduling sample points entirely.
+    """
+
+    __slots__ = ()
+
+    interval = 0
+
+    @property
+    def samples(self) -> List[Dict[str, Any]]:
+        return []
+
+    def take(self, session, cycle: int,
+             gauges: Optional[Dict[str, Any]] = None) -> None:
+        return None
+
+    def sample(self, cycle: int, counters: Dict[str, int],
+               gauges: Optional[Dict[str, Any]] = None) -> None:
+        return None
+
+    def write_jsonl(self, path) -> int:
+        return 0
+
+
+NULL_SAMPLER = NullSampler()

@@ -26,7 +26,7 @@ from .chrome import chrome_trace
 from .config import TelemetryConfig
 from .metrics import (MetricsRegistry, NULL_REGISTRY, format_metrics)
 from .pipeline import PipelineTracer
-from .sampler import TimeSeriesSampler
+from .sampler import NULL_SAMPLER, TimeSeriesSampler
 
 Collector = Callable[[], Dict[str, Any]]
 
@@ -48,6 +48,10 @@ class TelemetrySession:
         if self.config.sample_interval > 0:
             self.sampler = TimeSeriesSampler(self.config.sample_interval,
                                              stream=stream)
+        # bound exactly once: hot paths call through without re-testing
+        # whether sampling is enabled
+        self._sampler = self.sampler if self.sampler is not None \
+            else NULL_SAMPLER
         self.tracer: Optional[PipelineTracer] = None
         if self.config.trace_events:
             self.tracer = PipelineTracer(self.config.trace_buffer)
@@ -75,13 +79,17 @@ class TelemetrySession:
     def take_sample(self, cycle: int,
                     gauges: Optional[Dict[str, Any]] = None
                     ) -> Optional[Dict[str, Any]]:
-        if self.sampler is None:
-            return None
-        return self.sampler.sample(cycle, self.collect_counters(), gauges)
+        return self._sampler.take(self, cycle, gauges)
+
+    @property
+    def sample_interval(self) -> int:
+        """0 when sampling is off — run loops use this to skip
+        scheduling sample points without touching ``sampler``."""
+        return self._sampler.interval
 
     @property
     def samples(self) -> List[Dict[str, Any]]:
-        return self.sampler.samples if self.sampler is not None else []
+        return self._sampler.samples
 
     # ----- export ---------------------------------------------------------
 

@@ -1,0 +1,179 @@
+"""Bit-identity between the object and batch evaluation engines.
+
+The object path (:func:`repro.streams.drive` over reconstructed
+``IssueGroup`` objects) is the reference oracle; the fused columnar
+kernels must accumulate *exactly* the same ``EvaluationTotals`` and
+telemetry counters for every steering scheme, both hardware-swap
+regimes, and both speculative settings, on random programs.
+"""
+
+from hypothesis import given, settings
+
+from repro.batch import batch_drive, pack_stream
+from repro.core.info_bits import scheme_for
+from repro.core.statistics import paper_statistics
+from repro.core.steering import PolicyEvaluator, make_policy
+from repro.core.swapping import HardwareSwapper, choose_swap_case
+from repro.analysis.bit_patterns import BitPatternCollector
+from repro.analysis.module_usage import ModuleUsageCollector
+from repro.isa.assembler import assemble
+from repro.isa.instructions import FUClass
+from repro.streams import LiveSource, capture, drive
+from repro.telemetry import TelemetryConfig, TelemetrySession
+from repro.workloads import workload
+from tests.cpu.test_simulator import loopy_programs
+
+SCHEME_KINDS = ("original", "round-robin", "full-ham", "1bit-ham",
+                "lut-4", "lut-2")
+NUM_MODULES = 4
+
+
+def _evaluator_set(telemetry=None, fu_class=FUClass.IALU,
+                   num_modules=NUM_MODULES):
+    stats = paper_statistics(fu_class)
+    scheme = scheme_for(fu_class)
+    swap_case = choose_swap_case(stats)
+    evaluators = {}
+    for kind in SCHEME_KINDS:
+        policy = make_policy(kind, fu_class, num_modules, stats=stats)
+        evaluators[kind] = PolicyEvaluator(fu_class, num_modules, policy,
+                                           telemetry=telemetry)
+    # hardware swapping, in both of the paper's forms: integrated into
+    # the cost matrix for the Hamming matchers, case-triggered pre-swap
+    # for everything else
+    for kind in SCHEME_KINDS:
+        if kind in ("full-ham", "1bit-ham"):
+            policy = make_policy(kind, fu_class, num_modules, stats=stats,
+                                 allow_swap=True)
+            pre_swapper = None
+        else:
+            policy = make_policy(kind, fu_class, num_modules, stats=stats)
+            pre_swapper = HardwareSwapper(scheme, swap_case)
+        evaluators[f"{kind}/hw"] = PolicyEvaluator(
+            fu_class, num_modules, policy, pre_swapper=pre_swapper,
+            telemetry=telemetry)
+    # deferred wrong-path accounting (include_speculative=False)
+    for kind in ("original", "lut-4", "full-ham"):
+        policy = make_policy(kind, fu_class, num_modules, stats=stats)
+        evaluators[f"{kind}/no-spec"] = PolicyEvaluator(
+            fu_class, num_modules, policy, include_speculative=False)
+    return evaluators
+
+
+def _assert_identical(reference, batch):
+    assert set(reference) == set(batch)
+    for kind in reference:
+        assert batch[kind].totals() == reference[kind].totals(), kind
+
+
+def _run_both(memory, fu_class=FUClass.IALU, num_modules=NUM_MODULES):
+    reference = _evaluator_set(fu_class=fu_class, num_modules=num_modules)
+    drive(memory, list(reference.values()))
+    batch = _evaluator_set(fu_class=fu_class, num_modules=num_modules)
+    batch_drive(pack_stream(memory.groups()), list(batch.values()))
+    _assert_identical(reference, batch)
+
+
+class TestEngineParity:
+    @settings(max_examples=8, deadline=None)
+    @given(loopy_programs())
+    def test_random_programs_all_schemes(self, source):
+        _run_both(capture(LiveSource(assemble(source))))
+
+    @settings(max_examples=4, deadline=None)
+    @given(loopy_programs())
+    def test_random_programs_two_modules(self, source):
+        # a narrower machine exercises the clamp in every kernel
+        _run_both(capture(LiveSource(assemble(source))), num_modules=2)
+
+    def test_integer_workload(self):
+        _run_both(capture(LiveSource(workload("compress").build(1))))
+
+    def test_float_workload(self):
+        # the FP scheme and 52-bit mantissa mask go down different
+        # kernel constants than the integer path
+        memory = capture(LiveSource(workload("swim").build(1)))
+        _run_both(memory, fu_class=FUClass.FPAU)
+
+    def test_round_robin_state_carries_across_streams(self):
+        # the rotation pointer must advance identically when one policy
+        # instance sees two streams back to back
+        first = capture(LiveSource(workload("compress").build(1)))
+        second = capture(LiveSource(workload("li").build(1)))
+        stats = paper_statistics(FUClass.IALU)
+
+        def one_path(runner):
+            policy = make_policy("round-robin", FUClass.IALU, NUM_MODULES,
+                                 stats=stats)
+            ev = PolicyEvaluator(FUClass.IALU, NUM_MODULES, policy)
+            runner(first, ev)
+            runner(second, ev)
+            return ev.totals(), policy._next
+
+        ref = one_path(lambda mem, ev: drive(mem, [ev]))
+        batch = one_path(
+            lambda mem, ev: batch_drive(pack_stream(mem.groups()), [ev]))
+        assert batch == ref
+
+
+class TestTelemetryParity:
+    def test_counters_match_object_session(self):
+        memory = capture(LiveSource(workload("compress").build(1)))
+
+        ref_session = TelemetrySession(TelemetryConfig(metrics=True))
+        reference = _evaluator_set(telemetry=ref_session)
+        drive(memory, list(reference.values()))
+
+        batch_session = TelemetrySession(TelemetryConfig(metrics=True))
+        batch = _evaluator_set(telemetry=batch_session)
+        batch_drive(pack_stream(memory.groups()), list(batch.values()))
+
+        _assert_identical(reference, batch)
+        ref_counters = ref_session.collect_counters()
+        batch_counters = batch_session.collect_counters()
+        assert set(ref_counters) == set(batch_counters)
+        for name, value in ref_counters.items():
+            assert batch_counters[name] == value, name
+
+
+class TestCollectorParity:
+    def test_statistics_collectors_match(self):
+        memory = capture(LiveSource(workload("compress").build(1)))
+        packed = pack_stream(memory.groups())
+        for include_spec in (True, False):
+            ref_patterns = BitPatternCollector(
+                FUClass.IALU, include_speculative=include_spec)
+            ref_usage = ModuleUsageCollector()
+            drive(memory, [ref_patterns, ref_usage])
+
+            batch_patterns = BitPatternCollector(
+                FUClass.IALU, include_speculative=include_spec)
+            batch_usage = ModuleUsageCollector()
+            batch_drive(packed, [batch_patterns, batch_usage])
+
+            assert batch_patterns.total_ops == ref_patterns.total_ops
+            for key, row in ref_patterns.rows.items():
+                mine = batch_patterns.rows[key]
+                assert (mine.count, mine.ones_op1, mine.ones_op2) == \
+                    (row.count, row.ones_op1, row.ones_op2), key
+            assert batch_usage.counts == ref_usage.counts
+
+    def test_filtered_usage_collector_matches(self):
+        memory = capture(LiveSource(workload("compress").build(1)))
+        ref = ModuleUsageCollector([FUClass.IALU])
+        drive(memory, [ref])
+        batch = ModuleUsageCollector([FUClass.IALU])
+        batch_drive(pack_stream(memory.groups()), [batch])
+        assert batch.counts == ref.counts
+
+
+class TestFallbackPath:
+    def test_unknown_consumer_sees_object_stream(self):
+        memory = capture(LiveSource(workload("compress").build(1)))
+        seen = []
+        batch_drive(pack_stream(memory.groups()), [seen.append])
+        groups = list(memory.groups())
+        assert len(seen) == len(groups)
+        for mine, theirs in zip(seen, groups):
+            assert mine.cycle == theirs.cycle
+            assert mine.fu_class is theirs.fu_class

@@ -1,0 +1,95 @@
+"""LRU trace-cache pruning: size budget, pairing, protection.
+
+The pruner must treat a trace and its packed sidecar as one entry,
+evict strictly oldest-first, survive damaged/concurrently-vanishing
+files, and — critically — never evict the entry an in-flight replay
+has protected, even when that leaves the cache over budget.
+"""
+
+import os
+import time
+
+from repro.batch import packed_cached, sidecar_path
+from repro.cpu.config import MachineConfig
+from repro.streams import cached_source, prune_trace_cache
+from repro.workloads import workload
+
+
+def _make_entry(cache_dir, index, size_kb=64, age=0):
+    """Fabricate a cache entry pair with a controlled size and mtime."""
+    trace = cache_dir / f"prog{index}-cfg-all.trace.gz"
+    trace.write_bytes(b"x" * (size_kb * 1024 // 2))
+    side = trace.with_name(trace.name + ".pack")
+    side.write_bytes(b"y" * (size_kb * 1024 // 2))
+    stamp = time.time() - age
+    os.utime(trace, (stamp, stamp))
+    return trace
+
+
+class TestPruning:
+    def test_under_limit_deletes_nothing(self, tmp_path):
+        for i in range(3):
+            _make_entry(tmp_path, i, size_kb=16)
+        assert prune_trace_cache(tmp_path, limit_mb=1.0) == []
+        assert len(list(tmp_path.glob("*.trace.gz"))) == 3
+
+    def test_oldest_entries_go_first(self, tmp_path):
+        # 4 entries x 64 KiB = 256 KiB; a 160 KiB limit forces out the
+        # two oldest, trace and sidecar together
+        traces = [_make_entry(tmp_path, i, age=(4 - i) * 100)
+                  for i in range(4)]
+        deleted = prune_trace_cache(tmp_path, limit_mb=160 / 1024)
+        gone = {p.name for p in deleted}
+        assert traces[0].name in gone and traces[1].name in gone
+        assert traces[2].exists() and traces[3].exists()
+        for trace in traces[:2]:
+            assert not trace.exists()
+            assert not trace.with_name(trace.name + ".pack").exists()
+
+    def test_orphan_sidecars_pruned_first(self, tmp_path):
+        orphan = tmp_path / "dead-cfg-all.trace.gz.pack"
+        orphan.write_bytes(b"z" * 1024)
+        live = _make_entry(tmp_path, 0)
+        deleted = prune_trace_cache(tmp_path, limit_mb=1.0)
+        assert deleted == [orphan]
+        assert live.exists()
+
+    def test_zero_limit_clears_cache(self, tmp_path):
+        for i in range(3):
+            _make_entry(tmp_path, i, age=i)
+        prune_trace_cache(tmp_path, limit_mb=0)
+        assert list(tmp_path.glob("*")) == []
+
+    def test_missing_directory_is_noop(self, tmp_path):
+        assert prune_trace_cache(tmp_path / "never", limit_mb=0) == []
+
+
+class TestProtection:
+    def test_protected_entry_survives_zero_limit(self, tmp_path):
+        keep = _make_entry(tmp_path, 0, age=1000)  # oldest = first victim
+        victim = _make_entry(tmp_path, 1)
+        prune_trace_cache(tmp_path, limit_mb=0, protect=[keep])
+        assert keep.exists()
+        assert keep.with_name(keep.name + ".pack").exists()
+        assert not victim.exists()
+
+    def test_pruning_never_evicts_entry_being_replayed(self, tmp_path):
+        # the real contract: record a genuine entry, open it for replay,
+        # prune to zero with it protected — the replay must still hit
+        program = workload("compress").build(1)
+        config = MachineConfig()
+        packed, hit = packed_cached(program, config, tmp_path)
+        assert not hit
+        in_use = next(iter(tmp_path.glob("*.trace.gz")))
+        for i in range(3):
+            _make_entry(tmp_path, i, age=(i + 1) * 100)
+        prune_trace_cache(tmp_path, limit_mb=0, protect=[in_use])
+        assert in_use.exists()
+        assert sidecar_path(in_use).exists()
+        assert list(tmp_path.glob("prog*")) == []
+        # and the protected entry still replays, bit-identically
+        again, hit = packed_cached(program, config, tmp_path)
+        assert hit
+        assert list(again.iter_groups())[-1].cycle == \
+            list(packed.iter_groups())[-1].cycle
+        assert cached_source(program, config, tmp_path) is not None
