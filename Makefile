@@ -16,7 +16,7 @@ bench:
 # hot-path throughput regression harness: simulated cycles/sec and
 # issued ops/sec over the stress scenarios, written to BENCH_hotpath.json
 bench-perf:
-	PYTHONPATH=src $(PYTHON) benchmarks/bench_hotpath.py --output BENCH_hotpath.json --assert-replay-speedup 2.0 --assert-batch-speedup 3.0
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_hotpath.py --output BENCH_hotpath.json --assert-replay-speedup 2.0 --assert-batch-speedup 3.0 --assert-batch-np-speedup 10.0
 
 # the two output files the reproduction record refers to
 outputs:

@@ -177,13 +177,14 @@ class ParallelFigureRunner:
                                                  "hw+compiler"),
                     scheme: Optional[InfoBitScheme] = None,
                     trace_cache_dir=None,
-                    engine: str = "batch",
+                    engine: str = "auto",
                     trace_cache_limit_mb: Optional[float] = None
                     ) -> "_energy.Figure4Result":
         """The parallel twin of :func:`repro.analysis.energy.run_figure4`
         — same arguments, bit-identical result."""
-        if engine not in _energy.ENGINES:
-            raise ValueError(f"engine must be one of {_energy.ENGINES}")
+        # resolved here (not just in run_figure4) so workers receive a
+        # concrete engine whatever entry point the caller used
+        engine = _energy.resolve_engine(engine)
         if stats_source not in ("measured", "paper"):
             raise ValueError("stats_source must be 'measured' or 'paper'")
         config = config or default_config()

@@ -446,6 +446,63 @@ def _run_full_hamming(ev: PolicyEvaluator, cols: PackedColumns) -> None:
     ctx.flush()
 
 
+def _one_bit_decide(gc: Sequence[int], gsw: Sequence[bool],
+                    pb1: int, pb2: int, nm: int, modrange,
+                    perms_by_n: Dict[int, List[Tuple[int, ...]]]
+                    ) -> Tuple[Tuple[int, ...], Tuple[bool, ...], int, int]:
+    """One 1-bit-Hamming group decision from the memo-miss path.
+
+    Given the group's (post-pre-swap) cases, per-op swappability, and
+    the packed per-module info-bit state, build the 1-bit cost matrix,
+    match, and recover the router swaps exactly as ``cost_matrix``
+    chose them.  Returns ``(modules, chosen_swaps, next_pb1, next_pb2)``
+    — shared verbatim by the Python and NumPy backends so the memoised
+    decision layer cannot drift between them.
+    """
+    n = len(gc)
+    costs: List[List[int]] = []
+    for k in range(n):
+        case = gc[k]
+        b1 = (case >> 1) & 1
+        b2 = case & 1
+        row = []
+        for m in modrange:
+            p1 = (pb1 >> m) & 1
+            p2 = (pb2 >> m) & 1
+            direct = abs(b1 - p1) + abs(b2 - p2)
+            if gsw[k]:
+                exchanged = abs(b2 - p1) + abs(b1 - p2)
+                if exchanged < direct:
+                    row.append(exchanged)
+                    continue
+            row.append(direct)
+        costs.append(row)
+    modules = _match(costs, n, nm, perms_by_n)
+    chosen_swaps = []
+    next_pb1 = pb1
+    next_pb2 = pb2
+    for k in range(n):
+        module = modules[k]
+        case = gc[k]
+        b1 = (case >> 1) & 1
+        b2 = case & 1
+        swap = False
+        if gsw[k]:
+            # against the group-start state, like the matrix
+            p1 = (pb1 >> module) & 1
+            p2 = (pb2 >> module) & 1
+            # the matrix keeps only the best cost per cell; recover the
+            # swap exactly as cost_matrix chose it
+            swap = (abs(b2 - p1) + abs(b1 - p2)
+                    < abs(b1 - p1) + abs(b2 - p2))
+        chosen_swaps.append(swap)
+        bit = 1 << module
+        new1, new2 = (b2, b1) if swap else (b1, b2)
+        next_pb1 = (next_pb1 & ~bit) | (new1 << module)
+        next_pb2 = (next_pb2 & ~bit) | (new2 << module)
+    return modules, tuple(chosen_swaps), next_pb1, next_pb2
+
+
 def _run_one_bit_hamming(ev: PolicyEvaluator, cols: PackedColumns) -> None:
     """1-bit Hamming matcher with exact decision memoisation.
 
@@ -513,47 +570,8 @@ def _run_one_bit_hamming(ev: PolicyEvaluator, cols: PackedColumns) -> None:
         key = ((((key << nm) | pb1) << nm) | pb2) << 6 | n
         decision = decisions.get(key)
         if decision is None:
-            costs: List[List[int]] = []
-            for k in range(n):
-                case = gc[k]
-                b1 = (case >> 1) & 1
-                b2 = case & 1
-                row = []
-                for m in modrange:
-                    p1 = (pb1 >> m) & 1
-                    p2 = (pb2 >> m) & 1
-                    direct = abs(b1 - p1) + abs(b2 - p2)
-                    if gsw[k]:
-                        exchanged = abs(b2 - p1) + abs(b1 - p2)
-                        if exchanged < direct:
-                            row.append(exchanged)
-                            continue
-                    row.append(direct)
-                costs.append(row)
-            modules = _match(costs, n, nm, perms_by_n)
-            chosen_swaps = []
-            next_pb1 = pb1
-            next_pb2 = pb2
-            for k in range(n):
-                module = modules[k]
-                case = gc[k]
-                b1 = (case >> 1) & 1
-                b2 = case & 1
-                swap = False
-                if gsw[k]:
-                    # against the group-start state, like the matrix
-                    p1 = (pb1 >> module) & 1
-                    p2 = (pb2 >> module) & 1
-                    # the matrix keeps only the best cost per cell;
-                    # recover the swap exactly as cost_matrix chose it
-                    swap = (abs(b2 - p1) + abs(b1 - p2)
-                            < abs(b1 - p1) + abs(b2 - p2))
-                chosen_swaps.append(swap)
-                bit = 1 << module
-                new1, new2 = (b2, b1) if swap else (b1, b2)
-                next_pb1 = (next_pb1 & ~bit) | (new1 << module)
-                next_pb2 = (next_pb2 & ~bit) | (new2 << module)
-            decision = (modules, tuple(chosen_swaps), next_pb1, next_pb2)
+            decision = _one_bit_decide(gc, gsw, pb1, pb2, nm, modrange,
+                                       perms_by_n)
             decisions[key] = decision
         modules, chosen_swaps, pb1, pb2 = decision
         for k in range(n):
@@ -589,11 +607,19 @@ def _run_one_bit_hamming(ev: PolicyEvaluator, cols: PackedColumns) -> None:
     ctx.flush()
 
 
-def _evaluator_kernel(ev: PolicyEvaluator,
-                      packed: PackedTrace) -> Optional[Callable[[], None]]:
-    """Resolve the fused kernel for one evaluator, or ``None`` when its
-    configuration needs the object path (fault injectors, tracers,
-    custom schemes/power models/policies)."""
+#: sentinel from the eligibility gates: the consumer is kernel-eligible
+#: but the packed trace holds nothing of its FU class (a no-op run)
+_EMPTY = object()
+
+
+def _evaluator_cols(ev: PolicyEvaluator, packed: PackedTrace):
+    """Shared (Python/NumPy backend) eligibility gate for evaluators.
+
+    Returns the :class:`PackedColumns` to run over, :data:`_EMPTY` when
+    the trace holds nothing of the evaluator's FU class, or ``None``
+    when its configuration needs the object path (fault injectors,
+    tracers, custom schemes/power models).
+    """
     if type(ev) is not PolicyEvaluator:
         return None
     if ev.fault_injector is not None:
@@ -604,7 +630,7 @@ def _evaluator_kernel(ev: PolicyEvaluator,
         return None
     cols = packed.classes.get(ev.fu_class)
     if cols is None:
-        return lambda: None  # nothing of this class in the stream
+        return _EMPTY  # nothing of this class in the stream
     if ev.power._mask != cols.mask:
         return None
     if ev.telemetry is not None and ev.scheme is not cols.scheme:
@@ -613,6 +639,18 @@ def _evaluator_kernel(ev: PolicyEvaluator,
     if swapper is not None and (type(swapper) is not HardwareSwapper
                                 or swapper.scheme is not cols.scheme):
         return None
+    return cols
+
+
+def _evaluator_kernel(ev: PolicyEvaluator,
+                      packed: PackedTrace) -> Optional[Callable[[], None]]:
+    """Resolve the fused kernel for one evaluator, or ``None`` when its
+    configuration needs the object path (see :func:`_evaluator_cols`)."""
+    cols = _evaluator_cols(ev, packed)
+    if cols is None:
+        return None
+    if cols is _EMPTY:
+        return lambda: None
     policy = ev.policy
     ptype = type(policy)
     if ptype is OriginalPolicy:
@@ -664,16 +702,27 @@ def _run_bit_patterns(collector: BitPatternCollector,
     collector.total_ops += total
 
 
-def _bit_patterns_kernel(collector: BitPatternCollector,
-                         packed: PackedTrace) -> Optional[Callable[[], None]]:
+def _bit_patterns_cols(collector: BitPatternCollector, packed: PackedTrace):
+    """Shared backend gate: columns to run over, :data:`_EMPTY`, or
+    ``None`` for the object path (subclass/scheme/mask mismatch)."""
     from ..analysis.bit_patterns import BitPatternCollector
     if type(collector) is not BitPatternCollector:
         return None
     cols = packed.classes.get(collector.fu_class)
     if cols is None:
-        return lambda: None
+        return _EMPTY
     if collector.scheme is not cols.scheme or collector._mask != cols.mask:
         return None
+    return cols
+
+
+def _bit_patterns_kernel(collector: BitPatternCollector,
+                         packed: PackedTrace) -> Optional[Callable[[], None]]:
+    cols = _bit_patterns_cols(collector, packed)
+    if cols is None:
+        return None
+    if cols is _EMPTY:
+        return lambda: None
     return lambda: _run_bit_patterns(collector, cols)
 
 
@@ -705,6 +754,35 @@ def _module_usage_kernel(collector: ModuleUsageCollector,
 
 # ----- the drive loop ---------------------------------------------------------
 
+#: kernel backends: vectorized NumPy array kernels (when importable)
+#: and the pure-Python fused kernels (always present; the oracle)
+BACKENDS = ("np", "python")
+
+
+def numpy_available() -> bool:
+    """Whether the NumPy kernel backend can run in this interpreter."""
+    from . import kernels_np
+    return kernels_np.NUMPY_AVAILABLE
+
+
+def resolve_backend(backend: Optional[str] = None) -> str:
+    """Map a backend request to a concrete member of :data:`BACKENDS`.
+
+    ``None``/``"auto"`` picks ``"np"`` when NumPy is importable and
+    degrades to ``"python"`` otherwise; an explicit ``"np"`` without
+    NumPy is an error rather than a silent slowdown.
+    """
+    if backend is None or backend == "auto":
+        return "np" if numpy_available() else "python"
+    if backend not in BACKENDS:
+        raise ValueError(f"backend must be 'auto' or one of {BACKENDS}")
+    if backend == "np" and not numpy_available():
+        raise RuntimeError(
+            "the 'np' kernel backend was requested but numpy is not "
+            "importable; use backend='auto' to fall back to the Python "
+            "kernels")
+    return backend
+
 
 def _kernel_for(consumer, packed: PackedTrace) -> Optional[Callable[[], None]]:
     from ..analysis.bit_patterns import BitPatternCollector
@@ -719,7 +797,7 @@ def _kernel_for(consumer, packed: PackedTrace) -> Optional[Callable[[], None]]:
 
 
 def batch_drive(packed: PackedTrace, consumers: Sequence,
-                finalize: bool = True):
+                finalize: bool = True, backend: Optional[str] = None):
     """Run consumers over a packed trace: the columnar ``drive``.
 
     Consumers with a fused kernel are evaluated columnar; all others
@@ -728,11 +806,27 @@ def batch_drive(packed: PackedTrace, consumers: Sequence,
     consumer's ``finalize()`` hook is drained afterwards, exactly like
     :func:`repro.streams.drive`.  Returns the packed stream's run
     summary when known.
+
+    ``backend`` picks the kernel implementation (see
+    :func:`resolve_backend`): ``"np"`` routes each consumer through the
+    vectorized kernels in :mod:`repro.batch.kernels_np` where one
+    applies, falling back per-consumer to the fused Python kernels (and
+    from there to the object pass) for configurations the NumPy layer
+    does not cover — so a mixed consumer set always runs, bit-identical
+    whichever backend serves it.
     """
+    resolved = resolve_backend(backend)
+    np_kernel_for = None
+    if resolved == "np":
+        from .kernels_np import kernel_for as np_kernel_for
     consumers = list(consumers)
     fallback = []
     for consumer in consumers:
-        kernel = _kernel_for(consumer, packed)
+        kernel = None
+        if np_kernel_for is not None:
+            kernel = np_kernel_for(consumer, packed)
+        if kernel is None:
+            kernel = _kernel_for(consumer, packed)
         if kernel is None:
             fallback.append(consumer)
         else:

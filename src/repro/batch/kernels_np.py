@@ -1,0 +1,485 @@
+"""NumPy backend for the fused columnar kernels.
+
+Whole-column twins of the pure-Python kernels in
+:mod:`repro.batch.kernels`: the per-op work — speculative filtering,
+clamping, pre-swap, case lookups, popcounts, per-module switched-bit
+accounting — runs as array operations over the existing
+:class:`~repro.batch.columns.PackedColumns` layout, with zero-copy
+``np.frombuffer`` views over the ``array``/``memoryview`` columns (the
+column storage itself is unchanged, so the Python kernels and the
+object path keep working on the very same trace).
+
+The backend is optional: this module imports cleanly without NumPy
+(:data:`NUMPY_AVAILABLE` is ``False`` and :func:`kernel_for` always
+returns ``None``), and :func:`repro.batch.kernels.batch_drive` falls
+back to the pure-Python kernels, which remain the parity oracle.
+
+How each kernel family vectorizes
+---------------------------------
+
+* **Selection** (the filter/clamp of ``_select_groups``) becomes a
+  rank-within-group computation from the offsets column: a cumulative
+  sum of the non-speculative mask gives each op's rank among its
+  group's survivors, and ``rank < num_modules`` is the clamp.
+* **Accounting** is shared by every kernel: once per-op module choices
+  exist, a stable argsort by module turns the stream into contiguous
+  per-module runs *in stream order*; the "previous operands" of each op
+  are then just the shifted run (seeded from the power model's latched
+  state at run starts), so every XOR/popcount happens in one shot and
+  per-module totals come from ``np.add.reduceat``.  Popcounts go
+  through :data:`~repro.batch.kernels.POPCOUNT16` viewed as a NumPy
+  table over the ``uint16`` lanes of each 64-bit word.
+* **LUT steering** packs each group's (length, leading cases) into the
+  same collision-free integer key the Python kernel uses, calls
+  ``LUTPolicy._assign_cases`` once per *unique* key (``np.unique``),
+  and expands module choices with one 2-D gather.
+* **1-bit Hamming** packs each group's (case, swappable) codes into a
+  per-group opkey column; the decision layer itself — a dict memoised
+  on (opkey, module info-bit state) exactly like the Python kernel,
+  sharing its ``_one_bit_decide``  — stays a Python loop because each
+  group's decision feeds the next group's key, but it touches one int
+  per *group* (not per op) and expansion back to ops is columnar.
+* **Full Hamming** is delegated to the fused Python kernel: its exact
+  cost matrix reads the full-width latched images the previous group's
+  assignment just wrote, so the groups are sequentially dependent by
+  construction and there is no whole-column formulation; the Python
+  matcher is already pruned and memoises permutations.
+
+Every kernel writes back through the same :class:`_EvalContext` flush
+as the Python backend, and all arithmetic is integer-exact (int64/
+uint64 sums, never float), so the three engines are bit-identical —
+``tests/batch/test_parity.py`` holds them to the object-path oracle.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
+
+try:  # NumPy is optional: without it the Python kernels carry the load
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI leg
+    np = None
+
+from ..core.steering import (LUTPolicy, OneBitHammingPolicy, OriginalPolicy,
+                             PolicyEvaluator, RoundRobinPolicy)
+from .columns import (F_HW_SWAP, F_SPEC, NUMPY_DTYPES, PackedColumns,
+                      PackedTrace, SWAPPED_CASE)
+from .kernels import (POPCOUNT16, _EMPTY, _EvalContext, _bit_patterns_cols,
+                      _one_bit_decide)
+
+if TYPE_CHECKING:  # runtime-lazy, mirroring kernels.py
+    from ..analysis.bit_patterns import BitPatternCollector
+    from ..analysis.module_usage import ModuleUsageCollector
+
+#: whether the NumPy backend can run at all in this interpreter
+NUMPY_AVAILABLE = np is not None
+
+if NUMPY_AVAILABLE:
+    #: POPCOUNT16 as an indexable ndarray (zero-copy view of the bytes)
+    _POP16 = np.frombuffer(POPCOUNT16, dtype=np.uint8)
+    _SWAPPED_CASE_NP = np.array(SWAPPED_CASE, dtype=np.uint8)
+
+#: widest machine the packed 1-bit-Hamming opkey fits in one int64
+#: (3 bits per op, up to num_modules ops per group)
+_ONE_BIT_MAX_MODULES = 16
+
+
+def popcount64(values) -> "np.ndarray":
+    """Vectorized popcount of a uint64 array via :data:`POPCOUNT16`.
+
+    Views each 64-bit word as four 16-bit lanes and sums the table
+    lookups — the array twin of ``_table_bit_count``, checked against
+    the same oracle in ``tests/batch/test_popcount.py``.
+    """
+    if np is None:
+        raise RuntimeError("popcount64 requires numpy")
+    words = np.ascontiguousarray(values, dtype=np.uint64)
+    lanes = _POP16[words.view(np.uint16)].reshape(-1, 4)
+    # four strided adds beat reduce-along-axis by ~2x at these widths
+    out = lanes[:, 0].astype(np.int64)
+    out += lanes[:, 1]
+    out += lanes[:, 2]
+    out += lanes[:, 3]
+    return out
+
+
+# ----- shared columnar machinery ---------------------------------------------
+
+
+def _view(cols: PackedColumns, name: str, typecode: str) -> "np.ndarray":
+    """Zero-copy ndarray view over one column (array.array or mmap)."""
+    return np.frombuffer(cols.column(name), dtype=NUMPY_DTYPES[typecode])
+
+
+def _op_views(cols: PackedColumns):
+    return (_view(cols, "op1", "Q"), _view(cols, "op2", "Q"),
+            _view(cols, "flags", "B"), _view(cols, "case", "B"))
+
+
+def _offsets_view(cols: PackedColumns) -> "np.ndarray":
+    return _view(cols, "offsets", "I").astype(np.int64)
+
+
+class _Selected:
+    """Columnar result of ``_select_groups``: which ops each evaluator
+    accounts, and where their (post-filter) groups start and end."""
+
+    __slots__ = ("idx", "rank", "starts", "n_of", "jop", "cycles")
+
+    def __init__(self, idx, rank, starts, n_of, jop, cycles):
+        self.idx = idx          # selected op indices, stream order
+        self.rank = rank        # rank of each selected op in its group
+        self.starts = starts    # index into idx where each group starts
+        self.n_of = n_of        # ops per (non-empty) selected group
+        self.jop = jop          # selected-group ordinal per selected op
+        self.cycles = cycles    # number of non-empty selected groups
+
+
+def _select(offsets: "np.ndarray", flags: "np.ndarray",
+            num_modules: int, exclude_spec: bool) -> Optional[_Selected]:
+    """Vectorized ``_select_groups``: spec-filter *then* clamp, exactly
+    the deferred evaluators' ``_account_ops`` order."""
+    n_groups = len(offsets) - 1
+    n_ops = int(offsets[-1]) if n_groups > 0 else 0
+    if n_ops == 0:
+        return None
+    sizes = np.diff(offsets)
+    group_start = np.repeat(offsets[:-1], sizes)
+    if exclude_spec:
+        keep = (flags & F_SPEC) == 0
+        before = np.cumsum(keep, dtype=np.int64) - keep
+        rank = before - before[group_start]
+        sel_mask = keep & (rank < num_modules)
+    else:
+        rank = np.arange(n_ops, dtype=np.int64) - group_start
+        sel_mask = rank < num_modules
+    idx = np.flatnonzero(sel_mask)
+    if idx.size == 0:
+        return None
+    gid_sel = group_start[idx]  # any per-group-constant works as a group id
+    starts = np.flatnonzero(np.r_[True, gid_sel[1:] != gid_sel[:-1]])
+    n_of = np.diff(np.r_[starts, idx.size])
+    jop = np.repeat(np.arange(starts.size, dtype=np.int64), n_of)
+    return _Selected(idx, rank[idx], starts, n_of, jop, int(starts.size))
+
+
+def _pre_swap(ctx: _EvalContext, sel: _Selected, op1v, op2v, flagsv, casev):
+    """Apply the case-triggered pre-swap columnar; returns the effective
+    operands/cases plus the raw pre-swap mask (1-bit-ham needs it)."""
+    idx = sel.idx
+    o1 = op1v[idx]
+    o2 = op2v[idx]
+    case = casev[idx]
+    if ctx.swapper is None:
+        return o1, o2, case, None
+    pre = ((flagsv[idx] & F_HW_SWAP) != 0) & (case == ctx.swap_case)
+    if pre.any():
+        o1, o2 = np.where(pre, o2, o1), np.where(pre, o1, o2)
+        case = np.where(pre, _SWAPPED_CASE_NP[case], case)
+    ctx.pre_swaps = int(pre.sum())
+    return o1, o2, case, pre
+
+
+def _accumulate(ctx: _EvalContext, o1, o2, module, case) -> None:
+    """Charge selected ops to their modules, all columns at once.
+
+    A stable sort by module yields per-module contiguous runs in stream
+    order; each op's previous operands are then the run shifted by one,
+    seeded from the latched power-model state at run starts.  Totals,
+    per-module tracking, telemetry case counts and the final latched
+    state all come out of the sorted arrays with integer-exact sums.
+    """
+    order = np.argsort(module, kind="stable")
+    m_sorted = module[order]
+    s1 = o1[order]
+    s2 = o2[order]
+    run_starts = np.flatnonzero(np.r_[True, m_sorted[1:] != m_sorted[:-1]])
+    run_modules = m_sorted[run_starts]
+    init1 = np.array(ctx.prev1, dtype=np.uint64)
+    init2 = np.array(ctx.prev2, dtype=np.uint64)
+    p1 = np.empty_like(s1)
+    p2 = np.empty_like(s2)
+    p1[1:] = s1[:-1]
+    p2[1:] = s2[:-1]
+    p1[run_starts] = init1[run_modules]
+    p2[run_starts] = init2[run_modules]
+    mask = np.uint64(ctx.mask)
+    bits = popcount64((s1 ^ p1) & mask) + popcount64((s2 ^ p2) & mask)
+    ctx.total_bits += int(bits.sum())
+    ctx.total_ops += int(module.size)
+    run_ends = np.r_[run_starts[1:], m_sorted.size] - 1
+    last1 = s1[run_ends]
+    last2 = s2[run_ends]
+    track, track_ops = ctx.track, ctx.track_ops
+    if track is not None:
+        run_bits = np.add.reduceat(bits, run_starts)
+        run_lens = np.diff(np.r_[run_starts, m_sorted.size])
+    prev1, prev2 = ctx.prev1, ctx.prev2
+    for r in range(run_modules.size):  # one iteration per *module*, not op
+        m = int(run_modules[r])
+        prev1[m] = int(last1[r])
+        prev2[m] = int(last2[r])
+        if track is not None:
+            track[m] += int(run_bits[r])
+            track_ops[m] += int(run_lens[r])
+    if ctx.telemetry:
+        counts = np.bincount(case, minlength=4)
+        tcounts = ctx.tcounts
+        for c in range(4):
+            tcounts[c] += int(counts[c])
+
+
+# ----- evaluator kernels ------------------------------------------------------
+
+
+def _np_run_positional(ev: PolicyEvaluator, cols: PackedColumns,
+                       round_robin: bool) -> None:
+    """Original (op k -> module k) and round-robin steering."""
+    ctx = _EvalContext(ev, cols)
+    op1v, op2v, flagsv, casev = _op_views(cols)
+    sel = _select(_offsets_view(cols), flagsv, ctx.nm,
+                  not ev.include_speculative)
+    if sel is None:
+        ctx.flush()
+        return
+    ctx.cycles_seen = sel.cycles
+    o1, o2, case, _ = _pre_swap(ctx, sel, op1v, op2v, flagsv, casev)
+    if round_robin:
+        rr0 = ev.policy._next
+        # the rotation pointer at each group's start: the initial pointer
+        # plus every preceding non-empty group's op count, like the
+        # object policy advancing once per issued group
+        taken_before = np.r_[0, np.cumsum(sel.n_of)[:-1]]
+        module = (rr0 + taken_before[sel.jop] + sel.rank) % ctx.nm
+        ev.policy._next = int((rr0 + int(sel.n_of.sum())) % ctx.nm)
+    else:
+        module = sel.rank
+    _accumulate(ctx, o1, o2, module, case)
+    ctx.flush()
+
+
+def _np_run_lut(ev: PolicyEvaluator, cols: PackedColumns) -> None:
+    """Table-driven LUT steering: one ``_assign_cases`` per unique
+    (length, leading-cases) key, expanded with a single 2-D gather."""
+    ctx = _EvalContext(ev, cols)
+    policy: LUTPolicy = ev.policy
+    nm = ctx.nm
+    op1v, op2v, flagsv, casev = _op_views(cols)
+    sel = _select(_offsets_view(cols), flagsv, nm, not ev.include_speculative)
+    if sel is None:
+        ctx.flush()
+        return
+    ctx.cycles_seen = sel.cycles
+    o1, o2, case, _ = _pre_swap(ctx, sel, op1v, op2v, flagsv, casev)
+    vo = policy._vector_ops
+    # the Python kernel's collision-free key, column-wise: length in the
+    # high bits, then the first min(length, vector_ops) cases big-endian
+    t = np.minimum(sel.n_of, vo)
+    t_op = t[sel.jop]
+    shift = np.maximum(2 * (t_op - 1 - sel.rank), 0)
+    contrib = np.where(sel.rank < t_op, case.astype(np.int64) << shift, 0)
+    key = (sel.n_of << (2 * t)) | np.add.reduceat(contrib, sel.starts)
+    uniq, first, inverse = np.unique(key, return_index=True,
+                                     return_inverse=True)
+    table = np.zeros((uniq.size, nm), dtype=np.int64)
+    for u in range(uniq.size):  # one policy call per unique key
+        j = int(first[u])
+        start = int(sel.starts[j])
+        n = int(sel.n_of[j])
+        cases = tuple(int(c) for c in case[start:start + min(n, vo)])
+        modules = policy._assign_cases(cases, n, nm).modules
+        table[u, :len(modules)] = modules
+    module = table[inverse[sel.jop], sel.rank]
+    _accumulate(ctx, o1, o2, module, case)
+    ctx.flush()
+
+
+def _np_run_one_bit_hamming(ev: PolicyEvaluator, cols: PackedColumns) -> None:
+    """1-bit Hamming matcher: columnar opkeys, memoised decisions.
+
+    The per-group decision chain (each group's assignment updates the
+    module info-bit state the next group's key depends on) runs as a
+    Python loop over *groups*, sharing the exact ``_one_bit_decide``
+    the Python kernel memoises; everything per-op — key packing, module
+    and router-swap expansion, operand selection, accounting — is
+    columnar.
+    """
+    ctx = _EvalContext(ev, cols)
+    policy: OneBitHammingPolicy = ev.policy
+    allow_swap = policy.allow_swap
+    nm = ctx.nm
+    op1v, op2v, flagsv, casev = _op_views(cols)
+    sel = _select(_offsets_view(cols), flagsv, nm, not ev.include_speculative)
+    if sel is None:
+        ctx.flush()
+        return
+    ctx.cycles_seen = sel.cycles
+    idx = sel.idx
+    raw_case = casev[idx]
+    hw = (flagsv[idx] & F_HW_SWAP) != 0
+    if ctx.swapper is not None:
+        pre = hw & (raw_case == ctx.swap_case)
+        case = np.where(pre, _SWAPPED_CASE_NP[raw_case], raw_case)
+        ctx.pre_swaps = int(pre.sum())
+    else:
+        pre = np.zeros(idx.size, dtype=bool)
+        case = raw_case
+    swappable = hw if allow_swap else np.zeros(idx.size, dtype=bool)
+    # 3 bits per op, packed big-endian per group — identical layout to
+    # the Python kernel's key accumulator
+    field = (case.astype(np.int64) << 1) | swappable
+    opkeys = np.add.reduceat(field << (3 * (sel.n_of[sel.jop] - 1 - sel.rank)),
+                             sel.starts)
+
+    extract = policy.scheme.extract
+    pb1 = 0  # bit m = info bit of module m's latched first operand
+    pb2 = 0
+    for m in range(nm):
+        pb1 |= extract(ctx.prev1[m]) << m
+        pb2 |= extract(ctx.prev2[m]) << m
+    opkeys_l = opkeys.tolist()
+    n_l = sel.n_of.tolist()
+    starts_l = sel.starts.tolist()
+    case_l = case.tolist()
+    sw_l = swappable.tolist()
+    modrange = range(nm)
+    perms_by_n: Dict[int, List[Tuple[int, ...]]] = {}
+    decisions: Dict[int, Tuple[int, int, int]] = {}
+    dec_modules: List[Tuple[int, ...]] = []
+    dec_swaps: List[Tuple[bool, ...]] = []
+    dec_ids = np.empty(len(n_l), dtype=np.int64)
+    for j in range(len(n_l)):
+        n = n_l[j]
+        key = ((((opkeys_l[j] << nm) | pb1) << nm) | pb2) << 6 | n
+        hit = decisions.get(key)
+        if hit is None:
+            start = starts_l[j]
+            modules, chosen, npb1, npb2 = _one_bit_decide(
+                case_l[start:start + n], sw_l[start:start + n],
+                pb1, pb2, nm, modrange, perms_by_n)
+            hit = (len(dec_modules), npb1, npb2)
+            dec_modules.append(modules)
+            dec_swaps.append(chosen)
+            decisions[key] = hit
+        dec_id, pb1, pb2 = hit
+        dec_ids[j] = dec_id
+
+    mtab = np.zeros((len(dec_modules), nm), dtype=np.int64)
+    stab = np.zeros((len(dec_modules), nm), dtype=bool)
+    for d in range(len(dec_modules)):
+        modules = dec_modules[d]
+        mtab[d, :len(modules)] = modules
+        stab[d, :len(modules)] = dec_swaps[d]
+    dec_op = dec_ids[sel.jop]
+    module = mtab[dec_op, sel.rank]
+    chosen = stab[dec_op, sel.rank]
+    ctx.router_swaps = int(chosen.sum())
+    # a pre-swap exchanged the operands before the matcher; a router
+    # swap exchanges them again — the net order is raw when both (or
+    # neither) fired
+    ro1 = op1v[idx]
+    ro2 = op2v[idx]
+    eff = chosen != pre
+    o1 = np.where(eff, ro2, ro1)
+    o2 = np.where(eff, ro1, ro2)
+    _accumulate(ctx, o1, o2, module, case)
+    ctx.flush()
+
+
+def _evaluator_kernel_np(ev: PolicyEvaluator, packed: PackedTrace
+                         ) -> Optional[Callable[[], None]]:
+    """Resolve the NumPy kernel for one evaluator, or ``None`` to let
+    the Python dispatcher decide (fused Python kernel or object path)."""
+    from .kernels import _evaluator_cols
+    cols = _evaluator_cols(ev, packed)
+    if cols is None or cols is _EMPTY:
+        return None
+    policy = ev.policy
+    ptype = type(policy)
+    if ptype is OriginalPolicy:
+        return lambda: _np_run_positional(ev, cols, round_robin=False)
+    if ptype is RoundRobinPolicy:
+        return lambda: _np_run_positional(ev, cols, round_robin=True)
+    if ptype is LUTPolicy:
+        if policy.scheme is not cols.scheme:
+            return None
+        return lambda: _np_run_lut(ev, cols)
+    if ptype is OneBitHammingPolicy:
+        if policy.scheme is not cols.scheme or not cols.conventional \
+                or ev.power.num_modules > _ONE_BIT_MAX_MODULES:
+            return None
+        return lambda: _np_run_one_bit_hamming(ev, cols)
+    # FullHammingPolicy (and anything unknown) stays on the fused
+    # Python kernel: its exact cost matrix reads the full-width state
+    # the previous group just latched, so groups are sequentially
+    # dependent and there is no whole-column formulation
+    return None
+
+
+# ----- statistics kernels -----------------------------------------------------
+
+
+def _np_run_bit_patterns(collector: "BitPatternCollector",
+                         cols: PackedColumns) -> None:
+    """Table 1 rows as bincounts over the case/popcount columns."""
+    flags = _view(cols, "flags", "B")
+    case = _view(cols, "case", "B")
+    pop1 = _view(cols, "pop1", "B")
+    pop2 = _view(cols, "pop2", "B")
+    if not collector.include_speculative:
+        keep = (flags & F_SPEC) == 0
+        flags, case, pop1, pop2 = (flags[keep], case[keep],
+                                   pop1[keep], pop2[keep])
+    slot = (case.astype(np.int64) << 1) | ((flags >> 4) & 1)  # F_COMMUT
+    counts = np.bincount(slot, minlength=8)
+    for s in range(8):
+        if not counts[s]:
+            continue
+        chosen = slot == s
+        row = collector.rows[(s >> 1, bool(s & 1))]
+        row.count += int(counts[s])
+        row.ones_op1 += int(pop1[chosen].sum(dtype=np.int64))
+        row.ones_op2 += int(pop2[chosen].sum(dtype=np.int64))
+    collector.total_ops += int(slot.size)
+
+
+def _np_run_module_usage(collector: "ModuleUsageCollector",
+                         cols: PackedColumns) -> None:
+    """Table 2 widths from one diff over the offsets column."""
+    widths = np.diff(_offsets_view(cols))
+    values, counts = np.unique(widths[widths > 0], return_counts=True)
+    per_class = collector.counts.setdefault(cols.fu_class, {})
+    get = per_class.get
+    for width, count in zip(values.tolist(), counts.tolist()):
+        per_class[width] = get(width, 0) + count
+
+
+# ----- dispatch ---------------------------------------------------------------
+
+
+def kernel_for(consumer, packed: PackedTrace
+               ) -> Optional[Callable[[], None]]:
+    """NumPy kernel for one consumer, or ``None`` to defer to the
+    Python dispatcher (which may still return a fused Python kernel)."""
+    if np is None:
+        return None
+    from ..analysis.bit_patterns import BitPatternCollector
+    from ..analysis.module_usage import ModuleUsageCollector
+    if isinstance(consumer, PolicyEvaluator):
+        return _evaluator_kernel_np(consumer, packed)
+    if isinstance(consumer, BitPatternCollector):
+        cols = _bit_patterns_cols(consumer, packed)
+        if cols is None or cols is _EMPTY:
+            return None
+        return lambda: _np_run_bit_patterns(consumer, cols)
+    if isinstance(consumer, ModuleUsageCollector):
+        if type(consumer) is not ModuleUsageCollector:
+            return None
+
+        def run() -> None:
+            for fu_class, cols in packed.classes.items():
+                if consumer._filter is None or fu_class in consumer._filter:
+                    _np_run_module_usage(consumer, cols)
+
+        return run
+    return None

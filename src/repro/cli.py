@@ -523,9 +523,14 @@ def build_parser() -> argparse.ArgumentParser:
                    help="prune the trace cache LRU-style past this size"
                         " after the run (entries this run used are never"
                         " evicted)")
-    p.add_argument("--engine", choices=["batch", "object"], default="batch",
-                   help="evaluation engine: fused columnar kernels"
-                        " (batch, default) or the reference object loop")
+    p.add_argument("--engine",
+                   choices=["auto", "batch-np", "batch", "object"],
+                   default="auto",
+                   help="evaluation engine: columnar kernels vectorized on"
+                        " NumPy (batch-np), the same kernels in pure Python"
+                        " (batch), or the reference object loop (object);"
+                        " auto (default) picks batch-np when NumPy is"
+                        " importable and falls back to batch")
     p.add_argument("--jobs", type=int, default=1,
                    help="fan per-workload evaluation across N worker"
                         " processes (output is byte-stable for any N)")

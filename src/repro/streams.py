@@ -373,19 +373,34 @@ def prune_trace_cache(cache_dir: PathLike, limit_mb: float,
     entries = []  # (mtime, trace, [files...], total_size)
     total = 0
     for trace in directory.glob("*.trace.gz"):
-        files = [trace]
         side = trace.with_name(trace.name + ".pack")
-        if side.exists():
-            files.append(side)
         try:
             stat = trace.stat()
-            size = sum(f.stat().st_size for f in files)
         except OSError:
             continue  # raced with another pruner; entry is going away
+        files = [trace]
+        size = stat.st_size
+        try:
+            # stat'd right here rather than via an exists() probe, so a
+            # sidecar written between the glob and now still counts
+            # toward the entry's size and is unlinked with it
+            size += side.stat().st_size
+        except OSError:
+            pass  # no sidecar (or it vanished); the trace still counts
+        else:
+            files.append(side)
         total += size
         entries.append((stat.st_mtime, trace, files, size))
     for orphan in directory.glob("*.pack"):
         if not orphan.with_name(orphan.name[:-len(".pack")]).exists():
+            try:
+                # the scan above only saw paired sidecars: an orphan's
+                # bytes are cache usage too, so count them before the
+                # unlink subtracts them — otherwise ``total`` undercounts
+                # and the LRU loop stops while still over the limit
+                total += orphan.stat().st_size
+            except OSError:
+                continue  # vanished mid-prune; nothing to count or unlink
             total -= _unlink(orphan)
     entries.sort(key=lambda entry: entry[0])
     for _, trace, files, size in entries:

@@ -43,14 +43,28 @@ class Workload:
     default_scale: int = 1
 
     def build(self, scale: Optional[int] = None) -> Program:
-        """Assemble this workload at the given scale."""
+        """Assemble this workload at the given scale.
+
+        Assembly is deterministic, so results are memoised per
+        ``(name, scale)``; nothing downstream mutates a ``Program``
+        (simulators copy the data image into their own ``Memory``), and
+        callers must keep it that way.
+        """
         actual = self.default_scale if scale is None else scale
         if actual < 1:
             raise ValueError("scale must be at least 1")
-        return assemble(self.build_source(actual), name=self.name)
+        key = (self.name, actual)
+        program = _BUILD_CACHE.get(key)
+        if program is None:
+            program = assemble(self.build_source(actual), name=self.name)
+            _BUILD_CACHE[key] = program
+        return program
 
 
 _REGISTRY: Dict[str, Workload] = {}
+
+# assembled programs by (workload name, scale); see Workload.build
+_BUILD_CACHE: Dict[tuple, Program] = {}
 
 
 def register(workload: Workload) -> Workload:

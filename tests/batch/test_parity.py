@@ -2,14 +2,17 @@
 
 The object path (:func:`repro.streams.drive` over reconstructed
 ``IssueGroup`` objects) is the reference oracle; the fused columnar
-kernels must accumulate *exactly* the same ``EvaluationTotals`` and
-telemetry counters for every steering scheme, both hardware-swap
-regimes, and both speculative settings, on random programs.
+kernels — in *both* kernel backends, pure-Python and NumPy — must
+accumulate *exactly* the same ``EvaluationTotals`` and telemetry
+counters for every steering scheme, both hardware-swap regimes, and
+both speculative settings, on random programs.  The NumPy leg is
+skipped transparently when numpy is absent.
 """
 
+import pytest
 from hypothesis import given, settings
 
-from repro.batch import batch_drive, pack_stream
+from repro.batch import NUMPY_AVAILABLE, batch_drive, pack_stream
 from repro.core.info_bits import scheme_for
 from repro.core.statistics import paper_statistics
 from repro.core.steering import PolicyEvaluator, make_policy
@@ -26,6 +29,10 @@ from tests.cpu.test_simulator import loopy_programs
 SCHEME_KINDS = ("original", "round-robin", "full-ham", "1bit-ham",
                 "lut-4", "lut-2")
 NUM_MODULES = 4
+
+# every kernel backend available in this interpreter; the object path
+# is always the oracle they are compared against
+KERNEL_BACKENDS = ("python", "np") if NUMPY_AVAILABLE else ("python",)
 
 
 def _evaluator_set(telemetry=None, fu_class=FUClass.IALU,
@@ -69,9 +76,11 @@ def _assert_identical(reference, batch):
 def _run_both(memory, fu_class=FUClass.IALU, num_modules=NUM_MODULES):
     reference = _evaluator_set(fu_class=fu_class, num_modules=num_modules)
     drive(memory, list(reference.values()))
-    batch = _evaluator_set(fu_class=fu_class, num_modules=num_modules)
-    batch_drive(pack_stream(memory.groups()), list(batch.values()))
-    _assert_identical(reference, batch)
+    packed = pack_stream(memory.groups())
+    for backend in KERNEL_BACKENDS:
+        batch = _evaluator_set(fu_class=fu_class, num_modules=num_modules)
+        batch_drive(packed, list(batch.values()), backend=backend)
+        _assert_identical(reference, batch)
 
 
 class TestEngineParity:
@@ -95,7 +104,8 @@ class TestEngineParity:
         memory = capture(LiveSource(workload("swim").build(1)))
         _run_both(memory, fu_class=FUClass.FPAU)
 
-    def test_round_robin_state_carries_across_streams(self):
+    @pytest.mark.parametrize("backend", KERNEL_BACKENDS)
+    def test_round_robin_state_carries_across_streams(self, backend):
         # the rotation pointer must advance identically when one policy
         # instance sees two streams back to back
         first = capture(LiveSource(workload("compress").build(1)))
@@ -112,12 +122,14 @@ class TestEngineParity:
 
         ref = one_path(lambda mem, ev: drive(mem, [ev]))
         batch = one_path(
-            lambda mem, ev: batch_drive(pack_stream(mem.groups()), [ev]))
+            lambda mem, ev: batch_drive(pack_stream(mem.groups()), [ev],
+                                        backend=backend))
         assert batch == ref
 
 
 class TestTelemetryParity:
-    def test_counters_match_object_session(self):
+    @pytest.mark.parametrize("backend", KERNEL_BACKENDS)
+    def test_counters_match_object_session(self, backend):
         memory = capture(LiveSource(workload("compress").build(1)))
 
         ref_session = TelemetrySession(TelemetryConfig(metrics=True))
@@ -126,7 +138,8 @@ class TestTelemetryParity:
 
         batch_session = TelemetrySession(TelemetryConfig(metrics=True))
         batch = _evaluator_set(telemetry=batch_session)
-        batch_drive(pack_stream(memory.groups()), list(batch.values()))
+        batch_drive(pack_stream(memory.groups()), list(batch.values()),
+                    backend=backend)
 
         _assert_identical(reference, batch)
         ref_counters = ref_session.collect_counters()
@@ -137,7 +150,8 @@ class TestTelemetryParity:
 
 
 class TestCollectorParity:
-    def test_statistics_collectors_match(self):
+    @pytest.mark.parametrize("backend", KERNEL_BACKENDS)
+    def test_statistics_collectors_match(self, backend):
         memory = capture(LiveSource(workload("compress").build(1)))
         packed = pack_stream(memory.groups())
         for include_spec in (True, False):
@@ -149,7 +163,8 @@ class TestCollectorParity:
             batch_patterns = BitPatternCollector(
                 FUClass.IALU, include_speculative=include_spec)
             batch_usage = ModuleUsageCollector()
-            batch_drive(packed, [batch_patterns, batch_usage])
+            batch_drive(packed, [batch_patterns, batch_usage],
+                        backend=backend)
 
             assert batch_patterns.total_ops == ref_patterns.total_ops
             for key, row in ref_patterns.rows.items():
@@ -158,13 +173,56 @@ class TestCollectorParity:
                     (row.count, row.ones_op1, row.ones_op2), key
             assert batch_usage.counts == ref_usage.counts
 
-    def test_filtered_usage_collector_matches(self):
+    @pytest.mark.parametrize("backend", KERNEL_BACKENDS)
+    def test_filtered_usage_collector_matches(self, backend):
         memory = capture(LiveSource(workload("compress").build(1)))
         ref = ModuleUsageCollector([FUClass.IALU])
         drive(memory, [ref])
         batch = ModuleUsageCollector([FUClass.IALU])
-        batch_drive(pack_stream(memory.groups()), [batch])
+        batch_drive(pack_stream(memory.groups()), [batch], backend=backend)
         assert batch.counts == ref.counts
+
+
+class TestBackendDispatch:
+    def test_resolve_backend(self):
+        from repro.batch import resolve_backend
+        expected = "np" if NUMPY_AVAILABLE else "python"
+        assert resolve_backend(None) == expected
+        assert resolve_backend("auto") == expected
+        assert resolve_backend("python") == "python"
+        with pytest.raises(ValueError):
+            resolve_backend("fortran")
+
+    def test_resolve_engine(self):
+        from repro.batch import resolve_engine
+        assert resolve_engine("auto") == (
+            "batch-np" if NUMPY_AVAILABLE else "batch")
+        assert resolve_engine("object") == "object"
+        assert resolve_engine("batch") == "batch"
+        with pytest.raises(ValueError):
+            resolve_engine("warp")
+
+    @pytest.mark.skipif(not NUMPY_AVAILABLE, reason="requires numpy")
+    def test_run_figure4_engines_identical(self, tmp_path):
+        from repro.analysis.energy import run_figure4
+        from repro.workloads import workload as load
+
+        def cells(result):
+            return {key: (cell.switched_bits, cell.operations,
+                          cell.hardware_swaps)
+                    for key, cell in result.cells.items()}
+
+        results = {}
+        for engine in ("object", "batch", "batch-np"):
+            results[engine] = run_figure4(
+                FUClass.IALU, workloads=[load("compress")],
+                schemes=("original", "lut-4"), swap_modes=("none", "hw"),
+                trace_cache_dir=tmp_path, engine=engine)
+        reference = results["object"]
+        for engine in ("batch", "batch-np"):
+            assert cells(results[engine]) == cells(reference), engine
+            assert repr(results[engine].statistics) == \
+                repr(reference.statistics), engine
 
 
 class TestFallbackPath:

@@ -8,6 +8,7 @@ has protected, even when that leaves the cache over budget.
 
 import os
 import time
+from pathlib import Path
 
 from repro.batch import packed_cached, sidecar_path
 from repro.cpu.config import MachineConfig
@@ -54,6 +55,46 @@ class TestPruning:
         assert deleted == [orphan]
         assert live.exists()
 
+    def test_orphan_bytes_count_toward_the_budget(self, tmp_path):
+        # regression: orphan sizes were never *added* to the running
+        # total, only subtracted on unlink, so the LRU loop believed it
+        # was under budget and stopped while live entries still blew
+        # the limit.  3 x 64 KiB live + 64 KiB orphan against a 128 KiB
+        # limit must evict the orphan AND the oldest live entry.
+        traces = [_make_entry(tmp_path, i, age=(3 - i) * 100)
+                  for i in range(3)]
+        orphan = tmp_path / "dead-cfg-all.trace.gz.pack"
+        orphan.write_bytes(b"z" * (64 * 1024))
+        deleted = prune_trace_cache(tmp_path, limit_mb=128 / 1024)
+        assert orphan in deleted and not orphan.exists()
+        assert not traces[0].exists()  # oldest live entry went too
+        assert not traces[0].with_name(traces[0].name + ".pack").exists()
+        assert traces[1].exists() and traces[2].exists()
+        remaining = sum(p.stat().st_size for p in tmp_path.iterdir())
+        assert remaining <= 128 * 1024
+
+    def test_sidecar_appearing_after_the_scan_is_still_evicted(
+            self, tmp_path, monkeypatch):
+        # the scan must discover sidecars by stat'ing them, not via an
+        # exists() probe: a sidecar written between the glob and the
+        # probe (or an exists() lying under racy NFS semantics) would
+        # otherwise survive its trace and leak.  Simulate the lie by
+        # making exists() deny every .pack file.
+        trace = _make_entry(tmp_path, 0)
+        side = trace.with_name(trace.name + ".pack")
+        real_exists = Path.exists
+
+        def deny_packs(self, **kwargs):
+            if self.name.endswith(".pack"):
+                return False
+            return real_exists(self, **kwargs)
+
+        monkeypatch.setattr(Path, "exists", deny_packs)
+        deleted = prune_trace_cache(tmp_path, limit_mb=0)
+        assert side in deleted
+        assert not real_exists(side)
+        assert not real_exists(trace)
+
     def test_zero_limit_clears_cache(self, tmp_path):
         for i in range(3):
             _make_entry(tmp_path, i, age=i)
@@ -72,6 +113,22 @@ class TestProtection:
         assert keep.exists()
         assert keep.with_name(keep.name + ".pack").exists()
         assert not victim.exists()
+
+    def test_deleted_lists_exactly_the_unlinked_paths(self, tmp_path):
+        # the return value is the caller's audit trail: every victim's
+        # trace and sidecar, nothing else, no duplicates — and the
+        # protected pair appears nowhere in it
+        keep = _make_entry(tmp_path, 0, age=1000)
+        victims = [_make_entry(tmp_path, i, age=i) for i in (1, 2)]
+        deleted = prune_trace_cache(tmp_path, limit_mb=0, protect=[keep])
+        expected = {p for v in victims
+                    for p in (v, v.with_name(v.name + ".pack"))}
+        assert set(deleted) == expected
+        assert len(deleted) == len(expected)
+        for path in expected:
+            assert not path.exists()
+        assert keep.exists()
+        assert keep.with_name(keep.name + ".pack").exists()
 
     def test_pruning_never_evicts_entry_being_replayed(self, tmp_path):
         # the real contract: record a genuine entry, open it for replay,
