@@ -27,8 +27,11 @@ utilities:
 
 Robustness contract: ``KeyboardInterrupt`` exits with code 130 after
 the campaign manifest has been flushed (the runner journals every task
-atomically as it completes), and every JSON/report file any command
-writes goes through the shared atomic write-temp-then-rename helper.
+atomically as it completes; a distributed worker additionally finalizes
+its partially written shard manifest and releases its lease), and every
+JSON/report file any command writes goes through the shared atomic
+write-temp-then-rename helper — no stale ``.tmp`` file survives an
+interrupt at any instant, including mid-write.
 """
 
 from __future__ import annotations
@@ -62,8 +65,9 @@ from .isa import encoding
 from .streams import LiveSource, record
 from .isa.assembler import assemble
 from .isa.instructions import FUClass
-from .runner import (CampaignError, CampaignSpec, atomic_write_json,
-                     atomic_write_text, fault_sweep, run_campaign)
+from .runner import (CampaignError, CampaignSpec, DistWorker,
+                     atomic_write_json, atomic_write_text, fault_sweep,
+                     run_campaign, run_distributed)
 from .workloads import all_workloads, workload
 
 
@@ -324,7 +328,7 @@ def cmd_asm(args) -> int:
     return 0
 
 
-def cmd_campaign(args) -> int:
+def _campaign_spec(args) -> CampaignSpec:
     if args.workloads:
         names = args.workloads
     else:
@@ -340,15 +344,68 @@ def cmd_campaign(args) -> int:
     if args.max_cycles is not None:
         for overrides in configs.values():
             overrides.setdefault("max_cycles", args.max_cycles)
+    return CampaignSpec(workloads=tuple(names),
+                        policies=tuple(args.policies),
+                        scales=(args.scale,),
+                        configs=configs,
+                        fault_rates=tuple(args.fault_rates),
+                        fault_mode=args.fault_mode,
+                        fu=args.fu,
+                        seed=args.seed)
+
+
+def _campaign_dist(args) -> int:
+    """Distributed modes: local worker fleet or coordinator-only."""
+    spec = _campaign_spec(args)
+    result = run_distributed(
+        spec, args.dir,
+        workers=0 if args.coordinator else args.workers,
+        shard_size=args.shard_size,
+        lease_ttl=args.lease_ttl,
+        max_shard_attempts=args.max_shard_attempts,
+        executor="inline" if args.inline else "process",
+        max_workers=args.max_workers,
+        task_timeout=args.timeout,
+        retries=args.retries,
+        backoff=args.backoff,
+        trace_cache=not args.no_trace_cache,
+        resume=args.resume)
+    pending = [t.task_id for t in spec.tasks()
+               if t.task_id not in result.tasks]
+    report = render_campaign(spec.policies, result.tasks, pending)
+    out_dir = Path(args.dir)
+    atomic_write_text(out_dir / "report.txt", report + "\n")
+    atomic_write_json(out_dir / "results.json",
+                      {"spec": spec.to_dict(), "tasks": result.tasks})
+    print(report)
+    print(f"campaign: {result.done} done, {result.failed} failed,"
+          f" {result.shards_done}/{result.total_shards} shards"
+          f" ({result.shards_quarantined} quarantined)"
+          f" (manifest: {result.manifest_path})")
+    steals = result.counters.get("dist.shards.stolen", 0)
+    requeues = result.counters.get("dist.shards.requeued", 0)
+    if steals or requeues:
+        print(f"fabric: {steals} shards stolen, {requeues} requeued")
+    if not result.complete:
+        print("resume with: python -m repro campaign ... --resume")
+    return 1 if result.failed else 0
+
+
+def cmd_campaign(args) -> int:
     try:
-        spec = CampaignSpec(workloads=tuple(names),
-                            policies=tuple(args.policies),
-                            scales=(args.scale,),
-                            configs=configs,
-                            fault_rates=tuple(args.fault_rates),
-                            fault_mode=args.fault_mode,
-                            fu=args.fu,
-                            seed=args.seed)
+        if args.join:
+            # worker-only: everything (spec, options, shard plan) comes
+            # from the published campaign.json in --dir
+            worker = DistWorker(args.dir, worker_id=args.worker_id)
+            outcome = worker.run()
+            print(f"worker {outcome.worker}: {outcome.shards_done} shards"
+                  f" done, {outcome.shards_stolen} stolen,"
+                  f" {outcome.tasks_done} tasks done,"
+                  f" {outcome.tasks_failed} failed")
+            return 1 if outcome.tasks_failed else 0
+        if args.coordinator or args.workers:
+            return _campaign_dist(args)
+        spec = _campaign_spec(args)
         result = run_campaign(
             spec, args.dir,
             max_workers=args.max_workers,
@@ -639,6 +696,28 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-trace-cache", action="store_true",
                    help="simulate every task instead of replaying"
                         " content-addressed recorded streams")
+    dist = p.add_argument_group(
+        "distributed", "coordinator/worker fabric over a shared --dir"
+        " (leases, work stealing, host-loss recovery; docs/runner.md)")
+    dist.add_argument("--workers", type=int, default=0,
+                      help="publish the campaign and drive it with N local"
+                           " worker processes (0 = classic single-host"
+                           " runner)")
+    dist.add_argument("--coordinator", action="store_true",
+                      help="publish the shard queue and merge results, but"
+                           " run no local workers (fleet joins via --join)")
+    dist.add_argument("--join", action="store_true",
+                      help="join the campaign already published in --dir"
+                           " as a worker (ignores grid flags)")
+    dist.add_argument("--worker-id", default=None,
+                      help="stable worker name for --join (default:"
+                           " host-pid)")
+    dist.add_argument("--shard-size", type=int, default=1,
+                      help="tasks per lease-based work unit")
+    dist.add_argument("--lease-ttl", type=float, default=15.0,
+                      help="seconds before an un-renewed lease is stolen")
+    dist.add_argument("--max-shard-attempts", type=int, default=3,
+                      help="lease attempts before a shard is quarantined")
     p.set_defaults(func=cmd_campaign)
 
     p = sub.add_parser("faultsweep",

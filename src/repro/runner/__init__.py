@@ -9,26 +9,42 @@ resumable, crash-isolated campaigns:
   backoff, and crash isolation;
 * :class:`CampaignManifest` — the crash-safe JSONL journal that makes
   ``campaign --resume`` pick up exactly the pending task set;
+* :class:`DistCoordinator` / :class:`DistWorker` /
+  :func:`run_distributed` — the distributed campaign fabric: the grid
+  sharded into lease-based work units on a shared directory, claimed
+  and stolen by workers on any number of hosts, merged byte-stably
+  into one campaign manifest (see ``docs/runner.md``);
 * :class:`FaultInjector` / :func:`fault_sweep` — transient-upset
   modelling on the steering path (info-bit / operand-bit flips);
 * :func:`atomic_write_text` / :func:`atomic_write_json` — the shared
   write-temp-then-rename helpers every report/JSON artifact uses.
 
-See ``docs/runner.md`` for the manifest format, resume semantics, and
-watchdog tuning.
+See ``docs/runner.md`` for the manifest format, resume semantics,
+distributed topology, and watchdog tuning.
 """
 
 from .atomic import atomic_append_jsonl, atomic_write_json, atomic_write_text
 from .campaign import (CONFIG_FIELDS, CampaignError, CampaignResult,
                        CampaignRunner, CampaignSpec, TaskSpec, execute_task,
-                       run_campaign)
+                       run_campaign, task_fingerprint)
+from .dist import (CampaignLayout, DistCoordinator, DistResult, DistWorker,
+                   WorkerResult, run_distributed)
 from .faults import FAULT_MODES, FaultInjector, fault_sweep
-from .manifest import CampaignManifest, ManifestError
+from .manifest import (CampaignManifest, ManifestError, ShardManifest,
+                       canonical_task_record, merge_task_records,
+                       read_shard_records, write_merged_manifest)
+from .pool import full_jitter_delay
 
 __all__ = [
     "atomic_append_jsonl", "atomic_write_json", "atomic_write_text",
     "CONFIG_FIELDS", "CampaignError", "CampaignResult", "CampaignRunner",
     "CampaignSpec", "TaskSpec", "execute_task", "run_campaign",
+    "task_fingerprint",
+    "CampaignLayout", "DistCoordinator", "DistResult", "DistWorker",
+    "WorkerResult", "run_distributed",
     "FAULT_MODES", "FaultInjector", "fault_sweep",
-    "CampaignManifest", "ManifestError",
+    "CampaignManifest", "ManifestError", "ShardManifest",
+    "canonical_task_record", "merge_task_records", "read_shard_records",
+    "write_merged_manifest",
+    "full_jitter_delay",
 ]

@@ -29,9 +29,14 @@ def atomic_write_text(path: PathLike, text: str,
     survives power loss as well as process death.
     """
     target = Path(path)
-    fd, tmp_name = tempfile.mkstemp(
-        prefix=f".{target.name}.", suffix=".tmp", dir=str(target.parent))
+    tmp_name = None
     try:
+        # mkstemp sits inside the try: a KeyboardInterrupt delivered
+        # between creating the temp file and entering a cleanup block
+        # is exactly the stale-temp leak the interrupt contract forbids
+        fd, tmp_name = tempfile.mkstemp(
+            prefix=f".{target.name}.", suffix=".tmp",
+            dir=str(target.parent))
         with os.fdopen(fd, "w", encoding=encoding) as handle:
             handle.write(text)
             handle.flush()
@@ -39,10 +44,11 @@ def atomic_write_text(path: PathLike, text: str,
         os.replace(tmp_name, target)
     except BaseException:
         # never leave temp droppings behind, even on KeyboardInterrupt
-        try:
-            os.unlink(tmp_name)
-        except OSError:
-            pass
+        if tmp_name is not None:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
         raise
 
 

@@ -10,9 +10,10 @@ with:
   code), never the campaign;
 * **per-task timeouts** — an overdue worker is SIGKILLed and the task
   retried;
-* **bounded retries with exponential backoff** — transient failures
-  get ``retries`` extra attempts, each delayed ``backoff * 2**(n-1)``
-  seconds;
+* **bounded retries with full-jitter exponential backoff** — transient
+  failures get ``retries`` extra attempts, each delayed a uniformly
+  random slice of the ``backoff * 2**(n-1)`` ceiling so fleets of
+  workers never retry in lockstep;
 * **journaled progress** — every outcome is recorded in a JSONL
   manifest rewritten atomically (write-temp-then-rename), so a
   campaign killed at any instant resumes from the last completed task;
@@ -43,7 +44,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from .manifest import CampaignManifest, ManifestError
 from .pool import (CRASH_ENV, DELAY_ENV, HANG_ENV, PoolItem, ProcessTaskPool,
-                   error_payload as _error_payload)
+                   error_payload as _error_payload, full_jitter_delay)
 
 PathLike = Union[str, Path]
 
@@ -161,6 +162,25 @@ class CampaignSpec:
         return hashlib.sha256(canon.encode("utf-8")).hexdigest()[:16]
 
 
+def task_fingerprint(task: TaskSpec) -> str:
+    """Content fingerprint of one grid cell.
+
+    Hashes every field that determines the cell's *result* — and
+    deliberately not ``trace_cache_dir``, which is an execution detail.
+    This is the last-write-wins merge key for distributed campaigns:
+    two records with the same cell fingerprint measured the same
+    physics, so a duplicate from a stolen-then-completed shard is
+    interchangeable with the original.
+    """
+    ident = {"task_id": task.task_id, "workload": task.workload,
+             "scale": task.scale, "config_name": task.config_name,
+             "config": dict(task.config), "policies": list(task.policies),
+             "fault_rate": task.fault_rate, "fault_mode": task.fault_mode,
+             "fu": task.fu, "seed": task.seed}
+    canon = json.dumps(ident, sort_keys=True)
+    return hashlib.sha256(canon.encode("utf-8")).hexdigest()[:16]
+
+
 # ----- the worker side --------------------------------------------------------
 
 
@@ -215,13 +235,18 @@ def execute_task(task: TaskSpec) -> Dict[str, Any]:
     sim_result = None
     cache_state = "off"
     if task.trace_cache_dir:
-        found = streams.cached_source(program, config, task.trace_cache_dir,
-                                      (fu_class,))
-        if found is not None and found.result is not None:
+        # fleet-safe lookup: across every worker process on every host
+        # sharing this cache directory, one records and the rest replay
+        # (streams.cached_or_record contends on the per-key advisory
+        # lock).  On a miss our consumers rode the recording pass.
+        source, cache_state = streams.cached_or_record(
+            program, config, task.trace_cache_dir, (fu_class,),
+            telemetry=session, extra_consumers=[coordinator])
+        if cache_state == "hit":
             if injectors:
                 # fault views are injected per evaluator inside the
                 # shared pass; keep the object path
-                streams.drive(found, [coordinator])
+                streams.drive(source, [coordinator])
             else:
                 # warm hit with no fault injection: score every
                 # evaluator through the fused columnar kernels straight
@@ -235,17 +260,11 @@ def execute_task(task: TaskSpec) -> Dict[str, Any]:
                                               (fu_class,))
                     batch_drive(packed, coordinator.evaluators)
                 except Exception:
-                    streams.drive(found, [coordinator])
-            sim_result = found.result
+                    streams.drive(source, [coordinator])
+            sim_result = source.result
             session.add_collector(sim_result.telemetry_counters)
-            cache_state = "hit"
         else:
-            memory = streams.record_cached(program, config,
-                                           task.trace_cache_dir, (fu_class,),
-                                           telemetry=session,
-                                           extra_consumers=[coordinator])
-            sim_result = memory.result
-            cache_state = "miss"
+            sim_result = source.result
     else:
         live = streams.LiveSource(program, config, telemetry=session)
         sim_result = streams.drive(live, [coordinator])
@@ -324,7 +343,8 @@ class CampaignRunner:
                  resume: bool = False,
                  retry_failed: bool = False,
                  limit: int = 0,
-                 trace_cache: bool = True):
+                 trace_cache: bool = True,
+                 jitter: bool = True):
         if executor not in ("process", "inline"):
             raise CampaignError("executor must be 'process' or 'inline'")
         self.spec = spec
@@ -338,6 +358,7 @@ class CampaignRunner:
         self.task_timeout = task_timeout
         self.retries = max(0, retries)
         self.backoff = backoff
+        self.jitter = jitter
         self.executor = executor
         self.resume = resume
         self.retry_failed = retry_failed
@@ -427,6 +448,10 @@ class CampaignRunner:
             if self.limit and finished >= self.limit:
                 return
             item = queue.pop(0)
+            wait = item.not_before - time.monotonic()
+            if wait > 0:
+                # serial executor: sleeping out the backoff is exact
+                time.sleep(wait)
             started = time.monotonic()
             try:
                 outcome = execute_task(item.task)
@@ -435,7 +460,10 @@ class CampaignRunner:
             except BaseException as exc:
                 elapsed = time.monotonic() - started
                 if item.attempt <= self.retries:
+                    delay = full_jitter_delay(self.backoff, item.attempt,
+                                              jitter=self.jitter)
                     item.attempt += 1
+                    item.not_before = time.monotonic() + delay
                     queue.append(item)
                     continue
                 manifest.record_failed(item.task.task_id, item.attempt,
@@ -457,7 +485,8 @@ class CampaignRunner:
                                max_workers=self.max_workers,
                                task_timeout=self.task_timeout,
                                retries=self.retries,
-                               backoff=self.backoff)
+                               backoff=self.backoff,
+                               jitter=self.jitter)
         items = [PoolItem(key=p.task.task_id, payload=p.task,
                           attempt=p.attempt, not_before=p.not_before)
                  for p in pending]

@@ -1,0 +1,889 @@
+"""Distributed campaign fabric: coordinator/worker protocol over a
+shared directory, with leases, work stealing, and host-loss recovery.
+
+One host's :class:`~repro.runner.campaign.CampaignRunner` fans a grid
+across local cores; a million-cell sweep needs many hosts.  This module
+adds the smallest coordination fabric that makes *losing an entire
+worker host mid-shard* a recoverable, tested event:
+
+* the **coordinator** (:class:`DistCoordinator`) shards the expanded
+  grid into fixed-size work units published as immutable JSON files on
+  a shared directory, then merges per-shard JSONL manifests into one
+  resumable campaign manifest (fingerprint-validated, byte-stable merge
+  order — see :func:`~repro.runner.manifest.merge_task_records`);
+* **workers** (:class:`DistWorker`) claim shards under time-limited
+  leases (`O_CREAT|O_EXCL`, so exactly one claim wins), renew them from
+  a heartbeat thread, execute the shard's tasks through the existing
+  :class:`~repro.runner.pool.ProcessTaskPool` (or inline), and append
+  every outcome to their own shard manifest via the atomic
+  write-temp-then-rename layer — concurrent workers never observe torn
+  state;
+* an **expired lease is stolen**: any live worker may reclaim it under
+  the next lease epoch and re-run the shard.  Requeue delays use
+  full-jitter exponential backoff, and a shard that burns
+  ``max_shard_attempts`` leases is quarantined — its unfinished cells
+  surface as explicit ``ShardQuarantined`` failures instead of hanging
+  the campaign;
+* results are **at-least-once, exactly-once-merged**: a stolen shard
+  whose original owner limps to completion produces duplicate records
+  in *separate* files; the merge dedupes them last-write-wins keyed on
+  each cell's content fingerprint.  Simulation is deterministic, so
+  duplicates are bit-identical and the merged manifest matches a
+  single-host run byte for byte (the chaos tests ``cmp`` this).
+
+The queue is a directory tree because the shared-filesystem case (NFS,
+Lustre, a cloud file share) is the deployment the ROADMAP names first;
+everything is plain JSON + atomic rename, so the same protocol works
+over any transport that provides those two primitives.  Wall-clock
+lease deadlines assume loosely NTP-synchronised hosts; the ttl should
+dwarf plausible skew.
+
+Layout under the campaign directory::
+
+    campaign.json            coordinator-published spec + options (last)
+    queue/shard-0000.json    immutable shard descriptors
+    leases/shard-0000.lease  current claim: worker, nonce, epoch, deadline
+    results/shard-0000.e1.<nonce>.jsonl   per-(shard, lease) manifests
+    acks/shard-0000.json     terminal state: done or quarantined
+    workers/<id>.json        per-worker telemetry (gauges + counters)
+    manifest.jsonl           the merged campaign manifest
+    progress.json            merged fleet telemetry
+    trace-cache/             fleet-wide content-addressed stream cache
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import multiprocessing
+import os
+import random
+import signal
+import socket
+import threading
+import time
+import uuid
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Sequence, Union
+
+from .atomic import atomic_write_json
+from .campaign import (CampaignError, CampaignSpec, TaskSpec, execute_task,
+                       task_fingerprint)
+from .manifest import (ShardManifest, merge_task_records, read_shard_records,
+                       write_merged_manifest)
+from .pool import (PoolItem, ProcessTaskPool, error_payload,
+                   full_jitter_delay)
+from ..telemetry import MetricsRegistry
+
+PathLike = Union[str, Path]
+
+DIST_VERSION = 1
+
+#: chaos hook (tests/CI only): a worker SIGKILLs itself immediately
+#: before executing the task whose id exactly equals this value —
+#: deterministic "host loss mid-shard" without timing races.  By
+#: default the kill fires only while the shard is on its first lease
+#: epoch, so the steal/requeue path then completes it; a suffix
+#: ``#<N>`` (``#`` because task ids contain ``@``) keeps killing
+#: through epoch N (drive past ``max_shard_attempts`` to exercise
+#: quarantine).  Inline executor only; pool-child crashes are
+#: REPRO_CAMPAIGN_TEST_CRASH's job.
+KILL_ENV = "REPRO_DIST_TEST_KILL"
+
+
+def _read_json(path: Path) -> Optional[Dict[str, Any]]:
+    """Read a JSON file leniently: missing/torn/foreign -> None."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (OSError, json.JSONDecodeError):
+        return None
+    return payload if isinstance(payload, dict) else None
+
+
+class CampaignLayout:
+    """Path book-keeping for one campaign directory (see module doc)."""
+
+    def __init__(self, root: PathLike):
+        self.root = Path(root)
+        self.campaign_file = self.root / "campaign.json"
+        self.queue_dir = self.root / "queue"
+        self.lease_dir = self.root / "leases"
+        self.results_dir = self.root / "results"
+        self.acks_dir = self.root / "acks"
+        self.workers_dir = self.root / "workers"
+        self.manifest_path = self.root / "manifest.jsonl"
+        self.progress_path = self.root / "progress.json"
+        self.default_trace_cache = self.root / "trace-cache"
+
+    def ensure(self) -> None:
+        for directory in (self.root, self.queue_dir, self.lease_dir,
+                          self.results_dir, self.acks_dir, self.workers_dir):
+            directory.mkdir(parents=True, exist_ok=True)
+
+    def shard_path(self, shard_id: str) -> Path:
+        return self.queue_dir / f"{shard_id}.json"
+
+    def lease_path(self, shard_id: str) -> Path:
+        return self.lease_dir / f"{shard_id}.lease"
+
+    def ack_path(self, shard_id: str) -> Path:
+        return self.acks_dir / f"{shard_id}.json"
+
+    def worker_path(self, worker_id: str) -> Path:
+        return self.workers_dir / f"{worker_id}.json"
+
+    def result_path(self, shard_id: str, epoch: int, nonce: str) -> Path:
+        return self.results_dir / f"{shard_id}.e{epoch}.{nonce}.jsonl"
+
+
+def shard_ids(count: int) -> List[str]:
+    return [f"shard-{index:04d}" for index in range(count)]
+
+
+def shard_tasks(spec: CampaignSpec, shard_size: int) -> List[List[TaskSpec]]:
+    """Chunk the expanded grid into shards, in deterministic order."""
+    size = max(1, shard_size)
+    tasks = spec.tasks()
+    return [tasks[start:start + size] for start in range(0, len(tasks), size)]
+
+
+# ----- leases -----------------------------------------------------------------
+
+
+def try_claim_lease(path: Path, shard: str, worker: str, nonce: str,
+                    epoch: int, ttl: float) -> bool:
+    """Claim a shard by creating its lease file with ``O_EXCL``.
+
+    Exactly one concurrent claimant wins the create; everyone else gets
+    ``FileExistsError`` and moves on.  The payload is written and
+    fsynced through the held descriptor, so a reader never sees an
+    empty lease from a claimant that died mid-write (a torn payload
+    parses as None and is treated as expired).
+    """
+    payload = {"shard": shard, "worker": worker, "nonce": nonce,
+               "epoch": epoch, "deadline": time.time() + ttl}
+    data = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+    try:
+        fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644)
+    except FileExistsError:
+        return False
+    except OSError:
+        return False
+    try:
+        os.write(fd, data)
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+    return True
+
+
+def read_lease(path: Path) -> Optional[Dict[str, Any]]:
+    return _read_json(path)
+
+
+def lease_expired(lease: Optional[Dict[str, Any]],
+                  now: Optional[float] = None) -> bool:
+    """A missing, torn, or past-deadline lease is claimable."""
+    if lease is None:
+        return True
+    try:
+        return float(lease.get("deadline", 0.0)) <= \
+            (time.time() if now is None else now)
+    except (TypeError, ValueError):
+        return True
+
+
+def renew_lease(path: Path, nonce: str, ttl: float) -> bool:
+    """Extend our own lease; returns False when the lease was lost.
+
+    The nonce check makes renewal a (non-atomic) compare-and-swap: if a
+    stealer replaced the lease between our read and our write, we might
+    clobber it — the protocol tolerates that because the loser's
+    results land in its own file and the merge dedupes.  What matters
+    is that a worker that *has* lost its lease finds out here and stops
+    claiming fresh work against it.
+    """
+    current = read_lease(path)
+    if current is None or current.get("nonce") != nonce:
+        return False
+    current["deadline"] = time.time() + ttl
+    try:
+        atomic_write_json(path, current)
+    except OSError:
+        return False
+    return True
+
+
+def release_lease(path: Path, nonce: str) -> None:
+    """Drop our lease (only if it is still ours)."""
+    current = read_lease(path)
+    if current is not None and current.get("nonce") == nonce:
+        try:
+            path.unlink()
+        except OSError:
+            pass
+
+
+class _LeaseKeeper(threading.Thread):
+    """Heartbeat thread: renews one lease until stopped or lost."""
+
+    def __init__(self, path: Path, nonce: str, ttl: float,
+                 interval: Optional[float] = None):
+        super().__init__(daemon=True, name=f"lease-{path.stem}")
+        self.path = path
+        self.nonce = nonce
+        self.ttl = ttl
+        self.interval = interval if interval is not None else ttl / 3.0
+        self.lost = threading.Event()
+        self._stop_event = threading.Event()
+
+    def run(self) -> None:
+        while not self._stop_event.wait(self.interval):
+            if not renew_lease(self.path, self.nonce, self.ttl):
+                self.lost.set()
+                return
+
+    def stop(self) -> None:
+        self._stop_event.set()
+
+
+# ----- the worker -------------------------------------------------------------
+
+
+@dataclass
+class WorkerResult:
+    """What one :meth:`DistWorker.run` invocation accomplished."""
+
+    worker: str
+    shards_done: int = 0
+    shards_stolen: int = 0
+    shards_requeued: int = 0
+    shards_quarantined: int = 0
+    shards_abandoned: int = 0   # lease lost mid-shard; a peer took over
+    tasks_done: int = 0
+    tasks_failed: int = 0
+
+
+class DistWorker:
+    """Claims shards under leases and executes them until the campaign
+    is complete (every shard acked done or quarantined).
+
+    Safe to run any number of these, on any number of hosts sharing the
+    campaign directory, starting at any time — including *restarting*
+    after a crash, which is exactly the ``--resume`` story: a restarted
+    worker simply claims whatever is still unclaimed or expired.
+    """
+
+    def __init__(self, root: PathLike, worker_id: Optional[str] = None,
+                 poll_interval: Optional[float] = None,
+                 join_timeout: float = 30.0):
+        self.layout = CampaignLayout(root)
+        self.worker_id = worker_id or f"{socket.gethostname()}-{os.getpid()}"
+        self.join_timeout = join_timeout
+        self._poll_override = poll_interval
+        self.result = WorkerResult(worker=self.worker_id)
+        self._next_try: Dict[str, float] = {}  # shard -> monotonic not-before
+
+    # ----- campaign discovery ---------------------------------------------
+
+    def _load_campaign(self) -> Dict[str, Any]:
+        deadline = time.monotonic() + self.join_timeout
+        while True:
+            payload = _read_json(self.layout.campaign_file)
+            if payload is not None:
+                if payload.get("version") != DIST_VERSION:
+                    raise CampaignError(
+                        f"{self.layout.campaign_file}: unsupported"
+                        f" distributed-campaign version"
+                        f" {payload.get('version')!r}")
+                return payload
+            if time.monotonic() >= deadline:
+                raise CampaignError(
+                    f"no campaign published at {self.layout.campaign_file}"
+                    f" after {self.join_timeout:.0f}s — start the"
+                    " coordinator first (campaign --coordinator/--workers)")
+            time.sleep(0.1)
+
+    # ----- main loop ------------------------------------------------------
+
+    def run(self) -> WorkerResult:
+        campaign = self._load_campaign()
+        spec = CampaignSpec.from_dict(campaign["spec"])
+        fingerprint = campaign["fingerprint"]
+        if fingerprint != spec.fingerprint():
+            raise CampaignError(
+                f"{self.layout.campaign_file}: fingerprint does not match"
+                " its own spec — refusing to execute a torn campaign")
+        options = campaign.get("options", {})
+        self.lease_ttl = float(options.get("lease_ttl", 15.0))
+        self.max_shard_attempts = int(options.get("max_shard_attempts", 3))
+        self.executor = options.get("executor", "process")
+        self.max_workers = int(options.get("max_workers", 2))
+        self.task_timeout = float(options.get("task_timeout", 600.0))
+        self.retries = int(options.get("retries", 1))
+        self.backoff = float(options.get("backoff", 0.5))
+        self.poll_interval = self._poll_override if self._poll_override \
+            is not None else float(options.get("poll_interval", 0.2))
+        trace_cache_dir = options.get("trace_cache_dir")
+        if options.get("trace_cache", True) and trace_cache_dir is None:
+            trace_cache_dir = str(self.layout.default_trace_cache)
+
+        shards = shard_tasks(spec, int(campaign.get("shard_size", 1)))
+        if len(shards) != int(campaign.get("shards", len(shards))):
+            raise CampaignError(
+                f"{self.layout.campaign_file}: shard plan mismatch"
+                f" ({campaign.get('shards')} published,"
+                f" {len(shards)} derived from the spec)")
+        if trace_cache_dir:
+            shards = [[dataclasses.replace(task,
+                                           trace_cache_dir=trace_cache_dir)
+                       for task in tasks] for tasks in shards]
+        plan = dict(zip(shard_ids(len(shards)), shards))
+
+        self._publish_status()
+        try:
+            while True:
+                remaining = [sid for sid in plan
+                             if _read_json(self.layout.ack_path(sid)) is None]
+                if not remaining:
+                    return self.result
+                claimed_any = False
+                for sid in remaining:
+                    if self._try_shard(sid, plan[sid], fingerprint):
+                        claimed_any = True
+                if not claimed_any:
+                    # peers hold every runnable lease (or backoff is
+                    # pending); jitter the poll so a worker fleet does
+                    # not scan the directory in lockstep
+                    time.sleep(random.uniform(0.5, 1.0)
+                               * self.poll_interval)
+        finally:
+            self._publish_status()
+
+    # ----- one shard ------------------------------------------------------
+
+    def _prior_epoch(self, shard_id: str) -> int:
+        """Highest lease epoch this shard has ever been claimed under."""
+        best = 0
+        for path in self.layout.results_dir.glob(f"{shard_id}.e*.jsonl"):
+            remainder = path.name[len(shard_id) + 2:]  # past ".e"
+            try:
+                best = max(best, int(remainder.split(".", 1)[0]))
+            except ValueError:
+                continue
+        lease = read_lease(self.layout.lease_path(shard_id))
+        if lease is not None:
+            try:
+                best = max(best, int(lease.get("epoch", 0)))
+            except (TypeError, ValueError):
+                pass
+        return best
+
+    def _try_shard(self, shard_id: str, tasks: Sequence[TaskSpec],
+                   fingerprint: str) -> bool:
+        """Claim and execute one shard if it is runnable now."""
+        now = time.monotonic()
+        if self._next_try.get(shard_id, 0.0) > now:
+            return False
+        # re-read the ack here, not just in the caller's snapshot: a
+        # peer may have completed this shard (and released its lease)
+        # since the snapshot, and a released lease must read as "done",
+        # never as "claimable"
+        if _read_json(self.layout.ack_path(shard_id)) is not None:
+            return False
+        lease_path = self.layout.lease_path(shard_id)
+        lease = read_lease(lease_path)
+        if not lease_expired(lease):
+            return False
+        prior = self._prior_epoch(shard_id)
+        stolen = lease is not None
+        if prior >= self.max_shard_attempts \
+                and _read_json(self.layout.ack_path(shard_id)) is None:
+            # poison shard: it has burned every allowed lease.  The ack
+            # is written atomically; racing quarantiners write the same
+            # deterministic payload, so last-write-wins is harmless.
+            atomic_write_json(self.layout.ack_path(shard_id), {
+                "shard": shard_id, "status": "quarantined",
+                "attempts": prior, "worker": self.worker_id})
+            if stolen:
+                release_lease(lease_path, lease.get("nonce", ""))
+            self.result.shards_quarantined += 1
+            self._publish_status()
+            return True
+        if stolen:
+            # expired lease: its owner is presumed dead.  Unlink, then
+            # contend on the O_EXCL create like everyone else.  The
+            # unlink/create window can double-run the shard in a worst
+            # case; the merge dedupes, so safety never depends on it.
+            try:
+                lease_path.unlink()
+            except OSError:
+                pass
+        epoch = prior + 1
+        nonce = uuid.uuid4().hex[:12]
+        if not try_claim_lease(lease_path, shard_id, self.worker_id, nonce,
+                               epoch, self.lease_ttl):
+            return False
+        if stolen:
+            self.result.shards_stolen += 1
+        if prior:
+            self.result.shards_requeued += 1
+            # full-jitter backoff *before the work*, not after: the
+            # shard already failed `prior` leases, so pause long enough
+            # to let a transient cause (an OOMing host, a flaky share)
+            # clear instead of hammering it in lockstep with peers
+            delay = full_jitter_delay(self.backoff, prior)
+            deadline = time.monotonic() + delay
+            while time.monotonic() < deadline:
+                time.sleep(min(0.05, deadline - time.monotonic()))
+                if not renew_lease(lease_path, nonce, self.lease_ttl):
+                    return False
+        self._execute_shard(shard_id, tasks, fingerprint, epoch, nonce)
+        return True
+
+    def _execute_shard(self, shard_id: str, tasks: Sequence[TaskSpec],
+                       fingerprint: str, epoch: int, nonce: str) -> None:
+        lease_path = self.layout.lease_path(shard_id)
+        manifest = ShardManifest.create(
+            self.layout.result_path(shard_id, epoch, nonce),
+            shard=shard_id, fingerprint=fingerprint,
+            worker=self.worker_id, epoch=epoch)
+        keeper = _LeaseKeeper(lease_path, nonce, self.lease_ttl)
+        keeper.start()
+        try:
+            if self.executor == "inline":
+                completed = self._run_shard_inline(manifest, tasks, keeper)
+            else:
+                completed = self._run_shard_pool(manifest, tasks, keeper)
+        except BaseException:
+            # interrupt/SIGTERM path: finalize what we journaled (the
+            # manifest is already atomically flushed per task — this
+            # guarantees the *last* state is the renamed file, not a
+            # temp) and hand the lease back so a peer claims the shard
+            # immediately instead of waiting out the ttl
+            keeper.stop()
+            manifest.flush()
+            release_lease(lease_path, nonce)
+            self._publish_status()
+            raise
+        keeper.stop()
+        if completed and not keeper.lost.is_set():
+            manifest.finalize(summary={
+                "tasks_done": sum(
+                    1 for rec in manifest.tasks.values()
+                    if rec["status"] == "done"),
+                "tasks_failed": sum(
+                    1 for rec in manifest.tasks.values()
+                    if rec["status"] == "failed")})
+            atomic_write_json(self.layout.ack_path(shard_id), {
+                "shard": shard_id, "status": "done",
+                "worker": self.worker_id, "nonce": nonce, "epoch": epoch})
+            release_lease(lease_path, nonce)
+            self.result.shards_done += 1
+        else:
+            # lease lost mid-shard (we stalled past the ttl and were
+            # stolen): abandon quietly.  Our journal stays on disk; if
+            # we actually finished some cells they merge as duplicates.
+            manifest.flush()
+            self.result.shards_abandoned += 1
+        self._publish_status()
+
+    def _run_shard_inline(self, manifest: ShardManifest,
+                          tasks: Sequence[TaskSpec],
+                          keeper: _LeaseKeeper) -> bool:
+        kill = os.environ.get(KILL_ENV)
+        kill_target, kill_epochs = "", 0
+        if kill:
+            kill_target, _, upto = kill.partition("#")
+            kill_epochs = int(upto) if upto else 1
+        for task in tasks:
+            if keeper.lost.is_set():
+                return False
+            if kill_target and kill_target == task.task_id \
+                    and manifest.header["epoch"] <= kill_epochs:
+                os.kill(os.getpid(), signal.SIGKILL)
+            self._run_task_inline(manifest, task)
+        return True
+
+    def _run_task_inline(self, manifest: ShardManifest,
+                         task: TaskSpec) -> None:
+        attempt = 1
+        cell = task_fingerprint(task)
+        while True:
+            started = time.monotonic()
+            try:
+                outcome = execute_task(task)
+            except KeyboardInterrupt:
+                raise
+            except BaseException as exc:
+                elapsed = time.monotonic() - started
+                if attempt <= self.retries:
+                    time.sleep(full_jitter_delay(self.backoff, attempt))
+                    attempt += 1
+                    continue
+                manifest.record_failed(task.task_id, cell, attempt, elapsed,
+                                       error_payload(exc))
+                self.result.tasks_failed += 1
+                return
+            manifest.record_done(task.task_id, cell, attempt,
+                                 time.monotonic() - started, outcome)
+            self.result.tasks_done += 1
+            return
+
+    def _run_shard_pool(self, manifest: ShardManifest,
+                        tasks: Sequence[TaskSpec],
+                        keeper: _LeaseKeeper) -> bool:
+        pool = ProcessTaskPool(execute_task, max_workers=self.max_workers,
+                               task_timeout=self.task_timeout,
+                               retries=self.retries, backoff=self.backoff)
+        items = [PoolItem(key=task.task_id, payload=task) for task in tasks]
+        cells = {task.task_id: task_fingerprint(task) for task in tasks}
+
+        def on_done(item: PoolItem, elapsed: float, payload: Any) -> None:
+            manifest.record_done(item.key, cells[item.key], item.attempt,
+                                 elapsed, payload)
+            self.result.tasks_done += 1
+
+        def on_failed(item: PoolItem, elapsed: float,
+                      error: Dict[str, Any]) -> None:
+            manifest.record_failed(item.key, cells[item.key], item.attempt,
+                                   elapsed, error)
+            self.result.tasks_failed += 1
+
+        pool.run(items, on_done, on_failed)
+        return True
+
+    # ----- telemetry ------------------------------------------------------
+
+    def _publish_status(self) -> None:
+        """Atomically publish this worker's cumulative fabric metrics.
+
+        One file per worker, rewritten whole: the coordinator merges the
+        set with :meth:`MetricsRegistry.merge_all` (distinct workers
+        sum; per-worker gauges carry the worker id in the name, so the
+        merge never conflates two hosts).
+        """
+        res = self.result
+        registry = MetricsRegistry()
+        registry.inc("dist.shards.completed", res.shards_done)
+        registry.inc("dist.shards.stolen", res.shards_stolen)
+        registry.inc("dist.shards.requeued", res.shards_requeued)
+        registry.inc("dist.shards.quarantined", res.shards_quarantined)
+        registry.inc("dist.shards.abandoned", res.shards_abandoned)
+        registry.inc("dist.tasks.done", res.tasks_done)
+        registry.inc("dist.tasks.failed", res.tasks_failed)
+        prefix = f"dist.worker.{self.worker_id}"
+        registry.set_gauge(f"{prefix}.shards_done", res.shards_done)
+        registry.set_gauge(f"{prefix}.tasks_done", res.tasks_done)
+        registry.set_gauge(f"{prefix}.steals", res.shards_stolen)
+        registry.set_gauge(f"{prefix}.requeues", res.shards_requeued)
+        try:
+            atomic_write_json(self.layout.worker_path(self.worker_id), {
+                "worker": self.worker_id, "updated": time.time(),
+                "metrics": registry.to_dict()})
+        except OSError:
+            pass  # status is advisory; never let it sink the worker
+
+
+# ----- the coordinator --------------------------------------------------------
+
+
+@dataclass
+class DistResult:
+    """Merged outcome of a distributed campaign (possibly mid-flight)."""
+
+    total_tasks: int
+    total_shards: int
+    done: int = 0
+    failed: int = 0
+    shards_done: int = 0
+    shards_quarantined: int = 0
+    manifest_path: Optional[Path] = None
+    tasks: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    counters: Dict[str, int] = field(default_factory=dict)
+    gauges: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def complete(self) -> bool:
+        return self.shards_done + self.shards_quarantined \
+            == self.total_shards
+
+    @property
+    def remaining(self) -> int:
+        return self.total_tasks - len(self.tasks)
+
+
+class DistCoordinator:
+    """Publishes the shard queue and merges shard manifests.
+
+    Stateless across restarts by construction: everything lives in the
+    campaign directory, so killing the coordinator mid-campaign loses
+    nothing — re-running ``publish()`` (with ``resume=True``) validates
+    the fingerprint, re-publishes any missing shard descriptors, and
+    ``wait()``/``merge()`` pick up from the files on disk.
+    """
+
+    def __init__(self, spec: CampaignSpec, root: PathLike,
+                 shard_size: int = 1,
+                 lease_ttl: float = 15.0,
+                 max_shard_attempts: int = 3,
+                 executor: str = "process",
+                 max_workers: int = 2,
+                 task_timeout: float = 600.0,
+                 retries: int = 1,
+                 backoff: float = 0.5,
+                 trace_cache: bool = True,
+                 trace_cache_dir: Optional[PathLike] = None,
+                 resume: bool = False,
+                 poll_interval: float = 0.2):
+        if executor not in ("process", "inline"):
+            raise CampaignError("executor must be 'process' or 'inline'")
+        self.spec = spec
+        self.layout = CampaignLayout(root)
+        self.shard_size = max(1, shard_size)
+        self.options = {
+            "lease_ttl": lease_ttl,
+            "max_shard_attempts": max(1, max_shard_attempts),
+            "executor": executor,
+            "max_workers": max_workers,
+            "task_timeout": task_timeout,
+            "retries": retries,
+            "backoff": backoff,
+            "trace_cache": trace_cache,
+            "trace_cache_dir": (str(trace_cache_dir)
+                                if trace_cache_dir is not None else None),
+            "poll_interval": poll_interval,
+        }
+        self.resume = resume
+        self.poll_interval = poll_interval
+        self.shards = shard_tasks(spec, self.shard_size)
+        self.shard_ids = shard_ids(len(self.shards))
+
+    # ----- publish --------------------------------------------------------
+
+    def publish(self) -> None:
+        """Write the shard queue, then the campaign file (in that order,
+        so a worker that sees ``campaign.json`` sees the whole queue)."""
+        self.layout.ensure()
+        fingerprint = self.spec.fingerprint()
+        existing = _read_json(self.layout.campaign_file)
+        if existing is not None:
+            if not self.resume:
+                raise CampaignError(
+                    f"{self.layout.campaign_file} already exists; pass"
+                    " resume=True (CLI: --resume) to continue it, or"
+                    " choose a fresh --dir")
+            if existing.get("fingerprint") != fingerprint:
+                raise CampaignError(
+                    f"{self.layout.campaign_file} was published for a"
+                    f" different campaign grid (fingerprint"
+                    f" {existing.get('fingerprint')} != {fingerprint});"
+                    " refusing to mix results")
+        for sid, tasks in zip(self.shard_ids, self.shards):
+            path = self.layout.shard_path(sid)
+            if path.exists():
+                continue  # descriptors are immutable; never rewrite
+            atomic_write_json(path, {
+                "shard": sid, "index": self.shard_ids.index(sid),
+                "fingerprint": fingerprint,
+                "tasks": [task.task_id for task in tasks]})
+        atomic_write_json(self.layout.campaign_file, {
+            "version": DIST_VERSION, "fingerprint": fingerprint,
+            "spec": self.spec.to_dict(), "shards": len(self.shards),
+            "shard_size": self.shard_size, "options": self.options})
+
+    # ----- merge ----------------------------------------------------------
+
+    def _ack_states(self) -> Dict[str, Optional[Dict[str, Any]]]:
+        return {sid: _read_json(self.layout.ack_path(sid))
+                for sid in self.shard_ids}
+
+    def merge(self) -> DistResult:
+        """Merge every shard manifest into the campaign manifest.
+
+        Byte-stable: the output is a pure function of the record set
+        (plus quarantine acks), independent of worker count, steal
+        history, or merge timing — see ``manifest.merge_task_records``.
+        """
+        fingerprint = self.spec.fingerprint()
+        acks = self._ack_states()
+        records = list(read_shard_records(self.layout.results_dir))
+        # quarantined shards: any cell without a real record becomes an
+        # explicit, deterministic failure (epoch 0, so a genuine record
+        # from a partially-successful lease always outranks it)
+        for sid, tasks in zip(self.shard_ids, self.shards):
+            ack = acks[sid]
+            if ack is None or ack.get("status") != "quarantined":
+                continue
+            attempts = self.options["max_shard_attempts"]
+            for task in tasks:
+                records.append({
+                    "event": "task", "id": task.task_id,
+                    "cell": task_fingerprint(task), "status": "failed",
+                    "epoch": 0, "attempts": 0,
+                    "error": {"type": "ShardQuarantined",
+                              "message": f"{sid} quarantined after"
+                                         f" {attempts} failed lease"
+                                         " attempts"}})
+        merged = merge_task_records(records)
+        write_merged_manifest(self.layout.manifest_path, fingerprint,
+                              self.spec.to_dict(), merged)
+
+        result = DistResult(
+            total_tasks=sum(len(tasks) for tasks in self.shards),
+            total_shards=len(self.shards),
+            manifest_path=self.layout.manifest_path)
+        result.tasks = {rec["id"]: rec for rec in merged.values()}
+        result.done = sum(1 for rec in merged.values()
+                          if rec["status"] == "done")
+        result.failed = sum(1 for rec in merged.values()
+                            if rec["status"] == "failed")
+        result.shards_done = sum(
+            1 for ack in acks.values()
+            if ack is not None and ack.get("status") == "done")
+        result.shards_quarantined = sum(
+            1 for ack in acks.values()
+            if ack is not None and ack.get("status") == "quarantined")
+
+        fleet = MetricsRegistry.merge_all(
+            status["metrics"]
+            for status in (_read_json(path)
+                           for path in sorted(
+                               self.layout.workers_dir.glob("*.json")))
+            if status is not None and "metrics" in status)
+        result.counters = fleet.counter_values()
+        result.gauges = fleet.gauge_values()
+        try:
+            atomic_write_json(self.layout.progress_path, {
+                "shards_done": result.shards_done,
+                "shards_quarantined": result.shards_quarantined,
+                "total_shards": result.total_shards,
+                "tasks_done": result.done, "tasks_failed": result.failed,
+                "counters": result.counters, "gauges": result.gauges})
+        except OSError:
+            pass
+        return result
+
+    # ----- wait -----------------------------------------------------------
+
+    def wait(self, timeout: Optional[float] = None,
+             on_progress: Optional[Callable[[DistResult], None]] = None,
+             merge_interval: float = 2.0) -> DistResult:
+        """Block until every shard is terminal, merging as results land.
+
+        Returns the final merged result; on ``timeout`` (seconds),
+        returns the current (possibly incomplete) merge instead of
+        raising, so a supervisor can report progress and retry.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        last_merge = 0.0
+        while True:
+            acks = self._ack_states()
+            terminal = sum(1 for ack in acks.values() if ack is not None)
+            if terminal == len(self.shard_ids):
+                return self.merge()
+            now = time.monotonic()
+            if now - last_merge >= merge_interval:
+                last_merge = now
+                result = self.merge()
+                if on_progress is not None:
+                    on_progress(result)
+            if deadline is not None and now >= deadline:
+                return self.merge()
+            time.sleep(self.poll_interval)
+
+
+# ----- one-call driver --------------------------------------------------------
+
+
+def _worker_entry(root: str, worker_id: str) -> None:
+    """Subprocess entry point for locally spawned workers."""
+
+    def _sigterm(signum, frame):  # pragma: no cover - signal path
+        raise KeyboardInterrupt
+
+    signal.signal(signal.SIGTERM, _sigterm)
+    try:
+        DistWorker(root, worker_id=worker_id).run()
+    except KeyboardInterrupt:  # pragma: no cover - shutdown path
+        pass
+
+
+def run_distributed(spec: CampaignSpec, root: PathLike,
+                    workers: int = 1,
+                    timeout: Optional[float] = None,
+                    on_progress: Optional[Callable[[DistResult],
+                                                   None]] = None,
+                    **coordinator_kwargs) -> DistResult:
+    """Publish a campaign and drive it with ``workers`` local workers.
+
+    ``workers=0`` publishes and waits only — the fleet joins from other
+    hosts/terminals via ``campaign --join``.  On ``KeyboardInterrupt``
+    the local workers are terminated (they finalize their shard
+    manifests and release their leases on SIGTERM), a final merge is
+    written, and the interrupt propagates for the CLI's exit-130
+    contract.
+    """
+    coordinator = DistCoordinator(spec, root, **coordinator_kwargs)
+    coordinator.publish()
+    if workers <= 0:
+        return coordinator.wait(timeout=timeout, on_progress=on_progress)
+    if "fork" in multiprocessing.get_all_start_methods():
+        ctx = multiprocessing.get_context("fork")
+    else:  # pragma: no cover - non-POSIX fallback
+        ctx = multiprocessing.get_context("spawn")
+    procs = []
+    for index in range(workers):
+        worker_id = f"{socket.gethostname()}-w{index}"
+        # not daemonic: workers parent their own task-pool children
+        proc = ctx.Process(target=_worker_entry,
+                           args=(str(root), worker_id))
+        proc.start()
+        procs.append(proc)
+    deadline = None if timeout is None else time.monotonic() + timeout
+    try:
+        while True:
+            slice_timeout = 2.0
+            if deadline is not None:
+                slice_timeout = min(slice_timeout,
+                                    max(deadline - time.monotonic(), 0.0))
+            result = coordinator.wait(timeout=slice_timeout,
+                                      on_progress=on_progress)
+            if result.complete:
+                break
+            if deadline is not None and time.monotonic() >= deadline:
+                break
+            if not any(proc.is_alive() for proc in procs):
+                # the entire local fleet died (chaos kill, OOM sweep)
+                # with shards outstanding: nobody is left to steal
+                # them, so waiting out lease ttls would hang forever.
+                # Everything journaled so far is merged and on disk —
+                # this is the --resume entry point, not data loss.
+                raise CampaignError(
+                    "all local workers exited with"
+                    f" {result.total_shards - result.shards_done - result.shards_quarantined}"
+                    " shard(s) outstanding; re-run with --resume to"
+                    " continue from the journaled results")
+    except BaseException:
+        for proc in procs:
+            proc.terminate()
+        for proc in procs:
+            proc.join(timeout=10)
+        coordinator.merge()
+        raise
+    for proc in procs:
+        proc.join(timeout=30)
+        if proc.is_alive():  # pragma: no cover - defensive
+            proc.terminate()
+            proc.join(timeout=10)
+    return result
+
+
+__all__ = [
+    "CampaignLayout", "DIST_VERSION", "DistCoordinator", "DistResult",
+    "DistWorker", "KILL_ENV", "WorkerResult", "lease_expired",
+    "read_lease", "release_lease", "renew_lease", "run_distributed",
+    "shard_ids", "shard_tasks", "try_claim_lease",
+]

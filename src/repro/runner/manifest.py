@@ -13,17 +13,41 @@ write-temp-then-rename helper after every task, so a campaign killed at
 one — never a torn line.  ``CampaignManifest.load`` is nevertheless
 lenient about trailing garbage (a manifest copied off a dying machine,
 say): corrupt trailing lines are dropped and reported, not fatal.
+
+Distributed campaigns add a second journal species: the *shard
+manifest* (:class:`ShardManifest`), one JSONL file per (shard, lease)
+attempt, appended by exactly one worker and merged by the coordinator
+through :func:`merge_task_records` / :func:`write_merged_manifest`.
+The merge is deliberately a pure function of the record *set*: any
+permutation of shard files — including duplicates left behind by a
+stolen-then-completed shard — produces the byte-identical campaign
+manifest, with last-write-wins keyed on each cell's content
+fingerprint.
 """
 
 from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Union
+from typing import (Any, Dict, Iterable, Iterator, List, Optional, Tuple,
+                    Union)
 
-from .atomic import atomic_append_jsonl
+from .atomic import atomic_append_jsonl, atomic_write_text
 
 MANIFEST_VERSION = 1
+SHARD_MANIFEST_VERSION = 1
+
+#: result keys that legitimately differ between equivalent executions
+#: (which worker hit the shared trace cache first is a scheduling
+#: accident, not physics) — stripped when canonicalising for the merge
+VOLATILE_RESULT_KEYS = ("trace_cache",)
+
+#: telemetry metric kinds recorded only by the *live* recording pass:
+#: a cache hit replays the original run's counters from the trace
+#: header (bit-identical), but the simulator's occupancy gauges and
+#: width histograms exist only on the pass that simulated — i.e. their
+#: presence encodes who won the recording race, not physics
+VOLATILE_METRIC_KINDS = ("gauges", "histograms")
 
 PathLike = Union[str, Path]
 
@@ -142,3 +166,193 @@ class CampaignManifest:
         records = [self.header] + [self.tasks[tid]
                                    for tid in sorted(self.tasks)]
         atomic_append_jsonl(self.path, records)
+
+
+# ----- shard manifests (distributed campaigns) --------------------------------
+
+
+class ShardManifest:
+    """One worker's JSONL journal for one (shard, lease) attempt.
+
+    Every record lands via a full atomic rewrite, exactly like the
+    campaign manifest, so a worker host lost at any instant leaves a
+    complete, parseable journal of everything it finished.  The file is
+    named for the shard, the lease epoch, and the lease nonce, so two
+    workers that ever race on one shard (an expired lease stolen while
+    its original owner limps on) write to *different* files and the
+    merge, not the filesystem, arbitrates.
+    """
+
+    def __init__(self, path: PathLike, shard: str, fingerprint: str,
+                 worker: str, epoch: int):
+        self.path = Path(path)
+        self.shard = shard
+        self.header = {"event": "shard", "version": SHARD_MANIFEST_VERSION,
+                       "shard": shard, "fingerprint": fingerprint,
+                       "worker": worker, "epoch": epoch}
+        self.tasks: Dict[str, Dict[str, Any]] = {}
+        self.footer: Optional[Dict[str, Any]] = None
+
+    @classmethod
+    def create(cls, path: PathLike, shard: str, fingerprint: str,
+               worker: str, epoch: int) -> "ShardManifest":
+        manifest = cls(path, shard, fingerprint, worker, epoch)
+        manifest.flush()
+        return manifest
+
+    def record_done(self, task_id: str, cell: str, attempts: int,
+                    elapsed: float, result: Dict[str, Any]) -> None:
+        self.tasks[task_id] = {"event": "task", "id": task_id, "cell": cell,
+                               "status": "done", "attempts": attempts,
+                               "elapsed": round(elapsed, 3),
+                               "worker": self.header["worker"],
+                               "epoch": self.header["epoch"],
+                               "result": result}
+        self.flush()
+
+    def record_failed(self, task_id: str, cell: str, attempts: int,
+                      elapsed: float, error: Dict[str, Any]) -> None:
+        self.tasks[task_id] = {"event": "task", "id": task_id, "cell": cell,
+                               "status": "failed", "attempts": attempts,
+                               "elapsed": round(elapsed, 3),
+                               "worker": self.header["worker"],
+                               "epoch": self.header["epoch"],
+                               "error": error}
+        self.flush()
+
+    def finalize(self, summary: Optional[Dict[str, Any]] = None) -> None:
+        """Append the shard-done footer: the shard ran to completion."""
+        self.footer = {"event": "shard-done", "shard": self.shard,
+                       "worker": self.header["worker"],
+                       "epoch": self.header["epoch"],
+                       "tasks": len(self.tasks)}
+        if summary:
+            self.footer["summary"] = summary
+        self.flush()
+
+    def flush(self) -> None:
+        records = [self.header] + [self.tasks[tid]
+                                   for tid in sorted(self.tasks)]
+        if self.footer is not None:
+            records.append(self.footer)
+        atomic_append_jsonl(self.path, records)
+
+
+def read_shard_records(results_dir: PathLike
+                       ) -> Iterator[Dict[str, Any]]:
+    """Yield every task record from every shard manifest in a directory.
+
+    Lenient by design — the merge runs while workers are live and after
+    hosts have died mid-write, so unparseable lines, foreign events,
+    and half-copied files are skipped, never fatal.  File order is
+    unspecified; the merge is order-independent.
+    """
+    directory = Path(results_dir)
+    if not directory.is_dir():
+        return
+    for path in sorted(directory.glob("*.jsonl")):
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                lines = handle.readlines()
+        except OSError:
+            continue
+        for line in lines:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(record, dict) and record.get("event") == "task" \
+                    and "id" in record:
+                yield record
+
+
+def canonical_task_record(record: Dict[str, Any]) -> Dict[str, Any]:
+    """Reduce a task record to its deterministic, merge-stable core.
+
+    Volatile execution detail — wall-clock ``elapsed``, ``attempts``,
+    which ``worker`` under which lease ``epoch``, and whether the
+    shared trace cache happened to be warm — is stripped, because the
+    merged campaign manifest must be bit-identical however the work was
+    scheduled.  The full detail survives in the per-shard journals.
+    """
+    canon: Dict[str, Any] = {"event": "task", "id": record["id"],
+                             "cell": record.get("cell", record["id"]),
+                             "status": record.get("status", "failed")}
+    if canon["status"] == "done":
+        result = dict(record.get("result", {}))
+        for key in VOLATILE_RESULT_KEYS:
+            result.pop(key, None)
+        telemetry = result.get("telemetry")
+        if isinstance(telemetry, dict):
+            telemetry = dict(telemetry)
+            metrics = telemetry.get("metrics")
+            if isinstance(metrics, dict):
+                telemetry["metrics"] = {
+                    kind: value for kind, value in metrics.items()
+                    if kind not in VOLATILE_METRIC_KINDS}
+            result["telemetry"] = telemetry
+        canon["result"] = result
+    else:
+        error = record.get("error", {})
+        canon["error"] = {"type": error.get("type", "unknown"),
+                          "message": error.get("message", "")}
+    return canon
+
+
+def _record_precedence(record: Dict[str, Any]) -> Tuple:
+    """Total order for duplicate records of one cell.
+
+    ``done`` beats ``failed`` (a stolen shard's completion supersedes
+    the original owner's crash), then the higher lease epoch wins
+    (last-write-wins), then attempts, then the canonical serialisation
+    as an arbitrary-but-stable tiebreak so the winner never depends on
+    input order.
+    """
+    return (1 if record.get("status") == "done" else 0,
+            int(record.get("epoch", 0)),
+            int(record.get("attempts", 0)),
+            json.dumps(canonical_task_record(record), sort_keys=True))
+
+
+def merge_task_records(records: Iterable[Dict[str, Any]]
+                       ) -> Dict[str, Dict[str, Any]]:
+    """Fold task records into ``{cell fingerprint: canonical record}``.
+
+    Pure and order-independent: merging any permutation of any shard
+    manifests (with duplicates) yields the same map, because each
+    cell's winner is chosen by :func:`_record_precedence`, which never
+    looks at arrival order.
+    """
+    winners: Dict[str, Dict[str, Any]] = {}
+    precedence: Dict[str, Tuple] = {}
+    for record in records:
+        cell = record.get("cell", record.get("id"))
+        if cell is None:
+            continue
+        rank = _record_precedence(record)
+        if cell not in precedence or rank > precedence[cell]:
+            precedence[cell] = rank
+            winners[cell] = canonical_task_record(record)
+    return winners
+
+
+def write_merged_manifest(path: PathLike, fingerprint: str,
+                          spec: Dict[str, Any],
+                          merged: Dict[str, Dict[str, Any]]) -> None:
+    """Atomically write the byte-stable merged campaign manifest.
+
+    Records are sorted by task id and serialised with sorted keys, so
+    the file is a pure function of (fingerprint, spec, record set) —
+    the property the chaos tests pin down with ``cmp``.  The output is
+    loadable by :meth:`CampaignManifest.load`.
+    """
+    header = {"event": "campaign", "version": MANIFEST_VERSION,
+              "fingerprint": fingerprint, "spec": spec}
+    records = [header] + sorted(merged.values(),
+                                key=lambda rec: rec["id"])
+    text = "".join(json.dumps(record, sort_keys=True) + "\n"
+                   for record in records)
+    atomic_write_text(path, text)

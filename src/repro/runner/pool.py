@@ -9,9 +9,12 @@ without re-implementing them:
   run;
 * **per-task timeouts** — an overdue worker is SIGKILLed and the task
   retried;
-* **bounded retries with exponential backoff** — transient failures get
-  ``retries`` extra attempts, each delayed ``backoff * 2**(n-1)``
-  seconds;
+* **bounded retries with full-jitter exponential backoff** — transient
+  failures get ``retries`` extra attempts, each delayed a uniformly
+  random amount of the ``backoff * 2**(n-1)`` ceiling (deterministic
+  backoff synchronises retry storms across a fleet of workers; the
+  jitter decorrelates them — pass ``jitter=False`` for the old
+  fixed-delay behaviour in deterministic tests);
 * **graceful shutdown** — on any exit (including ``KeyboardInterrupt``)
   every in-flight worker is killed and collected.
 
@@ -31,6 +34,7 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import random
 import signal
 import time
 import traceback
@@ -41,6 +45,24 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 DELAY_ENV = "REPRO_CAMPAIGN_TEST_DELAY"
 CRASH_ENV = "REPRO_CAMPAIGN_TEST_CRASH"
 HANG_ENV = "REPRO_CAMPAIGN_TEST_HANG"
+
+
+def full_jitter_delay(base: float, attempt: int, jitter: bool = True,
+                      rng: Optional[random.Random] = None) -> float:
+    """Retry delay before attempt ``attempt + 1``: full-jitter backoff.
+
+    The ceiling grows exponentially (``base * 2**(attempt-1)``) and the
+    actual delay is drawn uniformly from ``[0, ceiling]`` — the "full
+    jitter" scheme, which keeps the expected delay at half the ceiling
+    while decorrelating retries across independent workers so a shared
+    failure (an overloaded host, a briefly unavailable shared
+    directory) does not produce synchronised thundering-herd retries.
+    ``jitter=False`` returns the deterministic ceiling itself.
+    """
+    ceiling = base * (2 ** (max(1, attempt) - 1))
+    if not jitter:
+        return ceiling
+    return (rng or random).uniform(0.0, ceiling)
 
 
 def error_payload(exc: BaseException) -> Dict[str, Any]:
@@ -114,12 +136,14 @@ class ProcessTaskPool:
                  max_workers: int = 2,
                  task_timeout: float = 600.0,
                  retries: int = 1,
-                 backoff: float = 0.5):
+                 backoff: float = 0.5,
+                 jitter: bool = True):
         self.worker = worker
         self.max_workers = max(1, max_workers)
         self.task_timeout = task_timeout
         self.retries = max(0, retries)
         self.backoff = backoff
+        self.jitter = jitter
         if "fork" in multiprocessing.get_all_start_methods():
             self._ctx = multiprocessing.get_context("fork")
         else:  # pragma: no cover - non-POSIX fallback
@@ -159,7 +183,8 @@ class ProcessTaskPool:
         """Apply the retry policy; returns True when the task finished
         (failed for good)."""
         if item.attempt <= self.retries:
-            delay = self.backoff * (2 ** (item.attempt - 1))
+            delay = full_jitter_delay(self.backoff, item.attempt,
+                                      jitter=self.jitter)
             item.attempt += 1
             item.not_before = time.monotonic() + delay
             pending.append(item)
@@ -265,4 +290,4 @@ class ProcessTaskPool:
 
 
 __all__ = ["CRASH_ENV", "DELAY_ENV", "HANG_ENV", "PoolItem",
-           "ProcessTaskPool", "error_payload"]
+           "ProcessTaskPool", "error_payload", "full_jitter_delay"]

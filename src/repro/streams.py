@@ -36,9 +36,13 @@ deferred (``include_speculative=False``) accounting.
 
 from __future__ import annotations
 
+import json
+import os
+import socket
+import time
 from pathlib import Path
 from typing import (Any, Callable, Dict, Iterable, Iterator, List, Optional,
-                    Sequence, Union)
+                    Sequence, Tuple, Union)
 
 from .cpu.config import MachineConfig
 from .cpu.simulator import Simulator
@@ -335,6 +339,141 @@ def record_cached(program: Program, config: MachineConfig,
                   fu_classes=fu_classes,
                   config_fingerprint=config.fingerprint(),
                   extra_consumers=extra_consumers)
+
+
+class TraceCacheLock:
+    """Advisory per-key recording lock for a *shared* trace cache.
+
+    On a single host the cache needs no locking: the recording write is
+    atomic, and a lost race just wastes one duplicate simulation.  A
+    fleet of worker hosts sharing one cache directory makes that waste
+    multiplicative — every cell sharing a (program, config) stream
+    would simulate it once per host.  This lock makes the recording
+    pass fleet-unique in the common case: one worker wins the
+    ``O_EXCL`` create of ``<key>.lock``, records, and releases; the
+    rest poll for the entry to appear.
+
+    Purely advisory and crash-tolerant by construction: a lock file
+    older than ``ttl`` is presumed orphaned by a dead host and broken
+    (unlinked and re-contended).  Correctness never depends on the lock
+    — the recorded trace is content-addressed and its write is
+    atomic-rename, so the worst outcome of any race is a redundant
+    simulation whose bytes match what it overwrites.
+    """
+
+    def __init__(self, cache_dir: PathLike, key: str, ttl: float = 600.0):
+        self.path = Path(cache_dir) / f"{key}.lock"
+        self.ttl = ttl
+        self._held = False
+
+    def acquire(self) -> bool:
+        """Try to take the lock; breaks one stale holder. Non-blocking."""
+        for _ in range(2):  # second pass re-contends after a break
+            payload = (json.dumps(
+                {"host": socket.gethostname(), "pid": os.getpid(),
+                 "time": time.time()}) + "\n").encode("utf-8")
+            try:
+                fd = os.open(self.path,
+                             os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644)
+            except FileExistsError:
+                try:
+                    age = time.time() - self.path.stat().st_mtime
+                except OSError:
+                    continue  # holder released between open and stat
+                if age <= self.ttl:
+                    return False
+                try:  # stale: its holder died recording; break it
+                    self.path.unlink()
+                except OSError:
+                    pass
+                continue
+            except OSError:
+                return False  # unwritable cache dir: fall back unlocked
+            try:
+                os.write(fd, payload)
+            finally:
+                os.close(fd)
+            self._held = True
+            return True
+        return False
+
+    def release(self) -> None:
+        if not self._held:
+            return
+        self._held = False
+        try:
+            self.path.unlink()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "TraceCacheLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()
+
+
+def cached_or_record(program: Program, config: MachineConfig,
+                     cache_dir: PathLike,
+                     fu_classes: Optional[Iterable[FUClass]] = None,
+                     telemetry=None,
+                     extra_consumers: Sequence[IssueConsumer] = (),
+                     lock_ttl: float = 600.0,
+                     poll: float = 0.2,
+                     max_wait: Optional[float] = None
+                     ) -> Tuple[IssueSource, str]:
+    """Fleet-safe cache lookup: replay a hit, or record exactly once.
+
+    Returns ``(source, state)`` where ``state`` is ``"hit"`` (a
+    :class:`ReplaySource` was found) or ``"miss"`` (a fresh
+    :class:`MemorySource` was recorded — its consumers already rode the
+    recording pass, so the caller must *not* drive them again).
+
+    On a miss, contends on :class:`TraceCacheLock` so that across every
+    process on every host sharing ``cache_dir``, one worker simulates
+    and the rest replay.  A loser polls for the winner's entry; if it
+    never appears within ``max_wait`` (default ``2 * lock_ttl`` — the
+    winner crashed, or the clock-skewed lock never went stale), the
+    loser records unlocked: duplicated work, never a wrong or missing
+    result.
+    """
+    directory = Path(cache_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    key = trace_cache_key(program, config, fu_classes)
+    deadline = time.monotonic() + (2 * lock_ttl if max_wait is None
+                                   else max_wait)
+    while True:
+        found = cached_source(program, config, cache_dir, fu_classes)
+        if found is not None and found.result is not None:
+            # a resultless header is a legacy/degenerate entry: treat
+            # as a miss and re-record over it, like the runner always
+            # has on one host
+            return found, "hit"
+        lock = TraceCacheLock(cache_dir, key, ttl=lock_ttl)
+        if lock.acquire():
+            try:
+                # the winner re-checks under the lock: the previous
+                # holder may have published between our miss and our
+                # acquire, and replay beats re-simulating
+                found = cached_source(program, config, cache_dir,
+                                      fu_classes)
+                if found is not None and found.result is not None:
+                    return found, "hit"
+                memory = record_cached(program, config, cache_dir,
+                                       fu_classes, telemetry=telemetry,
+                                       extra_consumers=extra_consumers)
+                return memory, "miss"
+            finally:
+                lock.release()
+        if time.monotonic() >= deadline:
+            # give up on the lock holder; record redundantly rather
+            # than wedge the campaign on a dead peer
+            memory = record_cached(program, config, cache_dir,
+                                   fu_classes, telemetry=telemetry,
+                                   extra_consumers=extra_consumers)
+            return memory, "miss"
+        time.sleep(poll)
 
 
 def prune_trace_cache(cache_dir: PathLike, limit_mb: float,
