@@ -34,6 +34,7 @@ from ..batch import (ENGINE_BACKENDS, ENGINES, drive_stream, packed_cached,
 from ..compiler import swap_optimize
 from ..cpu.config import MachineConfig, default_config
 from ..core.info_bits import InfoBitScheme, scheme_for
+from ..core.registry import REGISTRY
 from ..core.statistics import CaseStatistics, paper_statistics
 from ..core.steering import PolicyEvaluator, make_policy
 from ..core.swapping import HardwareSwapper, choose_swap_case
@@ -46,7 +47,10 @@ from ..workloads.base import Workload, float_suite, integer_suite
 from .bit_patterns import BitPatternCollector
 from .module_usage import ModuleUsageCollector
 
-SCHEMES = ("full-ham", "1bit-ham", "lut-8", "lut-4", "lut-2", "original")
+#: the default figure-4 grid, derived from the policy registry: every
+#: family's grid_kinds in grid order (so registering a family with grid
+#: metadata adds its rows here with no edit)
+SCHEMES = REGISTRY.grid_kinds()
 SWAP_MODES = ("none", "hw", "compiler", "hw+compiler")
 
 CellKey = Tuple[str, str]  # (scheme, swap mode)
@@ -101,9 +105,19 @@ class Figure4Result:
         return 1.0 - self.cells[(scheme, swap)].switched_bits / baseline
 
     def grid(self) -> List[Tuple[str, Dict[str, float]]]:
-        """Rows of (scheme, {swap mode: reduction}) for reporting."""
+        """Rows of (scheme, {swap mode: reduction}) for reporting.
+
+        Rows are the schemes actually evaluated (not the module-level
+        default), ordered by the registry's grid order so custom
+        ``schemes=`` runs render consistently.
+        """
+        present: List[str] = []
+        for scheme, _swap in self.cells:
+            if scheme not in present:
+                present.append(scheme)
+        present.sort(key=REGISTRY.grid_sort_key)
         rows = []
-        for scheme in SCHEMES:
+        for scheme in present:
             row = {swap: self.reduction(scheme, swap)
                    for swap in SWAP_MODES if (scheme, swap) in self.cells}
             rows.append((scheme, row))
@@ -186,7 +200,9 @@ def _build_evaluators(fu_class: FUClass, num_modules: int,
     swap_case = choose_swap_case(stats)
     evaluators: Dict[str, PolicyEvaluator] = {}
     for kind in schemes:
-        if kind in ("full-ham", "1bit-ham"):
+        family, _params = REGISTRY.resolve(kind)
+        if family.supports_swap:
+            # the matcher itself weighs router swaps (section 4.1/4.2)
             policy = make_policy(kind, fu_class, num_modules, stats=stats,
                                  scheme=scheme, allow_swap=with_hw_swap)
             pre_swapper = None

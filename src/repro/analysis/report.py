@@ -5,6 +5,7 @@ from __future__ import annotations
 from typing import Any, Dict, Iterable, List, Optional, Sequence
 
 from ..core.info_bits import CASE_NAMES, CASES
+from ..core.registry import REGISTRY
 from ..isa.instructions import FUClass
 from .bit_patterns import BitPatternCollector
 from .energy import Figure4Result, SWAP_MODES
@@ -142,7 +143,8 @@ def render_campaign(policies: Sequence[str],
     as such — the report never aborts on missing cells.
     """
     header = (["task", "status", "att", "cycles"]
-              + [f"{kind} (%)" for kind in policies] + ["detail"])
+              + [f"{REGISTRY.label_for(kind)} (%)" for kind in policies]
+              + ["detail"])
     rows: List[List[str]] = []
     failed = 0
     for task_id in sorted(set(tasks) | set(pending)):

@@ -36,8 +36,8 @@ from typing import (TYPE_CHECKING, Callable, Dict, List, Optional, Sequence,
 
 from ..core.assignment import _BRUTE_FORCE_LIMIT, solve as _solve
 from ..core.power import FUPowerModel
-from ..core.steering import (FullHammingPolicy, LUTPolicy, OneBitHammingPolicy,
-                             OriginalPolicy, PolicyEvaluator, RoundRobinPolicy)
+from ..core.registry import REGISTRY
+from ..core.steering import LUTPolicy, PolicyEvaluator
 from ..core.swapping import HardwareSwapper
 from ..isa.encoding import bit_count as _native_bit_count
 
@@ -645,29 +645,62 @@ def _evaluator_cols(ev: PolicyEvaluator, packed: PackedTrace):
 def _evaluator_kernel(ev: PolicyEvaluator,
                       packed: PackedTrace) -> Optional[Callable[[], None]]:
     """Resolve the fused kernel for one evaluator, or ``None`` when its
-    configuration needs the object path (see :func:`_evaluator_cols`)."""
+    configuration needs the object path (see :func:`_evaluator_cols`).
+
+    Kernel selection consults the policy registry: the policy's family
+    (matched by exact type, so subclasses fall through) names a factory
+    registered for the ``python`` backend, and the factory may still
+    decline (scheme mismatch, unsupported shape) — both roads lead to
+    the object path, never to a wrong kernel.
+    """
     cols = _evaluator_cols(ev, packed)
     if cols is None:
         return None
     if cols is _EMPTY:
         return lambda: None
-    policy = ev.policy
-    ptype = type(policy)
-    if ptype is OriginalPolicy:
-        return lambda: _run_positional(ev, cols, round_robin=False)
-    if ptype is RoundRobinPolicy:
-        return lambda: _run_positional(ev, cols, round_robin=True)
-    if ptype is LUTPolicy:
-        if policy.scheme is not cols.scheme:
-            return None
-        return lambda: _run_lut(ev, cols)
-    if ptype is FullHammingPolicy:
-        return lambda: _run_full_hamming(ev, cols)
-    if ptype is OneBitHammingPolicy:
-        if policy.scheme is not cols.scheme or not cols.conventional:
-            return None
-        return lambda: _run_one_bit_hamming(ev, cols)
-    return None
+    factory = REGISTRY.kernel_factory(ev.policy, "python")
+    if factory is None:
+        return None
+    return factory(ev, cols)
+
+
+# ----- python-backend kernel registrations ------------------------------------
+# Factories take (evaluator, columns) after the shared eligibility gate
+# and return a runner or None to decline; each family's guards live
+# with its factory instead of in a central type chain.
+
+
+def _original_kernel(ev, cols):
+    return lambda: _run_positional(ev, cols, round_robin=False)
+
+
+def _round_robin_kernel(ev, cols):
+    return lambda: _run_positional(ev, cols, round_robin=True)
+
+
+def _lut_kernel(ev, cols):
+    if ev.policy.scheme is not cols.scheme:
+        return None
+    return lambda: _run_lut(ev, cols)
+
+
+def _full_hamming_kernel(ev, cols):
+    return lambda: _run_full_hamming(ev, cols)
+
+
+def _one_bit_hamming_kernel(ev, cols):
+    if ev.policy.scheme is not cols.scheme or not cols.conventional:
+        return None
+    return lambda: _run_one_bit_hamming(ev, cols)
+
+
+for _family, _factory in (("original", _original_kernel),
+                          ("round-robin", _round_robin_kernel),
+                          ("lut", _lut_kernel),
+                          ("full-ham", _full_hamming_kernel),
+                          ("1bit-ham", _one_bit_hamming_kernel)):
+    REGISTRY.register_kernel(_family, "python", _factory)
+del _family, _factory
 
 
 # ----- statistics kernels -----------------------------------------------------

@@ -60,8 +60,9 @@ try:  # NumPy is optional: without it the Python kernels carry the load
 except ImportError:  # pragma: no cover - exercised by the no-numpy CI leg
     np = None
 
-from ..core.steering import (LUTPolicy, OneBitHammingPolicy, OriginalPolicy,
-                             PolicyEvaluator, RoundRobinPolicy)
+from ..core.registry import REGISTRY
+from ..core.steering import (LUTPolicy, OneBitHammingPolicy,
+                             PolicyEvaluator)
 from .columns import (F_HW_SWAP, F_SPEC, NUMPY_DTYPES, PackedColumns,
                       PackedTrace, SWAPPED_CASE)
 from .kernels import (POPCOUNT16, _EMPTY, _EvalContext, _bit_patterns_cols,
@@ -389,31 +390,62 @@ def _np_run_one_bit_hamming(ev: PolicyEvaluator, cols: PackedColumns) -> None:
 def _evaluator_kernel_np(ev: PolicyEvaluator, packed: PackedTrace
                          ) -> Optional[Callable[[], None]]:
     """Resolve the NumPy kernel for one evaluator, or ``None`` to let
-    the Python dispatcher decide (fused Python kernel or object path)."""
+    the Python dispatcher decide (fused Python kernel or object path).
+
+    Resolution goes through the policy registry's ``np`` backend
+    entries.  Families without one — full-Hamming, whose exact cost
+    matrix reads the full-width state the previous group just latched
+    (sequentially dependent, no whole-column formulation), and any
+    family that simply never registered — fall through cleanly.
+    """
+    cols = _np_evaluator_cols(ev, packed)
+    if cols is None:
+        return None
+    factory = REGISTRY.kernel_factory(ev.policy, "np")
+    if factory is None:
+        return None
+    return factory(ev, cols)
+
+
+def _np_evaluator_cols(ev: PolicyEvaluator, packed: PackedTrace):
     from .kernels import _evaluator_cols
     cols = _evaluator_cols(ev, packed)
     if cols is None or cols is _EMPTY:
         return None
-    policy = ev.policy
-    ptype = type(policy)
-    if ptype is OriginalPolicy:
-        return lambda: _np_run_positional(ev, cols, round_robin=False)
-    if ptype is RoundRobinPolicy:
-        return lambda: _np_run_positional(ev, cols, round_robin=True)
-    if ptype is LUTPolicy:
-        if policy.scheme is not cols.scheme:
-            return None
-        return lambda: _np_run_lut(ev, cols)
-    if ptype is OneBitHammingPolicy:
-        if policy.scheme is not cols.scheme or not cols.conventional \
-                or ev.power.num_modules > _ONE_BIT_MAX_MODULES:
-            return None
-        return lambda: _np_run_one_bit_hamming(ev, cols)
-    # FullHammingPolicy (and anything unknown) stays on the fused
-    # Python kernel: its exact cost matrix reads the full-width state
-    # the previous group just latched, so groups are sequentially
-    # dependent and there is no whole-column formulation
-    return None
+    return cols
+
+
+# ----- np-backend kernel registrations ----------------------------------------
+
+
+def _np_original_kernel(ev, cols):
+    return lambda: _np_run_positional(ev, cols, round_robin=False)
+
+
+def _np_round_robin_kernel(ev, cols):
+    return lambda: _np_run_positional(ev, cols, round_robin=True)
+
+
+def _np_lut_kernel(ev, cols):
+    if ev.policy.scheme is not cols.scheme:
+        return None
+    return lambda: _np_run_lut(ev, cols)
+
+
+def _np_one_bit_hamming_kernel(ev, cols):
+    if ev.policy.scheme is not cols.scheme or not cols.conventional \
+            or ev.power.num_modules > _ONE_BIT_MAX_MODULES:
+        return None
+    return lambda: _np_run_one_bit_hamming(ev, cols)
+
+
+if np is not None:  # without numpy the python kernels carry the load
+    for _family, _factory in (("original", _np_original_kernel),
+                              ("round-robin", _np_round_robin_kernel),
+                              ("lut", _np_lut_kernel),
+                              ("1bit-ham", _np_one_bit_hamming_kernel)):
+        REGISTRY.register_kernel(_family, "np", _factory)
+    del _family, _factory
 
 
 # ----- statistics kernels -----------------------------------------------------

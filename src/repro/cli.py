@@ -18,6 +18,7 @@ utilities:
 ``record``            record a complete post-run trace (final wrong-path
                       flags, config fingerprint, run summary in header)
 ``replay``            evaluate steering policies on a stored trace
+``policies``          list registered policy families and their kernels
 ``asm``               assemble and run a .s file, dump results
 ``campaign``          fault-tolerant experiment grid with checkpoint/resume
 ``faultsweep``        steering savings vs info-bit fault rate
@@ -55,6 +56,7 @@ from .analysis.sensitivity import run_sensitivity_suite
 from .analysis.value_stats import ValueStatsCollector, render_value_stats
 from .core import build_lut, make_policy, paper_statistics
 from .core.logic import estimate_router_cost, synthesize_lut_logic
+from .core.registry import PolicyNameError, REGISTRY
 from .core.verilog import export_router
 from .core.steering import PolicyEvaluator, SharedEvaluationCoordinator
 from .cpu.simulator import Simulator
@@ -76,6 +78,17 @@ def _fu_class(name: str) -> FUClass:
         return FUClass(name.lower())
     except ValueError:
         raise argparse.ArgumentTypeError(f"unknown FU class '{name}'")
+
+
+def _policy_kind(value: str) -> str:
+    """argparse type for ``--policies``/``--policy``: any kind the
+    registry resolves (kinds are parameterised — ``lut-<bits>`` — so
+    validation goes through the family parsers, not a choices= list)."""
+    try:
+        REGISTRY.resolve(value)
+    except PolicyNameError as exc:
+        raise argparse.ArgumentTypeError(str(exc))
+    return value
 
 
 def _selected_workloads(names: Optional[List[str]]):
@@ -163,8 +176,10 @@ def cmd_figure1(args) -> int:
 
 def cmd_figure4(args) -> int:
     fu_class = _fu_class(args.fu)
+    schemes = tuple(args.policies) if args.policies else None
     if args.synthetic:
-        panel = run_figure4_synthetic(fu_class, cycles=args.cycles)
+        kwargs = {"schemes": schemes} if schemes else {}
+        panel = run_figure4_synthetic(fu_class, cycles=args.cycles, **kwargs)
         print(render_figure4(panel, title=f"Figure 4 (calibrated synthetic),"
                                           f" {fu_class.value.upper()}"))
     else:
@@ -172,11 +187,13 @@ def cmd_figure4(args) -> int:
             if args.compiler else ("none", "hw")
         loads = ([workload(name) for name in args.workloads]
                  if args.workloads else None)
+        kwargs = {"schemes": schemes} if schemes else {}
         panel = run_figure4(fu_class, workloads=loads, scale=args.scale,
                             stats_source=args.stats, swap_modes=modes,
                             trace_cache_dir=args.cache_dir,
                             engine=args.engine, jobs=args.jobs,
-                            trace_cache_limit_mb=args.cache_limit_mb)
+                            trace_cache_limit_mb=args.cache_limit_mb,
+                            **kwargs)
         print(render_figure4(panel))
         if args.per_workload:
             print()
@@ -227,6 +244,14 @@ def cmd_gates(args) -> int:
           f" {router.gates} gates, {router.levels} levels")
     print("  (paper, 4-bit IALU LUT: 58 gates/6 levels at 8 entries,"
           " 130/8 at 32)")
+    from .core.bdd import build_bdd_lut, estimate_bdd_router_cost
+    bdd_lut = build_bdd_lut(stats, args.modules, args.vector_bits)
+    bdd_cost = estimate_bdd_router_cost(stats, args.modules,
+                                        args.vector_bits, args.rs_entries)
+    bdd_homes = "/".join(f"{h:02b}" for h in bdd_lut.homes)
+    print(f"  BDD family (homes {bdd_homes}): {bdd_cost.nodes} decision"
+          f" nodes -> {bdd_cost.gates} gates, {bdd_cost.levels} levels"
+          f" with forwarding")
     return 0
 
 
@@ -305,6 +330,34 @@ def cmd_replay(args) -> int:
         elif baseline:
             line += f"  {100 * (1 - totals.switched_bits / baseline):+.1f}%"
         print(line)
+    return 0
+
+
+def cmd_policies(args) -> int:
+    """List registered policy families, parameters, and fused kernels."""
+    from .analysis.report import _format_table
+    import repro.batch  # noqa: F401  (importing registers batch kernels)
+    from .batch import NUMPY_AVAILABLE
+    header = ["family", "syntax", "stats", "swap", "kernels", "grid kinds",
+              "description"]
+    rows = []
+    for family in REGISTRY.families():
+        backends = REGISTRY.kernel_backends(family.name)
+        rows.append([
+            family.name,
+            family.syntax,
+            "yes" if family.needs_stats else "-",
+            "yes" if family.supports_swap else "-",
+            ", ".join(backends) if backends else "(object path)",
+            ", ".join(family.grid_kinds) if family.grid_kinds else "-",
+            family.description,
+        ])
+    print(_format_table(header, rows, "Registered policy families"))
+    print(f"default CLI policies: {', '.join(REGISTRY.default_policies())}")
+    print(f"figure-4 grid: {', '.join(REGISTRY.grid_kinds())}")
+    if not NUMPY_AVAILABLE:
+        print("numpy not importable: np kernels unavailable in this"
+              " environment")
     return 0
 
 
@@ -573,6 +626,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="also print the per-workload breakdown")
     p.add_argument("--workloads", nargs="*",
                    help="workload names (default: suite for the FU class)")
+    p.add_argument("--policies", nargs="*", type=_policy_kind, default=None,
+                   help="steering schemes to grid (default: every"
+                        " registered family's grid kinds; see"
+                        " 'repro policies')")
     p.add_argument("--cache-dir",
                    help="content-addressed trace cache: record streams on"
                         " miss, replay instead of simulating on hit")
@@ -646,10 +703,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("trace")
     p.add_argument("--fu", default="ialu")
     p.add_argument("--modules", type=int, default=4)
-    p.add_argument("--policies", nargs="*",
-                   default=["original", "lut-4", "full-ham"])
+    p.add_argument("--policies", nargs="*", type=_policy_kind,
+                   default=list(REGISTRY.default_policies()))
     p.add_argument("--stats", choices=["paper"], default="paper")
     p.set_defaults(func=cmd_replay)
+
+    p = sub.add_parser("policies",
+                       help="list registered policy families, their"
+                            " parameters, and fused kernel backends")
+    p.set_defaults(func=cmd_policies)
 
     p = sub.add_parser("asm", help="assemble and run a .s file")
     p.add_argument("source")
@@ -661,8 +723,8 @@ def build_parser() -> argparse.ArgumentParser:
                    help="campaign directory (manifest, report, results)")
     p.add_argument("--workloads", nargs="*",
                    help="workload names (default: suite matching --fu)")
-    p.add_argument("--policies", nargs="*",
-                   default=["original", "lut-4", "full-ham"])
+    p.add_argument("--policies", nargs="*", type=_policy_kind,
+                   default=list(REGISTRY.default_policies()))
     p.add_argument("--fu", default="ialu",
                    choices=[fu.value for fu in FUClass])
     add_scale(p)
@@ -724,7 +786,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="steering savings vs info-bit fault rate")
     p.add_argument("workload")
     p.add_argument("--fu", default="ialu", choices=["ialu", "fpau"])
-    p.add_argument("--policy", default="lut-4")
+    p.add_argument("--policy", default="lut-4", type=_policy_kind)
     p.add_argument("--rates", nargs="*", type=float,
                    default=[0.0, 0.01, 0.02, 0.05, 0.1])
     p.add_argument("--fault-mode", choices=["info", "operand"],
@@ -743,9 +805,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="time-series sampling interval in cycles")
     p.add_argument("--fu", default="ialu",
                    choices=[fu.value for fu in FUClass])
-    p.add_argument("--policies", nargs="*",
-                   default=["original", "lut-4"],
-                   help="steering policies to score (empty for none)")
+    p.add_argument("--policies", nargs="*", type=_policy_kind,
+                   default=list(REGISTRY.default_policies()[:2]),
+                   help="steering policies to score (empty for none;"
+                        " default: baseline + the paper's proposal)")
     p.add_argument("--jsonl",
                    help="write the sampled time series to this JSONL file")
     p.add_argument("--live", action="store_true",
@@ -764,8 +827,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="ring-buffer capacity in spans (oldest evicted)")
     p.add_argument("--fu", default="ialu",
                    choices=[fu.value for fu in FUClass])
-    p.add_argument("--policies", nargs="*", default=["lut-4"],
-                   help="policies emitting module-assignment events")
+    p.add_argument("--policies", nargs="*", type=_policy_kind,
+                   default=list(REGISTRY.default_policies()[1:2]),
+                   help="policies emitting module-assignment events"
+                        " (default: the paper's proposal)")
     p.set_defaults(func=cmd_trace_export)
 
     return parser

@@ -23,6 +23,13 @@ from .steering import (EvaluationTotals, FullHammingPolicy, LUTPolicy,
                        SteeringPolicy, make_policy)
 from .swapping import (HardwareSwapper, MultiplierSwapper, SwapMode,
                        choose_swap_case)
+from .registry import (PolicyFamily, PolicyNameError, PolicyRegistry,
+                       PolicyRequest, REGISTRY)
+# importing the module registers the bdd-<bits> family (must follow
+# .steering: BDDPolicy subclasses LUTPolicy)
+from .bdd import (BDDCost, BDDPolicy, SteeringBDD, bdd_allocate_homes,
+                  build_bdd, build_bdd_lut, estimate_bdd_router_cost,
+                  order_variables, synthesize_bdd, vector_distribution)
 
 __all__ = [
     "Assignment", "cost_matrix", "optimal_assignment", "solve",
@@ -45,5 +52,10 @@ __all__ = [
     "RoundRobinPolicy", "SharedEvaluationCoordinator",
     "SteeringPolicy", "make_policy",
     "HardwareSwapper", "MultiplierSwapper", "SwapMode", "choose_swap_case",
+    "PolicyFamily", "PolicyNameError", "PolicyRegistry", "PolicyRequest",
+    "REGISTRY",
+    "BDDCost", "BDDPolicy", "SteeringBDD", "bdd_allocate_homes",
+    "build_bdd", "build_bdd_lut", "estimate_bdd_router_cost",
+    "order_variables", "synthesize_bdd", "vector_distribution",
     "verilog",
 ]

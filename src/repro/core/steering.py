@@ -36,6 +36,8 @@ from .assignment import Assignment, optimal_assignment
 from .info_bits import InfoBitScheme, case_of, scheme_for
 from .lut import SteeringLUT, build_lut
 from .power import FUPowerModel, operand_width
+from .registry import (PolicyFamily, PolicyRequest, REGISTRY, exact_name,
+                       int_suffix)
 from .statistics import CaseStatistics
 from .swapping import HardwareSwapper
 
@@ -543,25 +545,83 @@ def make_policy(kind: str, fu_class: FUClass, num_modules: int,
                 stats: Optional[CaseStatistics] = None,
                 scheme: Optional[InfoBitScheme] = None,
                 allow_swap: bool = False) -> SteeringPolicy:
-    """Factory covering every scheme in Figure 4.
+    """Factory covering every registered policy family.
 
-    ``kind`` is one of ``original``, ``round-robin``, ``full-ham``,
-    ``1bit-ham``, ``lut-8``, ``lut-4``, ``lut-2`` (the number is the
-    vector width in bits).  LUT kinds require ``stats``.
+    ``kind`` is any kind the :data:`~repro.core.registry.REGISTRY`
+    resolves — the paper's menu (``original``, ``round-robin``,
+    ``full-ham``, ``1bit-ham``, ``lut-<bits>``) plus any family
+    registered since (e.g. ``bdd-<bits>``).  Unknown or malformed
+    kinds raise a :class:`~repro.core.registry.PolicyNameError`
+    (a ``ValueError``) naming every registered kind.
     """
     scheme = scheme or scheme_for(fu_class)
-    if kind == "original":
-        return OriginalPolicy()
-    if kind == "round-robin":
-        return RoundRobinPolicy()
-    if kind == "full-ham":
-        return FullHammingPolicy(allow_swap=allow_swap)
-    if kind == "1bit-ham":
-        return OneBitHammingPolicy(scheme=scheme, allow_swap=allow_swap)
-    if kind.startswith("lut-"):
-        if stats is None:
-            raise ValueError("LUT policies need case statistics")
-        vector_bits = int(kind.split("-", 1)[1])
-        lut = build_lut(stats, num_modules, vector_bits)
-        return LUTPolicy(lut=lut, scheme=scheme)
-    raise ValueError(f"unknown policy kind '{kind}'")
+    return REGISTRY.build(kind, fu_class, num_modules, stats=stats,
+                          scheme=scheme, allow_swap=allow_swap)
+
+
+# ----- family registrations ---------------------------------------------------
+# The paper's menu, registered in-module: make_policy resolves through
+# the registry, so these builders must reproduce the pre-registry
+# factory byte for byte (tests/core/test_registry.py holds them to a
+# hand-written reference).  Fused batch kernels are attached by
+# repro.batch.kernels / kernels_np at their import.
+
+
+def _build_original(req: PolicyRequest) -> SteeringPolicy:
+    return OriginalPolicy()
+
+
+def _build_round_robin(req: PolicyRequest) -> SteeringPolicy:
+    return RoundRobinPolicy()
+
+
+def _build_full_ham(req: PolicyRequest) -> SteeringPolicy:
+    return FullHammingPolicy(allow_swap=req.allow_swap)
+
+
+def _build_one_bit_ham(req: PolicyRequest) -> SteeringPolicy:
+    return OneBitHammingPolicy(scheme=req.scheme, allow_swap=req.allow_swap)
+
+
+def _build_lut(req: PolicyRequest) -> SteeringPolicy:
+    lut = build_lut(req.stats, req.num_modules, req.params["bits"])
+    return LUTPolicy(lut=lut, scheme=req.scheme)
+
+
+REGISTRY.register(PolicyFamily(
+    name="original", syntax="original",
+    description="first-come-first-serve routing (the paper's baseline)",
+    parse=exact_name("original"), build=_build_original,
+    policy_types=(OriginalPolicy,),
+    grid_kinds=("original",), grid_order=90.0,
+    cli_defaults=((0, "original"),)))
+
+REGISTRY.register(PolicyFamily(
+    name="round-robin", syntax="round-robin",
+    description="rotate the starting module every cycle (ablation)",
+    parse=exact_name("round-robin"), build=_build_round_robin,
+    policy_types=(RoundRobinPolicy,)))
+
+REGISTRY.register(PolicyFamily(
+    name="full-ham", syntax="full-ham",
+    description="optimal full-width Hamming matching (section 4.1 bound)",
+    parse=exact_name("full-ham"), build=_build_full_ham,
+    policy_types=(FullHammingPolicy,), supports_swap=True,
+    grid_kinds=("full-ham",), grid_order=10.0,
+    cli_defaults=((20, "full-ham"),)))
+
+REGISTRY.register(PolicyFamily(
+    name="1bit-ham", syntax="1bit-ham",
+    description="optimal matching on information bits only (section 4.2)",
+    parse=exact_name("1bit-ham"), build=_build_one_bit_ham,
+    policy_types=(OneBitHammingPolicy,), supports_swap=True,
+    grid_kinds=("1bit-ham",), grid_order=20.0))
+
+REGISTRY.register(PolicyFamily(
+    name="lut", syntax="lut-<bits>",
+    description="greedy stateless LUT steering (section 4.3, the"
+                " paper's proposal); <bits> is the case-vector width",
+    parse=int_suffix("lut-"), build=_build_lut,
+    policy_types=(LUTPolicy,), needs_stats=True,
+    grid_kinds=("lut-8", "lut-4", "lut-2"), grid_order=30.0,
+    cli_defaults=((10, "lut-4"),)))

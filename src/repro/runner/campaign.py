@@ -111,6 +111,14 @@ class CampaignSpec:
             raise CampaignError("campaign needs at least one workload")
         if not self.policies:
             raise CampaignError("campaign needs at least one policy")
+        # fail at spec build, not as "-" columns in the final report:
+        # a typo'd policy name used to surface only after the grid ran
+        from ..core.registry import PolicyNameError, REGISTRY
+        for kind in self.policies:
+            try:
+                REGISTRY.resolve(kind)
+            except PolicyNameError as exc:
+                raise CampaignError(str(exc)) from None
         for name, overrides in self.configs.items():
             unknown = set(overrides) - CONFIG_FIELDS
             if unknown:

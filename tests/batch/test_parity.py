@@ -27,7 +27,7 @@ from repro.workloads import workload
 from tests.cpu.test_simulator import loopy_programs
 
 SCHEME_KINDS = ("original", "round-robin", "full-ham", "1bit-ham",
-                "lut-4", "lut-2")
+                "lut-4", "lut-2", "bdd-4")
 NUM_MODULES = 4
 
 # every kernel backend available in this interpreter; the object path
@@ -223,6 +223,53 @@ class TestBackendDispatch:
             assert cells(results[engine]) == cells(reference), engine
             assert repr(results[engine].statistics) == \
                 repr(reference.statistics), engine
+
+
+class TestBDDFallThrough:
+    """The bdd family registers a fused python kernel only: the np
+    backend must fall through to it via the registry (not crash, not
+    silently diverge), and a scheme mismatch must fall through to the
+    object path."""
+
+    def _bdd_evaluator(self, stats):
+        policy = make_policy("bdd-4", FUClass.IALU, NUM_MODULES, stats=stats)
+        return PolicyEvaluator(FUClass.IALU, NUM_MODULES, policy)
+
+    def test_no_np_kernel_registered(self):
+        from repro.core.registry import REGISTRY
+        stats = paper_statistics(FUClass.IALU)
+        policy = make_policy("bdd-4", FUClass.IALU, NUM_MODULES, stats=stats)
+        assert REGISTRY.kernel_factory(policy, "np") is None
+        assert REGISTRY.kernel_factory(policy, "python") is not None
+
+    @pytest.mark.parametrize("backend", KERNEL_BACKENDS)
+    def test_engines_identical_for_bdd(self, backend):
+        memory = capture(LiveSource(workload("compress").build(1)))
+        stats = paper_statistics(FUClass.IALU)
+        reference = self._bdd_evaluator(stats)
+        drive(memory, [reference])
+        batch = self._bdd_evaluator(stats)
+        batch_drive(pack_stream(memory.groups()), [batch], backend=backend)
+        assert batch.totals() == reference.totals()
+
+    def test_scheme_mismatch_falls_through_to_object_path(self):
+        # an FP-scheme bdd policy over an integer stream: the fused
+        # kernel's guard declines and the object path must still agree
+        memory = capture(LiveSource(workload("compress").build(1)))
+        stats = paper_statistics(FUClass.IALU)
+
+        def build():
+            policy = make_policy("bdd-4", FUClass.IALU, NUM_MODULES,
+                                 stats=stats, scheme=scheme_for(FUClass.FPAU))
+            return PolicyEvaluator(FUClass.IALU, NUM_MODULES, policy)
+
+        reference = build()
+        drive(memory, [reference])
+        for backend in KERNEL_BACKENDS:
+            batch = build()
+            batch_drive(pack_stream(memory.groups()), [batch],
+                        backend=backend)
+            assert batch.totals() == reference.totals(), backend
 
 
 class TestFallbackPath:

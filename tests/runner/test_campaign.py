@@ -53,6 +53,18 @@ class TestSpec:
         with pytest.raises(CampaignError, match="policy"):
             CampaignSpec(workloads=("li",), policies=())
 
+    def test_unknown_policy_rejected_at_build_time(self):
+        with pytest.raises(CampaignError, match="registered kinds"):
+            small_spec(policies=("original", "lut4"))
+
+    def test_malformed_policy_rejected_at_build_time(self):
+        with pytest.raises(CampaignError, match="lut-<bits>"):
+            small_spec(policies=("lut-abc",))
+
+    def test_registry_kinds_accepted(self):
+        spec = small_spec(policies=("original", "bdd-4", "lut-4"))
+        assert spec.policies == ("original", "bdd-4", "lut-4")
+
     def test_fingerprint_tracks_the_grid(self):
         spec = small_spec()
         assert spec.fingerprint() == small_spec().fingerprint()

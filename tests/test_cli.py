@@ -65,6 +65,29 @@ class TestCli:
         assert code == 0
         assert "58 gates, 6 levels" in output
 
+    def test_policies_lists_registered_families(self, capsys):
+        code, output = run_cli(capsys, "policies")
+        assert code == 0
+        for family in ("original", "round-robin", "full-ham", "1bit-ham",
+                       "lut-<bits>", "bdd-<bits>"):
+            assert family in output
+        assert "default CLI policies" in output
+        assert "figure-4 grid" in output
+
+    def test_figure4_policies_override(self, capsys):
+        code, output = run_cli(capsys, "figure4", "ialu", "--synthetic",
+                               "--cycles", "2000",
+                               "--policies", "original", "bdd-4")
+        assert code == 0
+        assert "bdd-4" in output
+        assert "lut-8" not in output
+
+    def test_unknown_policy_rejected_at_parse_time(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["replay", "whatever.trace", "--policies", "nope"])
+        assert excinfo.value.code == 2
+        assert "registered kinds" in capsys.readouterr().err
+
     def test_trace_and_replay(self, capsys, tmp_path):
         trace = str(tmp_path / "t.gz")
         code, output = run_cli(capsys, "trace", "li", "-o", trace,
