@@ -571,6 +571,26 @@ def cmd_trace_export(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    from .server import ServerConfig, serve_main
+    config = ServerConfig(
+        host=args.host, port=args.port, cache_dir=args.cache_dir,
+        executor=args.executor, max_workers=args.max_workers,
+        max_batch=args.max_batch, queue_limit=args.queue_limit,
+        request_timeout=args.timeout, drain_grace=args.drain_grace,
+        allow_delay=args.allow_delay,
+        allowed_policies=tuple(args.policies or ()))
+    return serve_main(config)
+
+
+def cmd_loadtest(args) -> int:
+    from .server import loadgen
+    serve_args: List[str] = []
+    if args.cache_dir:
+        serve_args += ["--cache-dir", args.cache_dir]
+    return loadgen.run_from_args(args, serve_args=serve_args)
+
+
 # --- parser --------------------------------------------------------------------
 
 def build_parser() -> argparse.ArgumentParser:
@@ -832,6 +852,47 @@ def build_parser() -> argparse.ArgumentParser:
                    help="policies emitting module-assignment events"
                         " (default: the paper's proposal)")
     p.set_defaults(func=cmd_trace_export)
+
+    p = sub.add_parser("serve",
+                       help="run the evaluation server (HTTP/JSON, request"
+                            " coalescing, trace-cache backed)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8787,
+                   help="listening port (0 = OS-assigned; the bound port"
+                        " is announced on stdout)")
+    p.add_argument("--cache-dir",
+                   help="shared trace-cache directory (enables"
+                        " cross-process coalescing via TraceCacheLock)")
+    p.add_argument("--executor", choices=["pool", "inline"],
+                   default="pool",
+                   help="pool: crash-isolated process pool (default);"
+                        " inline: threads in this process")
+    p.add_argument("--max-workers", type=int, default=2,
+                   help="concurrent evaluations (pool width)")
+    p.add_argument("--max-batch", type=int, default=32,
+                   help="max admitted items per pool batch")
+    p.add_argument("--queue-limit", type=int, default=64,
+                   help="max distinct evaluations in flight before 429")
+    p.add_argument("--timeout", type=float, default=300.0,
+                   help="per-request evaluation timeout (seconds)")
+    p.add_argument("--drain-grace", type=float, default=30.0,
+                   help="seconds SIGTERM waits for in-flight work")
+    p.add_argument("--allow-delay", action="store_true",
+                   help="honour the test-only delay_ms request field")
+    p.add_argument("--policies", nargs="*", type=_policy_kind,
+                   default=None,
+                   help="restrict which policy kinds this server will"
+                        " evaluate (default: any registered kind)")
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser("loadtest",
+                       help="load-test a running server (or spawn one)"
+                            " and report latency/coalescing/hit-rate")
+    from .server.loadgen import add_arguments as _loadgen_arguments
+    _loadgen_arguments(p, policy_type=_policy_kind)
+    p.add_argument("--cache-dir",
+                   help="trace-cache directory for the spawned server")
+    p.set_defaults(func=cmd_loadtest)
 
     return parser
 

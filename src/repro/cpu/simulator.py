@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+from bisect import bisect_left
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
@@ -326,6 +327,10 @@ class Simulator:
         if telemetry is not None and not telemetry.enabled:
             telemetry = None
         self.telemetry = telemetry
+        # (width-count lists, histograms) while run() accumulates;
+        # folded by _telemetry_sample/_finalize_telemetry
+        self._issue_width_state: Optional[Tuple[List[List[int]],
+                                                List[Any]]] = None
         self._tracer = telemetry.tracer if telemetry is not None else None
         if self._tracer is not None:
             self._tracer.fu_names = tuple(fu.value for fu in FUClass)
@@ -454,12 +459,20 @@ class Simulator:
                            if telemetry is not None else 0)
         next_sample = sample_interval if sample_interval else max_cycles + 1
         if telemetry is not None and telemetry.registry.enabled:
-            issue_width_hists: Optional[List[Any]] = [
+            # width distributions are *accumulated* in plain per-width
+            # lists (one indexed increment per issue group) and folded
+            # into the registered histograms at sample points and run
+            # end — Histogram.observe per group is measurable against
+            # the linearised issue loop
+            issue_width_counts: Optional[List[List[int]]] = [
+                [0] * (config.modules(fu) + 1) for fu in FUClass]
+            self._issue_width_state = (issue_width_counts, [
                 telemetry.registry.histogram(
                     f"issue.{fu.value}.width", (1, 2, 3, 4, 6, 8))
-                for fu in FUClass]
+                for fu in FUClass])
         else:
-            issue_width_hists = None
+            issue_width_counts = None
+            self._issue_width_state = None
 
         while not self._halted:
             if cycle >= max_cycles:
@@ -618,8 +631,8 @@ class Simulator:
                     occupancy[fu_index] -= count
                     issue_counts[fu_index] += count
                     result.executed_ops += count
-                    if issue_width_hists is not None:
-                        issue_width_hists[fu_index].observe(count)
+                    if issue_width_counts is not None:
+                        issue_width_counts[fu_index][count] += 1
                     group = IssueGroup(cycle, fu_class, issued)
                     for listener in listeners:
                         listener(group)
@@ -785,8 +798,25 @@ class Simulator:
             counters[f"issue.{fu.value}"] = counts[fu.index]
         return counters
 
+    def _fold_issue_width(self) -> None:
+        """Drain the run loop's plain width-count lists into the
+        registered ``issue.<fu>.width`` histograms (exact: a count of
+        ``n`` groups at width ``w`` lands as ``n`` observations of
+        ``w``), then zero the accumulators."""
+        state = self._issue_width_state
+        if state is None:
+            return
+        for counts, hist in zip(*state):
+            for width, n in enumerate(counts):
+                if n:
+                    hist.counts[bisect_left(hist.edges, width)] += n
+                    hist.total += n
+                    hist.sum += width * n
+                    counts[width] = 0
+
     def _telemetry_sample(self, cycle: int, last_retire_cycle: int) -> None:
         """Take one time-series row (run loop, every sample_interval)."""
+        self._fold_issue_width()
         telemetry = self.telemetry
         gauges = self.pipeline_gauges(cycle, last_retire_cycle)
         registry = telemetry.registry
@@ -806,6 +836,7 @@ class Simulator:
 
     def _finalize_telemetry(self, cycle: int,
                             last_retire_cycle: int) -> None:
+        self._fold_issue_width()
         telemetry = self.telemetry
         if telemetry.sample_interval > 0:
             self._telemetry_sample(cycle, last_retire_cycle)

@@ -241,6 +241,18 @@ class ProcessTaskPool:
                 for run_item in running:
                     item = run_item.item
                     elapsed = now - run_item.started
+                    if run_item.message is None \
+                            and not run_item.process.is_alive():
+                        # a sibling can send its result and exit while
+                        # this round is busy recv()ing another worker's
+                        # message; once dead, anything it sent is fully
+                        # buffered, so one poll() here is authoritative —
+                        # without it a clean exit reads as WorkerCrashed
+                        try:
+                            if run_item.conn.poll():
+                                run_item.message = run_item.conn.recv()
+                        except (EOFError, OSError):
+                            pass
                     if run_item.message is not None:
                         kind, payload = run_item.message
                         self._reap(run_item)
@@ -251,9 +263,11 @@ class ProcessTaskPool:
                             if self._requeue_or_fail(item, elapsed, payload,
                                                      pending, on_failed):
                                 finished += 1
-                    elif run_item.conn in ready_conns:
-                        # EOF without a message: the worker died before
-                        # reporting (segfault, OOM kill, os._exit)
+                    elif (run_item.conn in ready_conns
+                          or not run_item.process.is_alive()):
+                        # EOF (or a dead child) without a message: the
+                        # worker died before reporting (segfault, OOM
+                        # kill, os._exit)
                         self._reap(run_item)
                         error = {"type": "WorkerCrashed",
                                  "message": "worker died without reporting"
@@ -268,15 +282,6 @@ class ProcessTaskPool:
                         error = {"type": "TaskTimeout",
                                  "message": f"exceeded {self.task_timeout}s"
                                  f" task timeout (attempt {item.attempt})"}
-                        if self._requeue_or_fail(item, elapsed, error,
-                                                 pending, on_failed):
-                            finished += 1
-                    elif not run_item.process.is_alive():
-                        self._reap(run_item)
-                        error = {"type": "WorkerCrashed",
-                                 "message": "worker died without reporting"
-                                 f" (exit code"
-                                 f" {run_item.process.exitcode})"}
                         if self._requeue_or_fail(item, elapsed, error,
                                                  pending, on_failed):
                             finished += 1

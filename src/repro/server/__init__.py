@@ -1,0 +1,31 @@
+"""Steering-as-a-service: the asyncio evaluation server.
+
+``repro serve`` binds :class:`~repro.server.app.EvalServer` — a
+stdlib-only HTTP/1.1 service whose request path is a memoization
+ladder (ETag revalidation, response cache, single-flight coalescing,
+trace-cache replay, simulation last).  ``repro loadtest`` drives
+:mod:`repro.server.loadgen` against it.  See ``docs/server.md``.
+"""
+
+from .app import EvalServer, ServerConfig, run_server, serve_main
+from .executor import (ExecutionError, InlineExecutor, PoolBatchExecutor,
+                       evaluate_request, make_executor)
+from .protocol import (EvalRequest, ProtocolError, etag_for, parse_request,
+                       request_key)
+
+__all__ = [
+    "EvalRequest",
+    "EvalServer",
+    "ExecutionError",
+    "InlineExecutor",
+    "PoolBatchExecutor",
+    "ProtocolError",
+    "ServerConfig",
+    "etag_for",
+    "evaluate_request",
+    "make_executor",
+    "parse_request",
+    "request_key",
+    "run_server",
+    "serve_main",
+]

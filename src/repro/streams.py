@@ -432,17 +432,25 @@ def cached_or_record(program: Program, config: MachineConfig,
 
     On a miss, contends on :class:`TraceCacheLock` so that across every
     process on every host sharing ``cache_dir``, one worker simulates
-    and the rest replay.  A loser polls for the winner's entry; if it
-    never appears within ``max_wait`` (default ``2 * lock_ttl`` — the
-    winner crashed, or the clock-skewed lock never went stale), the
-    loser records unlocked: duplicated work, never a wrong or missing
+    and the rest replay.  A loser polls for the winner's entry with
+    full-jitter exponential backoff (``poll`` is the first ceiling) —
+    a thundering herd of coalesced losers must not wake in lockstep
+    and hammer the filesystem together.  If the entry never appears
+    within ``max_wait`` (default ``2 * lock_ttl`` — the winner
+    crashed, or the clock-skewed lock never went stale), the loser
+    records unlocked: duplicated work, never a wrong or missing
     result.
     """
+    # lazy: repro.runner.__init__ pulls in campaign, which imports this
+    # module — a top-level import here would close that cycle
+    from .runner.pool import full_jitter_delay
+
     directory = Path(cache_dir)
     directory.mkdir(parents=True, exist_ok=True)
     key = trace_cache_key(program, config, fu_classes)
     deadline = time.monotonic() + (2 * lock_ttl if max_wait is None
                                    else max_wait)
+    attempt = 0
     while True:
         found = cached_source(program, config, cache_dir, fu_classes)
         if found is not None and found.result is not None:
@@ -473,7 +481,12 @@ def cached_or_record(program: Program, config: MachineConfig,
                                    fu_classes, telemetry=telemetry,
                                    extra_consumers=extra_consumers)
             return memory, "miss"
-        time.sleep(poll)
+        # cap the ceiling at 16x poll: late losers should still notice
+        # the published entry within a few seconds, they just must not
+        # all notice it in the same instant
+        attempt = min(attempt + 1, 5)
+        time.sleep(min(full_jitter_delay(poll, attempt),
+                       max(0.0, deadline - time.monotonic())))
 
 
 def prune_trace_cache(cache_dir: PathLike, limit_mb: float,

@@ -1,0 +1,184 @@
+"""Single-flight coalescing: N concurrent identical requests must run
+exactly one simulation and return N bit-identical responses — in one
+process through the server's in-flight map, and across processes
+through ``TraceCacheLock``."""
+
+import asyncio
+import json
+import multiprocessing
+import time
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cpu.simulator import Simulator
+from repro.server import EvalServer, ServerConfig
+from repro.server.loadgen import Client
+from repro.workloads import workload
+
+
+def _count_simulator_runs(monkeypatch):
+    """Patch ``Simulator.run`` to count invocations process-wide."""
+    calls = []
+    original = Simulator.run
+
+    def counting(self, *args, **kwargs):
+        calls.append(self.program.name)
+        return original(self, *args, **kwargs)
+
+    monkeypatch.setattr(Simulator, "run", counting)
+    return calls
+
+
+@settings(max_examples=3, deadline=None)
+@given(clients=st.integers(min_value=2, max_value=12))
+def test_n_concurrent_requests_one_simulation(clients):
+    """The way-memoization property, end to end over real sockets:
+    whatever the fan-in, one Simulator.run and N identical bodies."""
+    with pytest.MonkeyPatch.context() as monkeypatch:
+        calls = _count_simulator_runs(monkeypatch)
+        request = json.dumps({
+            "fu": "ialu", "workloads": ["li"], "scale": 1,
+            "policies": ["original", "lut-4"],
+            "swap_modes": ["none", "hw"],
+        }).encode()
+
+        async def scenario():
+            server = EvalServer(ServerConfig(executor="inline",
+                                             max_workers=2))
+            host, port = await server.start()
+            pool = [Client(host, port) for _ in range(clients)]
+            try:
+                samples = await asyncio.gather(*(
+                    client.request("POST", "/v1/evaluate", request,
+                                   timeout=120.0)
+                    for client in pool))
+            finally:
+                for client in pool:
+                    await client.close()
+                await server.close()
+            return server.registry.counter_values(), samples
+
+        counters, samples = asyncio.run(scenario())
+        assert [s.status for s in samples] == [200] * clients
+        assert len({s.body for s in samples}) == 1  # bit-identical
+        assert counters["server.executions"] == 1
+        assert counters["server.coalesced.waiters"] \
+            + counters["server.cache.hits"] == clients - 1
+        # exactly one simulation of the one program version (the
+        # figure-4 pass replays the captured stream for everything else)
+        assert len(calls) == 1
+
+
+def test_coalesced_waiters_counted_separately_from_hits():
+    """A request arriving while the key is in flight coalesces; one
+    arriving after completion hits the response cache."""
+    request = json.dumps({"synthetic": True, "cycles": 1500,
+                          "policies": ["original", "lut-4"],
+                          "delay_ms": 300}).encode()
+
+    async def scenario():
+        server = EvalServer(ServerConfig(executor="inline", max_workers=2,
+                                         allow_delay=True))
+        host, port = await server.start()
+        a, b, c = (Client(host, port) for _ in range(3))
+        try:
+            leader = asyncio.ensure_future(
+                a.request("POST", "/v1/evaluate", request, timeout=30.0))
+            await asyncio.sleep(0.1)  # leader admitted, still sleeping
+            waiter = await b.request("POST", "/v1/evaluate", request,
+                                     timeout=30.0)
+            led = await leader
+            late = await c.request("POST", "/v1/evaluate", request,
+                                   timeout=30.0)
+        finally:
+            for client in (a, b, c):
+                await client.close()
+            await server.close()
+        return server.registry.counter_values(), led, waiter, late
+
+    counters, led, waiter, late = asyncio.run(scenario())
+    assert led.headers["x-cache"] == "computed"
+    assert waiter.headers["x-cache"] == "coalesced"
+    assert late.headers["x-cache"] == "hit"
+    assert led.body == waiter.body == late.body
+    assert counters["server.executions"] == 1
+    assert counters["server.coalesced.waiters"] == 1
+    assert counters["server.cache.hits"] == 1
+
+
+def _record_worker(cache_dir, barrier, queue):
+    """Child process: contend on the shared trace cache for one key."""
+    from repro.cpu.config import MachineConfig
+    from repro.isa.instructions import FUClass
+    from repro.streams import cached_or_record
+
+    program = workload("li").build(1)
+    config = MachineConfig()
+    barrier.wait(timeout=30)  # maximise contention: start together
+    source, state = cached_or_record(program, config, cache_dir,
+                                     (FUClass.IALU,), poll=0.05)
+    queue.put(state)
+
+
+def test_cross_process_coalescing_through_trace_cache_lock(tmp_path):
+    """K processes race cached_or_record on one key: exactly one
+    records ("miss"), the rest replay the winner's entry ("hit")."""
+    ctx = multiprocessing.get_context("fork")
+    barrier = ctx.Barrier(4)
+    queue = ctx.Queue()
+    workers = [ctx.Process(target=_record_worker,
+                           args=(str(tmp_path), barrier, queue))
+               for _ in range(4)]
+    for worker in workers:
+        worker.start()
+    states = [queue.get(timeout=120) for _ in workers]
+    for worker in workers:
+        worker.join(timeout=30)
+        assert worker.exitcode == 0
+    assert sorted(states) == ["hit", "hit", "hit", "miss"]
+
+
+def test_loser_polling_uses_jittered_backoff(tmp_path, monkeypatch):
+    """While the lock is held, a loser's waits must come from
+    full_jitter_delay with growing (capped) attempt numbers — not a
+    fixed-interval spin."""
+    import repro.runner.pool as pool_module
+    from repro.cpu.config import MachineConfig
+    from repro.isa.instructions import FUClass
+    from repro.streams import TraceCacheLock, cached_or_record, \
+        trace_cache_key
+
+    program = workload("li").build(1)
+    config = MachineConfig()
+    key = trace_cache_key(program, config, (FUClass.IALU,))
+    lock = TraceCacheLock(tmp_path, key, ttl=600.0)
+    assert lock.acquire()
+
+    attempts = []
+    real_delay = pool_module.full_jitter_delay
+
+    def recording(base, attempt, *args, **kwargs):
+        attempts.append((base, attempt))
+        return 0.0  # no real sleeping in the test
+
+    monkeypatch.setattr(pool_module, "full_jitter_delay", recording)
+    try:
+        # the lock never releases, so the loser backs off until
+        # max_wait expires and then records unlocked
+        source, state = cached_or_record(
+            program, config, tmp_path, (FUClass.IALU,),
+            poll=0.01, max_wait=0.2)
+    finally:
+        lock.release()
+    assert state == "miss"
+    assert len(attempts) >= 2
+    bases = {base for base, _ in attempts}
+    assert bases == {0.01}
+    seq = [attempt for _, attempt in attempts]
+    assert seq == sorted(seq)  # attempts grow...
+    assert max(seq) <= 5  # ...but the ceiling is capped at 16x poll
+    # and the real implementation actually jitters
+    draws = {real_delay(1.0, 3) for _ in range(8)}
+    assert len(draws) > 1
+    assert all(0.0 <= d <= 4.0 for d in draws)

@@ -1,0 +1,58 @@
+"""Server responses must be bit-identical to the CLI's figure-4 output
+for the same request — the serving layer adds transport, never changes
+a result byte."""
+
+import asyncio
+import json
+
+from repro.cli import main as cli_main
+from repro.server import EvalServer, ServerConfig
+from repro.server.loadgen import Client
+
+
+def _server_report(payload):
+    async def scenario():
+        server = EvalServer(ServerConfig(executor="inline", max_workers=2))
+        host, port = await server.start()
+        client = Client(host, port)
+        try:
+            sample = await client.request(
+                "POST", "/v1/evaluate", json.dumps(payload).encode(),
+                timeout=120.0)
+        finally:
+            await client.close()
+            await server.close()
+        assert sample.status == 200
+        return json.loads(sample.body)
+
+    return asyncio.run(scenario())
+
+
+def test_synthetic_parity_with_cli(capsys):
+    """`repro figure4 ialu --synthetic` and the server must render the
+    same panel — policies listed in a different order on purpose."""
+    rc = cli_main(["figure4", "ialu", "--synthetic", "--cycles", "3000",
+                   "--policies", "original", "lut-4"])
+    assert rc == 0
+    expected = capsys.readouterr().out.rstrip("\n")
+
+    body = _server_report({"fu": "ialu", "synthetic": True,
+                           "cycles": 3000,
+                           "policies": ["lut-4", "original"]})
+    assert body["report"] == expected
+
+
+def test_workload_parity_with_cli(capsys):
+    """Real-program path: same workload, same stats, same grid, same
+    scale (the CLI defaults --scale 1; the server's omitted scale means
+    each workload's default, so the request pins it)."""
+    rc = cli_main(["figure4", "ialu", "--workloads", "li", "--scale", "1",
+                   "--policies", "original", "lut-4"])
+    assert rc == 0
+    expected = capsys.readouterr().out.rstrip("\n")
+
+    body = _server_report({"fu": "ialu", "workloads": ["li"], "scale": 1,
+                           "policies": ["lut-4", "original"]})
+    assert body["report"] == expected
+    assert body["workloads"] == ["li"]
+    assert body["baseline_bits"] > 0
